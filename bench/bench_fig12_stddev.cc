@@ -1,0 +1,38 @@
+// Figure 12: standard deviation of per-node (a) and per-shard (b)
+// write throughput across skewness factors, for the three routing
+// policies. Paper shape: at low theta the policies are close; as
+// theta grows, hashing's node/shard stddev blows up while dynamic
+// secondary hashing stays near double hashing (which is the uniform
+// optimum).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+
+using namespace esdb;  // NOLINT
+
+int main() {
+  bench::PrintHeader(
+      "Figure 12: stddev of node/shard write throughput vs skewness");
+  std::printf("%-28s %-8s %-22s %-22s\n", "policy", "theta",
+              "node_tput_stddev", "shard_tput_stddev");
+
+  const double kThetas[] = {0.0, 0.5, 1.0, 1.5, 2.0};
+  for (RoutingKind policy : bench::kAllPolicies) {
+    for (double theta : kThetas) {
+      ClusterSim::Options options = bench::PaperSimOptions(policy, theta);
+      options.generate_rate = 160000;
+      ClusterSim sim(options);
+      sim.Run(10 * kMicrosPerSecond);  // warm-up: let rules commit, queues settle
+      sim.ResetMetrics();
+      sim.Run(10 * kMicrosPerSecond);
+      const auto& m = sim.metrics();
+      std::printf("%-28s %-8.1f %-22.1f %-22.2f\n",
+                  bench::PolicyName(policy), theta,
+                  PopulationStdDev(m.NodeThroughputs()),
+                  PopulationStdDev(m.ShardThroughputs()));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 13: per-node write throughput and CPU usage for hashing (a),
+// double hashing (b) and dynamic secondary hashing (c), plus the
+// normalized shard-size distribution (d), all at theta = 1.
+// Paper shape: under hashing only the hot shard's primary/replica node
+// pair works at full capacity; under dynamic secondary hashing the
+// load evens out (~85% CPU everywhere) and the largest/smallest shard
+// size ratio drops from >100x to ~16x (double hashing: ~13x).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace esdb;  // NOLINT
+
+int main() {
+  bench::PrintHeader("Figure 13: per-node throughput/CPU and shard sizes");
+
+  for (RoutingKind policy : bench::kAllPolicies) {
+    ClusterSim::Options options = bench::PaperSimOptions(policy);
+    options.generate_rate = 160000;
+    ClusterSim sim(options);
+    sim.Run(10 * kMicrosPerSecond);  // warm-up: let rules commit, queues settle
+    sim.ResetMetrics();
+    sim.Run(15 * kMicrosPerSecond);
+    const auto& m = sim.metrics();
+
+    std::printf("\n[%s]\n", bench::PolicyName(policy));
+    std::printf("%-8s %-18s %-10s\n", "node", "throughput", "cpu");
+    const auto tputs = m.NodeThroughputs();
+    const auto cpus = m.NodeCpuUsage(options.node_capacity);
+    double cpu_sum = 0;
+    for (size_t i = 0; i < tputs.size(); ++i) {
+      std::printf("%-8zu %-18.0f %-10.2f\n", i + 1, tputs[i], cpus[i]);
+      cpu_sum += cpus[i];
+    }
+    std::printf("average cpu: %.2f\n", cpu_sum / double(cpus.size()));
+
+    // (d) normalized shard sizes.
+    std::vector<uint64_t> sizes = m.shard_docs;
+    std::sort(sizes.begin(), sizes.end());
+    const double smallest = double(std::max<uint64_t>(sizes.front(), 1));
+    std::printf("shard size max/min ratio: %.1f  (p50 %.1f, p90 %.1f, "
+                "p99 %.1f; normalized to smallest shard)\n",
+                double(sizes.back()) / smallest,
+                double(sizes[sizes.size() / 2]) / smallest,
+                double(sizes[sizes.size() * 9 / 10]) / smallest,
+                double(sizes[sizes.size() * 99 / 100]) / smallest);
+  }
+  return 0;
+}

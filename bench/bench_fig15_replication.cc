@@ -1,0 +1,43 @@
+// Figure 15: write throughput (a) and average cluster CPU usage (b)
+// under logical versus physical replication, as the generating rate
+// grows. Paper shape: logical replication's throughput flattens
+// around 140K while physical replication keeps rising past 180K, and
+// physical replication's CPU usage is consistently lower.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace esdb;  // NOLINT
+
+int main() {
+  bench::PrintHeader(
+      "Figure 15: logical vs physical replication (double hashing)");
+  std::printf("%-10s %-12s %-16s %-10s\n", "mode", "rate", "throughput",
+              "avg_cpu");
+
+  const double kRates[] = {60000,  90000,  120000, 150000,
+                           180000, 210000, 240000};
+  for (ReplicationMode mode :
+       {ReplicationMode::kLogical, ReplicationMode::kPhysical}) {
+    for (double rate : kRates) {
+      ClusterSim::Options options =
+          bench::PaperSimOptions(RoutingKind::kDoubleHash);
+      options.double_hash_offset = 64;  // isolate replication effects
+      options.replication = mode;
+      options.generate_rate = rate;
+      ClusterSim sim(options);
+      sim.Run(3 * kMicrosPerSecond);
+      sim.ResetMetrics();
+      sim.Run(10 * kMicrosPerSecond);
+      const auto& m = sim.metrics();
+      double cpu = 0;
+      for (double c : m.NodeCpuUsage(options.node_capacity)) cpu += c;
+      cpu /= double(options.num_nodes);
+      std::printf("%-10s %-12.0f %-16.0f %-10.2f\n",
+                  mode == ReplicationMode::kLogical ? "logical" : "physical",
+                  rate, m.Throughput(), cpu);
+    }
+  }
+  return 0;
+}

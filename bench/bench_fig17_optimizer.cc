@@ -1,0 +1,109 @@
+// Figure 17: average (a) and quantile (b) query latencies of the top
+// 100 tenants with and without ESDB's rule-based query optimizer, on
+// the real engine. Paper shape: the optimizer improves the average
+// latency 2.41x overall and up to 5.08x for the largest tenant, with
+// p99 under 200ms. The mechanism (verified by the executor counters):
+// composite-index scans plus doc-value sequential scans touch far
+// fewer posting entries than Lucene's one-index-per-predicate plan.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/esdb.h"
+#include "common/histogram.h"
+#include "workload/generator.h"
+
+using namespace esdb;  // NOLINT
+
+namespace {
+
+constexpr uint32_t kShards = 16;
+constexpr uint64_t kTenants = 2000;
+constexpr int kDocs = 120000;
+constexpr int kQueriesPerTenant = 10;
+constexpr int kTopTenants = 100;
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 17: query latency with/without the query optimizer");
+
+  Esdb::Options options;
+  options.num_shards = kShards;
+  options.routing = RoutingKind::kHash;  // isolate optimizer effects
+  options.store.refresh_doc_count = 8192;
+  Esdb db(std::move(options));
+
+  WorkloadGenerator::Options wopts;
+  wopts.num_tenants = kTenants;
+  wopts.theta = 1.0;
+  wopts.seed = 171717;
+  WorkloadGenerator generator(wopts);
+  for (int i = 0; i < kDocs; ++i) {
+    (void)db.Insert(generator.NextDocument(Micros(i) * kMicrosPerMilli));
+  }
+  db.RefreshAll();
+
+  struct Config {
+    const char* name;
+    PlannerOptions planner;
+  };
+  Config configs[2];
+  configs[0].name = "optimizer_off";
+  configs[0].planner.use_composite_index = false;
+  configs[0].planner.use_scan_list = false;
+  configs[1].name = "optimizer_on";
+
+  double mean_latency[2] = {0, 0};
+  for (int c = 0; c < 2; ++c) {
+    Histogram latency;
+    std::vector<double> per_tenant_ms(kTopTenants);
+    uint64_t postings = 0;
+
+    QueryGenerator::Options qopts;
+    qopts.time_window = Micros(kDocs) * kMicrosPerMilli / 4;
+    qopts.seed = 99;  // same query set for both configs
+    QueryGenerator queries(qopts);
+
+    Esdb::Options* mutable_opts = nullptr;
+    (void)mutable_opts;
+    for (int rank = 1; rank <= kTopTenants; ++rank) {
+      double tenant_seconds = 0;
+      for (int q = 0; q < kQueriesPerTenant; ++q) {
+        const std::string sql =
+            queries.NextSql(TenantId(rank), Micros(kDocs) * kMicrosPerMilli);
+        auto parsed_at = bench::Stopwatch();
+        auto result = db.ExecuteSqlWithPlanner(sql, configs[c].planner);
+        const double seconds = parsed_at.ElapsedSeconds();
+        if (!result.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        tenant_seconds += seconds;
+        latency.Record(seconds);
+        postings += db.last_stats().postings_considered;
+      }
+      per_tenant_ms[rank - 1] =
+          tenant_seconds * 1000.0 / kQueriesPerTenant;
+    }
+
+    mean_latency[c] = latency.Mean();
+    std::printf("\n[%s]\n", configs[c].name);
+    std::printf("avg latency: %.3f ms   p50 %.3f  p90 %.3f  p99 %.3f ms\n",
+                latency.Mean() * 1000, latency.Quantile(0.5) * 1000,
+                latency.Quantile(0.9) * 1000, latency.Quantile(0.99) * 1000);
+    std::printf("posting entries touched: %llu\n",
+                static_cast<unsigned long long>(postings));
+    std::printf("%-12s %-16s\n", "tenant_rank", "avg_latency_ms");
+    for (int rank : {1, 2, 5, 10, 20, 50, 100}) {
+      std::printf("%-12d %-16.3f\n", rank, per_tenant_ms[rank - 1]);
+    }
+  }
+  std::printf("\noptimizer speedup (avg): %.2fx (paper: 2.41x avg, 5.08x "
+              "for the largest tenant)\n",
+              mean_latency[0] / mean_latency[1]);
+  return 0;
+}

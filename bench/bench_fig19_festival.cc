@@ -1,0 +1,69 @@
+// Figure 19: maximum write delay and average query latency around the
+// kickoff of the Single's Day festival (production trace shape). The
+// workload spikes dramatically at t=0; ESDB's monitor detects the new
+// hotspots, secondary hashing rules commit, and the backlog from the
+// first seconds is fully processed within minutes (paper: < 7 min,
+// versus > 100 min in the pre-ESDB years). Query latency stays modest
+// throughout (paper: <= 164 ms).
+//
+// Query latency here is modeled from the measured node utilization
+// (queries contend with indexing for the same CPUs):
+//   latency_ms = 20 + 150 * cpu^2
+// which reproduces the paper's 30->164 ms swing at cpu 0.25 -> ~1.0.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace esdb;  // NOLINT
+
+int main() {
+  bench::PrintHeader(
+      "Figure 19: festival kickoff — max write delay & query latency");
+
+  ClusterSim::Options options =
+      bench::PaperSimOptions(RoutingKind::kDynamic);
+  options.sample_period = 10 * kMicrosPerSecond;
+  ClusterSim sim(options);
+
+  // Pre-festival steady state (23:50-00:00): modest traffic.
+  sim.SetRate(40000);
+  sim.Run(60 * kMicrosPerSecond);
+  // Midnight: the first seconds' burst far exceeds cluster capacity
+  // and lands on fresh hotspots (promotion SKUs).
+  sim.ShiftHotspots(50000);
+  sim.SetRate(400000);
+  sim.Run(10 * kMicrosPerSecond);
+  // Sustained festival traffic just under the balanced ceiling.
+  sim.SetRate(150000);
+  sim.Run(290 * kMicrosPerSecond);
+
+  std::printf("%-10s %-18s %-22s %-10s\n", "time_s", "max_write_delay_s",
+              "avg_query_latency_ms", "cpu");
+  for (const ClusterSim::Sample& s : sim.metrics().timeline) {
+    const double query_ms = 20.0 + 150.0 * s.cpu * s.cpu;
+    std::printf("%-10lld %-18.1f %-22.0f %-10.2f\n",
+                static_cast<long long>(s.time / kMicrosPerSecond) - 60,
+                s.max_delay, query_ms, s.cpu);
+  }
+  std::printf("(t=0 is the festival kickoff; burst 400K TPS for 10s, then "
+              "150K sustained)\n");
+
+  // Headline number: how long until the kickoff backlog is gone.
+  double recovered_at = -1;
+  bool spiked = false;
+  for (const ClusterSim::Sample& s : sim.metrics().timeline) {
+    if (s.time < 60 * kMicrosPerSecond) continue;
+    if (s.max_delay > 5.0) spiked = true;
+    if (spiked && s.backlog < 10000 && recovered_at < 0) {
+      recovered_at = double(s.time) / kMicrosPerSecond - 60;
+    }
+  }
+  if (recovered_at >= 0) {
+    std::printf("write delays fully eliminated %.0f s after kickoff "
+                "(paper: < 7 min)\n", recovered_at);
+  } else {
+    std::printf("WARNING: backlog not drained within the run\n");
+  }
+  return 0;
+}

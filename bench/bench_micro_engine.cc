@@ -1,0 +1,250 @@
+// Micro-benchmarks of the engine primitives (google-benchmark):
+// posting-list algebra, segment building, index scans, routing, the
+// SQL front end and end-to-end shard queries. These are the unit
+// costs underlying the figure-level benches.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/esdb.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "query/dsl.h"
+#include "query/normalize.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "routing/router.h"
+#include "storage/shard_store.h"
+#include "workload/generator.h"
+
+namespace esdb {
+namespace {
+
+// --- Posting lists ------------------------------------------------------
+
+PostingList MakePostings(size_t n, uint32_t stride, Rng& rng) {
+  PostingList out;
+  DocId id = rng.Next() % stride;
+  for (size_t i = 0; i < n; ++i) {
+    out.Append(id);
+    id += 1 + DocId(rng.Uniform(stride));
+  }
+  return out;
+}
+
+void BM_PostingIntersect(benchmark::State& state) {
+  Rng rng(1);
+  const PostingList a = MakePostings(size_t(state.range(0)), 4, rng);
+  const PostingList b = MakePostings(size_t(state.range(0)), 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PostingList::Intersect(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PostingIntersect)->Range(1 << 10, 1 << 16);
+
+void BM_PostingUnionAll(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<PostingList> lists;
+  std::vector<const PostingList*> ptrs;
+  for (int i = 0; i < state.range(0); ++i) {
+    lists.push_back(MakePostings(16, 64, rng));
+  }
+  for (const PostingList& l : lists) ptrs.push_back(&l);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PostingList::UnionAll(ptrs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_PostingUnionAll)->Range(1 << 4, 1 << 12);
+
+void BM_PostingEncodeDecode(benchmark::State& state) {
+  Rng rng(3);
+  const PostingList list = MakePostings(size_t(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    std::string buf;
+    list.EncodeTo(&buf);
+    size_t pos = 0;
+    PostingList out;
+    benchmark::DoNotOptimize(PostingList::DecodeFrom(buf, &pos, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PostingEncodeDecode)->Range(1 << 10, 1 << 16);
+
+// --- Workload generation & routing ---------------------------------------
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfGenerator zipf(100000, 1.0);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_RouteDynamic(benchmark::State& state) {
+  DynamicSecondaryHashing routing(512);
+  for (int i = 0; i < state.range(0); ++i) {
+    routing.mutable_rules()->Update(Micros(i * 1000), 1u << (1 + i % 6),
+                                    TenantId(i + 1));
+  }
+  Rng rng(5);
+  int64_t record = 0;
+  for (auto _ : state) {
+    const RouteKey key{TenantId(1 + rng.Uniform(100)), record++, 500000};
+    benchmark::DoNotOptimize(routing.RouteWrite(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + " rules");
+}
+BENCHMARK(BM_RouteDynamic)->Arg(0)->Arg(16)->Arg(256);
+
+// --- Segment building (indexing cost per document) ------------------------
+
+void BM_SegmentBuild(benchmark::State& state) {
+  WorkloadGenerator::Options wopts;
+  wopts.num_tenants = 1000;
+  WorkloadGenerator generator(wopts);
+  std::vector<Document> docs;
+  for (int i = 0; i < state.range(0); ++i) {
+    docs.push_back(generator.NextDocument(Micros(i)));
+  }
+  const IndexSpec spec = IndexSpec::TransactionLogDefault();
+  for (auto _ : state) {
+    SegmentBuilder builder(&spec);
+    for (const Document& doc : docs) builder.Add(doc);
+    benchmark::DoNotOptimize(std::move(builder).Build(1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SegmentBuild)->Arg(1000)->Arg(8000);
+
+void BM_SegmentEncodeDecode(benchmark::State& state) {
+  WorkloadGenerator::Options wopts;
+  WorkloadGenerator generator(wopts);
+  const IndexSpec spec = IndexSpec::TransactionLogDefault();
+  SegmentBuilder builder(&spec);
+  for (int i = 0; i < 4000; ++i) {
+    builder.Add(generator.NextDocument(Micros(i)));
+  }
+  auto segment = std::move(builder).Build(1);
+  for (auto _ : state) {
+    const std::string bytes = segment->Encode();
+    benchmark::DoNotOptimize(Segment::Decode(bytes));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(segment->Encode().size()));
+}
+BENCHMARK(BM_SegmentEncodeDecode);
+
+// --- SQL front end ---------------------------------------------------------
+
+void BM_ParseSql(benchmark::State& state) {
+  const std::string sql =
+      "SELECT * FROM transaction_logs WHERE tenant_id = 10086 "
+      "AND created_time BETWEEN '2021-09-16 00:00:00' AND "
+      "'2021-09-17 00:00:00' AND status = 1 OR group = 666 "
+      "ORDER BY created_time DESC LIMIT 100";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseSql(sql));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseSql);
+
+void BM_SqlToDsl(benchmark::State& state) {
+  const std::string sql =
+      "SELECT * FROM t WHERE tenant_id = 1 AND created_time >= 5 AND "
+      "created_time <= 9 AND (status = 1 OR status = 2) AND "
+      "MATCH(title, 'novel')";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SqlToDsl(sql));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlToDsl);
+
+void BM_PlanQuery(benchmark::State& state) {
+  auto query = ParseSql(
+      "SELECT * FROM t WHERE tenant_id = 1 AND created_time BETWEEN 1 AND "
+      "99 AND status = 1 AND flag = 0 AND group IN (1, 2, 3)");
+  const IndexSpec spec = IndexSpec::TransactionLogDefault();
+  for (auto _ : state) {
+    auto normalized = NormalizeForPlanning(query->where->Clone());
+    benchmark::DoNotOptimize(
+        PlanWhere(normalized.get(), spec, PlannerOptions{}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanQuery);
+
+// --- End-to-end shard query -------------------------------------------------
+
+class ShardQueryFixture : public benchmark::Fixture {
+ public:
+  void SetUp(::benchmark::State& state) override {
+    if (db_ != nullptr) return;
+    Esdb::Options options;
+    options.num_shards = 8;
+    options.routing = RoutingKind::kHash;
+    options.store.refresh_doc_count = 8192;
+    db_ = new Esdb(std::move(options));
+    WorkloadGenerator::Options wopts;
+    wopts.num_tenants = 1000;
+    WorkloadGenerator generator(wopts);
+    for (int i = 0; i < 50000; ++i) {
+      (void)db_->Insert(generator.NextDocument(Micros(i) * kMicrosPerMilli));
+    }
+    db_->RefreshAll();
+    (void)state;
+  }
+
+  static Esdb* db_;
+};
+
+Esdb* ShardQueryFixture::db_ = nullptr;
+
+BENCHMARK_F(ShardQueryFixture, PointLookup)(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    const std::string sql = "SELECT * FROM t WHERE record_id = " +
+                            std::to_string(1 + rng.Uniform(50000));
+    benchmark::DoNotOptimize(db_->ExecuteSql(sql));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(ShardQueryFixture, TenantTimeRange)(benchmark::State& state) {
+  Rng rng(10);
+  for (auto _ : state) {
+    const std::string sql =
+        "SELECT * FROM t WHERE tenant_id = " +
+        std::to_string(1 + rng.Uniform(100)) +
+        " AND created_time >= 0 ORDER BY created_time DESC LIMIT 100";
+    benchmark::DoNotOptimize(db_->ExecuteSql(sql));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(ShardQueryFixture, FullTextCount)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db_->ExecuteSql(
+        "SELECT COUNT(*) FROM t WHERE MATCH(title, 'novel')"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(ShardQueryFixture, GroupByStatus)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db_->ExecuteSql(
+        "SELECT status, COUNT(*) FROM t WHERE tenant_id = 1 "
+        "GROUP BY status"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+}  // namespace esdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// Interactive ESDB shell: a tiny SQL REPL over an in-process cluster
+// preloaded with synthetic transaction logs. Shows the end-user face
+// of the system: SELECT (incl. GROUP BY, MATCH, ORDER BY _score),
+// UPDATE/DELETE, EXPLAIN, and a couple of admin commands.
+//
+//   ./build/examples/example_esdb_shell           # interactive
+//   echo "SELECT COUNT(*) FROM t" | ./build/examples/example_esdb_shell
+//
+// Commands:
+//   <sql>;            run a statement (semicolon optional)
+//   explain <sql>     show the front-end trace + physical plan
+//   rules             committed secondary hashing rules
+//   balance           run one balancing cycle
+//   stats             cluster stats
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cluster/esdb.h"
+#include "common/strings.h"
+#include "document/json.h"
+#include "query/parser.h"
+#include "workload/generator.h"
+
+using namespace esdb;  // NOLINT
+
+namespace {
+
+void PrintResult(const Query& query, const QueryResult& result) {
+  if (!result.groups.empty() || !query.group_by.empty()) {
+    std::printf("%-24s %-10s %-14s %-14s\n", query.group_by.c_str(), "count",
+                "sum", "avg");
+    for (const auto& [key, group] : result.groups) {
+      std::printf("%-24s %-10llu %-14.2f %-14.2f\n",
+                  key.ToString().c_str(),
+                  static_cast<unsigned long long>(group.count), group.sum,
+                  group.Avg());
+    }
+    return;
+  }
+  if (query.agg != AggFunc::kNone) {
+    switch (query.agg) {
+      case AggFunc::kCount:
+        std::printf("count: %llu\n",
+                    static_cast<unsigned long long>(result.agg_count));
+        break;
+      case AggFunc::kSum:
+        std::printf("sum: %.4f\n", result.agg_sum);
+        break;
+      case AggFunc::kAvg:
+        std::printf("avg: %.4f\n", result.agg_count > 0
+                                       ? result.agg_sum /
+                                             double(result.agg_count)
+                                       : 0);
+        break;
+      case AggFunc::kMin:
+        std::printf("min: %s\n",
+                    result.agg_min ? result.agg_min->ToString().c_str()
+                                   : "null");
+        break;
+      case AggFunc::kMax:
+        std::printf("max: %s\n",
+                    result.agg_max ? result.agg_max->ToString().c_str()
+                                   : "null");
+        break;
+      case AggFunc::kNone:
+        break;
+    }
+    return;
+  }
+  for (const Document& row : result.rows) {
+    std::printf("%s\n", ToJson(row).c_str());
+  }
+  std::printf("(%zu rows of %llu matched)\n", result.rows.size(),
+              static_cast<unsigned long long>(result.total_matched));
+}
+
+}  // namespace
+
+int main() {
+  Esdb::Options options;
+  options.num_shards = 16;
+  options.routing = RoutingKind::kDynamic;
+  options.store.refresh_doc_count = 4096;
+  Esdb db(std::move(options));
+
+  WorkloadGenerator::Options wopts;
+  wopts.num_tenants = 200;
+  wopts.theta = 1.0;
+  wopts.num_sub_attributes = 30;
+  wopts.sub_attributes_per_row = 4;
+  WorkloadGenerator generator(wopts);
+  const int kDocs = 20000;
+  for (int i = 0; i < kDocs; ++i) {
+    (void)db.Insert(generator.NextDocument(Micros(i) * 10 * kMicrosPerSecond));
+  }
+  db.RefreshAll();
+  std::printf("esdb shell — %zu synthetic transaction logs loaded on %u "
+              "shards (table: transaction_logs / t)\n"
+              "type SQL, or: explain <sql> | rules | balance | stats | "
+              "quit\n",
+              db.TotalDocs(), db.num_shards());
+
+  std::string line;
+  while (true) {
+    std::printf("esdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string input(StripWhitespace(line));
+    while (!input.empty() && input.back() == ';') input.pop_back();
+    if (input.empty()) continue;
+
+    const std::string lower = AsciiLower(input);
+    if (lower == "quit" || lower == "exit") break;
+    if (lower == "rules") {
+      for (const HashingRule& rule : db.dynamic_routing()->rules().Rules()) {
+        std::printf("t=%lld s=%u tenants=%zu\n",
+                    static_cast<long long>(rule.effective_time), rule.offset,
+                    rule.tenants.size());
+      }
+      if (db.dynamic_routing()->rules().size() == 0) {
+        std::printf("(no rules committed; every tenant at s=1)\n");
+      }
+      continue;
+    }
+    if (lower == "balance") {
+      const size_t n = db.RunBalanceCycle(Micros(kDocs) * 10 *
+                                          kMicrosPerSecond);
+      std::printf("committed %zu rule proposal(s)\n", n);
+      continue;
+    }
+    if (lower == "stats") {
+      const auto counts = db.ShardDocCounts();
+      size_t lo = SIZE_MAX, hi = 0;
+      for (size_t c : counts) {
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+      }
+      std::printf("docs=%zu shards=%zu shard-docs min=%zu max=%zu\n",
+                  db.TotalDocs(), counts.size(), lo, hi);
+      continue;
+    }
+    if (lower.rfind("explain ", 0) == 0) {
+      auto explained = db.ExplainSql(input.substr(8));
+      if (explained.ok()) {
+        std::printf("%s", explained->c_str());
+      } else {
+        std::printf("error: %s\n", explained.status().ToString().c_str());
+      }
+      continue;
+    }
+
+    if (IsDmlStatement(input)) {
+      auto affected = db.ExecuteDmlSql(input);
+      if (affected.ok()) {
+        db.RefreshAll();
+        std::printf("%llu row(s) affected\n",
+                    static_cast<unsigned long long>(*affected));
+      } else {
+        std::printf("error: %s\n", affected.status().ToString().c_str());
+      }
+      continue;
+    }
+
+    auto query = ParseSql(input);
+    if (!query.ok()) {
+      std::printf("error: %s\n", query.status().ToString().c_str());
+      continue;
+    }
+    auto result = db.Execute(*query);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*query, *result);
+  }
+  return 0;
+}

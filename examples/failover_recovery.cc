@@ -1,0 +1,92 @@
+// Failover & recovery walkthrough: physical replication keeps a
+// replica current via segment files and a synchronized translog
+// (Section 5.2); when the primary dies, the replica promotes and
+// recovers the un-replicated tail from its translog. Also shows
+// shard-level crash recovery from the on-disk state (Section 3.3).
+//
+//   ./build/examples/example_failover_recovery
+
+#include <cstdio>
+#include <filesystem>
+
+#include "replication/replication.h"
+#include "storage/persistence.h"
+
+using namespace esdb;  // NOLINT
+
+namespace {
+
+WriteOp MakeOrder(int64_t record, int64_t time, int64_t status) {
+  WriteOp op;
+  op.type = OpType::kInsert;
+  op.doc.Set(kFieldTenantId, Value(int64_t(42)));
+  op.doc.Set(kFieldRecordId, Value(record));
+  op.doc.Set(kFieldCreatedTime, Value(time));
+  op.doc.Set("status", Value(status));
+  op.doc.Set("title", Value(std::string("wireless mouse")));
+  return op;
+}
+
+}  // namespace
+
+int main() {
+  IndexSpec spec = IndexSpec::TransactionLogDefault();
+  ShardStore::Options store_options;
+  store_options.refresh_doc_count = 0;  // manual refresh for the demo
+
+  // --- Physical replication -------------------------------------------
+  ReplicatedShard shard(&spec, store_options, ReplicationMode::kPhysical);
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (!shard.Apply(MakeOrder(i, i, i % 5)).ok()) return 1;
+    if (i == 600) (void)shard.Refresh();  // segments replicate here
+  }
+  // 601..999 exist only in the primary buffer + replica translog.
+  std::printf("primary: %zu docs searchable, %zu buffered\n",
+              shard.primary()->num_live_docs(),
+              shard.primary()->buffered_docs());
+  std::printf("replica: %zu docs in copied segments "
+              "(%llu bytes shipped, %llu docs re-indexed)\n",
+              shard.replica()->num_live_docs(),
+              static_cast<unsigned long long>(shard.stats().bytes_copied),
+              static_cast<unsigned long long>(
+                  shard.stats().replica_docs_indexed));
+
+  // --- Primary failure: promote the replica ----------------------------
+  std::printf("\n** primary fails; promoting replica **\n");
+  auto promoted = std::move(shard).Failover();
+  if (!promoted.ok()) {
+    std::printf("failover failed: %s\n",
+                promoted.status().ToString().c_str());
+    return 1;
+  }
+  (*promoted)->Refresh();
+  std::printf("promoted store holds %zu docs (no data loss: translog "
+              "tail replayed)\n",
+              (*promoted)->num_live_docs());
+  for (int64_t probe : {int64_t(0), int64_t(601), int64_t(999)}) {
+    const bool found = (*promoted)->GetByRecordId(probe).ok();
+    std::printf("  record %lld: %s\n", static_cast<long long>(probe),
+                found ? "present" : "MISSING");
+    if (!found) return 1;
+  }
+
+  // --- Crash recovery from local disk -----------------------------------
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "esdb_failover_demo")
+          .string();
+  if (!SaveShard(**promoted, dir).ok()) return 1;
+  std::printf("\nshard checkpointed to %s\n", dir.c_str());
+
+  auto reopened = OpenShard(&spec, store_options, dir);
+  if (!reopened.ok()) {
+    std::printf("recovery failed: %s\n",
+                reopened.status().ToString().c_str());
+    return 1;
+  }
+  (*reopened)->Refresh();
+  std::printf("reopened after 'crash': %zu docs, record 999 %s\n",
+              (*reopened)->num_live_docs(),
+              (*reopened)->GetByRecordId(999).ok() ? "present" : "MISSING");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

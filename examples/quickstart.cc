@@ -1,0 +1,87 @@
+// Quickstart: create an ESDB instance, write transaction logs, run
+// SQL queries, trigger a rebalance, and inspect the routing rules.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "cluster/esdb.h"
+#include "document/json.h"
+#include "query/datetime.h"
+
+using namespace esdb;  // NOLINT — example brevity
+
+int main() {
+  // A small cluster: 16 shards, dynamic secondary hashing.
+  Esdb::Options options;
+  options.num_shards = 16;
+  options.routing = RoutingKind::kDynamic;
+  options.store.refresh_doc_count = 0;  // manual refresh in this demo
+  Esdb db(options);
+
+  // Write a few transaction logs. Documents are schema-flexible; only
+  // tenant_id, record_id and created_time are required (routing key).
+  Micros t0 = 0;
+  (void)ParseDateTime("2021-11-11 00:00:00", &t0);
+  for (int i = 0; i < 1000; ++i) {
+    Document doc;
+    doc.Set(kFieldTenantId, Value(int64_t(i % 7 == 0 ? 1 : 2 + i % 50)));
+    doc.Set(kFieldRecordId, Value(int64_t(i + 1)));
+    doc.Set(kFieldCreatedTime, Value(int64_t(t0 + i * kMicrosPerSecond)));
+    doc.Set("status", Value(int64_t(i % 5)));
+    doc.Set("group", Value(int64_t(i % 10)));
+    doc.Set("title", Value(std::string(i % 2 ? "classic novel" : "cotton shirt")));
+    doc.Set(kFieldAttributes, Value(std::string("activity:singles_day;size:XL")));
+    Status s = db.Insert(std::move(doc));
+    if (!s.ok()) {
+      std::printf("insert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  db.RefreshAll();  // make writes searchable (near-real-time search)
+
+  // SQL via the Xdriver4ES front end.
+  auto result = db.ExecuteSql(
+      "SELECT * FROM transaction_logs "
+      "WHERE tenant_id = 1 AND created_time >= '2021-11-11 00:00:00' "
+      "AND (status = 1 OR group = 6) "
+      "ORDER BY created_time DESC LIMIT 5");
+  if (!result.ok()) {
+    std::printf("query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("matched %llu rows; showing %zu (subqueries: %u)\n",
+              static_cast<unsigned long long>(result->total_matched),
+              result->rows.size(), db.last_subqueries());
+  for (const Document& row : result->rows) {
+    std::printf("  %s\n", ToJson(row).c_str());
+  }
+
+  // Full-text search on the analyzed title column.
+  auto ft = db.ExecuteSql(
+      "SELECT COUNT(*) FROM transaction_logs "
+      "WHERE tenant_id = 1 AND MATCH(title, 'novel')");
+  if (ft.ok()) {
+    std::printf("full-text 'novel' count for tenant 1: %llu\n",
+                static_cast<unsigned long long>(ft->agg_count));
+  }
+
+  // Tenant 1 is hot (every 7th write). Run a balancing cycle: the
+  // monitor's window feeds Algorithm 1, which commits a secondary
+  // hashing rule splitting tenant 1 across more shards.
+  const size_t rules = db.RunBalanceCycle(/*effective_time=*/t0 +
+                                          2000 * kMicrosPerSecond);
+  std::printf("balance cycle committed %zu rule(s)\n", rules);
+  for (const HashingRule& rule : db.dynamic_routing()->rules().Rules()) {
+    std::printf("  rule: t=%lld s=%u tenants=%zu\n",
+                static_cast<long long>(rule.effective_time), rule.offset,
+                rule.tenants.size());
+  }
+
+  // Reads for tenant 1 now fan out over its shard run.
+  auto shards = db.routing().RouteRead(1);
+  std::printf("tenant 1 reads fan out to %zu shard(s)\n", shards.size());
+  return 0;
+}

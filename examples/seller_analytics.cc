@@ -1,0 +1,118 @@
+// Seller analytics: the workload that motivates ESDB (Section 1) —
+// a seller slicing their transaction logs with ad-hoc multi-column
+// filters, full-text search over auction titles, custom sub-attribute
+// filters, and real-time aggregation. Also shows the Xdriver4ES
+// SQL -> ES-DSL translation and the optimizer's physical plan.
+//
+//   ./build/examples/example_seller_analytics
+
+#include <cstdio>
+
+#include "cluster/esdb.h"
+#include "common/random.h"
+#include "query/dsl.h"
+#include "query/normalize.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "workload/generator.h"
+
+using namespace esdb;  // NOLINT
+
+int main() {
+  Esdb::Options options;
+  options.num_shards = 16;
+  options.routing = RoutingKind::kDynamic;
+  options.store.refresh_doc_count = 4096;
+  // Frequency-based indexing: only hot sub-attributes get indexed.
+  options.spec.indexed_sub_attributes = {"attr0", "attr1", "attr2"};
+  Esdb db(std::move(options));
+
+  // Load a synthetic month of transaction logs.
+  WorkloadGenerator::Options wopts;
+  wopts.num_tenants = 500;
+  wopts.theta = 1.0;
+  wopts.num_sub_attributes = 50;
+  wopts.sub_attributes_per_row = 6;
+  WorkloadGenerator generator(wopts);
+  for (int i = 0; i < 30000; ++i) {
+    (void)db.Insert(generator.NextDocument(Micros(i) * 30 * kMicrosPerSecond));
+  }
+  db.RefreshAll();
+  std::printf("loaded %zu transaction logs across %u shards\n\n",
+              db.TotalDocs(), db.num_shards());
+
+  // 1. A seller's ad-hoc multi-column query, written in SQL.
+  const std::string sql =
+      "SELECT record_id, status, amount, title FROM transaction_logs "
+      "WHERE tenant_id = 1 AND created_time >= '1970-01-05 00:00:00' "
+      "AND status IN (1, 2) AND MATCH(title, 'novel') "
+      "ORDER BY created_time DESC LIMIT 5";
+  std::printf("SQL:\n  %s\n\n", sql.c_str());
+
+  // What Xdriver4ES sends to the engine (ES-DSL).
+  auto dsl = SqlToDsl(sql);
+  if (dsl.ok()) std::printf("ES-DSL:\n  %s\n\n", dsl->c_str());
+
+  // The optimizer's physical plan (composite index + doc-value scan).
+  auto parsed = ParseSql(sql);
+  if (parsed.ok() && parsed->where != nullptr) {
+    auto normalized = NormalizeForPlanning(parsed->where->Clone());
+    auto plan = PlanWhere(normalized.get(), db.spec(), PlannerOptions{});
+    std::printf("physical plan:\n%s\n\n", plan->ToString(1).c_str());
+  }
+
+  auto result = db.ExecuteSql(sql);
+  if (!result.ok()) {
+    std::printf("query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%llu matching rows; top %zu:\n",
+              static_cast<unsigned long long>(result->total_matched),
+              result->rows.size());
+  for (const Document& row : result->rows) {
+    std::printf("  #%lld  status=%lld  amount=%.2f  \"%s\"\n",
+                static_cast<long long>(row.record_id()),
+                static_cast<long long>(row.Get("status").as_int()),
+                row.Get("amount").NumericValue(),
+                row.Get("title").as_string().c_str());
+  }
+
+  // 2. Sub-attribute filter (frequency-based indexing serves attr0 via
+  //    its index; a rare attribute would fall back to a scan).
+  auto promo = db.ExecuteSql(
+      "SELECT COUNT(*) FROM transaction_logs "
+      "WHERE tenant_id = 1 AND attributes.attr0 = 'v3'");
+  if (promo.ok()) {
+    std::printf("\norders of tenant 1 with attr0=v3: %llu\n",
+                static_cast<unsigned long long>(promo->agg_count));
+  }
+
+  // 3. Real-time aggregation: revenue by order status.
+  auto by_status = db.ExecuteSql(
+      "SELECT status, SUM(amount) FROM transaction_logs "
+      "WHERE tenant_id = 1 GROUP BY status");
+  if (by_status.ok()) {
+    std::printf("\nrevenue by status for tenant 1:\n");
+    for (const auto& [status, group] : by_status->groups) {
+      std::printf("  status=%s  orders=%llu  revenue=%.2f  avg=%.2f\n",
+                  status.ToString().c_str(),
+                  static_cast<unsigned long long>(group.count), group.sum,
+                  group.Avg());
+    }
+  }
+
+  // 4. Cross-tenant analytics (platform side): top order counts.
+  auto counts = db.ExecuteSql(
+      "SELECT tenant_id, COUNT(*) FROM transaction_logs GROUP BY tenant_id");
+  if (counts.ok()) {
+    uint64_t top = 0, total = 0;
+    for (const auto& [tenant, group] : counts->groups) {
+      top = std::max(top, group.count);
+      total += group.count;
+    }
+    std::printf("\n%zu active sellers; busiest holds %.1f%% of all logs "
+                "(the skew ESDB exists for)\n",
+                counts->groups.size(), 100.0 * double(top) / double(total));
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "balancer/load_balancer.h"
+
+namespace esdb {
+
+uint32_t LoadBalancer::ComputeOffsetSize(double share) const {
+  uint32_t s = 1;
+  while (share / double(s) > options_.target_share_per_shard &&
+         s < options_.max_offset) {
+    s *= 2;
+  }
+  return s;
+}
+
+std::vector<RuleProposal> LoadBalancer::InitializeFromStorage(
+    const std::map<TenantId, uint64_t>& storage_bytes) const {
+  uint64_t total = 0;
+  for (const auto& [tenant, bytes] : storage_bytes) total += bytes;
+  std::vector<RuleProposal> proposals;
+  if (total == 0) return proposals;
+  for (const auto& [tenant, bytes] : storage_bytes) {
+    const double share = double(bytes) / double(total);
+    const uint32_t s = ComputeOffsetSize(share);
+    if (s > 1) proposals.push_back(RuleProposal{tenant, s});
+  }
+  return proposals;
+}
+
+std::vector<RuleProposal> LoadBalancer::OnWindow(
+    const std::map<TenantId, uint64_t>& window_counts,
+    const RuleList& current) const {
+  std::vector<RuleProposal> proposals;
+  uint64_t total = 0;
+  for (const auto& [tenant, count] : window_counts) total += count;
+  if (total < options_.min_window_writes) return proposals;
+  for (const auto& [tenant, count] : window_counts) {
+    const double share = double(count) / double(total);
+    if (!CheckHotSpot(share)) continue;
+    const uint32_t s = ComputeOffsetSize(share);
+    if (s > current.MaxOffset(tenant)) {
+      proposals.push_back(RuleProposal{tenant, s});
+    }
+  }
+  return proposals;
+}
+
+}  // namespace esdb

@@ -1,0 +1,73 @@
+#ifndef ESDB_BALANCER_LOAD_BALANCER_H_
+#define ESDB_BALANCER_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "routing/rule_list.h"
+
+namespace esdb {
+
+// A rule the balancer wants committed: tenant k adopts offset s from
+// effective time t. The consensus layer decides t (master clock + T).
+struct RuleProposal {
+  TenantId tenant = 0;
+  uint32_t offset = 1;
+};
+
+// ESDB load balancer (Algorithm 1). Detects hotspots from storage
+// proportions (initialization) and real-time throughput proportions
+// (runtime), and proposes power-of-two secondary hashing offsets.
+class LoadBalancer {
+ public:
+  struct Options {
+    // CheckHotSpot: a tenant whose share of the window's writes meets
+    // this fraction is a hotspot.
+    double hotspot_threshold = 0.01;
+    // ComputeOffsetSize: choose the smallest power-of-two s such that
+    // the tenant's per-shard share r/s drops to this target.
+    double target_share_per_shard = 0.005;
+    // Upper bound on s (at most the shard count; the paper also keeps
+    // the rule list small by capping offsets).
+    uint32_t max_offset = 64;
+    // Minimum window sample size before proportions are trusted.
+    uint64_t min_window_writes = 100;
+  };
+
+  explicit LoadBalancer(Options options) : options_(options) {}
+  LoadBalancer() : LoadBalancer(Options{}) {}
+
+  const Options& options() const { return options_; }
+
+  // ComputeOffsetSize(r) from Algorithm 1: power-of-two offset for a
+  // tenant with workload share r, clamped to [1, max_offset].
+  uint32_t ComputeOffsetSize(double share) const;
+
+  // CheckHotSpot(r).
+  bool CheckHotSpot(double share) const {
+    return share >= options_.hotspot_threshold;
+  }
+
+  // Initialization phase (Algorithm 1 lines 5-10): proposals from
+  // current per-tenant storage sizes. Tenants whose computed offset is
+  // 1 produce no proposal (s = 1 is the default rule).
+  std::vector<RuleProposal> InitializeFromStorage(
+      const std::map<TenantId, uint64_t>& storage_bytes) const;
+
+  // Runtime phase (lines 11-21): proposals from one monitor window.
+  // `current` is the committed rule list; a proposal is emitted only
+  // when the computed offset exceeds the tenant's current maximum
+  // (rules are append-only; shrinking is never proposed).
+  std::vector<RuleProposal> OnWindow(
+      const std::map<TenantId, uint64_t>& window_counts,
+      const RuleList& current) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_BALANCER_LOAD_BALANCER_H_

@@ -1,0 +1,41 @@
+#ifndef ESDB_BALANCER_MONITOR_H_
+#define ESDB_BALANCER_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "routing/rule_list.h"
+
+namespace esdb {
+
+// Control-layer workload monitor (Section 3.2): accumulates
+// per-tenant write counts over a reporting window; the load balancer
+// drains it periodically to get real-time throughput proportions.
+// RecordWrite is on the per-document hot path of the cluster
+// simulator, hence the hash map.
+class WorkloadMonitor {
+ public:
+  void RecordWrite(TenantId tenant, uint64_t count = 1) {
+    window_[tenant] += count;
+    total_ += count;
+  }
+
+  uint64_t window_total() const { return total_; }
+
+  // Returns the window's per-tenant counts and resets the window.
+  std::map<TenantId, uint64_t> Drain() {
+    std::map<TenantId, uint64_t> out(window_.begin(), window_.end());
+    window_.clear();
+    total_ = 0;
+    return out;
+  }
+
+ private:
+  std::unordered_map<TenantId, uint64_t> window_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_BALANCER_MONITOR_H_

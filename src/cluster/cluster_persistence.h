@@ -1,0 +1,33 @@
+#ifndef ESDB_CLUSTER_CLUSTER_PERSISTENCE_H_
+#define ESDB_CLUSTER_CLUSTER_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/esdb.h"
+#include "common/result.h"
+
+namespace esdb {
+
+// Whole-cluster checkpoints: one SaveShard directory per shard plus
+// the cluster manifest (shard count + committed secondary hashing
+// rule list).
+//
+//   <dir>/CLUSTER          magic, shard count, encoded rule list
+//   <dir>/shard-<i>/...    per-shard files (see storage/persistence.h)
+//
+// Replicas are not persisted — on restore they rebuild from the
+// primaries, the same path a failed replica takes (Section 5.2).
+Status SaveCluster(const Esdb& db, const std::string& dir);
+
+// Reopens a cluster checkpoint. `options` must match the checkpoint's
+// shard count (validated) and use the same index spec it was written
+// with (trusted — opening a store with the wrong schema misbehaves,
+// as in any storage engine). Restores the committed rule list when
+// the routing policy is dynamic.
+Result<std::unique_ptr<Esdb>> OpenCluster(Esdb::Options options,
+                                          const std::string& dir);
+
+}  // namespace esdb
+
+#endif  // ESDB_CLUSTER_CLUSTER_PERSISTENCE_H_

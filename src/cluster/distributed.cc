@@ -1,0 +1,202 @@
+#include "cluster/distributed.h"
+
+#include "query/normalize.h"
+#include "query/parser.h"
+
+namespace esdb {
+
+namespace {
+
+// Shared with cluster/esdb.cc in spirit: finds the tenant equality
+// that scopes the query to a shard run.
+bool ExtractTenantId(const Expr& e, TenantId* out) {
+  if (e.kind == Expr::Kind::kPred) {
+    const Predicate& p = e.pred;
+    if (p.column == kFieldTenantId && p.op == PredOp::kEq &&
+        p.args.size() == 1 && p.args[0].is_int()) {
+      *out = p.args[0].as_int();
+      return true;
+    }
+    return false;
+  }
+  if (e.kind == Expr::Kind::kAnd) {
+    for (const auto& c : e.children) {
+      if (ExtractTenantId(*c, out)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DistributedEsdb::DistributedEsdb(Options options)
+    : options_(std::move(options)), allocator_(options_.num_shards) {
+  switch (options_.routing) {
+    case RoutingKind::kHash:
+      routing_ = std::make_unique<HashRouting>(options_.num_shards);
+      break;
+    case RoutingKind::kDoubleHash:
+      routing_ = std::make_unique<DoubleHashRouting>(
+          options_.num_shards, options_.double_hash_offset);
+      break;
+    case RoutingKind::kDynamic: {
+      auto dynamic =
+          std::make_unique<DynamicSecondaryHashing>(options_.num_shards);
+      dynamic_ = dynamic.get();
+      routing_ = std::move(dynamic);
+      break;
+    }
+  }
+  shards_.reserve(options_.num_shards);
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<ReplicatedShard>(
+        &options_.spec, options_.store, ReplicationMode::kPhysical));
+  }
+}
+
+Status DistributedEsdb::CheckReady() const {
+  if (!allocator_.allocated()) {
+    return Status::FailedPrecondition(
+        "cluster needs at least two nodes before accepting work");
+  }
+  return Status::OK();
+}
+
+Status DistributedEsdb::AddNode(NodeId node) {
+  auto moves = allocator_.AddNode(node);
+  if (!moves.ok()) return moves.status();
+  // Replica moves rebuild the replica at the new location (a fresh
+  // store re-fed by the next replication round). Primary moves are a
+  // role handover in-process — the store object is the shard's data;
+  // only its failure domain changes.
+  for (const ShardAllocator::Move& move : *moves) {
+    if (move.is_replica) {
+      shards_[move.shard]->ResetReplica();
+      ++replicas_rebuilt_;
+    }
+  }
+  return Status::OK();
+}
+
+Status DistributedEsdb::RemoveNode(NodeId node) {
+  auto moves = allocator_.RemoveNode(node);
+  if (!moves.ok()) return moves.status();
+  for (const ShardAllocator::Move& move : *moves) {
+    if (move.is_replica) {
+      shards_[move.shard]->ResetReplica();
+      ++replicas_rebuilt_;
+    }
+  }
+  RefreshAll();  // repopulate rebuilt replicas before the node is gone
+  return Status::OK();
+}
+
+Status DistributedEsdb::FailNode(NodeId node) {
+  ESDB_RETURN_IF_ERROR(CheckReady());
+  // Capture placements before the allocator reassigns them.
+  std::vector<ShardId> lost_primaries, lost_replicas;
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    if (allocator_.Of(shard).primary == node) {
+      lost_primaries.push_back(shard);
+    } else if (allocator_.Of(shard).replica == node) {
+      lost_replicas.push_back(shard);
+    }
+  }
+  auto moves = allocator_.RemoveNode(node);
+  if (!moves.ok()) return moves.status();
+
+  // Primaries on the dead node: promote the replica (it holds the
+  // replicated segments plus the synchronized translog tail), then
+  // wrap it as the new primary with a fresh replica.
+  for (ShardId shard : lost_primaries) {
+    auto promoted = std::move(*shards_[shard]).Failover();
+    if (!promoted.ok()) return promoted.status();
+    shards_[shard] = std::make_unique<ReplicatedShard>(
+        &options_.spec, options_.store, ReplicationMode::kPhysical,
+        std::move(*promoted));
+    ++failovers_;
+    ++replicas_rebuilt_;
+  }
+  // Replicas on the dead node: rebuild from the (healthy) primary.
+  for (ShardId shard : lost_replicas) {
+    shards_[shard]->ResetReplica();
+    ++replicas_rebuilt_;
+  }
+  RefreshAll();  // repopulate all rebuilt replicas
+  return Status::OK();
+}
+
+Status DistributedEsdb::Apply(const WriteOp& op) {
+  ESDB_RETURN_IF_ERROR(CheckReady());
+  if (!op.doc.Has(kFieldTenantId) || !op.doc.Has(kFieldRecordId) ||
+      !op.doc.Has(kFieldCreatedTime)) {
+    return Status::InvalidArgument(
+        "write requires tenant_id, record_id and created_time");
+  }
+  const RouteKey key{op.tenant_id(), op.record_id(), op.created_time()};
+  auto seq = shards_[routing_->RouteWrite(key)]->Apply(op);
+  return seq.ok() ? Status::OK() : seq.status();
+}
+
+Status DistributedEsdb::Insert(Document doc) {
+  return Apply(WriteOp{OpType::kInsert, std::move(doc)});
+}
+
+void DistributedEsdb::RefreshAll() {
+  for (auto& shard : shards_) (void)shard->Refresh();
+}
+
+Result<QueryResult> DistributedEsdb::ExecuteSql(std::string_view sql) {
+  ESDB_RETURN_IF_ERROR(CheckReady());
+  ESDB_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+
+  std::vector<ShardId> targets;
+  TenantId tenant = 0;
+  if (query.where != nullptr && ExtractTenantId(*query.where, &tenant)) {
+    targets = routing_->RouteRead(tenant);
+  } else {
+    targets.resize(options_.num_shards);
+    for (uint32_t i = 0; i < options_.num_shards; ++i) targets[i] = i;
+  }
+
+  std::unique_ptr<Expr> normalized;
+  if (query.where != nullptr) {
+    normalized = NormalizeForPlanning(query.where->Clone());
+  }
+  const std::unique_ptr<PlanNode> plan =
+      PlanWhere(normalized.get(), options_.spec, options_.planner);
+
+  ExecStats stats;
+  std::vector<QueryResult> shard_results;
+  shard_results.reserve(targets.size());
+  for (ShardId shard : targets) {
+    ESDB_ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecuteOnShard(query, *plan, shards_[shard]->primary()->Snapshot(),
+                       &stats));
+    shard_results.push_back(std::move(r));
+  }
+  return AggregateResults(query, std::move(shard_results));
+}
+
+size_t DistributedEsdb::TotalDocs() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->primary()->num_live_docs() +
+             shard->primary()->buffered_docs();
+  }
+  return total;
+}
+
+std::map<NodeId, size_t> DistributedEsdb::DocsByNode() const {
+  std::map<NodeId, size_t> out;
+  for (NodeId node : allocator_.nodes()) out[node] = 0;
+  if (!allocator_.allocated()) return out;
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    out[allocator_.Of(shard).primary] +=
+        shards_[shard]->primary()->num_live_docs();
+  }
+  return out;
+}
+
+}  // namespace esdb

@@ -1,0 +1,94 @@
+#ifndef ESDB_CLUSTER_DISTRIBUTED_H_
+#define ESDB_CLUSTER_DISTRIBUTED_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_allocator.h"
+#include "common/result.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "replication/replication.h"
+#include "routing/router.h"
+
+namespace esdb {
+
+// Multi-node ESDB cluster harness: the Figure 3 architecture in one
+// process. Shards (each a primary + physical replica pair) are placed
+// on named nodes by the shard allocator; writes route through the
+// configured policy to the shard's primary; queries fan out per the
+// routing policy and aggregate. Nodes can join, leave gracefully, or
+// fail — on failure, replicas of the dead node's primaries promote
+// (translog-tail replay) and lost replicas are rebuilt on surviving
+// nodes, exactly the recovery story of Sections 3.3 and 5.2.
+//
+// Single-threaded; "nodes" are failure domains, not threads.
+class DistributedEsdb {
+ public:
+  struct Options {
+    uint32_t num_shards = 64;
+    RoutingKind routing = RoutingKind::kDynamic;
+    uint32_t double_hash_offset = 8;
+    IndexSpec spec = IndexSpec::TransactionLogDefault();
+    ShardStore::Options store;
+    PlannerOptions planner;
+  };
+
+  explicit DistributedEsdb(Options options);
+
+  // --- Membership ------------------------------------------------------
+
+  // Registers a node. Once two nodes exist, shards are allocated; later
+  // joins trigger rebalancing moves (replicas rebuilt at their new
+  // node; primaries hand over in place).
+  Status AddNode(NodeId node);
+  // Graceful departure: shards move off first.
+  Status RemoveNode(NodeId node);
+  // Crash: primaries on the node fail over to their replicas; replicas
+  // on the node are rebuilt elsewhere. The node leaves the cluster.
+  Status FailNode(NodeId node);
+
+  size_t num_nodes() const { return allocator_.num_nodes(); }
+  bool ready() const { return allocator_.allocated(); }
+  NodeId PrimaryNodeOf(ShardId shard) const {
+    return allocator_.Of(shard).primary;
+  }
+  NodeId ReplicaNodeOf(ShardId shard) const {
+    return allocator_.Of(shard).replica;
+  }
+
+  // --- Data path ---------------------------------------------------------
+
+  Status Apply(const WriteOp& op);
+  Status Insert(Document doc);
+  void RefreshAll();
+
+  Result<QueryResult> ExecuteSql(std::string_view sql);
+
+  // --- Introspection -------------------------------------------------------
+
+  DynamicSecondaryHashing* dynamic_routing() { return dynamic_; }
+  size_t TotalDocs() const;
+  // Searchable docs per node, counting primaries only.
+  std::map<NodeId, size_t> DocsByNode() const;
+  uint64_t failovers() const { return failovers_; }
+  uint64_t replicas_rebuilt() const { return replicas_rebuilt_; }
+
+ private:
+  Status CheckReady() const;
+
+  Options options_;
+  ShardAllocator allocator_;
+  std::unique_ptr<RoutingPolicy> routing_;
+  DynamicSecondaryHashing* dynamic_ = nullptr;
+  std::vector<std::unique_ptr<ReplicatedShard>> shards_;  // by shard id
+  uint64_t failovers_ = 0;
+  uint64_t replicas_rebuilt_ = 0;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_CLUSTER_DISTRIBUTED_H_

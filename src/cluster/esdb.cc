@@ -1,0 +1,357 @@
+#include "cluster/esdb.h"
+
+#include <algorithm>
+
+#include "query/dsl.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+
+namespace esdb {
+
+namespace {
+
+// Finds a top-level tenant_id equality (possibly nested under ANDs):
+// the common shape of seller-facing queries. Returns false when the
+// query is not tenant-scoped.
+bool ExtractTenant(const Expr& e, TenantId* out) {
+  if (e.kind == Expr::Kind::kPred) {
+    const Predicate& p = e.pred;
+    if (p.column == kFieldTenantId && p.op == PredOp::kEq &&
+        p.args.size() == 1 && p.args[0].is_int()) {
+      *out = p.args[0].as_int();
+      return true;
+    }
+    return false;
+  }
+  if (e.kind == Expr::Kind::kAnd) {
+    for (const auto& c : e.children) {
+      if (ExtractTenant(*c, out)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Esdb::Esdb(Options options)
+    : options_(std::move(options)),
+      balancer_(options_.balancer),
+      filter_cache_(options_.filter_cache) {
+  switch (options_.routing) {
+    case RoutingKind::kHash:
+      routing_ = std::make_unique<HashRouting>(options_.num_shards);
+      break;
+    case RoutingKind::kDoubleHash:
+      routing_ = std::make_unique<DoubleHashRouting>(
+          options_.num_shards, options_.double_hash_offset);
+      break;
+    case RoutingKind::kDynamic: {
+      auto dynamic =
+          std::make_unique<DynamicSecondaryHashing>(options_.num_shards);
+      dynamic_ = dynamic.get();
+      routing_ = std::move(dynamic);
+      break;
+    }
+  }
+  if (options_.with_replicas) {
+    replicated_.reserve(options_.num_shards);
+    for (uint32_t i = 0; i < options_.num_shards; ++i) {
+      replicated_.push_back(std::make_unique<ReplicatedShard>(
+          &options_.spec, options_.store, options_.replication));
+    }
+  } else {
+    shards_.reserve(options_.num_shards);
+    for (uint32_t i = 0; i < options_.num_shards; ++i) {
+      shards_.push_back(
+          std::make_unique<ShardStore>(&options_.spec, options_.store));
+    }
+  }
+}
+
+ShardStore* Esdb::Primary(ShardId id) {
+  return options_.with_replicas ? replicated_[id]->primary()
+                                : shards_[id].get();
+}
+
+const ShardStore* Esdb::Primary(ShardId id) const {
+  return options_.with_replicas ? replicated_[id]->primary()
+                                : shards_[id].get();
+}
+
+Status Esdb::Apply(const WriteOp& op) {
+  if (!op.doc.Has(kFieldTenantId) || !op.doc.Has(kFieldRecordId) ||
+      !op.doc.Has(kFieldCreatedTime)) {
+    return Status::InvalidArgument(
+        "write requires tenant_id, record_id and created_time");
+  }
+  const RouteKey key{op.tenant_id(), op.record_id(), op.created_time()};
+  const ShardId shard = routing_->RouteWrite(key);
+  monitor_.RecordWrite(key.tenant);
+  if (options_.with_replicas) {
+    auto seq = replicated_[shard]->Apply(op);
+    return seq.ok() ? Status::OK() : seq.status();
+  }
+  auto seq = shards_[shard]->Apply(op);
+  return seq.ok() ? Status::OK() : seq.status();
+}
+
+Status Esdb::Delete(TenantId tenant, RecordId record, Micros created_time) {
+  WriteOp op;
+  op.type = OpType::kDelete;
+  op.doc.Set(kFieldTenantId, Value(tenant));
+  op.doc.Set(kFieldRecordId, Value(record));
+  op.doc.Set(kFieldCreatedTime, Value(int64_t(created_time)));
+  return Apply(op);
+}
+
+void Esdb::RefreshAll() {
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    if (options_.with_replicas) {
+      // ReplicatedShard::Refresh also runs the replication round.
+      (void)replicated_[i]->Refresh();
+    } else {
+      shards_[i]->Refresh();
+      shards_[i]->MaybeMerge();
+    }
+  }
+}
+
+Result<QueryResult> Esdb::ExecuteSql(std::string_view sql) {
+  if (IsDmlStatement(sql)) {
+    return Status::InvalidArgument(
+        "DML statement; use ExecuteDmlSql for UPDATE/DELETE");
+  }
+  return ExecuteSqlWithPlanner(sql, options_.planner);
+}
+
+Result<std::string> Esdb::ExplainSql(std::string_view sql) {
+  ESDB_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+  std::string out = "parsed:     " + query.ToString() + "\n";
+
+  std::unique_ptr<Expr> normalized;
+  if (query.where != nullptr) {
+    normalized = NormalizeForPlanning(query.where->Clone());
+    out += "normalized: " + normalized->ToString() + "\n";
+  }
+  {
+    auto dsl = SqlToDsl(sql);
+    if (!dsl.ok()) return dsl.status();
+    out += "es-dsl:     " + *dsl + "\n";
+  }
+
+  TenantId tenant = 0;
+  if (query.where != nullptr && ExtractTenant(*query.where, &tenant)) {
+    const auto shards = routing_->RouteRead(tenant);
+    out += "fan-out:    tenant " + std::to_string(tenant) + " -> " +
+           std::to_string(shards.size()) + " shard(s), starting at shard " +
+           std::to_string(shards.front()) + "\n";
+  } else {
+    out += "fan-out:    broadcast to all " +
+           std::to_string(options_.num_shards) + " shards\n";
+  }
+
+  const std::unique_ptr<PlanNode> plan =
+      PlanWhere(normalized.get(), options_.spec, options_.planner);
+  out += "plan:\n" + plan->ToString(1) + "\n";
+  return out;
+}
+
+Result<uint64_t> Esdb::ExecuteDmlSql(std::string_view sql) {
+  ESDB_ASSIGN_OR_RETURN(DmlStatement statement, ParseDml(sql));
+  return ExecuteDml(statement);
+}
+
+Result<uint64_t> Esdb::ExecuteDml(const DmlStatement& statement) {
+  if (statement.kind == DmlStatement::Kind::kInsert) {
+    for (const Document& row : statement.rows) {
+      WriteOp op;
+      op.type = OpType::kInsert;
+      op.doc = row;
+      ESDB_RETURN_IF_ERROR(Apply(op));
+    }
+    return uint64_t(statement.rows.size());
+  }
+  // UPDATE/DELETE: select the affected rows (full documents, no
+  // limit).
+  Query select;
+  select.table = statement.table;
+  if (statement.where != nullptr) select.where = statement.where->Clone();
+  ESDB_ASSIGN_OR_RETURN(QueryResult affected, Execute(select));
+
+  for (Document& row : affected.rows) {
+    WriteOp op;
+    if (statement.kind == DmlStatement::Kind::kDelete) {
+      op.type = OpType::kDelete;
+      op.doc.Set(kFieldTenantId, row.Get(kFieldTenantId));
+      op.doc.Set(kFieldRecordId, row.Get(kFieldRecordId));
+      op.doc.Set(kFieldCreatedTime, row.Get(kFieldCreatedTime));
+    } else {
+      op.type = OpType::kUpdate;
+      op.doc = std::move(row);
+      for (const auto& [column, value] : statement.set) {
+        op.doc.Set(column, value);
+      }
+    }
+    ESDB_RETURN_IF_ERROR(Apply(op));
+  }
+  return uint64_t(affected.rows.size());
+}
+
+Result<QueryResult> Esdb::Execute(const Query& query) {
+  return ExecuteWithPlanner(query, options_.planner);
+}
+
+Result<QueryResult> Esdb::ExecuteSqlWithPlanner(
+    std::string_view sql, const PlannerOptions& planner) {
+  ESDB_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+  return ExecuteWithPlanner(query, planner);
+}
+
+Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
+                                             const PlannerOptions& planner) {
+  // Shard fan-out: tenant-scoped queries touch only the consecutive
+  // run the routing policy names; others broadcast.
+  std::vector<ShardId> target_shards;
+  TenantId tenant = 0;
+  if (query.where != nullptr && ExtractTenant(*query.where, &tenant)) {
+    target_shards = routing_->RouteRead(tenant);
+  } else {
+    target_shards.resize(options_.num_shards);
+    for (uint32_t i = 0; i < options_.num_shards; ++i) target_shards[i] = i;
+  }
+  last_subqueries_ = uint32_t(target_shards.size());
+  last_stats_ = ExecStats{};
+
+  // Xdriver4ES pipeline + RBO, once per query (plans are shard-
+  // agnostic).
+  std::unique_ptr<Expr> normalized;
+  if (query.where != nullptr) {
+    normalized = NormalizeForPlanning(query.where->Clone());
+  }
+  const std::unique_ptr<PlanNode> plan =
+      PlanWhere(normalized.get(), options_.spec, planner);
+
+  // Two-phase path for row queries: the coordinator merges row ids +
+  // sort keys and fetches raw documents only for the global winners.
+  if (options_.two_phase_queries && query.agg == AggFunc::kNone &&
+      query.group_by.empty()) {
+    std::vector<std::vector<std::shared_ptr<Segment>>> snapshots;
+    snapshots.reserve(target_shards.size());
+    std::vector<RowRef> all_refs;
+    uint64_t total_matched = 0;
+    for (uint32_t ordinal = 0; ordinal < target_shards.size(); ++ordinal) {
+      snapshots.push_back(Primary(target_shards[ordinal])->Snapshot());
+      ESDB_ASSIGN_OR_RETURN(
+          std::vector<RowRef> refs,
+          ExecuteQueryPhase(query, *plan, snapshots.back(), ordinal,
+                            &last_stats_, &total_matched,
+                            options_.use_filter_cache ? &filter_cache_
+                                                      : nullptr,
+                            target_shards[ordinal]));
+      for (RowRef& ref : refs) all_refs.push_back(std::move(ref));
+    }
+    if (!query.order_by.empty()) SortRowRefs(query, &all_refs);
+    // Global offset + limit trim BEFORE any document is fetched.
+    if (query.offset > 0) {
+      const size_t skip = std::min(size_t(query.offset), all_refs.size());
+      all_refs.erase(all_refs.begin(), all_refs.begin() + long(skip));
+    }
+    if (query.limit >= 0 && int64_t(all_refs.size()) > query.limit) {
+      all_refs.resize(size_t(query.limit));
+    }
+    QueryResult result;
+    result.total_matched = total_matched;
+    ESDB_ASSIGN_OR_RETURN(
+        result.rows,
+        ExecuteFetchPhase(query, snapshots, all_refs, &last_stats_));
+    ProjectRows(query, &result.rows);
+    return result;
+  }
+
+  std::vector<QueryResult> shard_results;
+  shard_results.reserve(target_shards.size());
+  for (ShardId shard : target_shards) {
+    ESDB_ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecuteOnShard(query, *plan, Primary(shard)->Snapshot(),
+                       &last_stats_,
+                       options_.use_filter_cache ? &filter_cache_
+                                                 : nullptr,
+                       shard));
+    shard_results.push_back(std::move(r));
+  }
+  return AggregateResults(query, std::move(shard_results));
+}
+
+size_t Esdb::RunBalanceCycle(Micros effective_time) {
+  if (dynamic_ == nullptr) {
+    monitor_.Drain();
+    return 0;
+  }
+  const std::vector<RuleProposal> proposals =
+      balancer_.OnWindow(monitor_.Drain(), dynamic_->rules());
+  for (const RuleProposal& p : proposals) {
+    dynamic_->mutable_rules()->Update(effective_time, p.offset, p.tenant);
+  }
+  return proposals.size();
+}
+
+size_t Esdb::InitializeRulesFromStorage(Micros effective_time) {
+  if (dynamic_ == nullptr) return 0;
+  // Storage proportion per tenant, summed across shards.
+  std::map<TenantId, uint64_t> storage;
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    for (const auto& segment : Primary(ShardId(i))->Snapshot()) {
+      const DocValues::Column* col =
+          segment->doc_values().Find(kFieldTenantId);
+      if (col == nullptr) continue;
+      const PostingList live = segment->LiveDocs();
+      for (DocId id : live.ids()) {
+        const Value& v = col->Get(id);
+        if (v.is_int()) storage[v.as_int()] += 1;
+      }
+    }
+  }
+  const std::vector<RuleProposal> proposals =
+      balancer_.InitializeFromStorage(storage);
+  for (const RuleProposal& p : proposals) {
+    dynamic_->mutable_rules()->Update(effective_time, p.offset, p.tenant);
+  }
+  return proposals.size();
+}
+
+Status Esdb::InstallShard(ShardId id, std::unique_ptr<ShardStore> store) {
+  if (options_.with_replicas) {
+    return Status::FailedPrecondition(
+        "InstallShard requires a replica-less cluster");
+  }
+  if (id >= options_.num_shards) {
+    return Status::InvalidArgument("shard id out of range");
+  }
+  shards_[id] = std::move(store);
+  filter_cache_.Clear();  // cached candidates may refer to the old store
+  return Status::OK();
+}
+
+std::vector<size_t> Esdb::ShardDocCounts() const {
+  std::vector<size_t> out(options_.num_shards);
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    out[i] = Primary(ShardId(i))->num_live_docs() +
+             Primary(ShardId(i))->buffered_docs();
+  }
+  return out;
+}
+
+size_t Esdb::TotalDocs() const {
+  size_t n = 0;
+  for (size_t c : ShardDocCounts()) n += c;
+  return n;
+}
+
+ReplicationStats Esdb::TotalReplicationStats() const {
+  ReplicationStats total;
+  for (const auto& shard : replicated_) total.Add(shard->stats());
+  return total;
+}
+
+}  // namespace esdb

@@ -1,0 +1,162 @@
+#ifndef ESDB_CLUSTER_ESDB_H_
+#define ESDB_CLUSTER_ESDB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "balancer/load_balancer.h"
+#include "balancer/monitor.h"
+#include "common/result.h"
+#include "document/document.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "replication/replication.h"
+#include "routing/router.h"
+#include "storage/shard_store.h"
+#include "workload/generator.h"
+
+namespace esdb {
+
+// In-process ESDB instance: N shards (each a ShardStore, optionally
+// with a physical/logical replica), a routing policy, a workload
+// monitor and a load balancer. This is the *real engine*: writes are
+// indexed, SQL is parsed/optimized/executed. Cluster-scale resource
+// contention (CPU, queues) is studied separately in sim/cluster_sim.h.
+//
+// Thread model: single-threaded (callers serialize access).
+class Esdb {
+ public:
+  struct Options {
+    uint32_t num_shards = 64;
+    RoutingKind routing = RoutingKind::kDynamic;
+    uint32_t double_hash_offset = 8;  // s for kDoubleHash
+    IndexSpec spec = IndexSpec::TransactionLogDefault();
+    ShardStore::Options store;
+    PlannerOptions planner;
+    // Enable per-shard replicas (costs memory; most query benches
+    // only need primaries).
+    bool with_replicas = false;
+    ReplicationMode replication = ReplicationMode::kPhysical;
+    LoadBalancer::Options balancer;
+    // Two-phase row queries (Section 3.2): collect row ids + sort
+    // keys from all shards, merge globally, fetch only the winners.
+    // Aggregates and group-bys always run single-phase.
+    bool two_phase_queries = true;
+    // Per-segment filter cache for repeated (cacheable) plans.
+    bool use_filter_cache = true;
+    FilterCache::Options filter_cache;
+  };
+
+  explicit Esdb(Options options);
+
+  // --- Write path -----------------------------------------------------
+
+  // Routes and applies one write op. The document must carry
+  // tenant_id, record_id and created_time.
+  Status Apply(const WriteOp& op);
+
+  Status Insert(Document doc) {
+    return Apply(WriteOp{OpType::kInsert, std::move(doc)});
+  }
+  Status Update(Document doc) {
+    return Apply(WriteOp{OpType::kUpdate, std::move(doc)});
+  }
+  // Deletes by routing key (tenant + record + original creation time).
+  Status Delete(TenantId tenant, RecordId record, Micros created_time);
+
+  // Makes all buffered writes searchable.
+  void RefreshAll();
+
+  // --- Query path -----------------------------------------------------
+
+  // Parses, normalizes, plans and executes a SQL query; fans out to
+  // the shards the routing policy names for the query's tenant(s) and
+  // aggregates. Queries without a tenant_id equality predicate fan out
+  // to all shards.
+  Result<QueryResult> ExecuteSql(std::string_view sql);
+  Result<QueryResult> Execute(const Query& query);
+
+  // Same, with an explicit planner configuration (used by the
+  // optimizer on/off experiments; Figure 17).
+  Result<QueryResult> ExecuteSqlWithPlanner(std::string_view sql,
+                                            const PlannerOptions& planner);
+  Result<QueryResult> ExecuteWithPlanner(const Query& query,
+                                         const PlannerOptions& planner);
+
+  // EXPLAIN: the full front-end trace of a SELECT — parsed form,
+  // normalized WHERE (Xdriver4ES CNF + predicate merge), the ES-DSL
+  // document, target shard fan-out, and the physical plan.
+  Result<std::string> ExplainSql(std::string_view sql);
+
+  // SQL DML: UPDATE ... SET ... WHERE / DELETE FROM ... WHERE.
+  // Selects the affected rows through the query path, then routes one
+  // write op per record (creation-time rule matching sends each op to
+  // the record's original shard). Returns the number of affected
+  // rows. Near-real-time caveat: only refreshed rows are visible to
+  // the WHERE selection.
+  Result<uint64_t> ExecuteDmlSql(std::string_view sql);
+  Result<uint64_t> ExecuteDml(const DmlStatement& statement);
+
+  // Number of shard subqueries the last Execute performed (Figure 16's
+  // cost driver) and its executor counters.
+  uint32_t last_subqueries() const { return last_subqueries_; }
+  const ExecStats& last_stats() const { return last_stats_; }
+
+  // --- Balancing ------------------------------------------------------
+
+  // One balancing cycle (Algorithm 1 runtime phase): drains the
+  // monitor, detects hotspots, and commits new secondary hashing rules
+  // effective at `effective_time`. Returns the number of rules
+  // committed. Only meaningful under kDynamic routing. In the full
+  // distributed deployment the commit runs through the consensus
+  // protocol (see consensus/ and sim/); here commit is local.
+  size_t RunBalanceCycle(Micros effective_time);
+
+  // Initialization phase: seeds rules from current per-tenant storage.
+  size_t InitializeRulesFromStorage(Micros effective_time);
+
+  // --- Introspection ----------------------------------------------------
+
+  const RoutingPolicy& routing() const { return *routing_; }
+  DynamicSecondaryHashing* dynamic_routing() { return dynamic_; }
+  const DynamicSecondaryHashing* dynamic_routing() const { return dynamic_; }
+  uint32_t num_shards() const { return options_.num_shards; }
+  FilterCache* filter_cache() { return &filter_cache_; }
+  ShardStore* shard(ShardId id) { return Primary(id); }
+  const IndexSpec& spec() const { return options_.spec; }
+  WorkloadMonitor* monitor() { return &monitor_; }
+
+  const ShardStore* shard(ShardId id) const { return Primary(id); }
+  bool with_replicas() const { return options_.with_replicas; }
+
+  // Replaces a shard's store (cluster-checkpoint restore). Only valid
+  // for clusters built without replicas.
+  Status InstallShard(ShardId id, std::unique_ptr<ShardStore> store);
+
+  // Per-shard live doc counts (shard-size distribution, Figure 13d).
+  std::vector<size_t> ShardDocCounts() const;
+  size_t TotalDocs() const;
+  // Total replica maintenance cost counters (Figure 15 driver).
+  ReplicationStats TotalReplicationStats() const;
+
+ private:
+  ShardStore* Primary(ShardId id);
+  const ShardStore* Primary(ShardId id) const;
+
+  Options options_;
+  std::unique_ptr<RoutingPolicy> routing_;
+  DynamicSecondaryHashing* dynamic_ = nullptr;  // owned by routing_
+  // Either plain stores or replicated shards, by options.
+  std::vector<std::unique_ptr<ShardStore>> shards_;
+  std::vector<std::unique_ptr<ReplicatedShard>> replicated_;
+  WorkloadMonitor monitor_;
+  LoadBalancer balancer_;
+  FilterCache filter_cache_;
+  uint32_t last_subqueries_ = 0;
+  ExecStats last_stats_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_CLUSTER_ESDB_H_

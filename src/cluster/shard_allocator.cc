@@ -1,0 +1,152 @@
+#include "cluster/shard_allocator.h"
+
+#include <algorithm>
+
+namespace esdb {
+
+size_t ShardAllocator::LoadOf(NodeId node) const {
+  size_t load = 0;
+  for (const Assignment& a : assignments_) {
+    if (a.primary == node) ++load;
+    if (a.replica == node) ++load;
+  }
+  return load;
+}
+
+std::map<NodeId, size_t> ShardAllocator::LoadByNode() const {
+  std::map<NodeId, size_t> load;
+  for (NodeId node : nodes_) load[node] = 0;
+  for (const Assignment& a : assignments_) {
+    load[a.primary]++;
+    load[a.replica]++;
+  }
+  return load;
+}
+
+NodeId ShardAllocator::LeastLoaded(NodeId exclude) const {
+  NodeId best = 0;
+  size_t best_load = SIZE_MAX;
+  for (NodeId node : nodes_) {
+    if (node == exclude) continue;
+    const size_t load = LoadOf(node);
+    if (load < best_load) {
+      best_load = load;
+      best = node;
+    }
+  }
+  return best;
+}
+
+NodeId ShardAllocator::MostLoaded() const {
+  NodeId best = nodes_.front();
+  size_t best_load = 0;
+  for (NodeId node : nodes_) {
+    const size_t load = LoadOf(node);
+    if (load > best_load) {
+      best_load = load;
+      best = node;
+    }
+  }
+  return best;
+}
+
+void ShardAllocator::InitialAllocation() {
+  assignments_.resize(num_shards_);
+  // Round-robin primaries; replica on the next node (mirrors the
+  // paper's observation that neighbouring nodes carry a shard pair).
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    assignments_[shard].primary = nodes_[shard % nodes_.size()];
+    assignments_[shard].replica = nodes_[(shard + 1) % nodes_.size()];
+  }
+}
+
+Result<std::vector<ShardAllocator::Move>> ShardAllocator::AddNode(
+    NodeId node) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) {
+    return Status::AlreadyExists("node already registered");
+  }
+  nodes_.push_back(node);
+  std::vector<Move> moves;
+
+  if (nodes_.size() < 2) return moves;  // cannot place replicas yet
+  if (assignments_.empty()) {
+    InitialAllocation();
+    return moves;  // first allocation, nothing "moved"
+  }
+
+  // Steal from the busiest nodes until the newcomer reaches its fair
+  // share. Each steal keeps the primary != replica invariant.
+  const size_t fair = (size_t(num_shards_) * 2) / nodes_.size();
+  while (LoadOf(node) < fair) {
+    const NodeId donor = MostLoaded();
+    if (LoadOf(donor) <= fair) break;  // already balanced
+    bool moved = false;
+    for (uint32_t shard = 0; shard < num_shards_ && !moved; ++shard) {
+      Assignment& a = assignments_[shard];
+      if (a.primary == donor && a.replica != node) {
+        moves.push_back(Move{shard, false, donor, node});
+        a.primary = node;
+        moved = true;
+      } else if (a.replica == donor && a.primary != node) {
+        moves.push_back(Move{shard, true, donor, node});
+        a.replica = node;
+        moved = true;
+      }
+    }
+    if (!moved) break;  // every donor shard conflicts; stop
+  }
+  return moves;
+}
+
+void ShardAllocator::Rebalance(std::vector<Move>* moves) {
+  // Move single placements from the busiest to the idlest node until
+  // the spread is tight. Bounded by total placements.
+  for (size_t guard = 0; guard < size_t(num_shards_) * 2; ++guard) {
+    const NodeId donor = MostLoaded();
+    const NodeId target = LeastLoaded(/*exclude=*/0);
+    if (donor == target || LoadOf(donor) <= LoadOf(target) + 2) return;
+    bool moved = false;
+    for (uint32_t shard = 0; shard < num_shards_ && !moved; ++shard) {
+      Assignment& a = assignments_[shard];
+      if (a.primary == donor && a.replica != target) {
+        moves->push_back(Move{shard, false, donor, target});
+        a.primary = target;
+        moved = true;
+      } else if (a.replica == donor && a.primary != target) {
+        moves->push_back(Move{shard, true, donor, target});
+        a.replica = target;
+        moved = true;
+      }
+    }
+    if (!moved) return;
+  }
+}
+
+Result<std::vector<ShardAllocator::Move>> ShardAllocator::RemoveNode(
+    NodeId node) {
+  auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end()) return Status::NotFound("unknown node");
+  if (allocated() && nodes_.size() <= 2) {
+    return Status::FailedPrecondition(
+        "replicas require at least two remaining nodes");
+  }
+  nodes_.erase(it);
+  std::vector<Move> moves;
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    Assignment& a = assignments_[shard];
+    if (a.primary == node) {
+      const NodeId target = LeastLoaded(/*exclude=*/a.replica);
+      moves.push_back(Move{shard, false, node, target});
+      a.primary = target;
+    }
+    if (a.replica == node) {
+      const NodeId target = LeastLoaded(/*exclude=*/a.primary);
+      moves.push_back(Move{shard, true, node, target});
+      a.replica = target;
+    }
+  }
+  Rebalance(&moves);
+  return moves;
+}
+
+}  // namespace esdb

@@ -1,0 +1,76 @@
+#ifndef ESDB_CLUSTER_SHARD_ALLOCATOR_H_
+#define ESDB_CLUSTER_SHARD_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "consensus/network.h"  // NodeId
+#include "routing/rule_list.h"  // ShardId
+
+namespace esdb {
+
+// The master node's shard-placement duty (Section 3.2): every shard
+// has a primary and one replica on a *different* node; shard counts
+// stay balanced (max-min difference at most one per role mix); node
+// joins and departures move as few shards as possible (each move is a
+// segment-copy, so minimizing movement is the whole point — the paper
+// rejects migration-heavy balancing for exactly this cost).
+class ShardAllocator {
+ public:
+  struct Assignment {
+    NodeId primary = 0;
+    NodeId replica = 0;
+  };
+
+  // One placement change produced by a rebalance.
+  struct Move {
+    ShardId shard = 0;
+    bool is_replica = false;
+    NodeId from = 0;
+    NodeId to = 0;
+  };
+
+  explicit ShardAllocator(uint32_t num_shards) : num_shards_(num_shards) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  // Registers a node. The first two nodes trigger the initial full
+  // allocation; later joins steal load from the busiest nodes.
+  // Returns the moves performed (empty for the very first node, which
+  // cannot host replicas alone).
+  Result<std::vector<Move>> AddNode(NodeId node);
+
+  // Removes a node; its shards move to the least-loaded survivors.
+  // Fails when fewer than two nodes would remain (replicas need a
+  // second node).
+  Result<std::vector<Move>> RemoveNode(NodeId node);
+
+  // Current placement of a shard. Only valid once >= 2 nodes exist.
+  const Assignment& Of(ShardId shard) const { return assignments_[shard]; }
+  bool allocated() const { return !assignments_.empty(); }
+
+  // Shards (as primaries + replicas) per node.
+  std::map<NodeId, size_t> LoadByNode() const;
+
+ private:
+  void InitialAllocation();
+  // Final balancing pass: moves placements from the busiest node to
+  // the idlest until the spread is at most 2, recording the moves.
+  void Rebalance(std::vector<Move>* moves);
+  // Least/most loaded node, optionally excluding one node id.
+  NodeId LeastLoaded(NodeId exclude) const;
+  NodeId MostLoaded() const;
+  size_t LoadOf(NodeId node) const;
+
+  uint32_t num_shards_;
+  std::vector<NodeId> nodes_;
+  std::vector<Assignment> assignments_;  // by shard id
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_CLUSTER_SHARD_ALLOCATOR_H_

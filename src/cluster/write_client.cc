@@ -1,0 +1,65 @@
+#include "cluster/write_client.h"
+
+namespace esdb {
+
+bool WriteClient::IsHot(const WriteOp& op) const {
+  if (!options_.hotspot_isolation) return false;
+  const DynamicSecondaryHashing* dynamic = db_->dynamic_routing();
+  if (dynamic == nullptr) return false;
+  return dynamic->OffsetFor(op.tenant_id(), op.created_time()) > 1;
+}
+
+Status WriteClient::Enqueue(WriteOp op) {
+  ++enqueued_;
+  const bool hot = IsHot(op);
+  std::deque<WriteOp>& queue = hot ? hot_ : normal_;
+  queue.push_back(std::move(op));
+  if (queue.size() >= options_.batch_size) {
+    return FlushQueue(hot ? QueueKind::kHot : QueueKind::kNormal);
+  }
+  return Status::OK();
+}
+
+Status WriteClient::Flush() {
+  ESDB_RETURN_IF_ERROR(FlushQueue(QueueKind::kNormal));
+  return FlushQueue(QueueKind::kHot);
+}
+
+Status WriteClient::FlushQueue(QueueKind kind) {
+  std::deque<WriteOp>& queue = kind == QueueKind::kHot ? hot_ : normal_;
+  if (queue.empty()) return Status::OK();
+
+  if (!options_.workload_batching) {
+    while (!queue.empty()) {
+      ESDB_RETURN_IF_ERROR(db_->Apply(queue.front()));
+      ++applied_;
+      queue.pop_front();
+    }
+    return Status::OK();
+  }
+
+  // Workload batching: keep only each record's final state, in first-
+  // seen record order (preserves inter-record ordering; intra-record
+  // intermediate states are what batching elides).
+  std::map<RecordId, size_t> last_for_record;
+  std::vector<WriteOp> batch;
+  batch.reserve(queue.size());
+  for (WriteOp& op : queue) {
+    auto it = last_for_record.find(op.record_id());
+    if (it != last_for_record.end()) {
+      batch[it->second] = std::move(op);
+      ++coalesced_;
+    } else {
+      last_for_record[op.record_id()] = batch.size();
+      batch.push_back(std::move(op));
+    }
+  }
+  queue.clear();
+  for (const WriteOp& op : batch) {
+    ESDB_RETURN_IF_ERROR(db_->Apply(op));
+    ++applied_;
+  }
+  return Status::OK();
+}
+
+}  // namespace esdb

@@ -1,0 +1,65 @@
+#ifndef ESDB_CLUSTER_WRITE_CLIENT_H_
+#define ESDB_CLUSTER_WRITE_CLIENT_H_
+
+#include <deque>
+#include <map>
+
+#include "cluster/esdb.h"
+
+namespace esdb {
+
+// ESDB write client (Section 3.1). Three mechanisms:
+//  * One-hop routing — the client resolves the destination shard
+//    itself (in-process this is the normal path; the flag exists so
+//    its effect can be ablated in the simulator).
+//  * Hotspot isolation — ops of tenants currently routed with offset
+//    > 1 (i.e. detected hotspots) queue separately, so a blocked hot
+//    queue never delays ordinary tenants.
+//  * Workload batching — within a flush batch, multiple modifications
+//    of the same record collapse to the final state, skipping the
+//    intermediate writes entirely.
+class WriteClient {
+ public:
+  struct Options {
+    size_t batch_size = 256;  // auto-flush threshold per queue
+    bool workload_batching = true;
+    bool hotspot_isolation = true;
+  };
+
+  enum class QueueKind { kNormal, kHot };
+
+  WriteClient(Esdb* db, Options options) : db_(db), options_(options) {}
+
+  // Buffers an op; auto-flushes its queue at batch_size.
+  Status Enqueue(WriteOp op);
+
+  // Drains both queues.
+  Status Flush();
+  // Drains one queue (hotspot isolation lets callers keep the normal
+  // queue moving while the hot queue is stalled).
+  Status FlushQueue(QueueKind kind);
+
+  size_t pending(QueueKind kind) const {
+    return kind == QueueKind::kHot ? hot_.size() : normal_.size();
+  }
+
+  // Ops elided by workload batching so far.
+  uint64_t coalesced_ops() const { return coalesced_; }
+  uint64_t applied_ops() const { return applied_; }
+  uint64_t enqueued_ops() const { return enqueued_; }
+
+ private:
+  bool IsHot(const WriteOp& op) const;
+
+  Esdb* db_;
+  Options options_;
+  std::deque<WriteOp> normal_;
+  std::deque<WriteOp> hot_;
+  uint64_t coalesced_ = 0;
+  uint64_t applied_ = 0;
+  uint64_t enqueued_ = 0;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_CLUSTER_WRITE_CLIENT_H_

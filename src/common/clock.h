@@ -1,0 +1,53 @@
+#ifndef ESDB_COMMON_CLOCK_H_
+#define ESDB_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace esdb {
+
+// Microseconds since an arbitrary epoch. All timestamps inside the
+// simulated cluster are virtual; nothing reads the wall clock.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+// Clock interface. The simulated cluster advances a VirtualClock
+// deterministically; per-node clocks add a bounded skew on top of it
+// (the paper assumes local clock deviations under 1s, Section 4.3).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros Now() const = 0;
+};
+
+// Manually-advanced clock owned by the simulator loop.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(Micros start = 0) : now_(start) {}
+
+  Micros Now() const override { return now_; }
+  void Advance(Micros delta) { now_ += delta; }
+  void Set(Micros t) { now_ = t; }
+
+ private:
+  Micros now_;
+};
+
+// A node-local view of a shared base clock with a fixed skew, modeling
+// imperfectly synchronized machine clocks.
+class SkewedClock : public Clock {
+ public:
+  SkewedClock(const Clock* base, Micros skew) : base_(base), skew_(skew) {}
+
+  Micros Now() const override { return base_->Now() + skew_; }
+  Micros skew() const { return skew_; }
+
+ private:
+  const Clock* base_;
+  Micros skew_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_CLOCK_H_

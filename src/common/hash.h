@@ -1,0 +1,33 @@
+#ifndef ESDB_COMMON_HASH_H_
+#define ESDB_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace esdb {
+
+// 64-bit MurmurHash3-style hash (x64 finalizer over 128-bit mixing),
+// seedable so that two independent hash functions can be derived for
+// double hashing (h1 = seed A, h2 = seed B).
+uint64_t Murmur3_64(const void* data, size_t len, uint64_t seed);
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return Murmur3_64(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashUint64(uint64_t v, uint64_t seed = 0) {
+  return Murmur3_64(&v, sizeof(v), seed);
+}
+
+// Fast 64->64 bit mixer (SplitMix64 finalizer); used where full
+// Murmur strength is unnecessary.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_HASH_H_

@@ -1,0 +1,112 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace esdb {
+
+namespace {
+// Geometric bucket layout: first bucket [0, kFirstBound), each
+// subsequent bound multiplied by kGrowth.
+constexpr double kFirstBound = 1e-6;
+constexpr double kGrowth = 1.04;
+constexpr size_t kMaxBuckets = 1024;
+}  // namespace
+
+Histogram::Histogram() {
+  bounds_.reserve(kMaxBuckets);
+  double bound = kFirstBound;
+  for (size_t i = 0; i < kMaxBuckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= kGrowth;
+  }
+  buckets_.assign(kMaxBuckets + 1, 0);  // last bucket = overflow
+}
+
+size_t Histogram::BucketFor(double value) const {
+  if (value < 0) value = 0;
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  return size_t(it - bounds_.begin());
+}
+
+void Histogram::Record(double value) { RecordN(value, 1); }
+
+void Histogram::RecordN(double value, uint64_t count) {
+  if (count == 0) return;
+  buckets_[BucketFor(value)] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * double(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = uint64_t(std::ceil(q * double(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      if (i == 0) return bounds_.front() / 2;
+      if (i >= bounds_.size()) return max_;
+      // Midpoint of the bucket, clamped to observed extremes.
+      const double lo = bounds_[i - 1];
+      const double hi = bounds_[i];
+      return std::clamp((lo + hi) / 2, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f",
+                static_cast<unsigned long long>(count_), Mean(),
+                Quantile(0.50), Quantile(0.95), Quantile(0.99), max());
+  return buf;
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double PopulationStdDev(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= double(values.size());
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= double(values.size());
+  return std::sqrt(var);
+}
+
+}  // namespace esdb

@@ -1,0 +1,74 @@
+#ifndef ESDB_COMMON_HISTOGRAM_H_
+#define ESDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esdb {
+
+// Log-bucketed histogram for latency-like values (non-negative).
+// Buckets grow geometrically so quantile error is bounded by the
+// bucket ratio (~4%). O(1) record, O(buckets) quantile.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  // Records `count` identical observations in O(1).
+  void RecordN(double value, uint64_t count);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double Mean() const { return count_ ? sum_ / double(count_) : 0; }
+
+  // q in [0, 1]; e.g. 0.99 for p99. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  // One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  size_t BucketFor(double value) const;
+
+  std::vector<uint64_t> buckets_;
+  std::vector<double> bounds_;  // upper bound of each bucket
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Streaming mean/variance (Welford). Used for the per-node / per-shard
+// throughput standard deviations reported in Figure 12.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0; }
+  double StdDev() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+// Population standard deviation of a vector (Figure 12 plots the
+// spread of simultaneous per-node throughputs, a population).
+double PopulationStdDev(const std::vector<double>& values);
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_HISTOGRAM_H_

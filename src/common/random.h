@@ -1,0 +1,56 @@
+#ifndef ESDB_COMMON_RANDOM_H_
+#define ESDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace esdb {
+
+// Small, fast, deterministic PRNG (xoshiro256**). Every experiment in
+// this repository is seedable so that results are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    // SplitMix64 expansion of the seed into four non-zero words.
+    uint64_t x = seed;
+    for (auto& word : state_) word = Mix64(x += 0x9e3779b97f4a7c15ull);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + int64_t(Uniform(uint64_t(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return double(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_RANDOM_H_

@@ -1,0 +1,64 @@
+#ifndef ESDB_COMMON_RESULT_H_
+#define ESDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace esdb {
+
+// Result<T> holds either a value of type T or a non-OK Status.
+// Modeled on absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call
+  // sites readable (`return doc;` / `return Status::NotFound(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace esdb
+
+// Assigns the value of a Result expression to `lhs`, or returns its
+// status from the current function.
+#define ESDB_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  auto _esdb_result_tmp = (rexpr);                   \
+  if (!_esdb_result_tmp.ok()) return _esdb_result_tmp.status(); \
+  lhs = std::move(_esdb_result_tmp).value();
+
+#endif  // ESDB_COMMON_RESULT_H_

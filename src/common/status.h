@@ -1,0 +1,95 @@
+#ifndef ESDB_COMMON_STATUS_H_
+#define ESDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace esdb {
+
+// Error categories used across the codebase. Kept deliberately small;
+// the message string carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kAborted,
+  kTimedOut,
+  kUnavailable,
+  kCorruption,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a stable human-readable name for a status code ("Ok",
+// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic status object; the standard error-reporting channel in
+// this codebase (exceptions are not used). Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace esdb
+
+// Evaluates `expr` (a Status expression) and returns it from the current
+// function if it is not OK.
+#define ESDB_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::esdb::Status _esdb_status_tmp = (expr);       \
+    if (!_esdb_status_tmp.ok()) return _esdb_status_tmp; \
+  } while (0)
+
+#endif  // ESDB_COMMON_STATUS_H_

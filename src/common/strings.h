@@ -1,0 +1,30 @@
+#ifndef ESDB_COMMON_STRINGS_H_
+#define ESDB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esdb {
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string_view> StrSplit(std::string_view s, char sep);
+
+// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+// ASCII-lowercase copy.
+std::string AsciiLower(std::string_view s);
+
+// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+// SQL LIKE pattern match: '%' matches any run, '_' matches one char.
+// Case-sensitive, no escape support (the transaction-log workload does
+// not use escapes).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_STRINGS_H_

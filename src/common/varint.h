@@ -1,0 +1,56 @@
+#ifndef ESDB_COMMON_VARINT_H_
+#define ESDB_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace esdb {
+
+// LEB128-style unsigned varint, used by the segment and translog
+// on-disk formats.
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(char((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(char(v));
+}
+
+// Decodes a varint at `*pos` in `src`, advancing `*pos`. Returns false
+// on truncated or oversized input.
+inline bool GetVarint64(std::string_view src, size_t* pos, uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < src.size() && shift <= 63) {
+    const uint8_t byte = uint8_t(src[*pos]);
+    ++(*pos);
+    result |= uint64_t(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+// Length-prefixed string encoding.
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+inline bool GetLengthPrefixed(std::string_view src, size_t* pos,
+                              std::string_view* out) {
+  uint64_t len = 0;
+  if (!GetVarint64(src, pos, &len)) return false;
+  if (*pos + len > src.size()) return false;
+  *out = src.substr(*pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_VARINT_H_

@@ -1,0 +1,62 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace esdb {
+
+// Construction builds a Vose alias table so Sample() is O(1); the
+// cluster simulator draws hundreds of millions of tenant ids.
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta), cdf_(n) {
+  assert(n > 0);
+  std::vector<double> pmf(n);
+  double sum = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    pmf[k] = std::pow(1.0 / double(k + 1), theta);
+    sum += pmf[k];
+  }
+  double acc = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    pmf[k] /= sum;
+    acc += pmf[k];
+    cdf_[k] = acc;
+  }
+  cdf_[n - 1] = 1.0;  // guard against rounding
+
+  // Vose alias method.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<uint32_t> small, large;
+  std::vector<double> scaled(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    scaled[k] = pmf[k] * double(n);
+    (scaled[k] < 1.0 ? small : large).push_back(uint32_t(k));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t k : large) prob_[k] = 1.0;
+  for (uint32_t k : small) prob_[k] = 1.0;  // numerical leftovers
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  const uint64_t column = rng.Uniform(n_);
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+double ZipfGenerator::Pmf(uint64_t k) const {
+  assert(k < n_);
+  const double prev = (k == 0) ? 0.0 : cdf_[k - 1];
+  return cdf_[k] - prev;
+}
+
+}  // namespace esdb

@@ -1,0 +1,41 @@
+#ifndef ESDB_COMMON_ZIPF_H_
+#define ESDB_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace esdb {
+
+// Zipf(theta) sampler over ranks {0, 1, ..., n-1}: rank k is drawn with
+// probability proportional to (1/(k+1))^theta, matching the paper's
+// workload generator (Section 6.1). theta = 0 reduces to the uniform
+// distribution. Sampling is O(log n) by binary search over the
+// precomputed CDF; construction is O(n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  // Draws a rank in [0, n) in O(1) (alias method). Rank 0 is the most
+  // popular.
+  uint64_t Sample(Rng& rng) const;
+
+  // Probability mass of rank k.
+  double Pmf(uint64_t k) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+  // Vose alias table for O(1) sampling.
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_ZIPF_H_

@@ -1,0 +1,66 @@
+#include "consensus/network.h"
+
+#include <algorithm>
+
+namespace esdb {
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kProposeRule:
+      return "ProposeRule";
+    case MsgType::kPrepare:
+      return "Prepare";
+    case MsgType::kAccept:
+      return "Accept";
+    case MsgType::kError:
+      return "Error";
+    case MsgType::kCommit:
+      return "Commit";
+    case MsgType::kAbort:
+      return "Abort";
+    case MsgType::kAck:
+      return "Ack";
+    case MsgType::kSyncRequest:
+      return "SyncRequest";
+    case MsgType::kSyncResponse:
+      return "SyncResponse";
+  }
+  return "Unknown";
+}
+
+void SimNetwork::Send(Message m) {
+  ++sent_;
+  if (IsPartitioned(m.from) || IsPartitioned(m.to)) {
+    ++dropped_;
+    return;
+  }
+  if (options_.drop_prob > 0 && rng_.Bernoulli(options_.drop_prob)) {
+    ++dropped_;
+    return;
+  }
+  Micros delay = options_.latency;
+  if (options_.jitter > 0) delay += Micros(rng_.Uniform(uint64_t(options_.jitter)));
+  m.deliver_at = clock_->Now() + delay;
+  in_flight_.push_back(m);
+}
+
+std::vector<Message> SimNetwork::Receive(NodeId node) {
+  std::vector<Message> out;
+  const Micros now = clock_->Now();
+  auto it = in_flight_.begin();
+  while (it != in_flight_.end()) {
+    if (it->to == node && it->deliver_at <= now) {
+      out.push_back(*it);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.deliver_at < b.deliver_at;
+                   });
+  return out;
+}
+
+}  // namespace esdb

@@ -1,0 +1,95 @@
+#ifndef ESDB_CONSENSUS_NETWORK_H_
+#define ESDB_CONSENSUS_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "routing/rule_list.h"
+
+namespace esdb {
+
+using NodeId = uint32_t;
+
+// Messages of ESDB's secondary-hashing-rule consensus protocol
+// (Figure 5).
+enum class MsgType : uint8_t {
+  kProposeRule,   // coordinator -> master: new rule request
+  kPrepare,       // master -> participants: rule + effective time
+  kAccept,        // participant -> master
+  kError,         // participant -> master (effective time in the past)
+  kCommit,        // master -> participants
+  kAbort,         // master -> participants
+  kAck,           // participant -> master (commit applied)
+  kSyncRequest,   // participant -> master: full rule-list catch-up
+  kSyncResponse,  // master -> participant: encoded committed rule list
+};
+
+const char* MsgTypeName(MsgType type);
+
+struct Message {
+  MsgType type = MsgType::kPrepare;
+  NodeId from = 0;
+  NodeId to = 0;
+  uint64_t round = 0;
+  // Rule payload.
+  TenantId tenant = 0;
+  uint32_t offset = 1;
+  Micros effective_time = 0;
+  // Bulk payload (kSyncResponse: RuleList::Encode()).
+  std::string payload;
+  // Set by the network.
+  Micros deliver_at = 0;
+};
+
+// Deterministic simulated network: messages are delivered after a
+// fixed latency (plus optional jitter), may be dropped with a given
+// probability, and are blocked entirely to/from partitioned nodes.
+// Time comes from the externally-advanced virtual clock.
+class SimNetwork {
+ public:
+  struct Options {
+    Micros latency = 1 * kMicrosPerMilli;
+    Micros jitter = 0;       // uniform [0, jitter)
+    double drop_prob = 0.0;  // applied per message
+    uint64_t seed = 42;
+  };
+
+  SimNetwork(const Clock* clock, Options options)
+      : clock_(clock), options_(options), rng_(options.seed) {}
+
+  // Enqueues `m` for delivery (deliver_at is stamped here). Messages
+  // to or from partitioned nodes are silently dropped, as are random
+  // drops.
+  void Send(Message m);
+
+  // All messages addressed to `node` whose delivery time has passed,
+  // in delivery order. Removes them from the queue.
+  std::vector<Message> Receive(NodeId node);
+
+  void PartitionNode(NodeId node) { partitioned_.insert(node); }
+  void HealNode(NodeId node) { partitioned_.erase(node); }
+  bool IsPartitioned(NodeId node) const {
+    return partitioned_.count(node) > 0;
+  }
+
+  uint64_t messages_sent() const { return sent_; }
+  uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  const Clock* clock_;
+  Options options_;
+  Rng rng_;
+  std::deque<Message> in_flight_;
+  std::set<NodeId> partitioned_;
+  uint64_t sent_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_CONSENSUS_NETWORK_H_

@@ -1,0 +1,179 @@
+#include "consensus/protocol.h"
+
+namespace esdb {
+
+// --- Participant ------------------------------------------------------
+
+bool ConsensusParticipant::IsBlocked(Micros created_time) const {
+  for (const auto& [round, pending] : pending_) {
+    if (created_time >= pending.effective_time) return true;
+  }
+  return false;
+}
+
+void ConsensusParticipant::Step() {
+  for (const Message& m : network_->Receive(id_)) {
+    switch (m.type) {
+      case MsgType::kPrepare: {
+        // Verify all executed records were created before the
+        // effective time; otherwise report an error (the master's
+        // clock lagged too far for commit wait to protect us).
+        Message reply;
+        reply.from = id_;
+        reply.to = m.from;
+        reply.round = m.round;
+        if (max_created_seen_ >= m.effective_time) {
+          reply.type = MsgType::kError;
+        } else {
+          reply.type = MsgType::kAccept;
+          pending_[m.round] =
+              PendingRound{m.tenant, m.offset, m.effective_time};
+        }
+        network_->Send(reply);
+        break;
+      }
+      case MsgType::kCommit: {
+        auto it = pending_.find(m.round);
+        if (it != pending_.end()) {
+          rules_.Update(it->second.effective_time, it->second.offset,
+                        it->second.tenant);
+          pending_.erase(it);
+        } else {
+          // Commit for a round we never prepared (e.g. the Prepare was
+          // dropped): apply the rule from the commit payload — the
+          // master only commits unanimously accepted rules.
+          rules_.Update(m.effective_time, m.offset, m.tenant);
+        }
+        ++commits_applied_;
+        Message ack;
+        ack.type = MsgType::kAck;
+        ack.from = id_;
+        ack.to = m.from;
+        ack.round = m.round;
+        network_->Send(ack);
+        break;
+      }
+      case MsgType::kAbort:
+        pending_.erase(m.round);
+        ++aborts_seen_;
+        break;
+      case MsgType::kSyncResponse: {
+        auto synced = RuleList::Decode(m.payload);
+        if (synced.ok()) {
+          rules_ = std::move(*synced);
+          ++syncs_applied_;
+        }
+        break;
+      }
+      default:
+        break;  // participants ignore master-bound messages
+    }
+  }
+}
+
+void ConsensusParticipant::RequestSync(NodeId master) {
+  Message m;
+  m.type = MsgType::kSyncRequest;
+  m.from = id_;
+  m.to = master;
+  network_->Send(m);
+}
+
+// --- Master -----------------------------------------------------------
+
+uint64_t ConsensusMaster::ProposeRule(TenantId tenant, uint32_t offset) {
+  const uint64_t round_id = next_round_++;
+  Round round;
+  round.tenant = tenant;
+  round.offset = offset;
+  round.started_at = clock_->Now();
+  // Commit wait: the rule takes effect T in the future, leaving the
+  // cluster T to reach consensus without blocking live writes.
+  round.effective_time = clock_->Now() + options_.interval;
+  rounds_[round_id] = round;
+  Broadcast(MsgType::kPrepare, round_id, rounds_[round_id]);
+  return round_id;
+}
+
+void ConsensusMaster::Broadcast(MsgType type, uint64_t round_id,
+                                const Round& r) {
+  for (NodeId node : participants_) {
+    Message m;
+    m.type = type;
+    m.from = id_;
+    m.to = node;
+    m.round = round_id;
+    m.tenant = r.tenant;
+    m.offset = r.offset;
+    m.effective_time = r.effective_time;
+    network_->Send(m);
+  }
+}
+
+void ConsensusMaster::Decide(uint64_t round_id, Round* round,
+                             RoundState state) {
+  round->state = state;
+  if (state == RoundState::kCommitted) {
+    ++committed_;
+    committed_rules_.Update(round->effective_time, round->offset,
+                            round->tenant);
+    Broadcast(MsgType::kCommit, round_id, *round);
+  } else {
+    ++aborted_;
+    Broadcast(MsgType::kAbort, round_id, *round);
+  }
+}
+
+void ConsensusMaster::Step() {
+  for (const Message& m : network_->Receive(id_)) {
+    if (m.type == MsgType::kSyncRequest) {
+      Message reply;
+      reply.type = MsgType::kSyncResponse;
+      reply.from = id_;
+      reply.to = m.from;
+      reply.payload = committed_rules_.Encode();
+      network_->Send(reply);
+      continue;
+    }
+    auto it = rounds_.find(m.round);
+    if (it == rounds_.end()) continue;
+    Round& round = it->second;
+    if (round.state != RoundState::kPreparing) continue;
+    switch (m.type) {
+      case MsgType::kAccept:
+        round.accepted.insert(m.from);
+        if (round.accepted.size() == participants_.size()) {
+          Decide(m.round, &round, RoundState::kCommitted);
+        }
+        break;
+      case MsgType::kError:
+        Decide(m.round, &round, RoundState::kAborted);
+        break;
+      default:
+        break;  // Acks complete silently
+    }
+  }
+  // Timeouts: any participant not responding within T/2 aborts the
+  // round (Section 4.3).
+  const Micros now = clock_->Now();
+  for (auto& [round_id, round] : rounds_) {
+    if (round.state == RoundState::kPreparing &&
+        now - round.started_at > options_.interval / 2) {
+      Decide(round_id, &round, RoundState::kAborted);
+    }
+  }
+}
+
+std::optional<ConsensusMaster::RoundState> ConsensusMaster::GetRoundState(
+    uint64_t round) const {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+Micros ConsensusMaster::GetEffectiveTime(uint64_t round) const {
+  auto it = rounds_.find(round);
+  return it == rounds_.end() ? 0 : it->second.effective_time;
+}
+
+}  // namespace esdb

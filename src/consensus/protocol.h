@@ -1,0 +1,140 @@
+#ifndef ESDB_CONSENSUS_PROTOCOL_H_
+#define ESDB_CONSENSUS_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "consensus/network.h"
+#include "routing/rule_list.h"
+
+namespace esdb {
+
+// Participant side of ESDB's secondary-hashing-rule consensus
+// (Section 4.3). Every node runs one of these; the master is also a
+// participant for its own rule list. Drive with Step() after
+// advancing the virtual clock.
+class ConsensusParticipant {
+ public:
+  ConsensusParticipant(NodeId id, SimNetwork* network, const Clock* clock)
+      : id_(id), network_(network), clock_(clock) {}
+
+  NodeId id() const { return id_; }
+  const RuleList& rules() const { return rules_; }
+  RuleList* mutable_rules() { return &rules_; }
+
+  // The node reports every executed write's creation time, so Prepare
+  // can verify "all executed records are earlier than the effective
+  // time".
+  void ObserveWrite(Micros created_time) {
+    if (created_time > max_created_seen_) max_created_seen_ = created_time;
+  }
+  Micros max_created_seen() const { return max_created_seen_; }
+
+  // Commit-wait blocking: true when a prepared (not yet decided) rule
+  // exists whose effective time is at or before `created_time` — such
+  // writes must wait for the round to commit or abort.
+  bool IsBlocked(Micros created_time) const;
+
+  // Processes all deliverable messages.
+  void Step();
+
+  // Anti-entropy: asks the master for its full committed rule list —
+  // used after recovering from a partition, when commits may have been
+  // missed. The reply (processed by a later Step) REPLACES the local
+  // list; committed rule lists only grow, so the master's copy is
+  // always a superset.
+  void RequestSync(NodeId master);
+
+  uint64_t commits_applied() const { return commits_applied_; }
+  uint64_t aborts_seen() const { return aborts_seen_; }
+  uint64_t syncs_applied() const { return syncs_applied_; }
+  size_t pending_rounds() const { return pending_.size(); }
+
+ private:
+  struct PendingRound {
+    TenantId tenant;
+    uint32_t offset;
+    Micros effective_time;
+  };
+
+  NodeId id_;
+  SimNetwork* network_;
+  const Clock* clock_;
+  RuleList rules_;
+  std::map<uint64_t, PendingRound> pending_;  // round id -> state
+  Micros max_created_seen_ = INT64_MIN;
+  uint64_t commits_applied_ = 0;
+  uint64_t aborts_seen_ = 0;
+  uint64_t syncs_applied_ = 0;
+};
+
+// Master side: assigns effective times (commit wait, t = now + T),
+// broadcasts Prepare, decides commit/abort from replies and the T/2
+// timeout, and tracks round outcomes.
+class ConsensusMaster {
+ public:
+  struct Options {
+    // The buffering interval T (Section 4.3): effective times are set
+    // T in the future; replies must arrive within T/2.
+    Micros interval = 60 * kMicrosPerSecond;
+  };
+
+  enum class RoundState { kPreparing, kCommitted, kAborted };
+
+  ConsensusMaster(NodeId id, SimNetwork* network, const Clock* clock,
+                  std::vector<NodeId> participants, Options options)
+      : id_(id),
+        network_(network),
+        clock_(clock),
+        participants_(std::move(participants)),
+        options_(options) {}
+
+  // Starts a consensus round for one rule; returns the round id.
+  uint64_t ProposeRule(TenantId tenant, uint32_t offset);
+
+  // Processes replies and timeouts.
+  void Step();
+
+  std::optional<RoundState> GetRoundState(uint64_t round) const;
+  // Effective time assigned to `round` (valid for any started round).
+  Micros GetEffectiveTime(uint64_t round) const;
+
+  uint64_t rounds_started() const { return next_round_; }
+  uint64_t rounds_committed() const { return committed_; }
+  uint64_t rounds_aborted() const { return aborted_; }
+
+  // The master's own copy of the committed rules (serves sync
+  // requests; also what a fresh coordinator would bootstrap from).
+  const RuleList& committed_rules() const { return committed_rules_; }
+
+ private:
+  struct Round {
+    TenantId tenant;
+    uint32_t offset;
+    Micros effective_time;
+    Micros started_at;
+    std::set<NodeId> accepted;
+    RoundState state = RoundState::kPreparing;
+  };
+
+  void Broadcast(MsgType type, uint64_t round, const Round& r);
+  void Decide(uint64_t round_id, Round* round, RoundState state);
+
+  NodeId id_;
+  SimNetwork* network_;
+  const Clock* clock_;
+  std::vector<NodeId> participants_;
+  Options options_;
+  std::map<uint64_t, Round> rounds_;
+  RuleList committed_rules_;
+  uint64_t next_round_ = 0;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_CONSENSUS_PROTOCOL_H_

@@ -1,0 +1,233 @@
+#include "document/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace esdb {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const Document& doc) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : doc.fields()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += JsonEscape(name);
+    out += "\":";
+    if (value.is_string()) {
+      out.push_back('"');
+      out += JsonEscape(value.as_string());
+      out.push_back('"');
+    } else {
+      out += value.ToString();
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over a flat JSON object.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view input) : in_(input) {}
+
+  Result<Document> Parse() {
+    SkipSpace();
+    if (!Consume('{')) return Err("expected '{'");
+    Document doc;
+    SkipSpace();
+    if (Consume('}')) return FinishOrErr(std::move(doc));
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return Err("expected field name string");
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipSpace();
+      Value value;
+      Status value_status = ParseValue(&value);
+      if (!value_status.ok()) return Result<Document>(value_status);
+      doc.Set(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return FinishOrErr(std::move(doc));
+      return Err("expected ',' or '}'");
+    }
+  }
+
+ private:
+  Result<Document> FinishOrErr(Document doc) {
+    SkipSpace();
+    if (pos_ != in_.size()) return Err("trailing characters");
+    return doc;
+  }
+
+  Status ParseValue(Value* out) {
+    if (pos_ >= in_.size()) return Status::InvalidArgument("json: truncated");
+    const char c = in_[pos_];
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return Status::InvalidArgument("json: bad string");
+      *out = Value(std::move(s));
+      return Status::OK();
+    }
+    if (c == 't' || c == 'f') {
+      if (in_.substr(pos_, 4) == "true") {
+        pos_ += 4;
+        *out = Value(true);
+        return Status::OK();
+      }
+      if (in_.substr(pos_, 5) == "false") {
+        pos_ += 5;
+        *out = Value(false);
+        return Status::OK();
+      }
+      return Status::InvalidArgument("json: bad literal");
+    }
+    if (c == 'n') {
+      if (in_.substr(pos_, 4) == "null") {
+        pos_ += 4;
+        *out = Value::Null();
+        return Status::OK();
+      }
+      return Status::InvalidArgument("json: bad literal");
+    }
+    if (c == '{' || c == '[') {
+      return Status::InvalidArgument("json: nested values not supported");
+    }
+    // Number.
+    const size_t start = pos_;
+    if (in_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+            in_[pos_] == '.' || in_[pos_] == 'e' || in_[pos_] == 'E' ||
+            in_[pos_] == '+' || in_[pos_] == '-')) {
+      if (in_[pos_] == '.' || in_[pos_] == 'e' || in_[pos_] == 'E') {
+        is_double = true;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("json: bad number");
+    const std::string text(in_.substr(start, pos_ - start));
+    if (is_double) {
+      *out = Value(std::strtod(text.c_str(), nullptr));
+    } else {
+      *out = Value(int64_t(std::strtoll(text.c_str(), nullptr, 10)));
+    }
+    return Status::OK();
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= in_.size()) return false;
+        const char esc = in_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > in_.size()) return false;
+            const std::string hex(in_.substr(pos_, 4));
+            pos_ += 4;
+            const long cp = std::strtol(hex.c_str(), nullptr, 16);
+            // Only BMP codepoints below 0x80 round-trip byte-exactly;
+            // higher codepoints are emitted as UTF-8.
+            if (cp < 0x80) {
+              out->push_back(char(cp));
+            } else if (cp < 0x800) {
+              out->push_back(char(0xc0 | (cp >> 6)));
+              out->push_back(char(0x80 | (cp & 0x3f)));
+            } else {
+              out->push_back(char(0xe0 | (cp >> 12)));
+              out->push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+              out->push_back(char(0x80 | (cp & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Document> Err(const char* msg) {
+    return Result<Document>(
+        Status::InvalidArgument(std::string("json: ") + msg));
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Document> FromJson(std::string_view json) {
+  return JsonParser(json).Parse();
+}
+
+}  // namespace esdb

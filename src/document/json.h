@@ -1,0 +1,24 @@
+#ifndef ESDB_DOCUMENT_JSON_H_
+#define ESDB_DOCUMENT_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "document/document.h"
+
+namespace esdb {
+
+// Minimal JSON codec for flat documents (scalar values only, which is
+// what transaction logs are; nested objects/arrays are rejected).
+// This is the external interchange format; the engine-internal format
+// is Document::Serialize().
+std::string ToJson(const Document& doc);
+Result<Document> FromJson(std::string_view json);
+
+// Escapes a string per JSON rules (quotes, backslash, control chars).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace esdb
+
+#endif  // ESDB_DOCUMENT_JSON_H_

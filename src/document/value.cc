@@ -1,0 +1,197 @@
+#include "document/value.h"
+
+#include "common/varint.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace esdb {
+
+int Value::TypeRank() const {
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool:
+      return 1;
+    case Type::kInt:
+    case Type::kDouble:
+      return 2;
+    case Type::kString:
+      return 3;
+  }
+  return 4;
+}
+
+int Value::Compare(const Value& other) const {
+  const int ra = TypeRank();
+  const int rb = other.TypeRank();
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool: {
+      const int a = as_bool() ? 1 : 0;
+      const int b = other.as_bool() ? 1 : 0;
+      return a - b;
+    }
+    case Type::kInt:
+    case Type::kDouble: {
+      // Compare exactly when both are ints; otherwise via double.
+      if (is_int() && other.is_int()) {
+        const int64_t a = as_int();
+        const int64_t b = other.as_int();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = NumericValue();
+      const double b = other.NumericValue();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case Type::kString:
+      return as_string().compare(other.as_string());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return as_bool() ? "true" : "false";
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(as_int()));
+      return buf;
+    }
+    case Type::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", as_double());
+      return buf;
+    }
+    case Type::kString:
+      return as_string();
+  }
+  return "";
+}
+
+std::string Value::EncodeSortable() const {
+  // Layout: 1 type-rank byte, then a type-specific order-preserving
+  // payload. Numerics (int and double) share rank 2 and are both
+  // encoded via the IEEE-754 total-order trick on double so that
+  // cross-type numeric comparisons order correctly.
+  std::string out;
+  out.push_back(char('0' + TypeRank()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      out.push_back(as_bool() ? '\x01' : '\x00');
+      break;
+    case Type::kInt:
+    case Type::kDouble: {
+      double d = NumericValue();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      // Flip so that byte-lexicographic order == numeric order:
+      // negative doubles invert all bits, positive flip the sign bit.
+      if (bits & 0x8000000000000000ull) {
+        bits = ~bits;
+      } else {
+        bits |= 0x8000000000000000ull;
+      }
+      for (int shift = 56; shift >= 0; shift -= 8) {
+        out.push_back(char((bits >> shift) & 0xff));
+      }
+      break;
+    }
+    case Type::kString:
+      out.append(as_string());
+      break;
+  }
+  return out;
+}
+
+// Type tags in the serialized form.
+constexpr char kTagNull = 'n';
+constexpr char kTagBool = 'b';
+constexpr char kTagInt = 'i';
+constexpr char kTagDouble = 'd';
+constexpr char kTagString = 's';
+
+void Value::EncodeTo(std::string* out) const {
+  switch (type()) {
+    case Value::Type::kNull:
+      out->push_back(kTagNull);
+      break;
+    case Value::Type::kBool:
+      out->push_back(kTagBool);
+      out->push_back(as_bool() ? 1 : 0);
+      break;
+    case Value::Type::kInt:
+      out->push_back(kTagInt);
+      // Zigzag so negatives stay compact.
+      PutVarint64(out, (uint64_t(as_int()) << 1) ^
+                           uint64_t(as_int() >> 63));
+      break;
+    case Value::Type::kDouble: {
+      out->push_back(kTagDouble);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double));
+      const double d = as_double();
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      for (int shift = 0; shift < 64; shift += 8) {
+        out->push_back(char((bits >> shift) & 0xff));
+      }
+      break;
+    }
+    case Value::Type::kString:
+      out->push_back(kTagString);
+      PutLengthPrefixed(out, as_string());
+      break;
+  }
+}
+
+bool Value::DecodeFrom(std::string_view data, size_t* pos, Value* out) {
+  if (*pos >= data.size()) return false;
+  const char tag = data[(*pos)++];
+  switch (tag) {
+    case kTagNull:
+      *out = Value::Null();
+      return true;
+    case kTagBool:
+      if (*pos >= data.size()) return false;
+      *out = Value(data[(*pos)++] != 0);
+      return true;
+    case kTagInt: {
+      uint64_t zz = 0;
+      if (!GetVarint64(data, pos, &zz)) return false;
+      *out = Value(int64_t((zz >> 1) ^ (~(zz & 1) + 1)));
+      return true;
+    }
+    case kTagDouble: {
+      if (*pos + 8 > data.size()) return false;
+      uint64_t bits = 0;
+      for (int shift = 0; shift < 64; shift += 8) {
+        bits |= uint64_t(uint8_t(data[*pos])) << shift;
+        ++(*pos);
+      }
+      double d;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      *out = Value(d);
+      return true;
+    }
+    case kTagString: {
+      std::string_view s;
+      if (!GetLengthPrefixed(data, pos, &s)) return false;
+      *out = Value(std::string(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+
+}  // namespace esdb

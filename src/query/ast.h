@@ -1,0 +1,120 @@
+#ifndef ESDB_QUERY_AST_H_
+#define ESDB_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "document/document.h"
+#include "document/value.h"
+
+namespace esdb {
+
+// Comparison / matching operators of a leaf predicate.
+enum class PredOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,  // args = {lo, hi}, both inclusive
+  kIn,       // args = one or more values
+  kLike,     // args = {pattern string}
+  kMatch,    // full-text: args = {query text}, analyzer-tokenized
+  kIsNull,
+  kIsNotNull,
+};
+
+const char* PredOpName(PredOp op);
+
+// Leaf predicate on a single column.
+struct Predicate {
+  std::string column;
+  PredOp op = PredOp::kEq;
+  std::vector<Value> args;
+
+  std::string ToString() const;
+  // True if the predicate holds for `v` (the column's value in a doc).
+  bool Eval(const Value& v) const;
+  // Returns the negated predicate when an exact complement exists
+  // (only kIsNull <-> kIsNotNull: all other operators fail on null
+  // columns, so their "flipped" form is not a true complement). For
+  // every other operator *ok is set false and negation stays
+  // structural (a NOT node evaluated as a negated filter).
+  Predicate Negate(bool* ok) const;
+};
+
+// Boolean expression tree over predicates.
+struct Expr {
+  enum class Kind { kPred, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kPred;
+  Predicate pred;                            // kind == kPred
+  std::vector<std::unique_ptr<Expr>> children;  // kAnd/kOr (>=1), kNot (1)
+
+  static std::unique_ptr<Expr> MakePred(Predicate p);
+  static std::unique_ptr<Expr> MakeAnd(std::vector<std::unique_ptr<Expr>> cs);
+  static std::unique_ptr<Expr> MakeOr(std::vector<std::unique_ptr<Expr>> cs);
+  static std::unique_ptr<Expr> MakeNot(std::unique_ptr<Expr> child);
+
+  std::unique_ptr<Expr> Clone() const;
+  std::string ToString() const;
+
+  // Number of nodes (AST size; the optimizer's CNF/DNF conversion
+  // reduces depth at possible cost in size).
+  size_t NodeCount() const;
+  size_t Depth() const;
+};
+
+// Sort specification.
+struct OrderBy {
+  std::string column;
+  bool descending = false;
+};
+
+// Aggregate functions supported by the result aggregator.
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+// A parsed SELECT-FROM-WHERE query (the paper's target query class:
+// multi-column SFW on a single table), plus single-column GROUP BY
+// aggregation for the seller-analytics workload.
+struct Query {
+  std::vector<std::string> select_columns;  // empty = SELECT *
+  AggFunc agg = AggFunc::kNone;
+  std::string agg_column;  // for SUM/AVG/MIN/MAX
+  std::string table;
+  std::unique_ptr<Expr> where;  // may be null (no WHERE)
+  // Single grouping column; requires an aggregate select.
+  std::string group_by;
+  std::vector<OrderBy> order_by;
+  int64_t limit = -1;   // -1 = unlimited
+  int64_t offset = 0;   // rows skipped after the global sort
+
+  std::string ToString() const;
+};
+
+// A parsed DML statement:
+//   INSERT INTO t (c1, c2, ...) VALUES (v1, v2, ...)[, (...)]
+//   UPDATE t SET c = v {, c = v} [WHERE expr]
+//   DELETE FROM t [WHERE expr]
+// For UPDATE/DELETE the WHERE clause selects the affected rows through
+// the normal query path; the cluster layer then routes one write op
+// per affected record (Section 4.2's UPDATE/DELETE routing).
+struct DmlStatement {
+  enum class Kind { kInsert, kUpdate, kDelete };
+
+  Kind kind = Kind::kDelete;
+  std::string table;
+  // INSERT rows (already materialized as documents).
+  std::vector<Document> rows;
+  // UPDATE assignments, in statement order.
+  std::vector<std::pair<std::string, Value>> set;
+  std::unique_ptr<Expr> where;  // may be null (all rows)
+
+  std::string ToString() const;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_AST_H_

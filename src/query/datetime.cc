@@ -1,0 +1,93 @@
+#include "query/datetime.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace esdb {
+
+namespace {
+
+// Howard Hinnant's days-from-civil algorithm.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = unsigned(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + int64_t(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = unsigned(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = int64_t(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+
+bool AllDigits(std::string_view s) {
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return !s.empty();
+}
+
+}  // namespace
+
+bool ParseDateTime(std::string_view text, Micros* out) {
+  // Exact shape: "YYYY-MM-DD HH:MM:SS".
+  if (text.size() != 19) return false;
+  if (text[4] != '-' || text[7] != '-' || text[10] != ' ' ||
+      text[13] != ':' || text[16] != ':') {
+    return false;
+  }
+  const std::string_view ys = text.substr(0, 4), mos = text.substr(5, 2),
+                         ds = text.substr(8, 2), hs = text.substr(11, 2),
+                         mis = text.substr(14, 2), ss = text.substr(17, 2);
+  if (!AllDigits(ys) || !AllDigits(mos) || !AllDigits(ds) || !AllDigits(hs) ||
+      !AllDigits(mis) || !AllDigits(ss)) {
+    return false;
+  }
+  auto to_int = [](std::string_view s) {
+    int v = 0;
+    for (char c : s) v = v * 10 + (c - '0');
+    return v;
+  };
+  const int year = to_int(ys), month = to_int(mos), day = to_int(ds);
+  const int hour = to_int(hs), minute = to_int(mis), second = to_int(ss);
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 59) {
+    return false;
+  }
+  const int64_t days = DaysFromCivil(year, unsigned(month), unsigned(day));
+  const int64_t seconds = days * 86400 + hour * 3600 + minute * 60 + second;
+  *out = seconds * kMicrosPerSecond;
+  return true;
+}
+
+std::string FormatDateTime(Micros micros) {
+  int64_t seconds = micros / kMicrosPerSecond;
+  int64_t days = seconds / 86400;
+  int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  int64_t year;
+  unsigned month, day;
+  CivilFromDays(days, &year, &month, &day);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u %02lld:%02lld:%02lld",
+                static_cast<long long>(year), month, day,
+                static_cast<long long>(rem / 3600),
+                static_cast<long long>((rem % 3600) / 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+}  // namespace esdb

@@ -1,0 +1,23 @@
+#ifndef ESDB_QUERY_DATETIME_H_
+#define ESDB_QUERY_DATETIME_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+
+namespace esdb {
+
+// Parses "YYYY-MM-DD HH:MM:SS" (UTC, proleptic Gregorian) into
+// microseconds since the Unix epoch. Returns false when the text does
+// not match the format exactly. This is the type-conversion piece of
+// the Xdriver4ES mapping module (Section 3.1): SQL date literals are
+// rewritten into the engine's integer timestamps.
+bool ParseDateTime(std::string_view text, Micros* out);
+
+// Inverse of ParseDateTime.
+std::string FormatDateTime(Micros micros);
+
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_DATETIME_H_

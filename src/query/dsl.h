@@ -1,0 +1,51 @@
+#ifndef ESDB_QUERY_DSL_H_
+#define ESDB_QUERY_DSL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace esdb {
+
+// ES-DSL: the JSON query language ESDB inherits from Elasticsearch
+// (Section 3.1). Xdriver4ES translates SQL into this form; native
+// clients can also submit it directly. Unlike SQL, ES-DSL encodes the
+// query AST directly — which is why Xdriver4ES performs CNF/DNF
+// conversion and predicate merge *before* emitting it (a shallow,
+// narrow AST makes a cheap DSL document).
+//
+// Supported grammar (a faithful subset of Elasticsearch's Query DSL):
+//
+//   {"query": <clause>, "size": N, "sort": [{"col": "asc"|"desc"}],
+//    "_source": ["col", ...], "aggs": {"name": {"sum": {"field": f}}}}
+//
+//   clause := {"term":      {col: value}}
+//           | {"terms":     {col: [v1, v2, ...]}}
+//           | {"range":     {col: {"gte"|"gt"|"lte"|"lt": value, ...}}}
+//           | {"match":     {col: "text"}}
+//           | {"wildcard":  {col: "pat*tern"}}        // SQL LIKE
+//           | {"exists":    {"field": col}}
+//           | {"bool": {"must": [...], "should": [...],
+//                       "must_not": [...]}}
+//           | {"match_all": {}}
+//
+// Wildcards use '*' (any run) and '?' (one char), translated from
+// SQL's '%' and '_'.
+
+// Renders a parsed Query as an ES-DSL document.
+std::string QueryToDsl(const Query& query);
+
+// Parses an ES-DSL document into a Query (table defaults to "_all"
+// since the DSL addresses an index via the request path, not the
+// body).
+Result<Query> ParseDsl(std::string_view dsl);
+
+// Xdriver4ES's translation entry point: SQL text -> normalized ES-DSL
+// (parse, CNF conversion, predicate merge, render).
+Result<std::string> SqlToDsl(std::string_view sql);
+
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_DSL_H_

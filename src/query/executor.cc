@@ -1,0 +1,468 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/analyzer.h"
+
+namespace esdb {
+
+Value ResolveFieldValue(const Segment& segment, DocId id,
+                        const std::string& field) {
+  const DocValues::Column* col = segment.doc_values().Find(field);
+  if (col != nullptr) return col->Get(id);
+  // Virtual sub-attribute column: "attributes.<key>".
+  const size_t dot = field.find('.');
+  if (dot != std::string::npos &&
+      field.compare(0, dot, kFieldAttributes) == 0) {
+    const DocValues::Column* attrs =
+        segment.doc_values().Find(kFieldAttributes);
+    if (attrs != nullptr && attrs->Get(id).is_string()) {
+      const auto parsed = ParseAttributes(attrs->Get(id).as_string());
+      auto it = parsed.find(field.substr(dot + 1));
+      if (it != parsed.end()) return Value(it->second);
+    }
+  }
+  return Value::Null();
+}
+
+namespace {
+
+bool PassesFilters(const Segment& segment, DocId id,
+                   const std::vector<FilterPred>& filters) {
+  for (const FilterPred& f : filters) {
+    const Value v = ResolveFieldValue(segment, id, f.pred.column);
+    const bool hit = f.pred.Eval(v);
+    if (hit == f.negated) return false;
+  }
+  return true;
+}
+
+PostingList ApplyFilters(const Segment& segment, PostingList candidates,
+                         const std::vector<FilterPred>& filters,
+                         ExecStats* stats) {
+  if (filters.empty()) return candidates;
+  PostingList out;
+  for (DocId id : candidates.ids()) {
+    ++stats->docs_filtered;
+    if (PassesFilters(segment, id, filters)) out.Append(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PostingList> EvalPlan(const PlanNode& plan, const Segment& segment,
+                             ExecStats* stats) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kEmpty:
+      return PostingList();
+    case PlanNode::Kind::kFullScan: {
+      PostingList live = segment.LiveDocs();
+      stats->postings_considered += live.size();
+      return ApplyFilters(segment, std::move(live), plan.filters, stats);
+    }
+    case PlanNode::Kind::kTermLookup: {
+      std::vector<const PostingList*> lists;
+      lists.reserve(plan.terms.size());
+      for (const std::string& term : plan.terms) {
+        const PostingList& list = segment.Postings(plan.field, term);
+        stats->postings_considered += list.size();
+        if (!list.empty()) lists.push_back(&list);
+      }
+      return PostingList::UnionAll(std::move(lists));
+    }
+    case PlanNode::Kind::kTermRange: {
+      std::vector<const PostingList*> lists =
+          segment.PostingsRange(plan.field, plan.lo_term, plan.hi_term);
+      for (const PostingList* list : lists) {
+        stats->postings_considered += list->size();
+      }
+      return PostingList::UnionAll(std::move(lists));
+    }
+    case PlanNode::Kind::kCompositeScan: {
+      const SortedKeyIndex* index = segment.CompositeIndex(plan.index_name);
+      if (index == nullptr) {
+        return Status::FailedPrecondition("composite index not found: " +
+                                          plan.index_name);
+      }
+      PostingList out = index->ScanRange(plan.key_range.lo, plan.key_range.hi);
+      stats->postings_considered += out.size();
+      return out;
+    }
+    case PlanNode::Kind::kDocValueFilter: {
+      ESDB_ASSIGN_OR_RETURN(PostingList child,
+                            EvalPlan(*plan.children[0], segment, stats));
+      return ApplyFilters(segment, std::move(child), plan.filters, stats);
+    }
+    case PlanNode::Kind::kIntersect: {
+      std::vector<PostingList> lists;
+      lists.reserve(plan.children.size());
+      for (const auto& c : plan.children) {
+        ESDB_ASSIGN_OR_RETURN(PostingList child, EvalPlan(*c, segment, stats));
+        if (child.empty()) return PostingList();
+        lists.push_back(std::move(child));
+      }
+      std::vector<const PostingList*> ptrs;
+      ptrs.reserve(lists.size());
+      for (const PostingList& l : lists) ptrs.push_back(&l);
+      return PostingList::IntersectAll(std::move(ptrs));
+    }
+    case PlanNode::Kind::kUnion: {
+      PostingList acc;
+      for (const auto& c : plan.children) {
+        ESDB_ASSIGN_OR_RETURN(PostingList child, EvalPlan(*c, segment, stats));
+        acc = PostingList::Union(acc, child);
+      }
+      return acc;
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+bool NeedsScoring(const Query& query) {
+  for (const OrderBy& ob : query.order_by) {
+    if (ob.column == kFieldScore) return true;
+  }
+  if (!query.select_columns.empty()) {
+    for (const std::string& col : query.select_columns) {
+      if (col == kFieldScore) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Walks `e` collecting MATCH predicates (negated matches do not
+// contribute to relevance, mirroring Lucene's must_not).
+void CollectMatches(const Expr& e, bool negated,
+                    std::vector<const Predicate*>* out) {
+  switch (e.kind) {
+    case Expr::Kind::kPred:
+      if (!negated && e.pred.op == PredOp::kMatch) out->push_back(&e.pred);
+      return;
+    case Expr::Kind::kNot:
+      CollectMatches(*e.children[0], !negated, out);
+      return;
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      for (const auto& c : e.children) CollectMatches(*c, negated, out);
+      return;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Relevance score without decoding the stored document: the MATCH
+// columns' text is read from doc values into a scratch doc. Produces
+// the same value as ScoreDocument on the materialized document (the
+// doc-value column holds the identical field text).
+double ScoreFromDocValues(const Segment& segment, DocId id,
+                          const Expr* where) {
+  if (where == nullptr) return 0;
+  std::vector<const Predicate*> matches;
+  CollectMatches(*where, false, &matches);
+  if (matches.empty()) return 0;
+  Document scratch;
+  for (const Predicate* match : matches) {
+    scratch.Set(match->column, ResolveFieldValue(segment, id, match->column));
+  }
+  return ScoreDocument(segment, scratch, where);
+}
+
+}  // namespace
+
+double ScoreDocument(const Segment& segment, const Document& doc,
+                     const Expr* where) {
+  if (where == nullptr) return 0;
+  std::vector<const Predicate*> matches;
+  CollectMatches(*where, false, &matches);
+  if (matches.empty()) return 0;
+
+  constexpr double kK1 = 1.2;  // BM25 term-frequency saturation
+  const double num_docs = double(segment.num_docs());
+  double score = 0;
+  for (const Predicate* match : matches) {
+    if (!match->args[0].is_string()) continue;
+    const Value& field_value = doc.Get(match->column);
+    if (!field_value.is_string()) continue;
+    const std::vector<std::string> doc_tokens =
+        Tokenize(field_value.as_string());
+    for (const std::string& token : Tokenize(match->args[0].as_string())) {
+      double tf = 0;
+      for (const std::string& t : doc_tokens) {
+        if (t == token) tf += 1;
+      }
+      if (tf == 0) continue;
+      const double df = double(segment.Postings(match->column, token).size());
+      const double idf = std::log(1.0 + (num_docs - df + 0.5) / (df + 0.5));
+      score += idf * tf / (tf + kK1);
+    }
+  }
+  return score;
+}
+
+bool DocumentLess(const Document& a, const Document& b,
+                  const std::vector<OrderBy>& order_by) {
+  for (const OrderBy& ob : order_by) {
+    const int c = a.Get(ob.column).Compare(b.Get(ob.column));
+    if (c != 0) return ob.descending ? c > 0 : c < 0;
+  }
+  return false;
+}
+
+void GroupStats::Merge(const GroupStats& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.min && (!min || other.min->Compare(*min) < 0)) min = other.min;
+  if (other.max && (!max || other.max->Compare(*max) > 0)) max = other.max;
+}
+
+namespace {
+
+void Accumulate(const Query& query, const Segment& segment, DocId id,
+                QueryResult* result) {
+  if (!query.group_by.empty()) {
+    const Value key = ResolveFieldValue(segment, id, query.group_by);
+    GroupStats& group = result->groups[key];
+    ++group.count;
+    if (query.agg != AggFunc::kCount) {
+      const Value v = ResolveFieldValue(segment, id, query.agg_column);
+      if (!v.is_null()) {
+        if (v.is_numeric()) group.sum += v.NumericValue();
+        if (!group.min || v.Compare(*group.min) < 0) group.min = v;
+        if (!group.max || v.Compare(*group.max) > 0) group.max = v;
+      }
+    }
+    return;
+  }
+  ++result->agg_count;
+  if (query.agg == AggFunc::kCount) return;
+  const Value v = ResolveFieldValue(segment, id, query.agg_column);
+  if (v.is_null()) return;
+  if (v.is_numeric()) result->agg_sum += v.NumericValue();
+  if (!result->agg_min || v.Compare(*result->agg_min) < 0) result->agg_min = v;
+  if (!result->agg_max || v.Compare(*result->agg_max) > 0) result->agg_max = v;
+}
+
+Document Project(const Query& query, Document doc) {
+  if (query.select_columns.empty()) return doc;
+  Document out;
+  for (const std::string& col : query.select_columns) {
+    out.Set(col, doc.Get(col));
+  }
+  return out;
+}
+
+}  // namespace
+
+void ProjectRows(const Query& query, std::vector<Document>* rows) {
+  if (query.select_columns.empty()) return;
+  for (Document& doc : *rows) doc = Project(query, std::move(doc));
+}
+
+Result<PostingList> EvalPlanCached(const PlanNode& plan,
+                                   const Segment& segment, ExecStats* stats,
+                                   FilterCache* cache, uint64_t cache_domain,
+                                   const std::string& fingerprint) {
+  if (cache == nullptr || fingerprint.empty()) {
+    return EvalPlan(plan, segment, stats);
+  }
+  if (const PostingList* cached =
+          cache->Get(cache_domain, segment.id(), fingerprint)) {
+    return *cached;
+  }
+  ESDB_ASSIGN_OR_RETURN(PostingList candidates,
+                        EvalPlan(plan, segment, stats));
+  cache->Put(cache_domain, segment.id(), fingerprint, candidates);
+  return candidates;
+}
+
+Result<QueryResult> ExecuteOnShard(
+    const Query& query, const PlanNode& plan,
+    const std::vector<std::shared_ptr<Segment>>& snapshot, ExecStats* stats,
+    FilterCache* cache, uint64_t cache_domain) {
+  const std::string fingerprint =
+      (cache != nullptr && IsCacheable(plan)) ? PlanFingerprint(plan)
+                                              : std::string();
+  QueryResult result;
+  const bool aggregating = query.agg != AggFunc::kNone;
+  const bool scoring = !aggregating && NeedsScoring(query);
+  // Without ORDER BY the shard can stop once LIMIT rows are found.
+  const bool can_early_stop =
+      !aggregating && query.order_by.empty() && query.limit >= 0;
+
+  for (const auto& segment : snapshot) {
+    ++stats->segments_visited;
+    ESDB_ASSIGN_OR_RETURN(
+        PostingList candidates,
+        EvalPlanCached(plan, *segment, stats, cache, cache_domain,
+                       fingerprint));
+    for (DocId id : candidates.ids()) {
+      if (segment->IsDeleted(id)) continue;
+      ++result.total_matched;
+      if (aggregating) {
+        Accumulate(query, *segment, id, &result);
+        continue;
+      }
+      ESDB_ASSIGN_OR_RETURN(Document doc, segment->GetDocument(id));
+      ++stats->rows_materialized;
+      if (scoring) {
+        doc.Set(kFieldScore,
+                Value(ScoreDocument(*segment, doc, query.where.get())));
+      }
+      result.rows.push_back(std::move(doc));
+      // Shards must over-fetch by the global offset (skipping is only
+      // correct after the coordinator's merge).
+      if (can_early_stop &&
+          int64_t(result.rows.size()) >= query.limit + query.offset) {
+        return result;
+      }
+    }
+  }
+
+  if (!aggregating && !query.order_by.empty()) {
+    std::sort(result.rows.begin(), result.rows.end(),
+              [&](const Document& a, const Document& b) {
+                return DocumentLess(a, b, query.order_by);
+              });
+    const int64_t keep = query.limit >= 0 ? query.limit + query.offset : -1;
+    if (keep >= 0 && int64_t(result.rows.size()) > keep) {
+      result.rows.resize(size_t(keep));
+    }
+  }
+  return result;
+}
+
+Result<std::vector<RowRef>> ExecuteQueryPhase(
+    const Query& query, const PlanNode& plan,
+    const std::vector<std::shared_ptr<Segment>>& snapshot,
+    uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
+    FilterCache* cache, uint64_t cache_domain) {
+  if (query.agg != AggFunc::kNone || !query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "query phase only applies to row queries");
+  }
+  const std::string fingerprint =
+      (cache != nullptr && IsCacheable(plan)) ? PlanFingerprint(plan)
+                                              : std::string();
+  const bool scoring = NeedsScoring(query);
+  const bool can_early_stop = query.order_by.empty() && query.limit >= 0;
+  const int64_t local_cap =
+      query.limit >= 0 ? query.limit + query.offset : -1;
+
+  std::vector<RowRef> refs;
+  for (uint32_t segment_ordinal = 0; segment_ordinal < snapshot.size();
+       ++segment_ordinal) {
+    const Segment& segment = *snapshot[segment_ordinal];
+    ++stats->segments_visited;
+    ESDB_ASSIGN_OR_RETURN(
+        PostingList candidates,
+        EvalPlanCached(plan, segment, stats, cache, cache_domain,
+                       fingerprint));
+    for (DocId id : candidates.ids()) {
+      if (segment.IsDeleted(id)) continue;
+      ++(*total_matched);
+      RowRef ref;
+      ref.shard_ordinal = shard_ordinal;
+      ref.segment_ordinal = segment_ordinal;
+      ref.doc = id;
+      // Sort keys from doc values only — the whole point of the query
+      // phase is to avoid decoding stored documents for losers.
+      for (const OrderBy& ob : query.order_by) {
+        if (ob.column == kFieldScore && scoring) {
+          ref.sort_keys.push_back(
+              Value(ScoreFromDocValues(segment, id, query.where.get())));
+        } else {
+          ref.sort_keys.push_back(ResolveFieldValue(segment, id, ob.column));
+        }
+      }
+      refs.push_back(std::move(ref));
+      if (can_early_stop && int64_t(refs.size()) >= local_cap) return refs;
+    }
+  }
+  if (!query.order_by.empty() && local_cap >= 0 &&
+      int64_t(refs.size()) > local_cap) {
+    SortRowRefs(query, &refs);
+    refs.resize(size_t(local_cap));
+  }
+  return refs;
+}
+
+void SortRowRefs(const Query& query, std::vector<RowRef>* refs) {
+  std::stable_sort(refs->begin(), refs->end(),
+                   [&](const RowRef& a, const RowRef& b) {
+                     for (size_t i = 0; i < query.order_by.size(); ++i) {
+                       const int c = a.sort_keys[i].Compare(b.sort_keys[i]);
+                       if (c != 0) {
+                         return query.order_by[i].descending ? c > 0 : c < 0;
+                       }
+                     }
+                     return false;
+                   });
+}
+
+Result<std::vector<Document>> ExecuteFetchPhase(
+    const Query& query,
+    const std::vector<std::vector<std::shared_ptr<Segment>>>& snapshots,
+    const std::vector<RowRef>& refs, ExecStats* stats) {
+  const bool scoring = NeedsScoring(query);
+  std::vector<Document> rows;
+  rows.reserve(refs.size());
+  for (const RowRef& ref : refs) {
+    const Segment& segment =
+        *snapshots[ref.shard_ordinal][ref.segment_ordinal];
+    ESDB_ASSIGN_OR_RETURN(Document doc, segment.GetDocument(ref.doc));
+    ++stats->rows_materialized;
+    if (scoring) {
+      doc.Set(kFieldScore,
+              Value(ScoreDocument(segment, doc, query.where.get())));
+    }
+    rows.push_back(std::move(doc));
+  }
+  return rows;
+}
+
+QueryResult AggregateResults(const Query& query,
+                             std::vector<QueryResult> shard_results) {
+  QueryResult merged;
+  for (QueryResult& r : shard_results) {
+    merged.total_matched += r.total_matched;
+    merged.agg_count += r.agg_count;
+    merged.agg_sum += r.agg_sum;
+    if (r.agg_min && (!merged.agg_min ||
+                      r.agg_min->Compare(*merged.agg_min) < 0)) {
+      merged.agg_min = r.agg_min;
+    }
+    if (r.agg_max && (!merged.agg_max ||
+                      r.agg_max->Compare(*merged.agg_max) > 0)) {
+      merged.agg_max = r.agg_max;
+    }
+    for (auto& [key, group] : r.groups) merged.groups[key].Merge(group);
+    for (Document& doc : r.rows) merged.rows.push_back(std::move(doc));
+  }
+  if (query.agg != AggFunc::kNone) return merged;
+
+  if (!query.order_by.empty()) {
+    std::sort(merged.rows.begin(), merged.rows.end(),
+              [&](const Document& a, const Document& b) {
+                return DocumentLess(a, b, query.order_by);
+              });
+  }
+  if (query.offset > 0) {
+    const size_t skip =
+        std::min(size_t(query.offset), merged.rows.size());
+    merged.rows.erase(merged.rows.begin(),
+                      merged.rows.begin() + long(skip));
+  }
+  if (query.limit >= 0 && int64_t(merged.rows.size()) > query.limit) {
+    merged.rows.resize(size_t(query.limit));
+  }
+  for (Document& doc : merged.rows) doc = Project(query, std::move(doc));
+  return merged;
+}
+
+}  // namespace esdb

@@ -1,0 +1,169 @@
+#ifndef ESDB_QUERY_EXECUTOR_H_
+#define ESDB_QUERY_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "document/document.h"
+#include "query/ast.h"
+#include "query/filter_cache.h"
+#include "query/plan.h"
+#include "storage/segment.h"
+
+namespace esdb {
+
+// Comparator for Value-keyed maps (GROUP BY keys).
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) < 0;
+  }
+};
+
+// Per-group aggregate accumulators.
+struct GroupStats {
+  uint64_t count = 0;
+  double sum = 0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  double Avg() const { return count > 0 ? sum / double(count) : 0; }
+  void Merge(const GroupStats& other);
+};
+
+// Result of a query executed on one shard (or, after aggregation, on
+// the whole tenant). Carries rows, global aggregate accumulators, or
+// per-group accumulators (GROUP BY).
+struct QueryResult {
+  std::vector<Document> rows;
+  uint64_t total_matched = 0;
+
+  // Aggregates (valid when the query had an AggFunc).
+  uint64_t agg_count = 0;
+  double agg_sum = 0;
+  std::optional<Value> agg_min;
+  std::optional<Value> agg_max;
+
+  // GROUP BY results, keyed by the grouping column's value.
+  std::map<Value, GroupStats, ValueLess> groups;
+};
+
+// Execution counters, used by tests and benches to verify access-path
+// choices (e.g. that the optimizer consulted fewer postings).
+struct ExecStats {
+  uint64_t segments_visited = 0;
+  uint64_t postings_considered = 0;  // posting entries read from indexes
+  uint64_t docs_filtered = 0;        // candidates run through doc-value scan
+  uint64_t rows_materialized = 0;
+
+  void Add(const ExecStats& other) {
+    segments_visited += other.segments_visited;
+    postings_considered += other.postings_considered;
+    docs_filtered += other.docs_filtered;
+    rows_materialized += other.rows_materialized;
+  }
+};
+
+// Resolves a column of a document inside a segment, understanding
+// "attributes.<key>" virtual columns (parsed out of the stored
+// attributes string when no materialized column exists).
+Value ResolveFieldValue(const Segment& segment, DocId id,
+                        const std::string& field);
+
+// Evaluates a physical plan against one segment, producing candidate
+// doc ids (tombstones not yet applied).
+Result<PostingList> EvalPlan(const PlanNode& plan, const Segment& segment,
+                             ExecStats* stats);
+
+// Runs `query` (with its compiled `plan`) over a shard snapshot:
+// evaluates the plan per segment, drops deleted docs, materializes or
+// aggregates, applies ORDER BY and LIMIT shard-locally (the
+// coordinator re-merges across shards). With a non-null `cache`,
+// cacheable plans reuse per-segment candidate lists (filter cache).
+// `cache_domain` identifies the shard the snapshot belongs to
+// (segment ids are shard-local, so the cache keys on both).
+Result<QueryResult> ExecuteOnShard(
+    const Query& query, const PlanNode& plan,
+    const std::vector<std::shared_ptr<Segment>>& snapshot, ExecStats* stats,
+    FilterCache* cache = nullptr, uint64_t cache_domain = 0);
+
+// Plan evaluation through the filter cache: consults/populates `cache`
+// when the plan is cacheable; falls back to EvalPlan otherwise.
+// `fingerprint` must be PlanFingerprint(plan) (computed once per
+// query, not per segment).
+Result<PostingList> EvalPlanCached(const PlanNode& plan,
+                                   const Segment& segment, ExecStats* stats,
+                                   FilterCache* cache, uint64_t cache_domain,
+                                   const std::string& fingerprint);
+
+// Coordinator-side aggregation (Section 3.2, "query result
+// aggregator"): merges per-shard results — global sort, limit, and
+// aggregate combination.
+QueryResult AggregateResults(const Query& query,
+                             std::vector<QueryResult> shard_results);
+
+// --- Two-phase execution (Section 3.2) --------------------------------
+//
+// "Coordinators first collect row IDs of the selected rows from all
+// involved shards, and then fetch the corresponding raw data." The
+// query phase returns lightweight row references (location + sort
+// keys, resolved from doc values — no stored-document decoding); the
+// coordinator merges them globally and fetches only the winners.
+
+struct RowRef {
+  uint32_t shard_ordinal = 0;   // caller-assigned shard index
+  uint32_t segment_ordinal = 0; // position in that shard's snapshot
+  DocId doc = 0;
+  std::vector<Value> sort_keys; // one per ORDER BY column
+};
+
+// Query phase on one shard: candidate row refs, top-(offset+limit)
+// locally when sorted. `total_matched` accumulates the full match
+// count. Only valid for row queries (no aggregate/group-by).
+Result<std::vector<RowRef>> ExecuteQueryPhase(
+    const Query& query, const PlanNode& plan,
+    const std::vector<std::shared_ptr<Segment>>& snapshot,
+    uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
+    FilterCache* cache = nullptr, uint64_t cache_domain = 0);
+
+// Orders row refs per the query's ORDER BY (ties keep stable order).
+void SortRowRefs(const Query& query, std::vector<RowRef>* refs);
+
+// Fetch phase: materializes `refs` (already globally merged and
+// trimmed) from their segments, attaching _score when the query asks
+// for it. `snapshots[shard_ordinal]` must be the same snapshot the
+// query phase used.
+Result<std::vector<Document>> ExecuteFetchPhase(
+    const Query& query,
+    const std::vector<std::vector<std::shared_ptr<Segment>>>& snapshots,
+    const std::vector<RowRef>& refs, ExecStats* stats);
+
+// Applies SELECT-column projection in place (shared by both paths).
+void ProjectRows(const Query& query, std::vector<Document>* rows);
+
+// Comparator used for ORDER BY; exposed for tests.
+bool DocumentLess(const Document& a, const Document& b,
+                  const std::vector<OrderBy>& order_by);
+
+// Full-text relevance scoring (ORDER BY _score [DESC]): a BM25-style
+// score over the query's MATCH predicates,
+//   score = sum over query tokens of idf(t) * tf / (tf + k1)
+// with idf(t) = ln(1 + (N - df + 0.5) / (df + 0.5)) computed per
+// segment from posting sizes, and tf counted by re-analyzing the
+// candidate's stored text (only candidates pay this cost). The score
+// is attached to each result row as the "_score" field.
+inline constexpr const char* kFieldScore = "_score";
+
+// True when the query sorts by _score (scoring must run).
+bool NeedsScoring(const Query& query);
+
+// Score of `doc` (already materialized) against the MATCH predicates
+// found in `where` (null-safe), w.r.t. segment-level statistics.
+double ScoreDocument(const Segment& segment, const Document& doc,
+                     const Expr* where);
+
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_EXECUTOR_H_

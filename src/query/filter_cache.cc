@@ -1,0 +1,93 @@
+#include "query/filter_cache.h"
+
+#include "common/hash.h"
+#include "common/varint.h"
+
+namespace esdb {
+
+size_t FilterCache::KeyHash::operator()(const Key& k) const {
+  return size_t(HashString(k.fingerprint, Mix64(k.domain) ^ k.segment_id));
+}
+
+const PostingList* FilterCache::Get(uint64_t domain, uint64_t segment_id,
+                                    const std::string& fingerprint) {
+  auto it = entries_.find(Key{domain, segment_id, fingerprint});
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  // Move to the LRU front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->candidates;
+}
+
+void FilterCache::Put(uint64_t domain, uint64_t segment_id,
+                      const std::string& fingerprint,
+                      PostingList candidates) {
+  const Key key{domain, segment_id, fingerprint};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->candidates = std::move(candidates);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(candidates)});
+  entries_[key] = lru_.begin();
+  while (entries_.size() > options_.max_entries) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void FilterCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+namespace {
+
+void FingerprintNode(const PlanNode& plan, std::string* out) {
+  out->push_back(char('A' + int(plan.kind)));
+  PutLengthPrefixed(out, plan.field);
+  PutVarint64(out, plan.terms.size());
+  for (const std::string& term : plan.terms) PutLengthPrefixed(out, term);
+  PutLengthPrefixed(out, plan.lo_term);
+  PutLengthPrefixed(out, plan.hi_term);
+  PutLengthPrefixed(out, plan.index_name);
+  PutLengthPrefixed(out, plan.key_range.lo);
+  PutLengthPrefixed(out, plan.key_range.hi);
+  PutVarint64(out, plan.filters.size());
+  for (const FilterPred& f : plan.filters) {
+    out->push_back(f.negated ? '!' : '.');
+    PutLengthPrefixed(out, f.pred.column);
+    out->push_back(char('a' + int(f.pred.op)));
+    PutVarint64(out, f.pred.args.size());
+    for (const Value& v : f.pred.args) {
+      std::string encoded;
+      v.EncodeTo(&encoded);
+      PutLengthPrefixed(out, encoded);
+    }
+  }
+  PutVarint64(out, plan.children.size());
+  for (const auto& child : plan.children) FingerprintNode(*child, out);
+}
+
+}  // namespace
+
+std::string PlanFingerprint(const PlanNode& plan) {
+  std::string out;
+  FingerprintNode(plan, &out);
+  return out;
+}
+
+bool IsCacheable(const PlanNode& plan) {
+  if (plan.kind == PlanNode::Kind::kFullScan) return false;
+  for (const auto& child : plan.children) {
+    if (!IsCacheable(*child)) return false;
+  }
+  return true;
+}
+
+}  // namespace esdb

@@ -1,0 +1,83 @@
+#ifndef ESDB_QUERY_FILTER_CACHE_H_
+#define ESDB_QUERY_FILTER_CACHE_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "query/plan.h"
+#include "storage/posting.h"
+
+namespace esdb {
+
+// Elasticsearch-style filter cache: caches a plan's candidate posting
+// list per (domain, segment id, plan fingerprint) — the domain is the
+// owning shard's id, because segment ids are only unique per shard.
+// Safe because segments are immutable — deletes are tombstones applied AFTER candidate
+// generation, so a cached list never returns a deleted row. Plans
+// containing a FullScan node are not cacheable (LiveDocs shrinks as
+// tombstones land); IsCacheable() gates that.
+//
+// LRU-evicted; single-threaded like the rest of the engine.
+class FilterCache {
+ public:
+  struct Options {
+    size_t max_entries = 4096;
+  };
+
+  explicit FilterCache(Options options) : options_(options) {}
+  FilterCache() : FilterCache(Options{}) {}
+
+  // Cached candidates for (domain, segment, fingerprint), or nullptr.
+  // The pointer stays valid until the next Put (single-threaded use:
+  // consume before mutating).
+  const PostingList* Get(uint64_t domain, uint64_t segment_id,
+                         const std::string& fingerprint);
+
+  void Put(uint64_t domain, uint64_t segment_id,
+           const std::string& fingerprint, PostingList candidates);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t size() const { return entries_.size(); }
+  void Clear();
+
+ private:
+  struct Key {
+    uint64_t domain;  // owning shard id (segment ids are shard-local)
+    uint64_t segment_id;
+    std::string fingerprint;
+    bool operator==(const Key& other) const {
+      return domain == other.domain && segment_id == other.segment_id &&
+             fingerprint == other.fingerprint;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    Key key;
+    PostingList candidates;
+  };
+
+  Options options_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+// Deterministic byte-exact fingerprint of a plan (unlike ToString,
+// which elides term bytes). Two plans share a fingerprint iff they
+// produce the same candidates on any segment.
+std::string PlanFingerprint(const PlanNode& plan);
+
+// False when any node's result can change on an immutable segment
+// (currently: FullScan, whose LiveDocs shrinks with tombstones).
+bool IsCacheable(const PlanNode& plan);
+
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_FILTER_CACHE_H_

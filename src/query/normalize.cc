@@ -1,0 +1,329 @@
+#include "query/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace esdb {
+
+namespace {
+
+std::unique_ptr<Expr> PushDownNotImpl(std::unique_ptr<Expr> expr,
+                                      bool negated) {
+  switch (expr->kind) {
+    case Expr::Kind::kNot:
+      return PushDownNotImpl(std::move(expr->children[0]), !negated);
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      std::vector<std::unique_ptr<Expr>> children;
+      children.reserve(expr->children.size());
+      for (auto& c : expr->children) {
+        children.push_back(PushDownNotImpl(std::move(c), negated));
+      }
+      const bool is_and = (expr->kind == Expr::Kind::kAnd) != negated;
+      return is_and ? Expr::MakeAnd(std::move(children))
+                    : Expr::MakeOr(std::move(children));
+    }
+    case Expr::Kind::kPred: {
+      if (!negated) return expr;
+      bool ok = false;
+      Predicate flipped = expr->pred.Negate(&ok);
+      if (ok) return Expr::MakePred(std::move(flipped));
+      return Expr::MakeNot(std::move(expr));  // residual NOT literal
+    }
+  }
+  return expr;
+}
+
+// A literal after NNF: a predicate or NOT(predicate).
+bool IsLiteralNode(const Expr& e) {
+  return e.kind == Expr::Kind::kPred ||
+         (e.kind == Expr::Kind::kNot &&
+          e.children[0]->kind == Expr::Kind::kPred);
+}
+
+// Clause lists for CNF/DNF: outer = clauses, inner = literals.
+using ClauseList = std::vector<std::vector<const Expr*>>;
+
+// Converts NNF tree to clause list form.
+//   For CNF (outer_is_and=true): outer joins with AND, inner with OR.
+//   For DNF: outer joins with OR, inner with AND.
+// Returns false when the distribution exceeds max_clauses.
+bool BuildClauses(const Expr& e, bool outer_is_and, size_t max_clauses,
+                  ClauseList* out) {
+  if (IsLiteralNode(e)) {
+    out->push_back({&e});
+    return true;
+  }
+  const bool node_matches_outer =
+      (e.kind == Expr::Kind::kAnd) == outer_is_and;
+  if (node_matches_outer) {
+    // Same connective as the outer level: concatenate child clauses.
+    for (const auto& c : e.children) {
+      if (!BuildClauses(*c, outer_is_and, max_clauses, out)) return false;
+      if (out->size() > max_clauses) return false;
+    }
+    return true;
+  }
+  // Opposite connective: distribute (cross product of child clauses).
+  ClauseList acc = {{}};
+  for (const auto& c : e.children) {
+    ClauseList child;
+    if (!BuildClauses(*c, outer_is_and, max_clauses, &child)) return false;
+    ClauseList next;
+    for (const auto& a : acc) {
+      for (const auto& b : child) {
+        std::vector<const Expr*> merged = a;
+        merged.insert(merged.end(), b.begin(), b.end());
+        next.push_back(std::move(merged));
+        if (next.size() > max_clauses) return false;
+      }
+    }
+    acc = std::move(next);
+  }
+  out->insert(out->end(), acc.begin(), acc.end());
+  return out->size() <= max_clauses;
+}
+
+std::unique_ptr<Expr> ClausesToExpr(const ClauseList& clauses,
+                                    bool outer_is_and) {
+  std::vector<std::unique_ptr<Expr>> outer;
+  outer.reserve(clauses.size());
+  for (const auto& clause : clauses) {
+    std::vector<std::unique_ptr<Expr>> inner;
+    inner.reserve(clause.size());
+    for (const Expr* lit : clause) inner.push_back(lit->Clone());
+    outer.push_back(outer_is_and ? Expr::MakeOr(std::move(inner))
+                                 : Expr::MakeAnd(std::move(inner)));
+  }
+  return outer_is_and ? Expr::MakeAnd(std::move(outer))
+                      : Expr::MakeOr(std::move(outer));
+}
+
+std::unique_ptr<Expr> ToNormalForm(std::unique_ptr<Expr> expr,
+                                   bool outer_is_and, size_t max_nodes) {
+  std::unique_ptr<Expr> nnf = PushDownNot(std::move(expr));
+  ClauseList clauses;
+  // Bound clauses so the node estimate stays under max_nodes.
+  if (!BuildClauses(*nnf, outer_is_and, max_nodes, &clauses)) return nnf;
+  std::unique_ptr<Expr> converted = ClausesToExpr(clauses, outer_is_and);
+  if (converted->NodeCount() > max_nodes) return nnf;
+  return converted;
+}
+
+Predicate MakeConstantFalse(std::string column) {
+  Predicate p;
+  p.column = std::move(column);
+  p.op = PredOp::kIn;  // empty IN list is always false
+  return p;
+}
+
+// Range state accumulated while merging comparison predicates under
+// AND.
+struct RangeBounds {
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+  bool contradictory = false;
+
+  void ApplyLo(const Value& v, bool inclusive) {
+    if (!lo || v.Compare(*lo) > 0 ||
+        (v.Compare(*lo) == 0 && !inclusive && lo_inclusive)) {
+      lo = v;
+      lo_inclusive = inclusive;
+    }
+  }
+  void ApplyHi(const Value& v, bool inclusive) {
+    if (!hi || v.Compare(*hi) < 0 ||
+        (v.Compare(*hi) == 0 && !inclusive && hi_inclusive)) {
+      hi = v;
+      hi_inclusive = inclusive;
+    }
+  }
+  void Check() {
+    if (lo && hi) {
+      const int c = lo->Compare(*hi);
+      if (c > 0 || (c == 0 && !(lo_inclusive && hi_inclusive))) {
+        contradictory = true;
+      }
+    }
+  }
+};
+
+bool IsRangeOp(PredOp op) {
+  return op == PredOp::kLt || op == PredOp::kLe || op == PredOp::kGt ||
+         op == PredOp::kGe || op == PredOp::kBetween || op == PredOp::kEq;
+}
+
+// Merges same-column children of an AND node. Consumes `children`.
+std::vector<std::unique_ptr<Expr>> MergeAndGroup(
+    std::vector<std::unique_ptr<Expr>> children) {
+  std::vector<std::unique_ptr<Expr>> out;
+  std::map<std::string, RangeBounds> ranges;
+  std::vector<std::string> range_order;
+  std::vector<std::string> seen;  // dedupe by ToString
+
+  for (auto& c : children) {
+    if (c->kind == Expr::Kind::kPred && IsRangeOp(c->pred.op)) {
+      const Predicate& p = c->pred;
+      auto [it, inserted] = ranges.try_emplace(p.column);
+      if (inserted) range_order.push_back(p.column);
+      RangeBounds& rb = it->second;
+      switch (p.op) {
+        case PredOp::kEq:
+          rb.ApplyLo(p.args[0], true);
+          rb.ApplyHi(p.args[0], true);
+          break;
+        case PredOp::kLt:
+          rb.ApplyHi(p.args[0], false);
+          break;
+        case PredOp::kLe:
+          rb.ApplyHi(p.args[0], true);
+          break;
+        case PredOp::kGt:
+          rb.ApplyLo(p.args[0], false);
+          break;
+        case PredOp::kGe:
+          rb.ApplyLo(p.args[0], true);
+          break;
+        case PredOp::kBetween:
+          rb.ApplyLo(p.args[0], true);
+          rb.ApplyHi(p.args[1], true);
+          break;
+        default:
+          break;
+      }
+      rb.Check();
+      continue;
+    }
+    const std::string repr = c->ToString();
+    if (std::find(seen.begin(), seen.end(), repr) != seen.end()) continue;
+    seen.push_back(repr);
+    out.push_back(std::move(c));
+  }
+
+  for (const std::string& column : range_order) {
+    RangeBounds& rb = ranges[column];
+    if (rb.contradictory) {
+      std::vector<std::unique_ptr<Expr>> only_false;
+      only_false.push_back(Expr::MakePred(MakeConstantFalse(column)));
+      return only_false;
+    }
+    Predicate p;
+    p.column = column;
+    if (rb.lo && rb.hi && rb.lo->Compare(*rb.hi) == 0) {
+      p.op = PredOp::kEq;
+      p.args = {*rb.lo};
+    } else if (rb.lo && rb.hi && rb.lo_inclusive && rb.hi_inclusive) {
+      p.op = PredOp::kBetween;
+      p.args = {*rb.lo, *rb.hi};
+    } else if (rb.lo && rb.hi) {
+      // Mixed inclusivity: keep as two predicates.
+      Predicate lo_p;
+      lo_p.column = column;
+      lo_p.op = rb.lo_inclusive ? PredOp::kGe : PredOp::kGt;
+      lo_p.args = {*rb.lo};
+      out.push_back(Expr::MakePred(std::move(lo_p)));
+      p.op = rb.hi_inclusive ? PredOp::kLe : PredOp::kLt;
+      p.args = {*rb.hi};
+    } else if (rb.lo) {
+      p.op = rb.lo_inclusive ? PredOp::kGe : PredOp::kGt;
+      p.args = {*rb.lo};
+    } else {
+      p.op = rb.hi_inclusive ? PredOp::kLe : PredOp::kLt;
+      p.args = {*rb.hi};
+    }
+    out.push_back(Expr::MakePred(std::move(p)));
+  }
+  return out;
+}
+
+// Merges same-column Eq/In children of an OR node. Consumes children.
+std::vector<std::unique_ptr<Expr>> MergeOrGroup(
+    std::vector<std::unique_ptr<Expr>> children) {
+  std::vector<std::unique_ptr<Expr>> out;
+  std::map<std::string, std::vector<Value>> in_lists;
+  std::vector<std::string> order;
+  std::vector<std::string> seen;
+
+  for (auto& c : children) {
+    if (c->kind == Expr::Kind::kPred &&
+        (c->pred.op == PredOp::kEq || c->pred.op == PredOp::kIn)) {
+      auto [it, inserted] = in_lists.try_emplace(c->pred.column);
+      if (inserted) order.push_back(c->pred.column);
+      for (const Value& v : c->pred.args) {
+        bool dup = false;
+        for (const Value& existing : it->second) {
+          if (existing.Compare(v) == 0) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) it->second.push_back(v);
+      }
+      continue;
+    }
+    const std::string repr = c->ToString();
+    if (std::find(seen.begin(), seen.end(), repr) != seen.end()) continue;
+    seen.push_back(repr);
+    out.push_back(std::move(c));
+  }
+
+  for (const std::string& column : order) {
+    Predicate p;
+    p.column = column;
+    std::vector<Value>& vals = in_lists[column];
+    if (vals.size() == 1) {
+      p.op = PredOp::kEq;
+      p.args = {vals[0]};
+    } else {
+      p.op = PredOp::kIn;
+      p.args = std::move(vals);
+    }
+    out.push_back(Expr::MakePred(std::move(p)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Expr> PushDownNot(std::unique_ptr<Expr> expr) {
+  return PushDownNotImpl(std::move(expr), false);
+}
+
+std::unique_ptr<Expr> ToCnf(std::unique_ptr<Expr> expr, size_t max_nodes) {
+  return ToNormalForm(std::move(expr), /*outer_is_and=*/true, max_nodes);
+}
+
+std::unique_ptr<Expr> ToDnf(std::unique_ptr<Expr> expr, size_t max_nodes) {
+  return ToNormalForm(std::move(expr), /*outer_is_and=*/false, max_nodes);
+}
+
+std::unique_ptr<Expr> MergePredicates(std::unique_ptr<Expr> expr) {
+  if (expr->kind == Expr::Kind::kPred) return expr;
+  if (expr->kind == Expr::Kind::kNot) {
+    expr->children[0] = MergePredicates(std::move(expr->children[0]));
+    return expr;
+  }
+  std::vector<std::unique_ptr<Expr>> children;
+  children.reserve(expr->children.size());
+  for (auto& c : expr->children) {
+    children.push_back(MergePredicates(std::move(c)));
+  }
+  if (expr->kind == Expr::Kind::kAnd) {
+    return Expr::MakeAnd(MergeAndGroup(std::move(children)));
+  }
+  return Expr::MakeOr(MergeOrGroup(std::move(children)));
+}
+
+std::unique_ptr<Expr> NormalizeForPlanning(std::unique_ptr<Expr> expr) {
+  return MergePredicates(ToCnf(std::move(expr)));
+}
+
+bool IsConstantFalse(const Expr& expr) {
+  return expr.kind == Expr::Kind::kPred && expr.pred.op == PredOp::kIn &&
+         expr.pred.args.empty();
+}
+
+}  // namespace esdb

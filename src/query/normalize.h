@@ -1,0 +1,46 @@
+#ifndef ESDB_QUERY_NORMALIZE_H_
+#define ESDB_QUERY_NORMALIZE_H_
+
+#include <memory>
+
+#include "query/ast.h"
+
+namespace esdb {
+
+// Xdriver4ES query rewriting (Section 3.1): queries are treated as
+// boolean formulas, converted to CNF/DNF to reduce AST depth, and
+// same-column predicates are merged to reduce AST width.
+
+// Negation-normal form: pushes NOT down through AND/OR (De Morgan)
+// and into negatable leaf predicates. Leaves whose operator has no
+// complement (LIKE, MATCH, BETWEEN, IN) keep a NOT wrapper.
+std::unique_ptr<Expr> PushDownNot(std::unique_ptr<Expr> expr);
+
+// Conjunctive normal form: AND of ORs of literals. Converts via NNF
+// and distribution; if the result would exceed `max_nodes` AST nodes
+// the (smaller) NNF form is returned instead — conversion is an
+// optimization, never an obligation.
+std::unique_ptr<Expr> ToCnf(std::unique_ptr<Expr> expr,
+                            size_t max_nodes = 512);
+
+// Disjunctive normal form: OR of ANDs of literals; same guard.
+std::unique_ptr<Expr> ToDnf(std::unique_ptr<Expr> expr,
+                            size_t max_nodes = 512);
+
+// Predicate merge: within each AND/OR group, combines predicates on
+// the same column:
+//   OR:  tenant_id=1 OR tenant_id=2        -> tenant_id IN (1, 2)
+//   AND: t >= a AND t <= b                 -> t BETWEEN a AND b
+//   AND: contradictory ranges              -> constant-false (empty IN)
+// Duplicate predicates are dropped. Works on any expression shape.
+std::unique_ptr<Expr> MergePredicates(std::unique_ptr<Expr> expr);
+
+// Convenience: the full Xdriver4ES pipeline (NNF -> CNF -> merge).
+std::unique_ptr<Expr> NormalizeForPlanning(std::unique_ptr<Expr> expr);
+
+// A constant-false predicate is encoded as `column IN ()`.
+bool IsConstantFalse(const Expr& expr);
+
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_NORMALIZE_H_

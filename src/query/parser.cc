@@ -1,0 +1,624 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "query/datetime.h"
+
+namespace esdb {
+
+namespace {
+
+enum class TokType {
+  kIdent,
+  kNumber,
+  kString,
+  kOp,     // = != <> < <= > >=
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokType type = TokType::kEnd;
+  std::string text;   // normalized: idents/keywords uppercased? no — raw
+  std::string upper;  // uppercase for keyword comparison
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : in_(input) {}
+
+  Status Run(std::vector<Token>* out) {
+    while (true) {
+      SkipSpace();
+      if (pos_ >= in_.size()) break;
+      const char c = in_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        Token t;
+        t.type = TokType::kIdent;
+        while (pos_ < in_.size() &&
+               (std::isalnum(static_cast<unsigned char>(in_[pos_])) ||
+                in_[pos_] == '_' || in_[pos_] == '.')) {
+          t.text.push_back(in_[pos_++]);
+        }
+        t.upper = Upper(t.text);
+        out->push_back(std::move(t));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' &&
+                  pos_ + 1 < in_.size() &&
+                  std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+        Token t;
+        t.type = TokType::kNumber;
+        t.text.push_back(in_[pos_++]);
+        while (pos_ < in_.size() &&
+               (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+                in_[pos_] == '.')) {
+          t.text.push_back(in_[pos_++]);
+        }
+        out->push_back(std::move(t));
+      } else if (c == '\'') {
+        ++pos_;
+        Token t;
+        t.type = TokType::kString;
+        while (pos_ < in_.size() && in_[pos_] != '\'') {
+          t.text.push_back(in_[pos_++]);
+        }
+        if (pos_ >= in_.size()) {
+          return Status::InvalidArgument("sql: unterminated string literal");
+        }
+        ++pos_;  // closing quote
+        out->push_back(std::move(t));
+      } else {
+        Token t;
+        switch (c) {
+          case '(': t.type = TokType::kLParen; ++pos_; break;
+          case ')': t.type = TokType::kRParen; ++pos_; break;
+          case ',': t.type = TokType::kComma; ++pos_; break;
+          case '*': t.type = TokType::kStar; ++pos_; break;
+          case '=':
+            t.type = TokType::kOp;
+            t.text = "=";
+            ++pos_;
+            break;
+          case '!':
+            if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '=') {
+              t.type = TokType::kOp;
+              t.text = "!=";
+              pos_ += 2;
+            } else {
+              return Status::InvalidArgument("sql: unexpected '!'");
+            }
+            break;
+          case '<':
+            t.type = TokType::kOp;
+            if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '=') {
+              t.text = "<=";
+              pos_ += 2;
+            } else if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '>') {
+              t.text = "!=";
+              pos_ += 2;
+            } else {
+              t.text = "<";
+              ++pos_;
+            }
+            break;
+          case '>':
+            t.type = TokType::kOp;
+            if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '=') {
+              t.text = ">=";
+              pos_ += 2;
+            } else {
+              t.text = ">";
+              ++pos_;
+            }
+            break;
+          case ';':
+            ++pos_;  // trailing semicolon tolerated
+            break;
+          default:
+            return Status::InvalidArgument(
+                std::string("sql: unexpected character '") + c + "'");
+        }
+        if (t.type != TokType::kEnd) out->push_back(std::move(t));
+      }
+    }
+    out->push_back(Token{});
+    return Status::OK();
+  }
+
+ private:
+  static std::string Upper(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = char(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+  }
+
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+// Converts a literal token to a Value; date-looking strings become
+// integer timestamps (Xdriver4ES type conversion).
+Value LiteralValue(const Token& t) {
+  if (t.type == TokType::kIdent) {
+    if (t.upper == "TRUE") return Value(true);
+    if (t.upper == "FALSE") return Value(false);
+    return Value::Null();  // NULL
+  }
+  if (t.type == TokType::kString) {
+    Micros micros = 0;
+    if (ParseDateTime(t.text, &micros)) return Value(int64_t(micros));
+    return Value(t.text);
+  }
+  // Number.
+  if (t.text.find('.') != std::string::npos) {
+    return Value(std::strtod(t.text.c_str(), nullptr));
+  }
+  return Value(int64_t(std::strtoll(t.text.c_str(), nullptr, 10)));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<DmlStatement> ParseInsert() {
+    DmlStatement stmt;
+    stmt.kind = DmlStatement::Kind::kInsert;
+    if (!ConsumeKeyword("INTO")) return ErrDml("expected INTO");
+    if (Cur().type != TokType::kIdent) return ErrDml("expected table");
+    stmt.table = Cur().text;
+    Advance();
+
+    // Column list.
+    if (Cur().type != TokType::kLParen) return ErrDml("expected '('");
+    Advance();
+    std::vector<std::string> columns;
+    while (true) {
+      if (Cur().type != TokType::kIdent) return ErrDml("expected column");
+      columns.push_back(Cur().text);
+      Advance();
+      if (Cur().type == TokType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Cur().type != TokType::kRParen) return ErrDml("expected ')'");
+    Advance();
+
+    if (!ConsumeKeyword("VALUES")) return ErrDml("expected VALUES");
+    while (true) {
+      if (Cur().type != TokType::kLParen) return ErrDml("expected '('");
+      Advance();
+      Document row;
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) {
+          if (Cur().type != TokType::kComma) {
+            return ErrDml("value count mismatch");
+          }
+          Advance();
+        }
+        if (!IsLiteral(Cur())) return ErrDml("expected literal value");
+        row.Set(columns[i], LiteralValue(Cur()));
+        Advance();
+      }
+      if (Cur().type != TokType::kRParen) {
+        return ErrDml("value count mismatch");
+      }
+      Advance();
+      stmt.rows.push_back(std::move(row));
+      if (Cur().type == TokType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Cur().type != TokType::kEnd) return ErrDml("trailing tokens");
+    return stmt;
+  }
+
+  Result<DmlStatement> ParseDmlStatement() {
+    DmlStatement stmt;
+    if (ConsumeKeyword("INSERT")) return ParseInsert();
+    if (ConsumeKeyword("DELETE")) {
+      stmt.kind = DmlStatement::Kind::kDelete;
+      if (!ConsumeKeyword("FROM")) return ErrDml("expected FROM");
+      if (Cur().type != TokType::kIdent) return ErrDml("expected table");
+      stmt.table = Cur().text;
+      Advance();
+    } else if (ConsumeKeyword("UPDATE")) {
+      stmt.kind = DmlStatement::Kind::kUpdate;
+      if (Cur().type != TokType::kIdent) return ErrDml("expected table");
+      stmt.table = Cur().text;
+      Advance();
+      if (!ConsumeKeyword("SET")) return ErrDml("expected SET");
+      while (true) {
+        if (Cur().type != TokType::kIdent) {
+          return ErrDml("expected assignment column");
+        }
+        const std::string column = Cur().text;
+        Advance();
+        if (Cur().type != TokType::kOp || Cur().text != "=") {
+          return ErrDml("expected '=' in assignment");
+        }
+        Advance();
+        if (!IsLiteral(Cur())) return ErrDml("expected literal value");
+        stmt.set.emplace_back(column, LiteralValue(Cur()));
+        Advance();
+        if (Cur().type == TokType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (stmt.set.empty()) return ErrDml("empty SET list");
+    } else {
+      return ErrDml("expected UPDATE or DELETE");
+    }
+    if (ConsumeKeyword("WHERE")) {
+      auto expr = ParseOr();
+      if (!expr.ok()) return expr.status();
+      stmt.where = std::move(expr).value();
+    }
+    if (Cur().type != TokType::kEnd) return ErrDml("trailing tokens");
+    return stmt;
+  }
+
+  Result<Query> Parse() {
+    Query q;
+    if (!ConsumeKeyword("SELECT")) return Err("expected SELECT");
+    ESDB_RETURN_IF_ERROR(ParseSelectList(&q));
+    if (!ConsumeKeyword("FROM")) return Err("expected FROM");
+    if (Cur().type != TokType::kIdent) return Err("expected table name");
+    q.table = Cur().text;
+    Advance();
+    if (ConsumeKeyword("WHERE")) {
+      auto expr = ParseOr();
+      if (!expr.ok()) return expr.status();
+      q.where = std::move(expr).value();
+    }
+    if (ConsumeKeyword("GROUP")) {
+      if (!ConsumeKeyword("BY")) return Err("expected BY after GROUP");
+      if (Cur().type != TokType::kIdent) return Err("expected group column");
+      q.group_by = Cur().text;
+      Advance();
+      if (q.agg == AggFunc::kNone) {
+        return Err("GROUP BY requires an aggregate select");
+      }
+      // The only plain select column allowed is the grouping column.
+      for (const std::string& col : q.select_columns) {
+        if (col != q.group_by) {
+          return Err("non-aggregated select column not in GROUP BY");
+        }
+      }
+    } else if (q.agg != AggFunc::kNone && !q.select_columns.empty()) {
+      return Err("mixing columns and aggregates requires GROUP BY");
+    }
+    if (ConsumeKeyword("ORDER")) {
+      if (!ConsumeKeyword("BY")) return Err("expected BY after ORDER");
+      while (true) {
+        if (Cur().type != TokType::kIdent) return Err("expected sort column");
+        OrderBy ob;
+        ob.column = Cur().text;
+        Advance();
+        if (ConsumeKeyword("DESC")) {
+          ob.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        q.order_by.push_back(std::move(ob));
+        if (Cur().type == TokType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Cur().type != TokType::kNumber) return Err("expected LIMIT count");
+      q.limit = std::strtoll(Cur().text.c_str(), nullptr, 10);
+      Advance();
+    }
+    if (ConsumeKeyword("OFFSET")) {
+      if (Cur().type != TokType::kNumber) return Err("expected OFFSET count");
+      q.offset = std::strtoll(Cur().text.c_str(), nullptr, 10);
+      if (q.offset < 0) return Err("negative OFFSET");
+      Advance();
+    }
+    if (Cur().type != TokType::kEnd) return Err("trailing tokens");
+    return q;
+  }
+
+ private:
+  // Parses one aggregate call if the cursor is at one; returns true
+  // and fills *func / *column on success.
+  bool TryParseAggregate(AggFunc* func, std::string* column) {
+    static const struct {
+      const char* kw;
+      AggFunc f;
+    } kAggs[] = {{"COUNT", AggFunc::kCount},
+                 {"SUM", AggFunc::kSum},
+                 {"AVG", AggFunc::kAvg},
+                 {"MIN", AggFunc::kMin},
+                 {"MAX", AggFunc::kMax}};
+    for (const auto& agg : kAggs) {
+      if (Cur().type == TokType::kIdent && Cur().upper == agg.kw &&
+          Peek().type == TokType::kLParen) {
+        Advance();
+        Advance();
+        *func = agg.f;
+        if (agg.f == AggFunc::kCount) {
+          if (Cur().type != TokType::kStar) return false;
+          Advance();
+        } else {
+          if (Cur().type != TokType::kIdent) return false;
+          *column = Cur().text;
+          Advance();
+        }
+        if (Cur().type != TokType::kRParen) return false;
+        Advance();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Select list: '*', plain columns, aggregates, or a mix of one
+  // grouping column plus one aggregate (validated against GROUP BY
+  // after the full statement is parsed).
+  Status ParseSelectList(Query* q) {
+    if (Cur().type == TokType::kStar) {
+      Advance();
+      return Status::OK();
+    }
+    while (true) {
+      AggFunc func = AggFunc::kNone;
+      std::string column;
+      if (Cur().type == TokType::kIdent &&
+          Peek().type == TokType::kLParen) {
+        if (!TryParseAggregate(&func, &column)) {
+          return Status::InvalidArgument("sql: malformed aggregate");
+        }
+        if (q->agg != AggFunc::kNone) {
+          return Status::InvalidArgument(
+              "sql: at most one aggregate per query");
+        }
+        q->agg = func;
+        q->agg_column = column;
+      } else if (Cur().type == TokType::kIdent) {
+        q->select_columns.push_back(Cur().text);
+        Advance();
+      } else {
+        return Status::InvalidArgument("sql: expected column or aggregate");
+      }
+      if (Cur().type == TokType::kComma) {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    std::vector<std::unique_ptr<Expr>> parts;
+    while (true) {
+      auto part = ParseAnd();
+      if (!part.ok()) return part.status();
+      parts.push_back(std::move(part).value());
+      if (!ConsumeKeyword("OR")) break;
+    }
+    return Expr::MakeOr(std::move(parts));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    std::vector<std::unique_ptr<Expr>> parts;
+    while (true) {
+      auto part = ParseNot();
+      if (!part.ok()) return part.status();
+      parts.push_back(std::move(part).value());
+      if (!ConsumeKeyword("AND")) break;
+    }
+    return Expr::MakeAnd(std::move(parts));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      auto child = ParseNot();
+      if (!child.ok()) return child;
+      return Expr::MakeNot(std::move(child).value());
+    }
+    if (Cur().type == TokType::kLParen) {
+      Advance();
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (Cur().type != TokType::kRParen) return ErrExpr("expected ')'");
+      Advance();
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePredicate() {
+    // MATCH(column, 'text')
+    if (Cur().type == TokType::kIdent && Cur().upper == "MATCH" &&
+        Peek().type == TokType::kLParen) {
+      Advance();
+      Advance();
+      if (Cur().type != TokType::kIdent) return ErrExpr("expected column");
+      Predicate p;
+      p.column = Cur().text;
+      p.op = PredOp::kMatch;
+      Advance();
+      if (Cur().type != TokType::kComma) return ErrExpr("expected ','");
+      Advance();
+      if (Cur().type != TokType::kString) {
+        return ErrExpr("expected match text");
+      }
+      p.args.push_back(Value(Cur().text));
+      Advance();
+      if (Cur().type != TokType::kRParen) return ErrExpr("expected ')'");
+      Advance();
+      return Expr::MakePred(std::move(p));
+    }
+
+    if (Cur().type != TokType::kIdent) return ErrExpr("expected column name");
+    Predicate p;
+    p.column = Cur().text;
+    Advance();
+
+    bool negated = false;
+    if (ConsumeKeyword("NOT")) negated = true;  // col NOT IN / NOT LIKE
+
+    if (ConsumeKeyword("BETWEEN")) {
+      if (negated) return ErrExpr("NOT BETWEEN unsupported");
+      if (!IsLiteral(Cur())) return ErrExpr("expected literal");
+      p.args.push_back(LiteralValue(Cur()));
+      Advance();
+      if (!ConsumeKeyword("AND")) return ErrExpr("expected AND in BETWEEN");
+      if (!IsLiteral(Cur())) return ErrExpr("expected literal");
+      p.args.push_back(LiteralValue(Cur()));
+      Advance();
+      p.op = PredOp::kBetween;
+      return Expr::MakePred(std::move(p));
+    }
+    if (ConsumeKeyword("IN")) {
+      if (Cur().type != TokType::kLParen) return ErrExpr("expected '('");
+      Advance();
+      while (true) {
+        if (!IsLiteral(Cur())) return ErrExpr("expected literal in IN list");
+        p.args.push_back(LiteralValue(Cur()));
+        Advance();
+        if (Cur().type == TokType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Cur().type != TokType::kRParen) return ErrExpr("expected ')'");
+      Advance();
+      p.op = PredOp::kIn;
+      auto node = Expr::MakePred(std::move(p));
+      if (negated) return Expr::MakeNot(std::move(node));
+      return node;
+    }
+    if (ConsumeKeyword("LIKE")) {
+      if (Cur().type != TokType::kString) {
+        return ErrExpr("expected LIKE pattern");
+      }
+      p.op = PredOp::kLike;
+      p.args.push_back(Value(Cur().text));
+      Advance();
+      auto node = Expr::MakePred(std::move(p));
+      if (negated) return Expr::MakeNot(std::move(node));
+      return node;
+    }
+    if (negated) return ErrExpr("expected IN or LIKE after NOT");
+    if (ConsumeKeyword("IS")) {
+      const bool is_not = ConsumeKeyword("NOT");
+      if (!ConsumeKeyword("NULL")) return ErrExpr("expected NULL after IS");
+      p.op = is_not ? PredOp::kIsNotNull : PredOp::kIsNull;
+      return Expr::MakePred(std::move(p));
+    }
+    if (Cur().type != TokType::kOp) return ErrExpr("expected comparison");
+    const std::string op = Cur().text;
+    Advance();
+    if (!IsLiteral(Cur())) return ErrExpr("expected literal");
+    p.args.push_back(LiteralValue(Cur()));
+    Advance();
+    if (op == "=") {
+      p.op = PredOp::kEq;
+    } else if (op == "!=") {
+      p.op = PredOp::kNe;
+    } else if (op == "<") {
+      p.op = PredOp::kLt;
+    } else if (op == "<=") {
+      p.op = PredOp::kLe;
+    } else if (op == ">") {
+      p.op = PredOp::kGt;
+    } else if (op == ">=") {
+      p.op = PredOp::kGe;
+    } else {
+      return ErrExpr("unknown operator");
+    }
+    return Expr::MakePred(std::move(p));
+  }
+
+  static bool IsLiteral(const Token& t) {
+    return t.type == TokType::kNumber || t.type == TokType::kString ||
+           (t.type == TokType::kIdent &&
+            (t.upper == "TRUE" || t.upper == "FALSE" || t.upper == "NULL"));
+  }
+
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek() const {
+    return pos_ + 1 < toks_.size() ? toks_[pos_ + 1] : toks_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+
+  bool ConsumeKeyword(const char* kw) {
+    if (Cur().type == TokType::kIdent && Cur().upper == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Query> Err(const char* msg) {
+    return Result<Query>(Status::InvalidArgument(std::string("sql: ") + msg));
+  }
+  Result<DmlStatement> ErrDml(const char* msg) {
+    return Result<DmlStatement>(
+        Status::InvalidArgument(std::string("sql: ") + msg));
+  }
+  Result<std::unique_ptr<Expr>> ErrExpr(const char* msg) {
+    return Result<std::unique_ptr<Expr>>(
+        Status::InvalidArgument(std::string("sql: ") + msg));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseSql(std::string_view sql) {
+  std::vector<Token> tokens;
+  ESDB_RETURN_IF_ERROR(Lexer(sql).Run(&tokens));
+  return Parser(std::move(tokens)).Parse();
+}
+
+Result<DmlStatement> ParseDml(std::string_view sql) {
+  std::vector<Token> tokens;
+  ESDB_RETURN_IF_ERROR(Lexer(sql).Run(&tokens));
+  return Parser(std::move(tokens)).ParseDmlStatement();
+}
+
+bool IsDmlStatement(std::string_view sql) {
+  const std::string_view trimmed = StripWhitespace(sql);
+  auto starts_with_word = [&](std::string_view word) {
+    if (trimmed.size() < word.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(trimmed[i])) != word[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return starts_with_word("UPDATE") || starts_with_word("DELETE") ||
+         starts_with_word("INSERT");
+}
+
+}  // namespace esdb

@@ -1,0 +1,48 @@
+#ifndef ESDB_QUERY_PARSER_H_
+#define ESDB_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace esdb {
+
+// SQL front end (the Xdriver4ES role, Section 3.1): parses the SFW
+// dialect the sellers' workload uses into a Query AST.
+//
+// Grammar (keywords case-insensitive):
+//   query     := SELECT select FROM ident [WHERE expr]
+//                [ORDER BY ident [ASC|DESC] {, ident [ASC|DESC]}]
+//                [LIMIT int]
+//   select    := '*' | agg | ident {, ident}
+//   agg       := COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' ident ')'
+//   expr      := or_expr
+//   or_expr   := and_expr { OR and_expr }
+//   and_expr  := not_expr { AND not_expr }
+//   not_expr  := NOT not_expr | '(' expr ')' | predicate
+//   predicate := ident cmp literal
+//              | ident BETWEEN literal AND literal
+//              | ident [NOT] IN '(' literal {, literal} ')'
+//              | ident [NOT] LIKE string
+//              | ident IS [NOT] NULL
+//              | MATCH '(' ident ',' string ')'
+//   cmp       := = | != | <> | < | <= | > | >=
+//   literal   := int | float | string | TRUE | FALSE | NULL
+//
+// String literals that look like "YYYY-MM-DD HH:MM:SS" are converted
+// to integer microsecond timestamps (see query/datetime.h).
+Result<Query> ParseSql(std::string_view sql);
+
+// DML statements:
+//   UPDATE ident SET ident = literal {, ident = literal} [WHERE expr]
+//   DELETE FROM ident [WHERE expr]
+Result<DmlStatement> ParseDml(std::string_view sql);
+
+// True when `sql` starts with UPDATE or DELETE (case-insensitive) —
+// use to dispatch between ParseSql and ParseDml.
+bool IsDmlStatement(std::string_view sql);
+
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_PARSER_H_

@@ -1,0 +1,60 @@
+#ifndef ESDB_QUERY_PLAN_H_
+#define ESDB_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "storage/sorted_key_index.h"
+
+namespace esdb {
+
+// A residual predicate applied by doc-value scan (the sequential-scan
+// access path); `negated` covers NOT of non-negatable operators.
+struct FilterPred {
+  Predicate pred;
+  bool negated = false;
+};
+
+// Physical query plan for one shard. Leaf nodes produce posting lists
+// from segment indexes; inner nodes combine them; kDocValueFilter
+// narrows a child's candidates by scanning column values.
+struct PlanNode {
+  enum class Kind {
+    kEmpty,           // constant-false: no candidates
+    kFullScan,        // all live docs
+    kTermLookup,      // union of postings of `terms` in `field`
+    kTermRange,       // union of postings of terms in [lo_term, hi_term)
+    kCompositeScan,   // composite index `index_name` over `key_range`
+    kDocValueFilter,  // child[0] filtered by `filters`
+    kIntersect,       // AND of children
+    kUnion,           // OR of children
+  };
+
+  Kind kind = Kind::kEmpty;
+
+  // kTermLookup / kTermRange.
+  std::string field;
+  std::vector<std::string> terms;  // encoded terms
+  std::string lo_term;             // encoded, inclusive
+  std::string hi_term;             // encoded, exclusive
+
+  // kCompositeScan.
+  std::string index_name;
+  KeyRange key_range;
+
+  // kDocValueFilter (also applied on kFullScan).
+  std::vector<FilterPred> filters;
+
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  static std::unique_ptr<PlanNode> Make(Kind kind);
+
+  // EXPLAIN-style rendering, one node per line with indentation.
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_PLAN_H_

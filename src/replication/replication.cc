@@ -1,0 +1,159 @@
+#include "replication/replication.h"
+
+#include <algorithm>
+
+namespace esdb {
+
+Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
+                                        ShardStore* replica) {
+  ReplicationStats stats;
+  stats.rounds = 1;
+
+  // Step 1-2 (Figure 9): the current primary snapshot (segment ids).
+  const std::vector<std::shared_ptr<Segment>> primary_snapshot =
+      primary.Snapshot();
+  std::vector<uint64_t> primary_ids;
+  primary_ids.reserve(primary_snapshot.size());
+  for (const auto& seg : primary_snapshot) primary_ids.push_back(seg->id());
+
+  // Step 3-4: replica computes the segment diff.
+  std::vector<uint64_t> replica_ids;
+  for (const auto& seg : replica->Snapshot()) replica_ids.push_back(seg->id());
+
+  // Step 5: copy missing segments as encoded files; decoding performs
+  // no index computation. Existing segments are re-copied only when
+  // their tombstone count changed (delete propagation) — we detect
+  // that cheaply by comparing live-doc counts.
+  for (const auto& seg : primary_snapshot) {
+    bool need_copy =
+        std::find(replica_ids.begin(), replica_ids.end(), seg->id()) ==
+        replica_ids.end();
+    if (!need_copy) {
+      for (const auto& rseg : replica->Snapshot()) {
+        if (rseg->id() == seg->id() &&
+            rseg->num_deleted() != seg->num_deleted()) {
+          need_copy = true;
+          break;
+        }
+      }
+    }
+    if (!need_copy) continue;
+    const std::string bytes = seg->Encode();
+    ESDB_ASSIGN_OR_RETURN(std::unique_ptr<Segment> copy,
+                          Segment::Decode(bytes));
+    replica->InstallSegment(std::move(copy));
+    ++stats.segments_copied;
+    stats.bytes_copied += bytes.size();
+  }
+
+  // Step 6: drop segments the primary deleted (merged away).
+  const size_t before = replica->Snapshot().size();
+  replica->RetainSegments(primary_ids);
+  stats.segments_dropped += before - replica->Snapshot().size();
+  return stats;
+}
+
+ReplicatedShard::ReplicatedShard(const IndexSpec* spec,
+                                 ShardStore::Options options,
+                                 ReplicationMode mode)
+    : ReplicatedShard(spec, options, mode,
+                      std::make_unique<ShardStore>(spec, options)) {}
+
+ReplicatedShard::ReplicatedShard(const IndexSpec* spec,
+                                 ShardStore::Options options,
+                                 ReplicationMode mode,
+                                 std::unique_ptr<ShardStore> primary)
+    : spec_(spec), options_(options), mode_(mode) {
+  primary_ = std::move(primary);
+  replica_ = std::make_unique<ShardStore>(spec, options);
+}
+
+void ReplicatedShard::ResetReplica() {
+  replica_ = std::make_unique<ShardStore>(spec_, options_);
+  replica_log_ = Translog();
+  // Everything the primary holds must flow again: segments via the
+  // next replication round, buffered ops via the translog tail.
+  for (uint64_t seq = primary_->refreshed_seq();
+       seq < primary_->translog().end_seq(); ++seq) {
+    auto op = primary_->translog().Get(seq);
+    if (op.ok()) replica_log_.Append(*op);
+  }
+}
+
+Result<uint64_t> ReplicatedShard::Apply(const WriteOp& op) {
+  ESDB_ASSIGN_OR_RETURN(uint64_t seq, primary_->Apply(op));
+  if (mode_ == ReplicationMode::kLogical) {
+    // Replica re-executes the op (own translog, own indexing cost).
+    auto replica_seq = replica_->Apply(op);
+    if (!replica_seq.ok()) return replica_seq.status();
+    ++stats_.replica_docs_indexed;
+    ++replica_applied_seq_;
+  } else {
+    // Real-time translog synchronization only; no execution.
+    replica_log_.Append(op);
+  }
+  return seq;
+}
+
+Status ReplicatedShard::Refresh() {
+  if (mode_ == ReplicationMode::kLogical) {
+    primary_->Refresh();
+    primary_->MaybeMerge();
+    replica_->Refresh();
+    replica_->MaybeMerge();
+    return Status::OK();
+  }
+
+  // Visibility-delay proxy: does the replica already have everything?
+  {
+    const auto primary_segments = primary_->Snapshot();
+    if (!primary_segments.empty()) {
+      const uint64_t newest = primary_segments.back()->id();
+      bool replica_has = false;
+      for (const auto& seg : replica_->Snapshot()) {
+        if (seg->id() == newest) {
+          replica_has = true;
+          break;
+        }
+      }
+      if (!replica_has) ++replica_lag_rounds_;
+    }
+  }
+
+  primary_->Refresh();
+  if (primary_->MaybeMerge()) {
+    // Pre-replication of merged segments: ship the merge result
+    // immediately, on its own round, so it never delays the
+    // replication of freshly refreshed segments.
+    ESDB_ASSIGN_OR_RETURN(ReplicationStats pre,
+                          ReplicateRound(*primary_, replica_.get()));
+    stats_.Add(pre);
+  }
+  ESDB_ASSIGN_OR_RETURN(ReplicationStats round,
+                        ReplicateRound(*primary_, replica_.get()));
+  stats_.Add(round);
+
+  // Replicated segments now cover the primary's refreshed history;
+  // the replica translog only needs the tail beyond it.
+  replica_log_.TruncateBefore(primary_->refreshed_seq());
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardStore>> ReplicatedShard::Failover() && {
+  if (mode_ == ReplicationMode::kLogical) {
+    // The logical replica is already an independent, current store.
+    return std::move(replica_);
+  }
+  // Physical replica: segments are current up to the last replication
+  // round; replay the synchronized translog tail (ops are idempotent
+  // upserts/deletes, so overlap with segment contents is harmless).
+  for (uint64_t seq = replica_log_.begin_seq(); seq < replica_log_.end_seq();
+       ++seq) {
+    ESDB_ASSIGN_OR_RETURN(WriteOp op, replica_log_.Get(seq));
+    ESDB_RETURN_IF_ERROR(replica_->ApplyNoLog(op));
+  }
+  replica_->Refresh();
+  return std::move(replica_);
+}
+
+}  // namespace esdb

@@ -1,0 +1,111 @@
+#ifndef ESDB_REPLICATION_REPLICATION_H_
+#define ESDB_REPLICATION_REPLICATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/shard_store.h"
+
+namespace esdb {
+
+// How a replica is kept up to date (Section 5.2).
+enum class ReplicationMode {
+  // Elasticsearch default: the primary forwards every write and the
+  // replica re-executes it (doubles index-computation cost).
+  kLogical,
+  // ESDB: the replica's translog is synchronized in real time, but
+  // index data moves as encoded segment files (snapshot diff +
+  // pre-replication of merged segments).
+  kPhysical,
+};
+
+struct ReplicationStats {
+  uint64_t rounds = 0;
+  uint64_t segments_copied = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t segments_dropped = 0;
+  // Index-computation proxy: documents (re)indexed on the replica.
+  uint64_t replica_docs_indexed = 0;
+
+  void Add(const ReplicationStats& other) {
+    rounds += other.rounds;
+    segments_copied += other.segments_copied;
+    bytes_copied += other.bytes_copied;
+    segments_dropped += other.segments_dropped;
+    replica_docs_indexed += other.replica_docs_indexed;
+  }
+};
+
+// One round of quick incremental replication (Figure 9, steps 1-6):
+// snapshot the primary's segments, diff against the replica, copy the
+// missing segment files (encode/decode, no re-indexing), and drop
+// replica segments the primary deleted.
+Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
+                                        ShardStore* replica);
+
+// Primary shard + one replica under a chosen replication mode. The
+// write path mirrors the paper: the op is executed on the primary and
+// appended to the replica's translog in real time; under logical
+// replication the replica also executes it, under physical
+// replication segment files flow on Refresh().
+class ReplicatedShard {
+ public:
+  ReplicatedShard(const IndexSpec* spec, ShardStore::Options options,
+                  ReplicationMode mode);
+
+  // Wraps an existing store (e.g. a just-promoted replica) as the
+  // primary, with a fresh, empty replica; the next Refresh() performs
+  // the initial full replication round.
+  ReplicatedShard(const IndexSpec* spec, ShardStore::Options options,
+                  ReplicationMode mode,
+                  std::unique_ptr<ShardStore> primary);
+
+  // Discards the replica (its node failed) and starts an empty one;
+  // the next Refresh() re-copies every segment. Writes between now
+  // and then accumulate in the new replica translog as usual.
+  void ResetReplica();
+
+  ReplicationMode mode() const { return mode_; }
+  ShardStore* primary() { return primary_.get(); }
+  const ShardStore* primary() const { return primary_.get(); }
+  ShardStore* replica() { return replica_.get(); }
+  const ShardStore* replica() const { return replica_.get(); }
+
+  // Write: primary executes; the replica's translog is synchronized
+  // in real time; logical mode re-executes on the replica.
+  Result<uint64_t> Apply(const WriteOp& op);
+
+  // Refresh primary (buffer -> segment). Physical mode then runs one
+  // quick-incremental replication round; a merge on the primary
+  // triggers pre-replication of the merged segment before the next
+  // regular round would pick it up.
+  Status Refresh();
+
+  // Promotes the replica to primary after a primary failure: replays
+  // the replica translog tail not yet covered by replicated segments.
+  // Returns the promoted store (the old primary is discarded).
+  Result<std::unique_ptr<ShardStore>> Failover() &&;
+
+  const ReplicationStats& stats() const { return stats_; }
+
+  // Visibility delay proxy: number of Refresh() rounds where the
+  // replica still lacked the newest primary segment at entry.
+  uint64_t replica_lag_rounds() const { return replica_lag_rounds_; }
+
+ private:
+  const IndexSpec* spec_;
+  ShardStore::Options options_;
+  ReplicationMode mode_;
+  std::unique_ptr<ShardStore> primary_;
+  std::unique_ptr<ShardStore> replica_;
+  Translog replica_log_;  // replica-side translog (real-time sync)
+  uint64_t replica_applied_seq_ = 0;  // logical mode: ops executed
+  ReplicationStats stats_;
+  uint64_t replica_lag_rounds_ = 0;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_REPLICATION_REPLICATION_H_

@@ -1,0 +1,115 @@
+#ifndef ESDB_ROUTING_ROUTER_H_
+#define ESDB_ROUTING_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "routing/rule_list.h"
+
+namespace esdb {
+
+// Routing key of a write: the three columns every transaction log
+// carries (Section 4.2).
+struct RouteKey {
+  TenantId tenant = 0;
+  RecordId record = 0;
+  Micros created_time = 0;
+};
+
+// The two independent hash functions of Equations 1-2 (h1 over the
+// tenant id, h2 over the record id), derived from one Murmur3 with
+// distinct seeds.
+uint64_t RouteHash1(TenantId tenant);
+uint64_t RouteHash2(RecordId record);
+
+// Selector for the three routing schemes of Figure 2.
+enum class RoutingKind { kHash, kDoubleHash, kDynamic };
+
+// Routing policy interface shared by all three schemes of Figure 2.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  // Destination shard for a write.
+  virtual ShardId RouteWrite(const RouteKey& key) const = 0;
+
+  // Shards a read for `tenant` must fan out to. Order is the
+  // consecutive shard run starting at h1(tenant) mod N.
+  virtual std::vector<ShardId> RouteRead(TenantId tenant) const = 0;
+
+  virtual uint32_t num_shards() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Figure 2(a): plain hashing. p = h1(k1) mod N. No balancing, reads
+// touch one shard.
+class HashRouting : public RoutingPolicy {
+ public:
+  explicit HashRouting(uint32_t num_shards) : num_shards_(num_shards) {}
+
+  ShardId RouteWrite(const RouteKey& key) const override;
+  std::vector<ShardId> RouteRead(TenantId tenant) const override;
+  uint32_t num_shards() const override { return num_shards_; }
+  std::string name() const override { return "hashing"; }
+
+ private:
+  uint32_t num_shards_;
+};
+
+// Figure 2(b) / Equation 1: double hashing with a global static
+// maximum offset s. p = (h1(k1) + h2(k2) mod s) mod N. Every tenant
+// spreads over s shards; every read fans out to s shards.
+class DoubleHashRouting : public RoutingPolicy {
+ public:
+  DoubleHashRouting(uint32_t num_shards, uint32_t offset);
+
+  ShardId RouteWrite(const RouteKey& key) const override;
+  std::vector<ShardId> RouteRead(TenantId tenant) const override;
+  uint32_t num_shards() const override { return num_shards_; }
+  std::string name() const override {
+    return "double_hashing(s=" + std::to_string(offset_) + ")";
+  }
+
+ private:
+  uint32_t num_shards_;
+  uint32_t offset_;
+};
+
+// Figure 2(c) / Equation 2: dynamic secondary hashing. The static s
+// is replaced by the workload-adaptive L(k1) looked up in the
+// secondary hashing rule list. Writes match the rule by record
+// creation time (read-your-writes consistency, Section 4.2); reads
+// fan out over the tenant's maximum historical offset.
+class DynamicSecondaryHashing : public RoutingPolicy {
+ public:
+  explicit DynamicSecondaryHashing(uint32_t num_shards)
+      : num_shards_(num_shards) {}
+
+  ShardId RouteWrite(const RouteKey& key) const override;
+  std::vector<ShardId> RouteRead(TenantId tenant) const override;
+  uint32_t num_shards() const override { return num_shards_; }
+  std::string name() const override { return "dynamic_secondary_hashing"; }
+
+  // The committed rule list. The cluster's consensus layer replaces
+  // it atomically after each commit; local experiments mutate it
+  // directly.
+  const RuleList& rules() const { return rules_; }
+  RuleList* mutable_rules() { return &rules_; }
+
+  // Current L(k1) for a write at `created_time`.
+  uint32_t OffsetFor(TenantId tenant, Micros created_time) const {
+    return rules_.MatchWrite(tenant, created_time);
+  }
+
+ private:
+  uint32_t num_shards_;
+  RuleList rules_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_ROUTING_ROUTER_H_

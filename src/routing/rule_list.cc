@@ -1,0 +1,137 @@
+#include "routing/rule_list.h"
+
+#include <algorithm>
+
+#include "common/varint.h"
+
+namespace esdb {
+
+void RuleList::Update(Micros t, uint32_t s, TenantId k) {
+  std::vector<TenantId>& k_list = rules_[{t, s}];
+  if (std::find(k_list.begin(), k_list.end(), k) != k_list.end()) return;
+  k_list.push_back(k);
+  by_tenant_[k].push_back({t, s});
+}
+
+uint32_t RuleList::MatchWrite(TenantId k, Micros created_time) const {
+  auto it = by_tenant_.find(k);
+  if (it == by_tenant_.end()) return 1;
+  uint32_t best = 1;
+  for (const auto& [t, s] : it->second) {
+    if (t <= created_time && s > best) best = s;
+  }
+  return best;
+}
+
+uint32_t RuleList::MaxOffset(TenantId k) const {
+  auto it = by_tenant_.find(k);
+  if (it == by_tenant_.end()) return 1;
+  uint32_t best = 1;
+  for (const auto& [t, s] : it->second) {
+    if (s > best) best = s;
+  }
+  return best;
+}
+
+std::vector<HashingRule> RuleList::Rules() const {
+  std::vector<HashingRule> out;
+  out.reserve(rules_.size());
+  for (const auto& [key, tenants] : rules_) {
+    out.push_back(HashingRule{key.first, key.second, tenants});
+  }
+  return out;
+}
+
+bool RuleList::Contains(Micros t, uint32_t s, TenantId k) const {
+  auto it = rules_.find({t, s});
+  if (it == rules_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), k) !=
+         it->second.end();
+}
+
+size_t RuleList::Compact() {
+  size_t dropped = 0;
+  for (auto& [tenant, entries] : by_tenant_) {
+    // Sort by effective time, then offset descending: an entry is
+    // dominated iff some earlier-or-equal-time entry has an offset at
+    // least as large.
+    std::sort(entries.begin(), entries.end(),
+              [](const std::pair<Micros, uint32_t>& a,
+                 const std::pair<Micros, uint32_t>& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second > b.second;
+              });
+    std::vector<std::pair<Micros, uint32_t>> kept;
+    uint32_t max_so_far = 0;
+    for (const auto& entry : entries) {
+      if (entry.second > max_so_far) {
+        kept.push_back(entry);
+        max_so_far = entry.second;
+      } else {
+        // Dominated: remove the tenant from the (t, s) rule.
+        auto rule = rules_.find({entry.first, entry.second});
+        if (rule != rules_.end()) {
+          auto& k_list = rule->second;
+          k_list.erase(std::remove(k_list.begin(), k_list.end(), tenant),
+                       k_list.end());
+          if (k_list.empty()) rules_.erase(rule);
+        }
+        ++dropped;
+      }
+    }
+    entries = std::move(kept);
+  }
+  return dropped;
+}
+
+size_t RuleList::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& [key, tenants] : rules_) total += tenants.size();
+  return total;
+}
+
+std::string RuleList::Encode() const {
+  std::string out;
+  PutVarint64(&out, rules_.size());
+  for (const auto& [key, tenants] : rules_) {
+    PutVarint64(&out, uint64_t(key.first));
+    PutVarint64(&out, key.second);
+    PutVarint64(&out, tenants.size());
+    for (TenantId k : tenants) PutVarint64(&out, uint64_t(k));
+  }
+  return out;
+}
+
+Result<RuleList> RuleList::Decode(std::string_view data) {
+  RuleList out;
+  size_t pos = 0;
+  uint64_t nrules = 0;
+  if (!GetVarint64(data, &pos, &nrules)) {
+    return Status::Corruption("rule_list: truncated rule count");
+  }
+  for (uint64_t i = 0; i < nrules; ++i) {
+    uint64_t t = 0, s = 0, ntenants = 0;
+    if (!GetVarint64(data, &pos, &t) || !GetVarint64(data, &pos, &s) ||
+        !GetVarint64(data, &pos, &ntenants)) {
+      return Status::Corruption("rule_list: truncated rule");
+    }
+    for (uint64_t j = 0; j < ntenants; ++j) {
+      uint64_t k = 0;
+      if (!GetVarint64(data, &pos, &k)) {
+        return Status::Corruption("rule_list: truncated tenant");
+      }
+      out.Update(Micros(t), uint32_t(s), TenantId(k));
+    }
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("rule_list: trailing bytes");
+  }
+  return out;
+}
+
+bool operator==(const HashingRule& a, const HashingRule& b) {
+  return a.effective_time == b.effective_time && a.offset == b.offset &&
+         a.tenants == b.tenants;
+}
+
+}  // namespace esdb

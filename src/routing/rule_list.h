@@ -1,0 +1,81 @@
+#ifndef ESDB_ROUTING_RULE_LIST_H_
+#define ESDB_ROUTING_RULE_LIST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace esdb {
+
+using TenantId = int64_t;
+using RecordId = int64_t;
+using ShardId = uint32_t;
+
+// One secondary hashing rule (Section 4.2): at effective time `t`,
+// tenants in `tenants` adopt maximum offset `s` (shard-run length).
+struct HashingRule {
+  Micros effective_time = 0;
+  uint32_t offset = 1;
+  std::vector<TenantId> tenants;
+};
+
+bool operator==(const HashingRule& a, const HashingRule& b);
+
+// Append-only secondary hashing rule list R. Maintains the (t, s) ->
+// k_list structure of Algorithm 2 plus a per-tenant view for O(log)
+// matching. Offsets are powers of two by convention (Section 4.2,
+// "we choose s among exponents of 2"), enforced by the load balancer
+// rather than here.
+class RuleList {
+ public:
+  // Algorithm 2, UpdateRuleList: appends tenant k to the rule keyed by
+  // (t, s), creating it if absent. Duplicate (t, s, k) is a no-op.
+  void Update(Micros t, uint32_t s, TenantId k);
+
+  // Write-side matching (Section 4.2): the offset of the rule with the
+  // largest s among rules with effective_time <= created_time whose
+  // tenant list contains k. Defaults to 1 (single shard).
+  uint32_t MatchWrite(TenantId k, Micros created_time) const;
+
+  // Read-side offset: the largest s across ALL of k's rules (any
+  // effective time), so the read fan-out covers every shard that ever
+  // hosted the tenant's records as well as in-flight writes.
+  uint32_t MaxOffset(TenantId k) const;
+
+  // All rules, ordered by (effective_time, offset).
+  std::vector<HashingRule> Rules() const;
+  size_t size() const { return rules_.size(); }
+  bool Contains(Micros t, uint32_t s, TenantId k) const;
+
+  // Removes dominated entries: a rule (t1, s1) for tenant k is
+  // redundant when another rule (t2, s2) with t2 <= t1 and s2 >= s1
+  // exists — for every creation time, write matching takes the max
+  // offset among applicable rules, so the dominated entry can never
+  // win. This is how ESDB keeps the rule list small (Section 4.2);
+  // matching results are provably unchanged (see the property test).
+  // Returns the number of entries dropped.
+  size_t Compact();
+
+  // Total (t, s, tenant) entries (the matching work per lookup).
+  size_t TotalEntries() const;
+
+  // Wire format used by the consensus layer and the rule generator.
+  std::string Encode() const;
+  static Result<RuleList> Decode(std::string_view data);
+
+  bool operator==(const RuleList& other) const { return rules_ == other.rules_; }
+
+ private:
+  // (t, s) -> tenant list; map keeps rules sorted by effective time.
+  std::map<std::pair<Micros, uint32_t>, std::vector<TenantId>> rules_;
+  // tenant -> (t, s) pairs for fast matching.
+  std::map<TenantId, std::vector<std::pair<Micros, uint32_t>>> by_tenant_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_ROUTING_RULE_LIST_H_

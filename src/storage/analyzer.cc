@@ -1,0 +1,32 @@
+#include "storage/analyzer.h"
+
+#include <cctype>
+
+namespace esdb {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current.push_back(char(std::tolower(uc)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::string NormalizeTerm(std::string_view term) {
+  std::string out;
+  out.reserve(term.size());
+  for (char c : term) {
+    out.push_back(char(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace esdb

@@ -1,0 +1,21 @@
+#ifndef ESDB_STORAGE_ANALYZER_H_
+#define ESDB_STORAGE_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esdb {
+
+// Full-text analyzer: ASCII-lowercases and splits on any
+// non-alphanumeric byte. This is the "standard analyzer" equivalent
+// applied to full-text columns such as auction titles and nicknames.
+std::vector<std::string> Tokenize(std::string_view text);
+
+// Analyzer for a single query term (lowercase, no splitting beyond
+// trimming); MATCH predicates tokenize their argument with Tokenize().
+std::string NormalizeTerm(std::string_view term);
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_ANALYZER_H_

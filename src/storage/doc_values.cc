@@ -1,0 +1,30 @@
+#include "storage/doc_values.h"
+
+namespace esdb {
+
+DocValues::Column* DocValues::GetOrCreate(const std::string& field) {
+  auto it = columns_.find(field);
+  if (it == columns_.end()) {
+    it = columns_.emplace(field, Column(num_docs_)).first;
+  }
+  return &it->second;
+}
+
+const DocValues::Column* DocValues::Find(const std::string& field) const {
+  auto it = columns_.find(field);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+size_t DocValues::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, col] : columns_) {
+    bytes += name.size() + col.size() * sizeof(Value);
+    for (size_t i = 0; i < col.size(); ++i) {
+      const Value& v = col.Get(DocId(i));
+      if (v.is_string()) bytes += v.as_string().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace esdb

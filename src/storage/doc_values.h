@@ -1,0 +1,52 @@
+#ifndef ESDB_STORAGE_DOC_VALUES_H_
+#define ESDB_STORAGE_DOC_VALUES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "document/value.h"
+#include "storage/posting.h"
+
+namespace esdb {
+
+// Columnar per-field value store for one segment (Lucene's "doc
+// values"). Supports the sequential-scan access path of the query
+// optimizer (Section 5.1): filtering a candidate posting list by
+// reading column values directly instead of an index.
+class DocValues {
+ public:
+  // Column for one field; missing docs hold null.
+  class Column {
+   public:
+    explicit Column(size_t num_docs) : values_(num_docs) {}
+
+    void Set(DocId id, Value v) { values_[id] = std::move(v); }
+    const Value& Get(DocId id) const { return values_[id]; }
+    size_t size() const { return values_.size(); }
+
+   private:
+    std::vector<Value> values_;
+  };
+
+  explicit DocValues(size_t num_docs) : num_docs_(num_docs) {}
+
+  // Returns the column for `field`, creating it if absent.
+  Column* GetOrCreate(const std::string& field);
+  // Returns nullptr when the field has no column (all-null).
+  const Column* Find(const std::string& field) const;
+
+  size_t num_docs() const { return num_docs_; }
+  const std::map<std::string, Column>& columns() const { return columns_; }
+
+  // Approximate heap footprint, counted into segment size.
+  size_t ApproximateBytes() const;
+
+ private:
+  size_t num_docs_;
+  std::map<std::string, Column> columns_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_DOC_VALUES_H_

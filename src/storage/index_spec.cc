@@ -1,0 +1,27 @@
+#include "storage/index_spec.h"
+
+namespace esdb {
+
+std::string IndexSpec::CompositeName(const std::vector<std::string>& columns) {
+  std::string name;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) name.push_back('_');
+    name += columns[i];
+  }
+  return name;
+}
+
+IndexSpec IndexSpec::TransactionLogDefault() {
+  IndexSpec spec;
+  spec.text_fields = {"title", "buyer_nick", "seller_nick"};
+  spec.composite_indexes = {{"tenant_id", "created_time"}};
+  // Columns served better by doc-value scans once a candidate list
+  // exists (the paper's scan list): low-cardinality flags and
+  // range-heavy numeric columns whose index range enumeration is
+  // expensive.
+  spec.scan_fields = {"status", "flag",   "region",
+                      "channel", "quantity", "amount"};
+  return spec;
+}
+
+}  // namespace esdb

@@ -1,0 +1,54 @@
+#ifndef ESDB_STORAGE_INDEX_SPEC_H_
+#define ESDB_STORAGE_INDEX_SPEC_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esdb {
+
+// Per-table indexing configuration. Shared by the segment builder
+// (what to index) and the query optimizer (which access paths exist).
+//
+// Defaults mirror ESDB: every field gets an exact-term (keyword)
+// inverted index and a doc-values column, except:
+//  * text_fields are tokenized instead (full-text search),
+//  * sub-attributes of the "attributes" column are indexed only when
+//    listed in indexed_sub_attributes (frequency-based indexing,
+//    Section 3.2) or when index_all_sub_attributes is set (the
+//    baseline configuration Figure 18 compares against).
+// scan_fields (the paper's "scan list") is consumed by the query
+// optimizer only: those columns keep their index, but when a
+// candidate posting list already exists the optimizer filters it by
+// doc-value sequential scan instead of another index search.
+struct IndexSpec {
+  std::set<std::string> text_fields;
+  std::set<std::string> scan_fields;
+  // Ordered column lists; the composite index name is the columns
+  // joined with '_' (e.g. "tenant_id_created_time").
+  std::vector<std::vector<std::string>> composite_indexes;
+  std::set<std::string> indexed_sub_attributes;
+  bool index_all_sub_attributes = false;
+
+  bool IsTextField(std::string_view f) const {
+    return text_fields.count(std::string(f)) > 0;
+  }
+  bool IsScanField(std::string_view f) const {
+    return scan_fields.count(std::string(f)) > 0;
+  }
+  bool IsIndexedSubAttribute(std::string_view key) const {
+    return index_all_sub_attributes ||
+           indexed_sub_attributes.count(std::string(key)) > 0;
+  }
+
+  static std::string CompositeName(const std::vector<std::string>& columns);
+
+  // The configuration used by the transaction-log workload: composite
+  // index on (tenant_id, created_time), full text on title/nicknames.
+  static IndexSpec TransactionLogDefault();
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_INDEX_SPEC_H_

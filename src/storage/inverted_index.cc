@@ -1,0 +1,44 @@
+#include "storage/inverted_index.h"
+
+namespace esdb {
+
+namespace {
+const PostingList kEmptyPostings;
+}  // namespace
+
+void InvertedIndex::Add(std::string_view term, DocId id) {
+  auto it = postings_.find(term);
+  if (it == postings_.end()) {
+    it = postings_.emplace(std::string(term), PostingList()).first;
+  }
+  // Multi-token fields can emit the same (term, doc) twice; postings
+  // are duplicate-free.
+  if (it->second.empty() || it->second.ids().back() != id) {
+    it->second.Append(id);
+  }
+}
+
+const PostingList& InvertedIndex::Lookup(std::string_view term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? kEmptyPostings : it->second;
+}
+
+std::vector<const PostingList*> InvertedIndex::LookupRange(
+    std::string_view lo, std::string_view hi) const {
+  std::vector<const PostingList*> out;
+  for (auto it = postings_.lower_bound(lo);
+       it != postings_.end() && std::string_view(it->first) < hi; ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+size_t InvertedIndex::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [term, list] : postings_) {
+    bytes += term.size() + list.size() * sizeof(DocId) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace esdb

@@ -1,0 +1,30 @@
+#include "storage/merge_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace esdb {
+
+std::vector<size_t> MergePolicy::PickMerge(
+    const std::vector<size_t>& segment_sizes) const {
+  if (segment_sizes.size() <= options_.max_segments) return {};
+
+  // Order positions by size ascending; merge enough of the smallest
+  // ones to get back under the cap (merging k segments removes k-1).
+  std::vector<size_t> order(segment_sizes.size());
+  std::iota(order.begin(), order.end(), size_t(0));
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return segment_sizes[a] < segment_sizes[b];
+  });
+
+  const size_t excess = segment_sizes.size() - options_.max_segments;
+  size_t inputs = std::min(options_.max_merge_inputs, excess + 1);
+  inputs = std::min(inputs, segment_sizes.size());
+  if (inputs < 2) return {};
+
+  std::vector<size_t> picked(order.begin(), order.begin() + long(inputs));
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace esdb

@@ -1,0 +1,38 @@
+#ifndef ESDB_STORAGE_MERGE_POLICY_H_
+#define ESDB_STORAGE_MERGE_POLICY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace esdb {
+
+// Tiered segment-merge policy (Section 3.3: "segment merge ... merges
+// smaller segments to a large segment"). Given the per-segment sizes
+// in bytes, picks the set of segment positions to merge, or an empty
+// vector when no merge is due.
+class MergePolicy {
+ public:
+  struct Options {
+    // Merge triggers once more than this many segments exist.
+    size_t max_segments = 8;
+    // At most this many segments merge at once.
+    size_t max_merge_inputs = 8;
+  };
+
+  explicit MergePolicy(Options options) : options_(options) {}
+  MergePolicy() : MergePolicy(Options{}) {}
+
+  const Options& options() const { return options_; }
+
+  // Returns indices into `segment_sizes` (sorted ascending) of the
+  // smallest segments, chosen so that after merging the shard is back
+  // under max_segments.
+  std::vector<size_t> PickMerge(const std::vector<size_t>& segment_sizes) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_MERGE_POLICY_H_

@@ -1,0 +1,137 @@
+#include "storage/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/varint.h"
+
+namespace esdb {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kManifestMagic[] = "ESDBSHARD1";
+
+Status WriteFile(const fs::path& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open for write: " + path.string());
+  }
+  out.write(data.data(), std::streamsize(data.size()));
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path.string());
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path.string());
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("read failed: " + path.string());
+  return data;
+}
+
+}  // namespace
+
+Status SaveShard(const ShardStore& store, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory: " + dir + ": " +
+                            ec.message());
+  }
+
+  // Segment files.
+  std::vector<uint64_t> segment_ids;
+  for (const auto& segment : store.Snapshot()) {
+    segment_ids.push_back(segment->id());
+    const fs::path path =
+        fs::path(dir) / ("seg-" + std::to_string(segment->id()) + ".seg");
+    ESDB_RETURN_IF_ERROR(WriteFile(path, segment->Encode()));
+  }
+
+  // Translog: starting sequence then length-prefixed encoded entries.
+  {
+    std::string log;
+    const Translog& translog = store.translog();
+    PutVarint64(&log, translog.begin_seq());
+    PutVarint64(&log, translog.num_entries());
+    for (uint64_t seq = translog.begin_seq(); seq < translog.end_seq();
+         ++seq) {
+      auto op = translog.Get(seq);
+      if (!op.ok()) return op.status();
+      PutLengthPrefixed(&log, op->Encode());
+    }
+    ESDB_RETURN_IF_ERROR(WriteFile(fs::path(dir) / "translog.log", log));
+  }
+
+  // Manifest last (its presence marks a complete checkpoint).
+  std::string manifest(kManifestMagic);
+  PutVarint64(&manifest, store.next_segment_id());
+  PutVarint64(&manifest, store.refreshed_seq());
+  PutVarint64(&manifest, segment_ids.size());
+  for (uint64_t id : segment_ids) PutVarint64(&manifest, id);
+  return WriteFile(fs::path(dir) / "MANIFEST", manifest);
+}
+
+Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
+                                              ShardStore::Options options,
+                                              const std::string& dir) {
+  ESDB_ASSIGN_OR_RETURN(std::string manifest,
+                        ReadFile(fs::path(dir) / "MANIFEST"));
+  const size_t magic_len = sizeof(kManifestMagic) - 1;
+  if (manifest.compare(0, magic_len, kManifestMagic) != 0) {
+    return Status::Corruption("bad shard manifest magic");
+  }
+  size_t pos = magic_len;
+  uint64_t next_segment_id = 0, refreshed_seq = 0, num_segments = 0;
+  if (!GetVarint64(manifest, &pos, &next_segment_id) ||
+      !GetVarint64(manifest, &pos, &refreshed_seq) ||
+      !GetVarint64(manifest, &pos, &num_segments)) {
+    return Status::Corruption("truncated shard manifest");
+  }
+
+  auto store = std::make_unique<ShardStore>(spec, options);
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    uint64_t id = 0;
+    if (!GetVarint64(manifest, &pos, &id)) {
+      return Status::Corruption("truncated shard manifest segment list");
+    }
+    ESDB_ASSIGN_OR_RETURN(
+        std::string bytes,
+        ReadFile(fs::path(dir) / ("seg-" + std::to_string(id) + ".seg")));
+    auto segment = Segment::Decode(bytes);
+    if (!segment.ok()) return segment.status();
+    store->InstallSegment(std::move(*segment));
+  }
+  store->set_next_segment_id(next_segment_id);
+
+  // Replay the translog tail not yet covered by segments: ops with
+  // sequence numbers >= refreshed_seq land back in the write buffer.
+  {
+    ESDB_ASSIGN_OR_RETURN(std::string log,
+                          ReadFile(fs::path(dir) / "translog.log"));
+    size_t log_pos = 0;
+    uint64_t begin_seq = 0, count = 0;
+    if (!GetVarint64(log, &log_pos, &begin_seq) ||
+        !GetVarint64(log, &log_pos, &count)) {
+      return Status::Corruption("truncated translog file");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string_view entry;
+      if (!GetLengthPrefixed(log, &log_pos, &entry)) {
+        return Status::Corruption("truncated translog entry");
+      }
+      ESDB_ASSIGN_OR_RETURN(WriteOp op, WriteOp::Decode(entry));
+      const uint64_t seq = begin_seq + i;
+      if (seq < refreshed_seq) continue;  // already inside segments
+      auto applied = store->Apply(op);
+      if (!applied.ok()) return applied.status();
+    }
+  }
+  return store;
+}
+
+}  // namespace esdb

@@ -1,0 +1,32 @@
+#ifndef ESDB_STORAGE_PERSISTENCE_H_
+#define ESDB_STORAGE_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/shard_store.h"
+
+namespace esdb {
+
+// On-disk layout of one shard (the worker's "local SSD", Section 3.3):
+//
+//   <dir>/MANIFEST         next segment id, refreshed seq, segment ids
+//   <dir>/seg-<id>.seg     one encoded segment file each
+//   <dir>/translog.log     retained translog entries (durability tail)
+//
+// SaveShard persists the searchable state plus the translog; anything
+// buffered but not refreshed is recovered by replaying the translog
+// tail on open (exactly the crash-recovery contract of Section 3.3).
+Status SaveShard(const ShardStore& store, const std::string& dir);
+
+// Opens a shard saved by SaveShard. The returned store is query- and
+// write-ready; un-refreshed ops from the translog tail have been
+// re-applied (call Refresh() to make them searchable).
+Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
+                                              ShardStore::Options options,
+                                              const std::string& dir);
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_PERSISTENCE_H_

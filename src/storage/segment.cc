@@ -1,0 +1,321 @@
+#include "storage/segment.h"
+
+#include <cassert>
+
+#include "common/varint.h"
+#include "storage/analyzer.h"
+
+namespace esdb {
+
+namespace {
+const PostingList kEmptyPostings;
+}  // namespace
+
+// --- Segment read paths -----------------------------------------------
+
+const PostingList& Segment::Postings(std::string_view field,
+                                     std::string_view term) const {
+  auto it = inverted_.find(std::string(field));
+  if (it == inverted_.end()) return kEmptyPostings;
+  return it->second.Lookup(term);
+}
+
+std::vector<const PostingList*> Segment::PostingsRange(
+    std::string_view field, std::string_view lo, std::string_view hi) const {
+  auto it = inverted_.find(std::string(field));
+  if (it == inverted_.end()) return {};
+  return it->second.LookupRange(lo, hi);
+}
+
+bool Segment::HasInvertedIndex(std::string_view field) const {
+  return inverted_.find(std::string(field)) != inverted_.end();
+}
+
+const SortedKeyIndex* Segment::CompositeIndex(std::string_view name) const {
+  auto it = composites_.find(std::string(name));
+  return it == composites_.end() ? nullptr : &it->second;
+}
+
+Result<Document> Segment::GetDocument(DocId id) const {
+  if (id >= stored_.size()) {
+    return Status::InvalidArgument("segment: doc id out of range");
+  }
+  return Document::Deserialize(stored_[id]);
+}
+
+PostingList Segment::LiveDocs() const {
+  PostingList out;
+  for (DocId id = 0; id < num_docs_; ++id) {
+    if (!deleted_[id]) out.Append(id);
+  }
+  return out;
+}
+
+bool Segment::MarkDeleted(DocId id) {
+  assert(id < num_docs_);
+  if (deleted_[id]) return false;
+  deleted_[id] = true;
+  ++num_deleted_;
+  return true;
+}
+
+int64_t Segment::FindByRecordId(int64_t record_id) const {
+  auto it = record_ids_.find(record_id);
+  return it == record_ids_.end() ? -1 : int64_t(it->second);
+}
+
+void Segment::RecomputeSize() {
+  size_t bytes = 0;
+  for (const std::string& s : stored_) bytes += s.size();
+  for (const auto& [name, index] : inverted_) {
+    bytes += name.size() + index.ApproximateBytes();
+  }
+  for (const auto& [name, index] : composites_) {
+    bytes += name.size() + index.ApproximateBytes();
+  }
+  bytes += doc_values_->ApproximateBytes();
+  bytes += deleted_.size() / 8;
+  size_bytes_ = bytes;
+}
+
+// --- Segment file format ------------------------------------------------
+//
+//   varint  id
+//   varint  num_docs
+//   num_docs x length-prefixed stored document
+//   varint  #inverted-fields
+//     per field: name, varint #terms, per term: term, postings
+//   varint  #composite-indexes, per index: SortedKeyIndex encoding
+//   varint  #doc-value-columns, per column: name, num_docs x Value
+//   varint  #record-id-entries, per entry: varint zigzag(record), varint doc
+//   deleted bitmap: num_docs bits, padded to bytes
+
+std::string Segment::Encode() const {
+  std::string out;
+  PutVarint64(&out, id_);
+  PutVarint64(&out, num_docs_);
+  for (const std::string& s : stored_) PutLengthPrefixed(&out, s);
+
+  PutVarint64(&out, inverted_.size());
+  for (const auto& [field, index] : inverted_) {
+    PutLengthPrefixed(&out, field);
+    PutVarint64(&out, index.num_terms());
+    for (const auto& [term, postings] : index.terms()) {
+      PutLengthPrefixed(&out, term);
+      postings.EncodeTo(&out);
+    }
+  }
+
+  PutVarint64(&out, composites_.size());
+  for (const auto& [name, index] : composites_) {
+    (void)name;  // name derives from the index's column list
+    index.EncodeTo(&out);
+  }
+
+  PutVarint64(&out, doc_values_->columns().size());
+  for (const auto& [name, col] : doc_values_->columns()) {
+    PutLengthPrefixed(&out, name);
+    for (DocId i = 0; i < num_docs_; ++i) col.Get(i).EncodeTo(&out);
+  }
+
+  PutVarint64(&out, record_ids_.size());
+  for (const auto& [record, doc] : record_ids_) {
+    PutVarint64(&out, (uint64_t(record) << 1) ^ uint64_t(record >> 63));
+    PutVarint64(&out, doc);
+  }
+
+  for (uint32_t i = 0; i < num_docs_; i += 8) {
+    uint8_t byte = 0;
+    for (uint32_t b = 0; b < 8 && i + b < num_docs_; ++b) {
+      if (deleted_[i + b]) byte |= uint8_t(1u << b);
+    }
+    out.push_back(char(byte));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Segment>> Segment::Decode(std::string_view data) {
+  auto seg = std::unique_ptr<Segment>(new Segment());
+  size_t pos = 0;
+  uint64_t id = 0, num_docs = 0;
+  if (!GetVarint64(data, &pos, &id) || !GetVarint64(data, &pos, &num_docs)) {
+    return Status::Corruption("segment: truncated header");
+  }
+  // A stored doc takes at least one byte; likewise the delete bitmap
+  // needs num_docs/8 bytes. Bound counts before any allocation
+  // (robustness against corrupted or hostile segment files).
+  if (num_docs > data.size() - pos) {
+    return Status::Corruption("segment: implausible doc count");
+  }
+  seg->id_ = id;
+  seg->num_docs_ = uint32_t(num_docs);
+
+  seg->stored_.reserve(num_docs);
+  for (uint64_t i = 0; i < num_docs; ++i) {
+    std::string_view doc;
+    if (!GetLengthPrefixed(data, &pos, &doc)) {
+      return Status::Corruption("segment: truncated stored doc");
+    }
+    seg->stored_.emplace_back(doc);
+  }
+
+  uint64_t nfields = 0;
+  if (!GetVarint64(data, &pos, &nfields)) {
+    return Status::Corruption("segment: truncated inverted count");
+  }
+  for (uint64_t f = 0; f < nfields; ++f) {
+    std::string_view field;
+    uint64_t nterms = 0;
+    if (!GetLengthPrefixed(data, &pos, &field) ||
+        !GetVarint64(data, &pos, &nterms)) {
+      return Status::Corruption("segment: truncated inverted field");
+    }
+    InvertedIndex& index = seg->inverted_[std::string(field)];
+    for (uint64_t t = 0; t < nterms; ++t) {
+      std::string_view term;
+      if (!GetLengthPrefixed(data, &pos, &term)) {
+        return Status::Corruption("segment: truncated term");
+      }
+      PostingList postings;
+      ESDB_RETURN_IF_ERROR(PostingList::DecodeFrom(data, &pos, &postings));
+      for (DocId docid : postings.ids()) index.Add(term, docid);
+    }
+  }
+
+  uint64_t ncomposites = 0;
+  if (!GetVarint64(data, &pos, &ncomposites)) {
+    return Status::Corruption("segment: truncated composite count");
+  }
+  for (uint64_t c = 0; c < ncomposites; ++c) {
+    SortedKeyIndex index({});
+    ESDB_RETURN_IF_ERROR(SortedKeyIndex::DecodeFrom(data, &pos, &index));
+    std::string name = IndexSpec::CompositeName(index.columns());
+    seg->composites_.emplace(std::move(name), std::move(index));
+  }
+
+  uint64_t ncols = 0;
+  if (!GetVarint64(data, &pos, &ncols)) {
+    return Status::Corruption("segment: truncated doc-values count");
+  }
+  seg->doc_values_ = std::make_unique<DocValues>(num_docs);
+  for (uint64_t c = 0; c < ncols; ++c) {
+    std::string_view name;
+    if (!GetLengthPrefixed(data, &pos, &name)) {
+      return Status::Corruption("segment: truncated column name");
+    }
+    DocValues::Column* col = seg->doc_values_->GetOrCreate(std::string(name));
+    for (uint64_t i = 0; i < num_docs; ++i) {
+      Value v;
+      if (!Value::DecodeFrom(data, &pos, &v)) {
+        return Status::Corruption("segment: truncated doc value");
+      }
+      col->Set(DocId(i), std::move(v));
+    }
+  }
+
+  uint64_t nrecords = 0;
+  if (!GetVarint64(data, &pos, &nrecords)) {
+    return Status::Corruption("segment: truncated record-id count");
+  }
+  for (uint64_t i = 0; i < nrecords; ++i) {
+    uint64_t zz = 0, doc = 0;
+    if (!GetVarint64(data, &pos, &zz) || !GetVarint64(data, &pos, &doc)) {
+      return Status::Corruption("segment: truncated record-id entry");
+    }
+    seg->record_ids_[int64_t((zz >> 1) ^ (~(zz & 1) + 1))] = DocId(doc);
+  }
+
+  seg->deleted_.assign(num_docs, false);
+  for (uint64_t i = 0; i < num_docs; i += 8) {
+    if (pos >= data.size()) {
+      return Status::Corruption("segment: truncated delete bitmap");
+    }
+    const uint8_t byte = uint8_t(data[pos++]);
+    for (uint64_t b = 0; b < 8 && i + b < num_docs; ++b) {
+      if (byte & (1u << b)) {
+        seg->deleted_[i + b] = true;
+        ++seg->num_deleted_;
+      }
+    }
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("segment: trailing bytes");
+  }
+  seg->RecomputeSize();
+  return seg;
+}
+
+// --- SegmentBuilder -------------------------------------------------------
+
+DocId SegmentBuilder::Add(const Document& doc) {
+  docs_.push_back(doc);
+  return DocId(docs_.size() - 1);
+}
+
+std::unique_ptr<Segment> SegmentBuilder::Build(uint64_t segment_id) && {
+  auto seg = std::unique_ptr<Segment>(new Segment());
+  seg->id_ = segment_id;
+  seg->num_docs_ = uint32_t(docs_.size());
+  seg->doc_values_ = std::make_unique<DocValues>(docs_.size());
+  seg->deleted_.assign(docs_.size(), false);
+  seg->stored_.reserve(docs_.size());
+
+  for (DocId id = 0; id < docs_.size(); ++id) {
+    const Document& doc = docs_[id];
+    seg->stored_.push_back(doc.Serialize());
+    if (doc.Has(kFieldRecordId)) {
+      seg->record_ids_[doc.record_id()] = id;
+    }
+
+    for (const auto& [field, value] : doc.fields()) {
+      // Doc values for every field (sequential scan + materialization).
+      seg->doc_values_->GetOrCreate(field)->Set(id, value);
+
+      if (spec_->IsTextField(field)) {
+        if (value.is_string()) {
+          InvertedIndex& index = seg->inverted_[field];
+          for (const std::string& token : Tokenize(value.as_string())) {
+            index.Add(token, id);
+          }
+        }
+        continue;
+      }
+      if (field == kFieldAttributes && value.is_string()) {
+        // Frequency-based indexing: only the configured (hot)
+        // sub-attributes get inverted-index terms.
+        for (const auto& [key, sub_value] :
+             ParseAttributes(value.as_string())) {
+          if (!spec_->IsIndexedSubAttribute(key)) continue;
+          seg->inverted_[SubAttributeField(key)].Add(
+              Value(sub_value).EncodeSortable(), id);
+        }
+        continue;
+      }
+      // Default: exact-term (keyword) index on the sortable encoding.
+      // Scan-list fields are indexed too — the scan list is an
+      // optimizer access-path choice, not an indexing choice.
+      seg->inverted_[field].Add(value.EncodeSortable(), id);
+    }
+  }
+
+  // Composite indexes: one entry per document, columns null-padded so
+  // equality-prefix scans see every doc.
+  for (const std::vector<std::string>& columns : spec_->composite_indexes) {
+    SortedKeyIndex index(columns);
+    for (DocId id = 0; id < docs_.size(); ++id) {
+      std::string key;
+      for (const std::string& col : columns) {
+        AppendEncodedColumn(&key, docs_[id].Get(col));
+      }
+      index.Add(std::move(key), id);
+    }
+    index.Seal();
+    seg->composites_.emplace(IndexSpec::CompositeName(columns),
+                             std::move(index));
+  }
+
+  seg->RecomputeSize();
+  return seg;
+}
+
+}  // namespace esdb

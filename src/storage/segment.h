@@ -1,0 +1,126 @@
+#ifndef ESDB_STORAGE_SEGMENT_H_
+#define ESDB_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "document/document.h"
+#include "storage/doc_values.h"
+#include "storage/index_spec.h"
+#include "storage/inverted_index.h"
+#include "storage/posting.h"
+#include "storage/sorted_key_index.h"
+
+namespace esdb {
+
+// Immutable index unit, the analog of a Lucene segment file: stored
+// documents, per-field inverted indexes, composite sorted-key indexes
+// and doc values, built once at refresh/merge time. The only mutable
+// state after construction is the tombstone bitmap (deletes).
+class Segment {
+ public:
+  // Segments are built by SegmentBuilder or decoded by Decode.
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  uint64_t id() const { return id_; }
+  size_t num_docs() const { return size_t(num_docs_); }
+  size_t num_live_docs() const { return num_docs() - num_deleted_; }
+
+  // --- Read paths used by the query executor -------------------------
+
+  // Exact-term postings for `field` (term = Value::EncodeSortable()
+  // for keyword fields, analyzer token for text fields). Empty list
+  // when the field has no inverted index.
+  const PostingList& Postings(std::string_view field,
+                              std::string_view term) const;
+
+  // Postings union candidates for encoded terms in [lo, hi]
+  // (single-column index range predicate).
+  std::vector<const PostingList*> PostingsRange(std::string_view field,
+                                                std::string_view lo,
+                                                std::string_view hi) const;
+
+  bool HasInvertedIndex(std::string_view field) const;
+
+  // Composite index by name, or nullptr.
+  const SortedKeyIndex* CompositeIndex(std::string_view name) const;
+  const std::map<std::string, SortedKeyIndex>& composite_indexes() const {
+    return composites_;
+  }
+
+  const DocValues& doc_values() const { return *doc_values_; }
+
+  // Stored document by local id.
+  Result<Document> GetDocument(DocId id) const;
+
+  // All live doc ids as a posting list.
+  PostingList LiveDocs() const;
+
+  // --- Tombstones -----------------------------------------------------
+
+  bool IsDeleted(DocId id) const { return deleted_[id]; }
+  // Marks a doc deleted; returns false if already deleted.
+  bool MarkDeleted(DocId id);
+  size_t num_deleted() const { return num_deleted_; }
+
+  // Local id of the (unique) doc with this record id, or -1.
+  int64_t FindByRecordId(int64_t record_id) const;
+
+  // --- Sizing & replication -------------------------------------------
+
+  // Approximate byte footprint; counted as segment-file size by the
+  // shard store and the replication layer.
+  size_t SizeBytes() const { return size_bytes_; }
+
+  // Full segment-file round trip. Decoding a segment does NOT redo any
+  // index computation — this is what makes physical replication cheap
+  // (Section 5.2).
+  std::string Encode() const;
+  static Result<std::unique_ptr<Segment>> Decode(std::string_view data);
+
+ private:
+  friend class SegmentBuilder;
+  Segment() = default;
+
+  void RecomputeSize();
+
+  uint64_t id_ = 0;
+  uint32_t num_docs_ = 0;
+  std::vector<std::string> stored_;                   // serialized documents
+  std::map<std::string, InvertedIndex> inverted_;     // field -> index
+  std::map<std::string, SortedKeyIndex> composites_;  // name -> index
+  std::unique_ptr<DocValues> doc_values_;
+  std::unordered_map<int64_t, DocId> record_ids_;
+  std::vector<bool> deleted_;
+  size_t num_deleted_ = 0;
+  size_t size_bytes_ = 0;
+};
+
+// Accumulates documents and produces an immutable Segment. Also used
+// by merges (re-adding live docs of the input segments).
+class SegmentBuilder {
+ public:
+  explicit SegmentBuilder(const IndexSpec* spec) : spec_(spec) {}
+
+  // Adds a document; returns its local id.
+  DocId Add(const Document& doc);
+
+  size_t num_docs() const { return docs_.size(); }
+
+  // Builds the segment with the given id. The builder is consumed.
+  std::unique_ptr<Segment> Build(uint64_t segment_id) &&;
+
+ private:
+  const IndexSpec* spec_;
+  std::vector<Document> docs_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_SEGMENT_H_

@@ -1,0 +1,178 @@
+#include "storage/shard_store.h"
+
+#include <algorithm>
+
+namespace esdb {
+
+ShardStore::ShardStore(const IndexSpec* spec, Options options)
+    : spec_(spec), options_(options) {}
+
+Result<uint64_t> ShardStore::Apply(const WriteOp& op) {
+  // Durability first: acknowledged writes are always in the translog.
+  const uint64_t seq = translog_.Append(op);
+  const Status status = ApplyInternal(op);
+  if (!status.ok()) return status;
+  return seq;
+}
+
+Status ShardStore::ApplyNoLog(const WriteOp& op) {
+  return ApplyInternal(op);
+}
+
+Status ShardStore::ApplyInternal(const WriteOp& op) {
+  switch (op.type) {
+    case OpType::kInsert:
+    case OpType::kUpdate: {
+      if (!op.doc.Has(kFieldRecordId)) {
+        return Status::InvalidArgument("write requires record_id");
+      }
+      DeleteExisting(op.record_id());
+      buffer_.push_back(BufferedDoc{op.doc, false});
+      buffer_by_record_[op.record_id()] = buffer_.size() - 1;
+      if (options_.refresh_doc_count > 0 &&
+          buffer_.size() >= options_.refresh_doc_count) {
+        Refresh();
+        MaybeMerge();
+      }
+      return Status::OK();
+    }
+    case OpType::kDelete:
+      DeleteExisting(op.record_id());
+      return Status::OK();
+  }
+  return Status::Internal("unknown op type");
+}
+
+void ShardStore::DeleteExisting(int64_t record_id) {
+  auto it = buffer_by_record_.find(record_id);
+  if (it != buffer_by_record_.end()) {
+    buffer_[it->second].deleted = true;
+    buffer_by_record_.erase(it);
+    // A record lives in the buffer only when its prior segment copy
+    // (if any) was already tombstoned, so we can stop here.
+    return;
+  }
+  // Newest segment first: at most one live copy exists.
+  for (auto seg = segments_.rbegin(); seg != segments_.rend(); ++seg) {
+    const int64_t local = (*seg)->FindByRecordId(record_id);
+    if (local >= 0 && !(*seg)->IsDeleted(DocId(local))) {
+      (*seg)->MarkDeleted(DocId(local));
+      return;
+    }
+  }
+}
+
+bool ShardStore::Refresh() {
+  if (buffer_.empty()) return false;
+  SegmentBuilder builder(spec_);
+  size_t live = 0;
+  for (const BufferedDoc& bd : buffer_) {
+    if (!bd.deleted) {
+      builder.Add(bd.doc);
+      ++live;
+    }
+  }
+  buffer_.clear();
+  buffer_by_record_.clear();
+  refreshed_seq_ = translog_.end_seq();
+  if (live == 0) return false;
+  segments_.push_back(std::move(builder).Build(next_segment_id_++));
+  return true;
+}
+
+void ShardStore::Flush() { translog_.TruncateBefore(refreshed_seq_); }
+
+bool ShardStore::MaybeMerge() {
+  std::vector<size_t> sizes;
+  sizes.reserve(segments_.size());
+  for (const auto& seg : segments_) sizes.push_back(seg->SizeBytes());
+  const std::vector<size_t> picked = MergePolicy(options_.merge).PickMerge(sizes);
+  if (picked.empty()) return false;
+
+  SegmentBuilder builder(spec_);
+  for (size_t pos : picked) {
+    const Segment& seg = *segments_[pos];
+    const PostingList live = seg.LiveDocs();
+    for (DocId id : live.ids()) {
+      auto doc = seg.GetDocument(id);
+      if (doc.ok()) builder.Add(*doc);
+    }
+  }
+  merged_docs_total_ += builder.num_docs();
+  std::shared_ptr<Segment> merged = std::move(builder).Build(next_segment_id_++);
+
+  std::vector<std::shared_ptr<Segment>> remaining;
+  remaining.reserve(segments_.size() - picked.size() + 1);
+  size_t next_picked = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (next_picked < picked.size() && picked[next_picked] == i) {
+      ++next_picked;
+      continue;
+    }
+    remaining.push_back(segments_[i]);
+  }
+  if (merged->num_docs() > 0) remaining.push_back(std::move(merged));
+  segments_ = std::move(remaining);
+  return true;
+}
+
+Result<Document> ShardStore::GetByRecordId(int64_t record_id) const {
+  for (auto seg = segments_.rbegin(); seg != segments_.rend(); ++seg) {
+    const int64_t local = (*seg)->FindByRecordId(record_id);
+    if (local >= 0 && !(*seg)->IsDeleted(DocId(local))) {
+      return (*seg)->GetDocument(DocId(local));
+    }
+  }
+  return Status::NotFound("record not found (or not yet refreshed)");
+}
+
+size_t ShardStore::num_live_docs() const {
+  size_t n = 0;
+  for (const auto& seg : segments_) n += seg->num_live_docs();
+  return n;
+}
+
+size_t ShardStore::SizeBytes() const {
+  size_t bytes = translog_.SizeBytes();
+  for (const auto& seg : segments_) bytes += seg->SizeBytes();
+  return bytes;
+}
+
+Result<std::unique_ptr<ShardStore>> ShardStore::Recover(const IndexSpec* spec,
+                                                        const Translog& log,
+                                                        Options options) {
+  auto store = std::make_unique<ShardStore>(spec, options);
+  for (uint64_t seq = log.begin_seq(); seq < log.end_seq(); ++seq) {
+    ESDB_ASSIGN_OR_RETURN(WriteOp op, log.Get(seq));
+    // Replay through Apply so the recovered store owns an equivalent
+    // translog tail.
+    auto applied = store->Apply(op);
+    if (!applied.ok()) return applied.status();
+  }
+  return store;
+}
+
+void ShardStore::InstallSegment(std::shared_ptr<Segment> segment) {
+  for (auto& existing : segments_) {
+    if (existing->id() == segment->id()) {
+      existing = std::move(segment);
+      return;
+    }
+  }
+  segments_.push_back(std::move(segment));
+  std::sort(segments_.begin(), segments_.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+  next_segment_id_ = std::max(next_segment_id_, segments_.back()->id() + 1);
+}
+
+void ShardStore::RetainSegments(const std::vector<uint64_t>& live_ids) {
+  segments_.erase(
+      std::remove_if(segments_.begin(), segments_.end(),
+                     [&](const std::shared_ptr<Segment>& seg) {
+                       return std::find(live_ids.begin(), live_ids.end(),
+                                        seg->id()) == live_ids.end();
+                     }),
+      segments_.end());
+}
+
+}  // namespace esdb

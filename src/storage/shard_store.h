@@ -1,0 +1,129 @@
+#ifndef ESDB_STORAGE_SHARD_STORE_H_
+#define ESDB_STORAGE_SHARD_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "document/document.h"
+#include "storage/index_spec.h"
+#include "storage/merge_policy.h"
+#include "storage/segment.h"
+#include "storage/translog.h"
+
+namespace esdb {
+
+// Storage engine for one shard: an in-memory write buffer, a set of
+// immutable segments, and a translog. Mirrors the Elasticsearch write
+// path (Section 3.3):
+//   Apply()   appends to the translog and indexes into the buffer;
+//   Refresh() turns the buffer into a searchable segment (near-real-
+//             time search: un-refreshed writes are not visible);
+//   Flush()   checkpoints (truncates) the translog;
+//   MaybeMerge() runs the tiered merge policy.
+// Single-threaded by design; the cluster layer serializes access per
+// shard.
+class ShardStore {
+ public:
+  struct Options {
+    // Auto-refresh once the buffer holds this many docs (0 = manual).
+    size_t refresh_doc_count = 4096;
+    MergePolicy::Options merge;
+  };
+
+  ShardStore(const IndexSpec* spec, Options options);
+  explicit ShardStore(const IndexSpec* spec)
+      : ShardStore(spec, Options{}) {}
+
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  // --- Write path -----------------------------------------------------
+
+  // Applies a write op: INSERT/UPDATE upsert by record_id, DELETE
+  // removes by record_id. Returns the translog sequence number.
+  Result<uint64_t> Apply(const WriteOp& op);
+
+  // Re-applies an op during recovery or replica catch-up: identical to
+  // Apply but does not append to the local translog (the caller is
+  // replaying it).
+  Status ApplyNoLog(const WriteOp& op);
+
+  // Makes buffered writes searchable. Returns true if a segment was
+  // produced (no-op on an empty buffer).
+  bool Refresh();
+
+  // Checkpoints: truncates the translog below the highest sequence
+  // number fully contained in segments (i.e. everything refreshed).
+  void Flush();
+
+  // Runs one round of the merge policy; returns true if it merged.
+  bool MaybeMerge();
+
+  // --- Read path --------------------------------------------------------
+
+  // Snapshot of searchable segments (shared ownership; stable across
+  // later refreshes/merges).
+  std::vector<std::shared_ptr<Segment>> Snapshot() const { return segments_; }
+
+  // Latest live version of a record across segments (not the buffer:
+  // near-real-time semantics).
+  Result<Document> GetByRecordId(int64_t record_id) const;
+
+  // --- Stats ------------------------------------------------------------
+
+  size_t num_live_docs() const;
+  size_t buffered_docs() const { return buffer_.size(); }
+  size_t SizeBytes() const;
+  const Translog& translog() const { return translog_; }
+  uint64_t refreshed_seq() const { return refreshed_seq_; }
+  size_t num_segments() const { return segments_.size(); }
+
+  // Cumulative count of docs (re)indexed by merges — the CPU the
+  // merge mechanism spends (used by replication experiments).
+  uint64_t merged_docs_total() const { return merged_docs_total_; }
+
+  // --- Recovery & replication hooks --------------------------------------
+
+  // Rebuilds a store by replaying `log` (crash recovery, Section 3.3).
+  static Result<std::unique_ptr<ShardStore>> Recover(const IndexSpec* spec,
+                                                     const Translog& log,
+                                                     Options options);
+
+  // Installs a decoded segment received from a primary (physical
+  // replication). Replaces any existing segment with the same id.
+  void InstallSegment(std::shared_ptr<Segment> segment);
+
+  // Drops segments absent from `live_ids` (mirror of the primary's
+  // snapshot after a replication round).
+  void RetainSegments(const std::vector<uint64_t>& live_ids);
+
+  uint64_t next_segment_id() const { return next_segment_id_; }
+  void set_next_segment_id(uint64_t id) { next_segment_id_ = id; }
+
+ private:
+  struct BufferedDoc {
+    Document doc;
+    bool deleted = false;
+  };
+
+  Status ApplyInternal(const WriteOp& op);
+  // Removes any live prior version of record_id (buffer + segments).
+  void DeleteExisting(int64_t record_id);
+
+  const IndexSpec* spec_;
+  Options options_;
+  Translog translog_;
+  std::vector<BufferedDoc> buffer_;
+  std::unordered_map<int64_t, size_t> buffer_by_record_;
+  std::vector<std::shared_ptr<Segment>> segments_;
+  uint64_t next_segment_id_ = 1;
+  uint64_t refreshed_seq_ = 0;  // translog seqs below this are in segments
+  uint64_t merged_docs_total_ = 0;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_SHARD_STORE_H_

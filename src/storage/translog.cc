@@ -1,0 +1,64 @@
+#include "storage/translog.h"
+
+#include "common/varint.h"
+
+namespace esdb {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kInsert:
+      return "INSERT";
+    case OpType::kUpdate:
+      return "UPDATE";
+    case OpType::kDelete:
+      return "DELETE";
+  }
+  return "UNKNOWN";
+}
+
+std::string WriteOp::Encode() const {
+  std::string out;
+  out.push_back(char(type));
+  PutLengthPrefixed(&out, doc.Serialize());
+  return out;
+}
+
+Result<WriteOp> WriteOp::Decode(std::string_view data) {
+  if (data.empty()) return Status::Corruption("writeop: empty");
+  WriteOp op;
+  const uint8_t tag = uint8_t(data[0]);
+  if (tag > uint8_t(OpType::kDelete)) {
+    return Status::Corruption("writeop: bad op type");
+  }
+  op.type = OpType(tag);
+  size_t pos = 1;
+  std::string_view doc_bytes;
+  if (!GetLengthPrefixed(data, &pos, &doc_bytes) || pos != data.size()) {
+    return Status::Corruption("writeop: truncated document");
+  }
+  ESDB_ASSIGN_OR_RETURN(op.doc, Document::Deserialize(doc_bytes));
+  return op;
+}
+
+uint64_t Translog::Append(const WriteOp& op) {
+  entries_.push_back(op.Encode());
+  size_bytes_ += entries_.back().size();
+  return end_seq() - 1;
+}
+
+Result<WriteOp> Translog::Get(uint64_t seq) const {
+  if (seq < begin_seq_ || seq >= end_seq()) {
+    return Status::InvalidArgument("translog: sequence out of range");
+  }
+  return WriteOp::Decode(entries_[seq - begin_seq_]);
+}
+
+void Translog::TruncateBefore(uint64_t seq) {
+  while (begin_seq_ < seq && !entries_.empty()) {
+    size_bytes_ -= entries_.front().size();
+    entries_.pop_front();
+    ++begin_seq_;
+  }
+}
+
+}  // namespace esdb

@@ -1,0 +1,64 @@
+#ifndef ESDB_STORAGE_TRANSLOG_H_
+#define ESDB_STORAGE_TRANSLOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/result.h"
+#include "document/document.h"
+
+namespace esdb {
+
+// Write operation kinds. UPDATE is an upsert keyed by record_id;
+// DELETE carries a document holding only the routing fields
+// (tenant_id, record_id, created_time).
+enum class OpType : uint8_t { kInsert = 0, kUpdate = 1, kDelete = 2 };
+
+const char* OpTypeName(OpType type);
+
+struct WriteOp {
+  OpType type = OpType::kInsert;
+  Document doc;
+
+  int64_t tenant_id() const { return doc.tenant_id(); }
+  int64_t record_id() const { return doc.record_id(); }
+  Micros created_time() const { return doc.created_time(); }
+
+  std::string Encode() const;
+  static Result<WriteOp> Decode(std::string_view data);
+};
+
+// Durability log (Elasticsearch's Translog, Section 3.3): every write
+// is appended before it is acknowledged; data not yet flushed into
+// segments is recovered by replaying the tail. Replicas receive the
+// same appends in real time (Section 5.2, "real-time synchronization
+// of Translog").
+class Translog {
+ public:
+  // Appends an op; returns its sequence number (dense from 0).
+  uint64_t Append(const WriteOp& op);
+
+  // First sequence number still retained.
+  uint64_t begin_seq() const { return begin_seq_; }
+  // Next sequence number to be assigned (== total ops ever appended).
+  uint64_t end_seq() const { return begin_seq_ + entries_.size(); }
+
+  // Decoded op at `seq`; seq must be in [begin_seq, end_seq).
+  Result<WriteOp> Get(uint64_t seq) const;
+
+  // Drops entries below `seq` (called after a flush checkpoint).
+  void TruncateBefore(uint64_t seq);
+
+  size_t SizeBytes() const { return size_bytes_; }
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  std::deque<std::string> entries_;  // encoded ops
+  uint64_t begin_seq_ = 0;
+  size_t size_bytes_ = 0;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_TRANSLOG_H_

@@ -1,0 +1,108 @@
+#ifndef ESDB_WORKLOAD_GENERATOR_H_
+#define ESDB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "document/document.h"
+#include "routing/router.h"
+
+namespace esdb {
+
+// Simulated transaction-log workload (Section 6.1): tenant ids are
+// sampled from Zipf(theta) over `num_tenants` ranks; record ids are an
+// auto-increment unique key; documents follow the transaction-log
+// template (status, group, amount, full-text title and nicknames, and
+// an "attributes" column of sub-attributes sampled from their own
+// Zipf(1) distribution over `num_sub_attributes` keys).
+class WorkloadGenerator {
+ public:
+  struct Options {
+    uint64_t num_tenants = 100000;
+    double theta = 1.0;  // tenant skew
+    uint64_t seed = 1;
+    // Attributes column (Section 6.3.3): total key universe and how
+    // many are attached to each row.
+    uint64_t num_sub_attributes = 1500;
+    uint64_t sub_attributes_per_row = 20;
+    double sub_attribute_theta = 1.0;
+    // Generate the full document (false = routing key only; the
+    // cluster simulator does not need document bodies).
+    bool full_documents = true;
+  };
+
+  explicit WorkloadGenerator(Options options);
+
+  // Routing key of the next write: Zipf tenant, auto-increment record,
+  // creation time = `now`.
+  RouteKey NextKey(Micros now);
+
+  // Full transaction-log document for `key`.
+  Document MakeDocument(const RouteKey& key);
+
+  // Convenience: NextKey + MakeDocument.
+  Document NextDocument(Micros now);
+
+  // Tenant id for a popularity rank (0 = hottest). Applies the current
+  // hotspot permutation.
+  TenantId TenantForRank(uint64_t rank) const;
+
+  // Re-maps which tenant ids receive the hot ranks (Section 6.2.3:
+  // "changing the mapping between the tenant IDs and Zipf sampling
+  // results"): rank r maps to tenant ((r + shift) mod n) + 1.
+  void ShiftHotspots(uint64_t shift);
+
+  // Changes the tenant skew mid-run (hotspot groups arriving: the
+  // workload becomes more concentrated). Rebuilds the sampler.
+  void SetTenantTheta(double theta);
+
+  // The sub-attribute key for a popularity rank, "attr0" being the
+  // most frequent. Used to configure frequency-based indexing.
+  static std::string SubAttributeKey(uint64_t rank);
+
+  const Options& options() const { return options_; }
+  uint64_t next_record_id() const { return next_record_id_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  ZipfGenerator tenant_zipf_;
+  ZipfGenerator attr_zipf_;
+  uint64_t next_record_id_ = 1;
+  uint64_t hotspot_shift_ = 0;
+};
+
+// Query workload from the Section 6.3 template: transaction logs of a
+// tenant in a time window, plus 1..8 random extra filters (3-10
+// involved columns total), LIMIT 100.
+class QueryGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 2;
+    Micros time_window = 24 * 3600 * kMicrosPerSecond;  // one day
+    int64_t limit = 100;
+    // Append a Zipf-sampled sub-attribute filter (Figure 18).
+    bool with_sub_attribute_filter = false;
+    uint64_t num_sub_attributes = 1500;
+    double sub_attribute_theta = 1.0;
+  };
+
+  explicit QueryGenerator(Options options);
+
+  // SQL text for a query against `tenant` with the time range ending
+  // at `now`.
+  std::string NextSql(TenantId tenant, Micros now);
+
+ private:
+  Options options_;
+  Rng rng_;
+  ZipfGenerator attr_zipf_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "balancer/load_balancer.h"
+#include "balancer/monitor.h"
+
+namespace esdb {
+namespace {
+
+LoadBalancer::Options TestOptions() {
+  LoadBalancer::Options options;
+  options.hotspot_threshold = 0.01;
+  options.target_share_per_shard = 0.005;
+  options.max_offset = 64;
+  options.min_window_writes = 10;
+  return options;
+}
+
+TEST(MonitorTest, AccumulatesAndDrains) {
+  WorkloadMonitor monitor;
+  monitor.RecordWrite(1);
+  monitor.RecordWrite(1, 4);
+  monitor.RecordWrite(2);
+  EXPECT_EQ(monitor.window_total(), 6u);
+  const auto window = monitor.Drain();
+  EXPECT_EQ(window.at(1), 5u);
+  EXPECT_EQ(window.at(2), 1u);
+  EXPECT_EQ(monitor.window_total(), 0u);
+  EXPECT_TRUE(monitor.Drain().empty());
+}
+
+TEST(ComputeOffsetSizeTest, PowersOfTwo) {
+  const LoadBalancer balancer(TestOptions());
+  // Tiny share: stays at 1.
+  EXPECT_EQ(balancer.ComputeOffsetSize(0.001), 1u);
+  // share/s must fall to <= 0.005.
+  EXPECT_EQ(balancer.ComputeOffsetSize(0.008), 2u);
+  EXPECT_EQ(balancer.ComputeOffsetSize(0.02), 4u);
+  EXPECT_EQ(balancer.ComputeOffsetSize(0.04), 8u);
+}
+
+// Helper assertion exposed as a test: every returned offset is a
+// power of two and capped.
+TEST(ComputeOffsetSizeTest, AlwaysPowerOfTwoAndCapped) {
+  const LoadBalancer balancer(TestOptions());
+  for (double share = 0.0001; share <= 1.0; share *= 1.37) {
+    const uint32_t s = balancer.ComputeOffsetSize(share);
+    EXPECT_EQ(s & (s - 1), 0u) << share;  // power of two
+    EXPECT_LE(s, 64u);
+    EXPECT_GE(s, 1u);
+  }
+  EXPECT_EQ(balancer.ComputeOffsetSize(1.0), 64u);  // hits the cap
+}
+
+TEST(CheckHotSpotTest, Threshold) {
+  const LoadBalancer balancer(TestOptions());
+  EXPECT_FALSE(balancer.CheckHotSpot(0.009));
+  EXPECT_TRUE(balancer.CheckHotSpot(0.01));
+  EXPECT_TRUE(balancer.CheckHotSpot(0.5));
+}
+
+TEST(OnWindowTest, ProposesForHotspotsOnly) {
+  const LoadBalancer balancer(TestOptions());
+  RuleList current;
+  std::map<TenantId, uint64_t> window;
+  window[1] = 500;  // 50%: hotspot
+  window[2] = 5;    // 0.5%: cold
+  for (TenantId t = 3; t < 100; ++t) window[t] = 5;
+  const auto proposals = balancer.OnWindow(window, current);
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0].tenant, 1);
+  EXPECT_GT(proposals[0].offset, 1u);
+}
+
+TEST(OnWindowTest, NoProposalWhenOffsetAlreadySufficient) {
+  const LoadBalancer balancer(TestOptions());
+  RuleList current;
+  current.Update(0, 64, 1);
+  std::map<TenantId, uint64_t> window = {{1, 995}, {2, 5}};
+  EXPECT_TRUE(balancer.OnWindow(window, current).empty());
+}
+
+TEST(OnWindowTest, ProposalGrowsExistingOffset) {
+  const LoadBalancer balancer(TestOptions());
+  RuleList current;
+  current.Update(0, 2, 1);
+  std::map<TenantId, uint64_t> window = {{1, 995}, {2, 5}};
+  const auto proposals = balancer.OnWindow(window, current);
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_GT(proposals[0].offset, 2u);
+}
+
+TEST(OnWindowTest, IgnoresTinyWindows) {
+  const LoadBalancer balancer(TestOptions());
+  RuleList current;
+  std::map<TenantId, uint64_t> window = {{1, 5}};  // below min sample
+  EXPECT_TRUE(balancer.OnWindow(window, current).empty());
+}
+
+TEST(InitializeFromStorageTest, LargeTenantsGetOffsets) {
+  const LoadBalancer balancer(TestOptions());
+  std::map<TenantId, uint64_t> storage;
+  storage[1] = 1000000;  // dominates
+  for (TenantId t = 2; t <= 101; ++t) storage[t] = 1000;
+  const auto proposals = balancer.InitializeFromStorage(storage);
+  ASSERT_FALSE(proposals.empty());
+  EXPECT_EQ(proposals[0].tenant, 1);
+  EXPECT_GT(proposals[0].offset, 1u);
+  // Small tenants keep s = 1 (no proposal).
+  for (const auto& p : proposals) EXPECT_EQ(p.tenant, 1);
+}
+
+TEST(InitializeFromStorageTest, EmptyStorage) {
+  const LoadBalancer balancer(TestOptions());
+  EXPECT_TRUE(balancer.InitializeFromStorage({}).empty());
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/varint.h"
+#include "common/zipf.h"
+
+namespace esdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such record");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: no such record");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    ESDB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+}
+
+TEST(HashTest, SeedsAreIndependent) {
+  // Two seeds give uncorrelated functions; at minimum, different
+  // values for many inputs.
+  int same = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (HashUint64(i, 1) % 64 == HashUint64(i, 2) % 64) ++same;
+  }
+  // Expect ~1000/64 collisions; far below 100.
+  EXPECT_LT(same, 100);
+}
+
+TEST(HashTest, HandlesAllTailLengths) {
+  std::string data(40, 'x');
+  std::set<uint64_t> seen;
+  for (size_t len = 0; len <= 33; ++len) {
+    seen.insert(Murmur3_64(data.data(), len, 0));
+  }
+  EXPECT_EQ(seen.size(), 34u);  // all distinct
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfGenerator zipf(1000, 1.0);
+  double sum = 0;
+  for (uint64_t k = 0; k < 1000; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(100, 0.0);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.01, 1e-9);
+  }
+}
+
+TEST(ZipfTest, PmfMonotonicallyDecreasing) {
+  ZipfGenerator zipf(500, 1.5);
+  for (uint64_t k = 1; k < 500; ++k) {
+    EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfGenerator zipf(50, 1.0);
+  Rng rng(7);
+  std::vector<uint64_t> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  for (uint64_t k = 0; k < 10; ++k) {  // head ranks have tight bounds
+    const double expected = zipf.Pmf(k) * n;
+    EXPECT_NEAR(double(counts[k]), expected, 5 * std::sqrt(expected) + 5);
+  }
+}
+
+// Property sweep: alias sampling stays in range for assorted shapes.
+class ZipfParamTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(ZipfParamTest, SamplesInRange) {
+  const auto [n, theta] = GetParam();
+  ZipfGenerator zipf(n, theta);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfParamTest,
+    ::testing::Combine(::testing::Values(1, 2, 10, 1000),
+                       ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0)));
+
+TEST(HistogramTest, EmptyQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, QuantileAccuracy) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(double(i) / 1000.0);  // 1ms..10s
+  // Log-bucketed: ~4% relative error.
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 0.3);
+  EXPECT_NEAR(h.Quantile(0.99), 9.9, 0.5);
+  EXPECT_NEAR(h.Mean(), 5.0005, 0.01);
+}
+
+TEST(HistogramTest, RecordNMatchesRepeatedRecord) {
+  Histogram a, b;
+  a.RecordN(0.25, 100);
+  for (int i = 0; i < 100; ++i) b.Record(0.25);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.9), b.Quantile(0.9));
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(1.0);
+  b.Record(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(RunningStatTest, MeanAndStdDev) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(PopulationStdDevTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(PopulationStdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+  EXPECT_DOUBLE_EQ(PopulationStdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationStdDev({5.0}), 0.0);
+}
+
+TEST(StringsTest, StrSplit) {
+  auto parts = StrSplit("a;b;;c", ';');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, LikeMatchBasics) {
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "%lo wo%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("aaa", "%a%a%"));
+}
+
+TEST(StringsTest, LikeMatchIsExactWithoutWildcards) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abcd", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abcd"));
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                     (1ull << 32), ~0ull}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    size_t pos = 0;
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1u << 20);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t out = 0;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &out));
+}
+
+TEST(VarintTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  size_t pos = 0;
+  std::string_view a, b;
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &a));
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &b));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+}
+
+TEST(ClockTest, SkewedClockOffsets) {
+  VirtualClock base(1000);
+  SkewedClock skewed(&base, -30);
+  EXPECT_EQ(skewed.Now(), 970);
+  base.Advance(100);
+  EXPECT_EQ(skewed.Now(), 1070);
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "consensus/protocol.h"
+
+namespace esdb {
+namespace {
+
+constexpr Micros kT = 60 * kMicrosPerSecond;  // consensus interval T
+constexpr Micros kLatency = 1 * kMicrosPerMilli;
+
+// Harness: a master plus N participants on a simulated network driven
+// by a shared virtual clock.
+class ConsensusHarness {
+ public:
+  explicit ConsensusHarness(uint32_t num_participants,
+                            SimNetwork::Options net = {}) {
+    net.latency = kLatency;
+    network = std::make_unique<SimNetwork>(&clock, net);
+    std::vector<NodeId> ids;
+    for (uint32_t i = 0; i < num_participants; ++i) {
+      ids.push_back(i + 1);
+      participants.push_back(std::make_unique<ConsensusParticipant>(
+          i + 1, network.get(), &clock));
+    }
+    ConsensusMaster::Options options;
+    options.interval = kT;
+    master = std::make_unique<ConsensusMaster>(0, network.get(), &clock, ids,
+                                               options);
+  }
+
+  // Advances virtual time in small steps, stepping all nodes.
+  void RunFor(Micros duration, Micros step = kLatency) {
+    const Micros end = clock.Now() + duration;
+    while (clock.Now() < end) {
+      clock.Advance(step);
+      master->Step();
+      for (auto& p : participants) p->Step();
+    }
+  }
+
+  VirtualClock clock;
+  std::unique_ptr<SimNetwork> network;
+  std::unique_ptr<ConsensusMaster> master;
+  std::vector<std::unique_ptr<ConsensusParticipant>> participants;
+};
+
+TEST(ConsensusTest, HappyPathCommitsOnAllNodes) {
+  ConsensusHarness h(4);
+  const uint64_t round = h.master->ProposeRule(/*tenant=*/7, /*offset=*/8);
+  EXPECT_EQ(h.master->GetEffectiveTime(round), h.clock.Now() + kT);
+  h.RunFor(10 * kLatency);
+  ASSERT_TRUE(h.master->GetRoundState(round).has_value());
+  EXPECT_EQ(*h.master->GetRoundState(round),
+            ConsensusMaster::RoundState::kCommitted);
+  for (const auto& p : h.participants) {
+    EXPECT_EQ(p->commits_applied(), 1u);
+    EXPECT_EQ(p->rules().MaxOffset(7), 8u);
+    EXPECT_EQ(p->pending_rounds(), 0u);
+  }
+}
+
+TEST(ConsensusTest, EffectiveTimeIsNowPlusT) {
+  ConsensusHarness h(2);
+  h.clock.Set(5 * kMicrosPerSecond);
+  const uint64_t round = h.master->ProposeRule(1, 2);
+  EXPECT_EQ(h.master->GetEffectiveTime(round),
+            5 * kMicrosPerSecond + kT);
+}
+
+TEST(ConsensusTest, ConsensusIsFastRelativeToT) {
+  // The protocol reaches consensus in a few network round trips —
+  // far below T, which is what makes commit wait non-blocking.
+  ConsensusHarness h(8);
+  const Micros start = h.clock.Now();
+  const uint64_t round = h.master->ProposeRule(1, 4);
+  while (!h.master->GetRoundState(round) ||
+         *h.master->GetRoundState(round) ==
+             ConsensusMaster::RoundState::kPreparing) {
+    h.RunFor(kLatency);
+  }
+  EXPECT_LT(h.clock.Now() - start, kT / 100);
+}
+
+TEST(ConsensusTest, RuleListsAgreeAcrossParticipantsAfterManyRounds) {
+  ConsensusHarness h(5);
+  for (int i = 0; i < 10; ++i) {
+    h.master->ProposeRule(TenantId(i % 3 + 1), 1u << (1 + i % 4));
+    h.RunFor(8 * kLatency);
+  }
+  h.RunFor(20 * kLatency);
+  for (size_t i = 1; i < h.participants.size(); ++i) {
+    EXPECT_EQ(h.participants[i]->rules(), h.participants[0]->rules());
+  }
+  EXPECT_EQ(h.master->rounds_committed(), 10u);
+}
+
+TEST(ConsensusTest, ParticipantErrorAbortsRound) {
+  ConsensusHarness h(3);
+  // Participant 2 already executed a record created far in the future
+  // (extreme clock skew): it must reject the prepare.
+  h.participants[1]->ObserveWrite(h.clock.Now() + 2 * kT);
+  const uint64_t round = h.master->ProposeRule(1, 8);
+  h.RunFor(10 * kLatency);
+  EXPECT_EQ(*h.master->GetRoundState(round),
+            ConsensusMaster::RoundState::kAborted);
+  // No participant ends up with the rule.
+  for (const auto& p : h.participants) {
+    EXPECT_EQ(p->rules().MaxOffset(1), 1u);
+    EXPECT_EQ(p->pending_rounds(), 0u);
+  }
+}
+
+TEST(ConsensusTest, PartitionedParticipantTimesOutAndAborts) {
+  ConsensusHarness h(3);
+  h.network->PartitionNode(2);
+  const uint64_t round = h.master->ProposeRule(1, 8);
+  // Within T/2 nothing is decided; after T/2 the master aborts.
+  h.RunFor(kT / 4);
+  EXPECT_EQ(*h.master->GetRoundState(round),
+            ConsensusMaster::RoundState::kPreparing);
+  h.RunFor(kT / 2);
+  EXPECT_EQ(*h.master->GetRoundState(round),
+            ConsensusMaster::RoundState::kAborted);
+  // Healthy participants saw the abort and unblocked.
+  EXPECT_EQ(h.participants[0]->aborts_seen(), 1u);
+  EXPECT_EQ(h.participants[0]->pending_rounds(), 0u);
+}
+
+TEST(ConsensusTest, BlockingWindowSemantics) {
+  ConsensusHarness h(2);
+  const uint64_t round = h.master->ProposeRule(1, 4);
+  const Micros effective = h.master->GetEffectiveTime(round);
+  // Deliver the prepare only (a couple of latency steps).
+  h.clock.Advance(2 * kLatency);
+  for (auto& p : h.participants) p->Step();
+  ASSERT_EQ(h.participants[0]->pending_rounds(), 1u);
+  // Writes before the effective time are never blocked.
+  EXPECT_FALSE(h.participants[0]->IsBlocked(effective - 1));
+  // Writes at/after the effective time block while the round is open.
+  EXPECT_TRUE(h.participants[0]->IsBlocked(effective));
+  EXPECT_TRUE(h.participants[0]->IsBlocked(effective + 12345));
+  // After commit the block lifts.
+  h.RunFor(10 * kLatency);
+  EXPECT_FALSE(h.participants[0]->IsBlocked(effective));
+  EXPECT_EQ(h.participants[0]->rules().MaxOffset(1), 4u);
+}
+
+TEST(ConsensusTest, DroppedPrepareStillConvergesViaCommitPayload) {
+  // Drop-prone network: prepares may vanish; a dropped prepare leads
+  // to timeout-abort, but a dropped *ack* after commit must not leave
+  // rule lists diverged.
+  SimNetwork::Options net;
+  net.drop_prob = 0.0;
+  ConsensusHarness h(3, net);
+  // Simulate a participant that missed the prepare but receives the
+  // commit: it applies the rule from the commit payload.
+  const uint64_t round = h.master->ProposeRule(9, 16);
+  (void)round;
+  // Let prepare reach participants 1 and 2, then partition 3's inbox
+  // by draining its messages manually.
+  h.clock.Advance(2 * kLatency);
+  h.participants[0]->Step();
+  h.participants[1]->Step();
+  (void)h.network->Receive(3);  // participant 3 "loses" the prepare
+  // Master can't commit yet (participant 3 never accepted) -> abort
+  // at T/2. That's the safe outcome.
+  h.RunFor(kT);
+  EXPECT_EQ(h.master->rounds_aborted(), 1u);
+  for (const auto& p : h.participants) {
+    EXPECT_EQ(p->rules().MaxOffset(9), 1u);
+  }
+}
+
+TEST(ConsensusTest, ConcurrentRoundsForDifferentTenants) {
+  ConsensusHarness h(3);
+  const uint64_t r1 = h.master->ProposeRule(1, 4);
+  const uint64_t r2 = h.master->ProposeRule(2, 8);
+  h.RunFor(12 * kLatency);
+  EXPECT_EQ(*h.master->GetRoundState(r1),
+            ConsensusMaster::RoundState::kCommitted);
+  EXPECT_EQ(*h.master->GetRoundState(r2),
+            ConsensusMaster::RoundState::kCommitted);
+  EXPECT_EQ(h.participants[0]->rules().MaxOffset(1), 4u);
+  EXPECT_EQ(h.participants[0]->rules().MaxOffset(2), 8u);
+}
+
+TEST(SimNetworkTest, DeliversAfterLatency) {
+  VirtualClock clock;
+  SimNetwork::Options options;
+  options.latency = 10;
+  SimNetwork net(&clock, options);
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.Send(m);
+  EXPECT_TRUE(net.Receive(2).empty());  // not yet due
+  clock.Advance(10);
+  EXPECT_EQ(net.Receive(2).size(), 1u);
+  EXPECT_TRUE(net.Receive(2).empty());  // consumed
+}
+
+TEST(SimNetworkTest, PartitionDropsBothDirections) {
+  VirtualClock clock;
+  SimNetwork net(&clock, SimNetwork::Options{});
+  net.PartitionNode(2);
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.Send(m);
+  m.from = 2;
+  m.to = 1;
+  net.Send(m);
+  clock.Advance(kMicrosPerSecond);
+  EXPECT_TRUE(net.Receive(2).empty());
+  EXPECT_TRUE(net.Receive(1).empty());
+  EXPECT_EQ(net.messages_dropped(), 2u);
+  net.HealNode(2);
+  m.from = 1;
+  m.to = 2;
+  net.Send(m);
+  clock.Advance(kMicrosPerSecond);
+  EXPECT_EQ(net.Receive(2).size(), 1u);
+}
+
+TEST(SimNetworkTest, RandomDropsAreDeterministicBySeed) {
+  VirtualClock clock;
+  SimNetwork::Options options;
+  options.drop_prob = 0.5;
+  options.seed = 9;
+  SimNetwork a(&clock, options), b(&clock, options);
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    m.from = 1;
+    m.to = 2;
+    a.Send(m);
+    b.Send(m);
+  }
+  EXPECT_EQ(a.messages_dropped(), b.messages_dropped());
+  EXPECT_GT(a.messages_dropped(), 20u);
+  EXPECT_LT(a.messages_dropped(), 80u);
+}
+
+
+TEST(ConsensusTest, SyncCatchesUpPartitionedParticipant) {
+  ConsensusHarness h(3);
+  // Commit one rule while everyone is healthy.
+  h.master->ProposeRule(1, 4);
+  h.RunFor(10 * kLatency);
+  // Partition participant 3; commit two more rules it will miss.
+  h.network->PartitionNode(3);
+  const uint64_t r2 = h.master->ProposeRule(2, 8);
+  h.RunFor(kT);  // round aborts (participant 3 unreachable)
+  EXPECT_EQ(*h.master->GetRoundState(r2),
+            ConsensusMaster::RoundState::kAborted);
+  h.network->HealNode(3);
+  // With node 3 healthy again, new rules commit but node 3's list may
+  // have drifted during the partition window. It requests a sync.
+  h.master->ProposeRule(5, 16);
+  h.RunFor(10 * kLatency);
+  h.participants[2]->RequestSync(/*master=*/0);
+  h.RunFor(10 * kLatency);
+  EXPECT_EQ(h.participants[2]->syncs_applied(), 1u);
+  // All participants agree, and match the master's committed copy.
+  for (const auto& p : h.participants) {
+    EXPECT_EQ(p->rules(), h.master->committed_rules());
+  }
+  EXPECT_EQ(h.master->committed_rules().MaxOffset(1), 4u);
+  EXPECT_EQ(h.master->committed_rules().MaxOffset(5), 16u);
+}
+
+TEST(ConsensusTest, MasterTracksCommittedRules) {
+  ConsensusHarness h(2);
+  EXPECT_EQ(h.master->committed_rules().size(), 0u);
+  h.master->ProposeRule(7, 8);
+  h.RunFor(10 * kLatency);
+  EXPECT_EQ(h.master->committed_rules().MaxOffset(7), 8u);
+  // Aborted rounds never enter the committed list.
+  h.network->PartitionNode(1);
+  h.master->ProposeRule(9, 32);
+  h.RunFor(kT);
+  EXPECT_EQ(h.master->committed_rules().MaxOffset(9), 1u);
+}
+
+TEST(ConsensusTest, SyncIsIdempotent) {
+  ConsensusHarness h(2);
+  h.master->ProposeRule(1, 4);
+  h.RunFor(10 * kLatency);
+  h.participants[0]->RequestSync(0);
+  h.RunFor(10 * kLatency);
+  h.participants[0]->RequestSync(0);
+  h.RunFor(10 * kLatency);
+  EXPECT_EQ(h.participants[0]->syncs_applied(), 2u);
+  EXPECT_EQ(h.participants[0]->rules(), h.master->committed_rules());
+}
+
+
+TEST(ConsensusTest, SkewedParticipantClocksStillCommit) {
+  // Per-node clock skew far below T (the paper bounds deviations at
+  // ~1s against T ~ 60s): rounds commit normally.
+  ConsensusHarness h(3);
+  SkewedClock ahead(&h.clock, 900 * kMicrosPerMilli);
+  SkewedClock behind(&h.clock, -900 * kMicrosPerMilli);
+  ConsensusParticipant fast(10, h.network.get(), &ahead);
+  ConsensusParticipant slow(11, h.network.get(), &behind);
+  ConsensusMaster::Options options;
+  options.interval = kT;
+  ConsensusMaster master(9, h.network.get(), &h.clock, {10, 11}, options);
+
+  // The fast node executed a write "in its future" but still well
+  // before now + T.
+  fast.ObserveWrite(ahead.Now() + kMicrosPerSecond);
+  const uint64_t round = master.ProposeRule(1, 8);
+  for (int i = 0; i < 10; ++i) {
+    h.clock.Advance(kLatency);
+    master.Step();
+    fast.Step();
+    slow.Step();
+  }
+  EXPECT_EQ(*master.GetRoundState(round),
+            ConsensusMaster::RoundState::kCommitted);
+  EXPECT_EQ(fast.rules().MaxOffset(1), 8u);
+  EXPECT_EQ(slow.rules().MaxOffset(1), 8u);
+}
+
+TEST(ConsensusTest, SkewBeyondTAborts) {
+  // A node whose executed records run past now + T must error the
+  // prepare (commit wait cannot protect it).
+  ConsensusHarness h(2);
+  h.participants[0]->ObserveWrite(h.clock.Now() + kT + kMicrosPerSecond);
+  const uint64_t round = h.master->ProposeRule(1, 8);
+  h.RunFor(10 * kLatency);
+  EXPECT_EQ(*h.master->GetRoundState(round),
+            ConsensusMaster::RoundState::kAborted);
+}
+
+}  // namespace
+}  // namespace esdb

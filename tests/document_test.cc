@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "document/document.h"
+#include "document/json.h"
+
+namespace esdb {
+namespace {
+
+Document SampleDoc() {
+  Document doc;
+  doc.Set(kFieldTenantId, Value(int64_t(42)));
+  doc.Set(kFieldRecordId, Value(int64_t(1001)));
+  doc.Set(kFieldCreatedTime, Value(int64_t(1636588800000000)));
+  doc.Set("status", Value(int64_t(1)));
+  doc.Set("amount", Value(19.99));
+  doc.Set("title", Value("classic novel"));
+  doc.Set("paid", Value(true));
+  doc.Set("note", Value::Null());
+  return doc;
+}
+
+TEST(DocumentTest, GetMissingReturnsNull) {
+  Document doc;
+  EXPECT_TRUE(doc.Get("absent").is_null());
+  EXPECT_FALSE(doc.Has("absent"));
+}
+
+TEST(DocumentTest, RoutingAccessors) {
+  const Document doc = SampleDoc();
+  EXPECT_EQ(doc.tenant_id(), 42);
+  EXPECT_EQ(doc.record_id(), 1001);
+  EXPECT_EQ(doc.created_time(), 1636588800000000);
+}
+
+TEST(DocumentTest, RoutingAccessorsDefaultToZero) {
+  Document doc;
+  doc.Set(kFieldTenantId, Value("not-an-int"));
+  EXPECT_EQ(doc.tenant_id(), 0);
+  EXPECT_EQ(doc.record_id(), 0);
+}
+
+TEST(DocumentTest, SerializeRoundTrip) {
+  const Document doc = SampleDoc();
+  auto decoded = Document::Deserialize(doc.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, doc);
+}
+
+TEST(DocumentTest, DeserializeRejectsCorruption) {
+  const std::string bytes = SampleDoc().Serialize();
+  // Truncations at every prefix length must fail cleanly, not crash.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto r = Document::Deserialize(bytes.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+  // Trailing garbage is also rejected.
+  EXPECT_FALSE(Document::Deserialize(bytes + "x").ok());
+}
+
+TEST(DocumentTest, SetOverwrites) {
+  Document doc;
+  doc.Set("a", Value(int64_t(1)));
+  doc.Set("a", Value(int64_t(2)));
+  EXPECT_EQ(doc.Get("a").as_int(), 2);
+  EXPECT_EQ(doc.size(), 1u);
+}
+
+TEST(AttributesTest, EncodeParseRoundTrip) {
+  std::map<std::string, std::string> attrs = {
+      {"activity", "singles_day"}, {"size", "XL"}, {"color", "red"}};
+  const std::string encoded = EncodeAttributes(attrs);
+  EXPECT_EQ(ParseAttributes(encoded), attrs);
+}
+
+TEST(AttributesTest, EmptyAndMalformed) {
+  EXPECT_TRUE(ParseAttributes("").empty());
+  // Malformed pairs (no colon) are skipped.
+  const auto parsed = ParseAttributes("good:1;bad;also:2");
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.at("good"), "1");
+  EXPECT_EQ(parsed.at("also"), "2");
+}
+
+TEST(AttributesTest, SubAttributeFieldName) {
+  EXPECT_EQ(SubAttributeField("activity"), "attributes.activity");
+}
+
+TEST(JsonTest, RoundTrip) {
+  const Document doc = SampleDoc();
+  auto decoded = FromJson(ToJson(doc));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, doc);
+}
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  Document doc;
+  doc.Set("s", Value("a\"b\\c\nd"));
+  auto decoded = FromJson(ToJson(doc));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->Get("s").as_string(), "a\"b\\c\nd");
+}
+
+TEST(JsonTest, ParsesLiteralsAndNumbers) {
+  auto doc = FromJson(R"({"a": 1, "b": -2.5, "c": true, "d": null})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("a").as_int(), 1);
+  EXPECT_DOUBLE_EQ(doc->Get("b").as_double(), -2.5);
+  EXPECT_TRUE(doc->Get("c").as_bool());
+  EXPECT_TRUE(doc->Get("d").is_null());
+}
+
+TEST(JsonTest, RejectsNestedStructures) {
+  EXPECT_FALSE(FromJson(R"({"a": {"b": 1}})").ok());
+  EXPECT_FALSE(FromJson(R"({"a": [1, 2]})").ok());
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(FromJson("").ok());
+  EXPECT_FALSE(FromJson("{").ok());
+  EXPECT_FALSE(FromJson(R"({"a" 1})").ok());
+  EXPECT_FALSE(FromJson(R"({"a": 1} extra)").ok());
+  EXPECT_FALSE(FromJson(R"({"a": 'x'})").ok());
+}
+
+TEST(JsonTest, EmptyObject) {
+  auto doc = FromJson("{}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 0u);
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "cluster/esdb.h"
+#include "query/filter_cache.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+
+namespace esdb {
+namespace {
+
+PostingList Ids(std::vector<DocId> ids) { return PostingList(std::move(ids)); }
+
+TEST(FilterCacheTest, HitMissAndLru) {
+  FilterCache::Options options;
+  options.max_entries = 2;
+  FilterCache cache(options);
+  EXPECT_EQ(cache.Get(0, 1, "a"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Put(0, 1, "a", Ids({1, 2}));
+  cache.Put(0, 2, "a", Ids({3}));
+  ASSERT_NE(cache.Get(0, 1, "a"), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Third insert evicts the LRU entry (segment 2, untouched since Put).
+  cache.Put(0, 3, "a", Ids({4}));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get(0, 2, "a"), nullptr);
+  EXPECT_NE(cache.Get(0, 1, "a"), nullptr);  // recently used: survived
+}
+
+TEST(FilterCacheTest, DomainsAreIsolated) {
+  FilterCache cache;
+  cache.Put(/*domain=*/7, /*segment=*/1, "fp", Ids({1, 2, 3}));
+  EXPECT_EQ(cache.Get(/*domain=*/8, 1, "fp"), nullptr);
+  ASSERT_NE(cache.Get(7, 1, "fp"), nullptr);
+  EXPECT_EQ(cache.Get(7, 1, "fp")->size(), 3u);
+}
+
+TEST(FilterCacheTest, PutOverwrites) {
+  FilterCache cache;
+  cache.Put(0, 1, "fp", Ids({1}));
+  cache.Put(0, 1, "fp", Ids({1, 2}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(0, 1, "fp")->size(), 2u);
+}
+
+std::unique_ptr<PlanNode> PlanOf(const std::string& where,
+                                 const IndexSpec& spec) {
+  auto q = ParseSql("SELECT * FROM t WHERE " + where);
+  EXPECT_TRUE(q.ok());
+  auto normalized = NormalizeForPlanning(std::move(q->where));
+  return PlanWhere(normalized.get(), spec, PlannerOptions{});
+}
+
+TEST(PlanFingerprintTest, DistinguishesPlans) {
+  const IndexSpec spec = IndexSpec::TransactionLogDefault();
+  // Same shape, different literal: ToString would collide ("1 terms"),
+  // the fingerprint must not.
+  const auto a = PlanOf("group = 1", spec);
+  const auto b = PlanOf("group = 2", spec);
+  EXPECT_NE(PlanFingerprint(*a), PlanFingerprint(*b));
+  // Identical queries agree.
+  const auto c = PlanOf("group = 1", spec);
+  EXPECT_EQ(PlanFingerprint(*a), PlanFingerprint(*c));
+  // Different ranges differ.
+  EXPECT_NE(PlanFingerprint(*PlanOf("amount >= 1 AND tenant_id = 1", spec)),
+            PlanFingerprint(*PlanOf("amount >= 2 AND tenant_id = 1", spec)));
+}
+
+TEST(PlanFingerprintTest, CacheabilityGating) {
+  const IndexSpec spec = IndexSpec::TransactionLogDefault();
+  EXPECT_TRUE(IsCacheable(*PlanOf("tenant_id = 1 AND status = 2", spec)));
+  // LIKE on an unindexed shape forces a FullScan -> not cacheable.
+  EXPECT_FALSE(IsCacheable(*PlanOf("title LIKE '%x%'", spec)));
+  // No WHERE -> FullScan -> not cacheable.
+  auto full = PlanWhere(nullptr, spec, PlannerOptions{});
+  EXPECT_FALSE(IsCacheable(*full));
+}
+
+class CachedClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Esdb::Options options;
+    options.num_shards = 8;
+    options.routing = RoutingKind::kHash;
+    options.store.refresh_doc_count = 0;
+    db_ = std::make_unique<Esdb>(std::move(options));
+    for (int64_t i = 0; i < 300; ++i) {
+      Document doc;
+      doc.Set(kFieldTenantId, Value(int64_t(1 + i % 6)));
+      doc.Set(kFieldRecordId, Value(i));
+      doc.Set(kFieldCreatedTime, Value(i));
+      doc.Set("group", Value(int64_t(i % 10)));
+      ASSERT_TRUE(db_->Insert(std::move(doc)).ok());
+    }
+    db_->RefreshAll();
+  }
+
+  std::unique_ptr<Esdb> db_;
+};
+
+TEST_F(CachedClusterTest, RepeatedQueriesHitTheCache) {
+  const std::string sql =
+      "SELECT * FROM t WHERE tenant_id = 1 AND group = 3";
+  auto first = db_->ExecuteSql(sql);
+  ASSERT_TRUE(first.ok());
+  const uint64_t misses_after_first = db_->filter_cache()->misses();
+  EXPECT_GT(misses_after_first, 0u);
+  EXPECT_EQ(db_->filter_cache()->hits(), 0u);
+
+  auto second = db_->ExecuteSql(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(db_->filter_cache()->hits(), 0u);
+  EXPECT_EQ(db_->filter_cache()->misses(), misses_after_first);
+  // Identical results.
+  ASSERT_EQ(first->rows.size(), second->rows.size());
+  for (size_t i = 0; i < first->rows.size(); ++i) {
+    EXPECT_EQ(first->rows[i], second->rows[i]);
+  }
+}
+
+TEST_F(CachedClusterTest, CachedQueriesRespectNewTombstones) {
+  const std::string sql =
+      "SELECT COUNT(*) FROM t WHERE tenant_id = 2 AND group = 1";
+  auto before = db_->ExecuteSql(sql);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(before->agg_count, 0u);
+  // Find one matching record and delete it WITHOUT refreshing (the
+  // tombstone lands in the already-cached segment).
+  auto rows = db_->ExecuteSql(
+      "SELECT * FROM t WHERE tenant_id = 2 AND group = 1 LIMIT 1");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  const Document& victim = rows->rows[0];
+  ASSERT_TRUE(db_->Delete(victim.tenant_id(), victim.record_id(),
+                          victim.created_time())
+                  .ok());
+  auto after = db_->ExecuteSql(sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->agg_count, before->agg_count - 1);
+}
+
+TEST_F(CachedClusterTest, CacheDisabledStillCorrect) {
+  Esdb::Options options;
+  options.num_shards = 8;
+  options.routing = RoutingKind::kHash;
+  options.store.refresh_doc_count = 0;
+  options.use_filter_cache = false;
+  Esdb uncached(std::move(options));
+  for (int64_t i = 0; i < 50; ++i) {
+    Document doc;
+    doc.Set(kFieldTenantId, Value(int64_t(1)));
+    doc.Set(kFieldRecordId, Value(i));
+    doc.Set(kFieldCreatedTime, Value(i));
+    ASSERT_TRUE(uncached.Insert(std::move(doc)).ok());
+  }
+  uncached.RefreshAll();
+  auto r = uncached.ExecuteSql("SELECT COUNT(*) FROM t WHERE tenant_id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->agg_count, 50u);
+  EXPECT_EQ(uncached.filter_cache()->hits() + uncached.filter_cache()->misses(),
+            0u);
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,141 @@
+// Robustness sweeps: every decoder and parser in the public surface
+// must reject arbitrary byte garbage with a clean Status — no crash,
+// no UB, no trailing-state corruption. These are cheap deterministic
+// fuzz-ish property tests (fixed seeds, thousands of inputs).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "document/document.h"
+#include "document/json.h"
+#include "query/dsl.h"
+#include "query/parser.h"
+#include "routing/rule_list.h"
+#include "storage/segment.h"
+#include "storage/translog.h"
+
+namespace esdb {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string out;
+  const size_t len = rng.Uniform(max_len + 1);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) out.push_back(char(rng.Uniform(256)));
+  return out;
+}
+
+// Printable garbage: exercises parser token paths more than raw bytes.
+std::string RandomText(Rng& rng, size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefgSELECT FROM WHERE AND OR NOT ()=<>!'\",.*0123456789_%{}[]:";
+  std::string out;
+  const size_t len = rng.Uniform(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+TEST(FuzzTest, DocumentDecodeNeverCrashes) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    (void)Document::Deserialize(RandomBytes(rng, 64));
+  }
+}
+
+TEST(FuzzTest, DocumentDecodeMutatedValidInput) {
+  Document doc;
+  doc.Set("a", Value(int64_t(5)));
+  doc.Set("b", Value("text"));
+  doc.Set("c", Value(1.5));
+  const std::string valid = doc.Serialize();
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    std::string mutated = valid;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = char(rng.Uniform(256));
+    auto result = Document::Deserialize(mutated);
+    // Either cleanly rejected or decoded to SOME document — both fine;
+    // the property is no crash / no hang.
+    (void)result;
+  }
+}
+
+TEST(FuzzTest, SegmentDecodeNeverCrashes) {
+  IndexSpec spec;
+  spec.composite_indexes = {{"tenant_id", "created_time"}};
+  SegmentBuilder builder(&spec);
+  Document doc;
+  doc.Set(kFieldTenantId, Value(int64_t(1)));
+  doc.Set(kFieldRecordId, Value(int64_t(1)));
+  doc.Set(kFieldCreatedTime, Value(int64_t(1)));
+  builder.Add(doc);
+  const std::string valid = std::move(builder).Build(1)->Encode();
+
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    (void)Segment::Decode(RandomBytes(rng, 200));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = valid;
+    mutated[rng.Uniform(mutated.size())] = char(rng.Uniform(256));
+    (void)Segment::Decode(mutated);
+  }
+  // Truncations at every length.
+  for (size_t len = 0; len < valid.size(); ++len) {
+    (void)Segment::Decode(std::string_view(valid).substr(0, len));
+  }
+}
+
+TEST(FuzzTest, WriteOpDecodeNeverCrashes) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    (void)WriteOp::Decode(RandomBytes(rng, 48));
+  }
+}
+
+TEST(FuzzTest, RuleListDecodeNeverCrashes) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    (void)RuleList::Decode(RandomBytes(rng, 48));
+  }
+}
+
+TEST(FuzzTest, SqlParserNeverCrashes) {
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    (void)ParseSql(RandomText(rng, 80));
+    (void)ParseDml(RandomText(rng, 80));
+  }
+}
+
+TEST(FuzzTest, JsonAndDslParsersNeverCrash) {
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    (void)FromJson(RandomText(rng, 80));
+    (void)ParseDsl(RandomText(rng, 80));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    (void)FromJson(RandomBytes(rng, 60));
+    (void)ParseDsl(RandomBytes(rng, 60));
+  }
+}
+
+TEST(FuzzTest, DslDeepNestingBounded) {
+  // Deeply nested bool clauses should parse (or fail) without stack
+  // issues at reasonable depths.
+  std::string dsl = R"({"query": )";
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) {
+    dsl += R"({"bool": {"must": [)";
+  }
+  dsl += R"({"term": {"a": 1}})";
+  for (int i = 0; i < depth; ++i) dsl += "]}}";
+  dsl += "}";
+  auto result = ParseDsl(dsl);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "cluster/esdb.h"
+#include "common/random.h"
+#include "query/parser.h"
+
+namespace esdb {
+namespace {
+
+TEST(GroupByParseTest, BasicShape) {
+  auto q = ParseSql(
+      "SELECT status, COUNT(*) FROM t WHERE tenant_id = 1 GROUP BY status");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->group_by, "status");
+  EXPECT_EQ(q->agg, AggFunc::kCount);
+  EXPECT_EQ(q->select_columns, std::vector<std::string>{"status"});
+}
+
+TEST(GroupByParseTest, AggregateOnly) {
+  auto q = ParseSql("SELECT SUM(amount) FROM t GROUP BY status");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->agg, AggFunc::kSum);
+  EXPECT_EQ(q->agg_column, "amount");
+}
+
+TEST(GroupByParseTest, RejectsInvalidShapes) {
+  // Non-grouped plain column.
+  EXPECT_FALSE(
+      ParseSql("SELECT flag, COUNT(*) FROM t GROUP BY status").ok());
+  // GROUP BY without an aggregate.
+  EXPECT_FALSE(ParseSql("SELECT status FROM t GROUP BY status").ok());
+  // Mixed column + aggregate without GROUP BY.
+  EXPECT_FALSE(ParseSql("SELECT status, COUNT(*) FROM t").ok());
+  // Two aggregates.
+  EXPECT_FALSE(
+      ParseSql("SELECT COUNT(*), SUM(a) FROM t GROUP BY b").ok());
+}
+
+TEST(GroupByParseTest, ToStringRoundTrips) {
+  auto q = ParseSql(
+      "SELECT status, AVG(amount) FROM t WHERE tenant_id = 1 "
+      "GROUP BY status");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseSql(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+class GroupByExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Esdb::Options options;
+    options.num_shards = 8;
+    options.routing = RoutingKind::kDynamic;
+    options.store.refresh_doc_count = 0;
+    db_ = std::make_unique<Esdb>(std::move(options));
+    Rng rng(7);
+    for (int64_t i = 0; i < 400; ++i) {
+      Document doc;
+      doc.Set(kFieldTenantId, Value(int64_t(1 + i % 4)));
+      doc.Set(kFieldRecordId, Value(i));
+      doc.Set(kFieldCreatedTime, Value(i));
+      const int64_t status = int64_t(rng.Uniform(3));
+      doc.Set("status", Value(status));
+      doc.Set("amount", Value(double(status * 10 + 1)));
+      ASSERT_TRUE(db_->Insert(std::move(doc)).ok());
+      expected_count_[status]++;
+      expected_sum_[status] += double(status * 10 + 1);
+    }
+    db_->RefreshAll();
+  }
+
+  std::unique_ptr<Esdb> db_;
+  std::map<int64_t, uint64_t> expected_count_;
+  std::map<int64_t, double> expected_sum_;
+};
+
+TEST_F(GroupByExecTest, CountsPerGroupAcrossShards) {
+  auto result =
+      db_->ExecuteSql("SELECT status, COUNT(*) FROM t GROUP BY status");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->groups.size(), 3u);
+  for (const auto& [key, group] : result->groups) {
+    EXPECT_EQ(group.count, expected_count_[key.as_int()]);
+  }
+}
+
+TEST_F(GroupByExecTest, SumAndAvgPerGroup) {
+  auto result = db_->ExecuteSql(
+      "SELECT status, AVG(amount) FROM t WHERE tenant_id IN (1, 2, 3, 4) "
+      "GROUP BY status");
+  ASSERT_TRUE(result.ok());
+  for (const auto& [key, group] : result->groups) {
+    const int64_t status = key.as_int();
+    EXPECT_NEAR(group.sum, expected_sum_[status], 1e-9);
+    EXPECT_NEAR(group.Avg(), double(status * 10 + 1), 1e-9);
+    EXPECT_EQ(group.min->NumericValue(), double(status * 10 + 1));
+  }
+}
+
+TEST_F(GroupByExecTest, TenantScopedGrouping) {
+  auto result = db_->ExecuteSql(
+      "SELECT status, COUNT(*) FROM t WHERE tenant_id = 1 GROUP BY status");
+  ASSERT_TRUE(result.ok());
+  uint64_t total = 0;
+  for (const auto& [key, group] : result->groups) total += group.count;
+  EXPECT_EQ(total, 100u);  // tenant 1 owns a quarter of 400 docs
+}
+
+TEST_F(GroupByExecTest, MissingColumnGroupsUnderNull) {
+  auto result =
+      db_->ExecuteSql("SELECT COUNT(*) FROM t GROUP BY nonexistent");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->groups.size(), 1u);
+  EXPECT_TRUE(result->groups.begin()->first.is_null());
+  EXPECT_EQ(result->groups.begin()->second.count, 400u);
+}
+
+}  // namespace
+}  // namespace esdb

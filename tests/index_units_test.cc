@@ -1,0 +1,115 @@
+// Direct unit tests for the index primitives that are otherwise
+// exercised through Segment: InvertedIndex, DocValues, and the plan
+// renderer.
+
+#include <gtest/gtest.h>
+
+#include "query/normalize.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "storage/doc_values.h"
+#include "storage/inverted_index.h"
+
+namespace esdb {
+namespace {
+
+TEST(InvertedIndexTest, AddAndLookup) {
+  InvertedIndex index;
+  index.Add("apple", 1);
+  index.Add("apple", 5);
+  index.Add("banana", 2);
+  EXPECT_EQ(index.num_terms(), 2u);
+  EXPECT_EQ(index.Lookup("apple"), PostingList(std::vector<DocId>{1, 5}));
+  EXPECT_TRUE(index.Lookup("cherry").empty());
+}
+
+TEST(InvertedIndexTest, DuplicateDocPerTermCollapses) {
+  InvertedIndex index;
+  index.Add("t", 3);
+  index.Add("t", 3);  // same doc twice (multi-token field)
+  EXPECT_EQ(index.Lookup("t").size(), 1u);
+}
+
+TEST(InvertedIndexTest, LookupRangeIsHalfOpen) {
+  InvertedIndex index;
+  index.Add("a", 1);
+  index.Add("b", 2);
+  index.Add("c", 3);
+  index.Add("d", 4);
+  const auto lists = index.LookupRange("b", "d");  // [b, d)
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_TRUE(lists[0]->Contains(2));
+  EXPECT_TRUE(lists[1]->Contains(3));
+  EXPECT_TRUE(index.LookupRange("x", "z").empty());
+  EXPECT_TRUE(index.LookupRange("b", "b").empty());  // empty interval
+}
+
+TEST(InvertedIndexTest, ApproximateBytesGrows) {
+  InvertedIndex index;
+  const size_t empty = index.ApproximateBytes();
+  for (DocId i = 0; i < 100; ++i) index.Add("term" + std::to_string(i), i);
+  EXPECT_GT(index.ApproximateBytes(), empty + 100);
+}
+
+TEST(DocValuesTest, ColumnsDefaultToNull) {
+  DocValues values(4);
+  DocValues::Column* col = values.GetOrCreate("status");
+  EXPECT_TRUE(col->Get(0).is_null());
+  col->Set(2, Value(int64_t(7)));
+  EXPECT_EQ(values.Find("status")->Get(2).as_int(), 7);
+  EXPECT_TRUE(values.Find("status")->Get(3).is_null());
+  EXPECT_EQ(values.Find("absent"), nullptr);
+}
+
+TEST(DocValuesTest, GetOrCreateIsIdempotent) {
+  DocValues values(2);
+  DocValues::Column* a = values.GetOrCreate("x");
+  DocValues::Column* b = values.GetOrCreate("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(values.columns().size(), 1u);
+}
+
+TEST(DocValuesTest, ApproximateBytesCountsStrings) {
+  DocValues small(10), large(10);
+  small.GetOrCreate("s")->Set(0, Value("x"));
+  large.GetOrCreate("s")->Set(0, Value(std::string(1000, 'x')));
+  EXPECT_GT(large.ApproximateBytes(), small.ApproximateBytes() + 900);
+}
+
+std::unique_ptr<PlanNode> PlanOf(const std::string& where) {
+  auto q = ParseSql("SELECT * FROM t WHERE " + where);
+  EXPECT_TRUE(q.ok());
+  auto normalized = NormalizeForPlanning(std::move(q->where));
+  return PlanWhere(normalized.get(), IndexSpec::TransactionLogDefault(),
+                   PlannerOptions{});
+}
+
+TEST(PlanRenderTest, ShowsAccessPathsAndNesting) {
+  const std::string rendered =
+      PlanOf("tenant_id = 1 AND created_time BETWEEN 1 AND 9 AND "
+             "status = 2 AND group = 3")
+          ->ToString();
+  EXPECT_NE(rendered.find("DocValueScan [status = 2]"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("Intersect"), std::string::npos);
+  EXPECT_NE(rendered.find("CompositeIndexScan tenant_id_created_time"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("IndexSearch group (1 terms)"), std::string::npos);
+  // Children indent under their parent.
+  EXPECT_NE(rendered.find("\n    "), std::string::npos);
+}
+
+TEST(PlanRenderTest, EveryKindRenders) {
+  EXPECT_EQ(PlanNode::Make(PlanNode::Kind::kEmpty)->ToString(), "Empty");
+  EXPECT_EQ(PlanNode::Make(PlanNode::Kind::kFullScan)->ToString(),
+            "FullScan");
+  EXPECT_NE(PlanOf("title LIKE '%x%'")->ToString().find("FullScan"),
+            std::string::npos);
+  EXPECT_NE(PlanOf("amount > 5 OR group = 1")->ToString().find("Union"),
+            std::string::npos);
+  EXPECT_NE(PlanOf("record_id >= 10")->ToString().find("IndexRangeSearch"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace esdb

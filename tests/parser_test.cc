@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "query/datetime.h"
+#include "query/parser.h"
+
+namespace esdb {
+namespace {
+
+Query MustParse(std::string_view sql) {
+  auto q = ParseSql(sql);
+  EXPECT_TRUE(q.ok()) << sql << " -> " << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(DateTimeTest, RoundTrip) {
+  Micros t = 0;
+  ASSERT_TRUE(ParseDateTime("2021-09-16 00:00:00", &t));
+  EXPECT_EQ(FormatDateTime(t), "2021-09-16 00:00:00");
+  ASSERT_TRUE(ParseDateTime("1999-12-31 23:59:59", &t));
+  EXPECT_EQ(FormatDateTime(t), "1999-12-31 23:59:59");
+}
+
+TEST(DateTimeTest, KnownEpochValues) {
+  Micros t = 0;
+  ASSERT_TRUE(ParseDateTime("1970-01-01 00:00:00", &t));
+  EXPECT_EQ(t, 0);
+  ASSERT_TRUE(ParseDateTime("1970-01-02 00:00:00", &t));
+  EXPECT_EQ(t, 86400 * kMicrosPerSecond);
+}
+
+TEST(DateTimeTest, RejectsBadFormats) {
+  Micros t = 0;
+  EXPECT_FALSE(ParseDateTime("2021-9-16 00:00:00", &t));
+  EXPECT_FALSE(ParseDateTime("2021-09-16", &t));
+  EXPECT_FALSE(ParseDateTime("2021-13-16 00:00:00", &t));
+  EXPECT_FALSE(ParseDateTime("2021-09-16 25:00:00", &t));
+  EXPECT_FALSE(ParseDateTime("2021-09-16T00:00:00", &t));
+  EXPECT_FALSE(ParseDateTime("not a date at all!!", &t));
+}
+
+TEST(ParserTest, PaperExampleQuery) {
+  // Figure 6 of the paper (quotes adapted to ASCII).
+  const Query q = MustParse(
+      "SELECT * FROM transaction_logs "
+      "WHERE tenant_id = 10086 "
+      "AND created_time >= '2021-09-16 00:00:00' "
+      "AND created_time <= '2021-09-17 00:00:00' "
+      "AND status = 1 OR group = 666");
+  EXPECT_EQ(q.table, "transaction_logs");
+  ASSERT_NE(q.where, nullptr);
+  // AND binds tighter than OR: top level is an OR of 2.
+  EXPECT_EQ(q.where->kind, Expr::Kind::kOr);
+  ASSERT_EQ(q.where->children.size(), 2u);
+  EXPECT_EQ(q.where->children[0]->kind, Expr::Kind::kAnd);
+}
+
+TEST(ParserTest, DateLiteralsBecomeTimestamps) {
+  const Query q = MustParse(
+      "SELECT * FROM t WHERE created_time >= '2021-09-16 00:00:00'");
+  const Predicate& p = q.where->pred;
+  ASSERT_TRUE(p.args[0].is_int());
+  Micros expected = 0;
+  ASSERT_TRUE(ParseDateTime("2021-09-16 00:00:00", &expected));
+  EXPECT_EQ(p.args[0].as_int(), expected);
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  const struct {
+    const char* sql_op;
+    PredOp expected;
+  } kCases[] = {{"=", PredOp::kEq},  {"!=", PredOp::kNe}, {"<>", PredOp::kNe},
+                {"<", PredOp::kLt},  {"<=", PredOp::kLe}, {">", PredOp::kGt},
+                {">=", PredOp::kGe}};
+  for (const auto& c : kCases) {
+    const Query q = MustParse(std::string("SELECT * FROM t WHERE a ") +
+                              c.sql_op + " 5");
+    EXPECT_EQ(q.where->pred.op, c.expected) << c.sql_op;
+  }
+}
+
+TEST(ParserTest, BetweenInLikeMatch) {
+  Query q = MustParse("SELECT * FROM t WHERE a BETWEEN 1 AND 10");
+  EXPECT_EQ(q.where->pred.op, PredOp::kBetween);
+  ASSERT_EQ(q.where->pred.args.size(), 2u);
+
+  q = MustParse("SELECT * FROM t WHERE a IN (1, 2, 3)");
+  EXPECT_EQ(q.where->pred.op, PredOp::kIn);
+  EXPECT_EQ(q.where->pred.args.size(), 3u);
+
+  q = MustParse("SELECT * FROM t WHERE name LIKE 'book%'");
+  EXPECT_EQ(q.where->pred.op, PredOp::kLike);
+
+  q = MustParse("SELECT * FROM t WHERE MATCH(title, 'classic novel')");
+  EXPECT_EQ(q.where->pred.op, PredOp::kMatch);
+  EXPECT_EQ(q.where->pred.column, "title");
+}
+
+TEST(ParserTest, IsNullAndNegations) {
+  Query q = MustParse("SELECT * FROM t WHERE a IS NULL");
+  EXPECT_EQ(q.where->pred.op, PredOp::kIsNull);
+  q = MustParse("SELECT * FROM t WHERE a IS NOT NULL");
+  EXPECT_EQ(q.where->pred.op, PredOp::kIsNotNull);
+  q = MustParse("SELECT * FROM t WHERE a NOT IN (1)");
+  EXPECT_EQ(q.where->kind, Expr::Kind::kNot);
+  q = MustParse("SELECT * FROM t WHERE NOT (a = 1 AND b = 2)");
+  EXPECT_EQ(q.where->kind, Expr::Kind::kNot);
+}
+
+TEST(ParserTest, BooleanAndNullLiterals) {
+  const Query q =
+      MustParse("SELECT * FROM t WHERE a = TRUE AND b = false");
+  const Expr& e = *q.where;
+  EXPECT_TRUE(e.children[0]->pred.args[0].is_bool());
+  EXPECT_FALSE(e.children[1]->pred.args[0].as_bool());
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  const Query q = MustParse(
+      "SELECT * FROM t WHERE a = 1 "
+      "ORDER BY created_time DESC, record_id ASC LIMIT 100");
+  ASSERT_EQ(q.order_by.size(), 2u);
+  EXPECT_TRUE(q.order_by[0].descending);
+  EXPECT_FALSE(q.order_by[1].descending);
+  EXPECT_EQ(q.limit, 100);
+}
+
+TEST(ParserTest, SelectColumnsAndAggregates) {
+  Query q = MustParse("SELECT tenant_id, status FROM t");
+  EXPECT_EQ(q.select_columns,
+            (std::vector<std::string>{"tenant_id", "status"}));
+  EXPECT_EQ(q.where, nullptr);
+
+  q = MustParse("SELECT COUNT(*) FROM t WHERE a = 1");
+  EXPECT_EQ(q.agg, AggFunc::kCount);
+  q = MustParse("SELECT SUM(amount) FROM t");
+  EXPECT_EQ(q.agg, AggFunc::kSum);
+  EXPECT_EQ(q.agg_column, "amount");
+  q = MustParse("SELECT AVG(amount) FROM t");
+  EXPECT_EQ(q.agg, AggFunc::kAvg);
+  q = MustParse("SELECT MIN(amount) FROM t");
+  EXPECT_EQ(q.agg, AggFunc::kMin);
+  q = MustParse("SELECT MAX(amount) FROM t");
+  EXPECT_EQ(q.agg, AggFunc::kMax);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  const Query q = MustParse(
+      "select * from t where a = 1 and b = 2 order by a limit 5");
+  EXPECT_EQ(q.limit, 5);
+  EXPECT_EQ(q.where->kind, Expr::Kind::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  const Query q =
+      MustParse("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)");
+  EXPECT_EQ(q.where->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(q.where->children[1]->kind, Expr::Kind::kOr);
+}
+
+TEST(ParserTest, DottedColumnNames) {
+  const Query q =
+      MustParse("SELECT * FROM t WHERE attributes.activity = 'promo'");
+  EXPECT_EQ(q.where->pred.column, "attributes.activity");
+}
+
+TEST(ParserTest, NegativeNumbersAndFloats) {
+  const Query q = MustParse("SELECT * FROM t WHERE a = -5 AND b = 2.5");
+  EXPECT_EQ(q.where->children[0]->pred.args[0].as_int(), -5);
+  EXPECT_DOUBLE_EQ(q.where->children[1]->pred.args[0].as_double(), 2.5);
+}
+
+TEST(ParserTest, RejectsMalformedSql) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE a =").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE a BETWEEN 1").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE a IN ()").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t trailing garbage").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(x) FROM t").ok());
+}
+
+TEST(ParserTest, QueryToStringRoundTripsThroughParser) {
+  const Query q1 = MustParse(
+      "SELECT * FROM t WHERE tenant_id = 1 AND (status = 2 OR group = 3) "
+      "ORDER BY created_time DESC LIMIT 10");
+  const Query q2 = MustParse(q1.ToString());
+  EXPECT_EQ(q1.ToString(), q2.ToString());
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "storage/posting.h"
+
+namespace esdb {
+namespace {
+
+PostingList FromSet(const std::set<DocId>& ids) {
+  PostingList out;
+  for (DocId id : ids) out.Append(id);
+  return out;
+}
+
+std::set<DocId> RandomSet(Rng& rng, size_t max_size, DocId universe) {
+  std::set<DocId> out;
+  const size_t n = rng.Uniform(max_size + 1);
+  for (size_t i = 0; i < n; ++i) out.insert(DocId(rng.Uniform(universe)));
+  return out;
+}
+
+TEST(PostingTest, AppendAndContains) {
+  PostingList list;
+  list.Append(1);
+  list.Append(5);
+  list.Append(9);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.Contains(5));
+  EXPECT_FALSE(list.Contains(4));
+}
+
+TEST(PostingTest, EmptyOps) {
+  PostingList empty;
+  PostingList some(std::vector<DocId>{1, 2});
+  EXPECT_TRUE(PostingList::Intersect(empty, some).empty());
+  EXPECT_EQ(PostingList::Union(empty, some), some);
+  EXPECT_EQ(PostingList::Difference(some, empty), some);
+  EXPECT_TRUE(PostingList::Difference(empty, some).empty());
+}
+
+// Property: set algebra matches std::set reference semantics.
+TEST(PostingProperty, SetAlgebraMatchesReference) {
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::set<DocId> sa = RandomSet(rng, 50, 100);
+    const std::set<DocId> sb = RandomSet(rng, 50, 100);
+    const PostingList a = FromSet(sa), b = FromSet(sb);
+
+    std::set<DocId> ref_and, ref_or, ref_diff;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(ref_and, ref_and.begin()));
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::inserter(ref_or, ref_or.begin()));
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(ref_diff, ref_diff.begin()));
+
+    EXPECT_EQ(PostingList::Intersect(a, b), FromSet(ref_and));
+    EXPECT_EQ(PostingList::Union(a, b), FromSet(ref_or));
+    EXPECT_EQ(PostingList::Difference(a, b), FromSet(ref_diff));
+  }
+}
+
+TEST(PostingTest, IntersectAllSmallestFirst) {
+  PostingList a(std::vector<DocId>{1, 2, 3, 4, 5, 6, 7, 8});
+  PostingList b(std::vector<DocId>{2, 4, 6, 8});
+  PostingList c(std::vector<DocId>{4, 8});
+  const PostingList out = PostingList::IntersectAll({&a, &b, &c});
+  EXPECT_EQ(out, PostingList(std::vector<DocId>{4, 8}));
+}
+
+TEST(PostingTest, IntersectAllEmptyInput) {
+  EXPECT_TRUE(PostingList::IntersectAll({}).empty());
+  EXPECT_TRUE(PostingList::UnionAll({}).empty());
+}
+
+// Property: delta-varint encoding round-trips.
+TEST(PostingProperty, EncodeDecodeRoundTrip) {
+  Rng rng(13);
+  for (int trial = 0; trial < 500; ++trial) {
+    const PostingList list = FromSet(RandomSet(rng, 100, 1u << 20));
+    std::string buf;
+    list.EncodeTo(&buf);
+    size_t pos = 0;
+    PostingList out;
+    ASSERT_TRUE(PostingList::DecodeFrom(buf, &pos, &out).ok());
+    EXPECT_EQ(pos, buf.size());
+    EXPECT_EQ(out, list);
+  }
+}
+
+TEST(PostingTest, DecodeTruncatedFails) {
+  PostingList list(std::vector<DocId>{10, 200, 3000});
+  std::string buf;
+  list.EncodeTo(&buf);
+  buf.resize(buf.size() - 1);
+  size_t pos = 0;
+  PostingList out;
+  EXPECT_FALSE(PostingList::DecodeFrom(buf, &pos, &out).ok());
+}
+
+TEST(PostingTest, DeltaEncodingIsCompact) {
+  // Dense small ids encode to ~1 byte each.
+  std::vector<DocId> ids(1000);
+  for (DocId i = 0; i < 1000; ++i) ids[i] = i;
+  PostingList list(std::move(ids));
+  std::string buf;
+  list.EncodeTo(&buf);
+  EXPECT_LT(buf.size(), 1100u);
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "cluster/esdb.h"
+#include "query/parser.h"
+
+namespace esdb {
+namespace {
+
+class ScoringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Esdb::Options options;
+    options.num_shards = 4;
+    options.routing = RoutingKind::kHash;
+    options.store.refresh_doc_count = 0;
+    db_ = std::make_unique<Esdb>(std::move(options));
+    // Same tenant so everything lands on one shard run; titles with
+    // varying term frequency and rarity.
+    AddDoc(1, "novel");                       // one hit of 'novel'
+    AddDoc(2, "novel novel novel");           // high tf
+    AddDoc(3, "classic novel collection");    // one hit + extras
+    AddDoc(4, "cotton shirt");                // no hit
+    AddDoc(5, "rareword novel");              // contains a rare term
+    db_->RefreshAll();
+  }
+
+  void AddDoc(int64_t record, const std::string& title) {
+    Document doc;
+    doc.Set(kFieldTenantId, Value(int64_t(1)));
+    doc.Set(kFieldRecordId, Value(record));
+    doc.Set(kFieldCreatedTime, Value(record));
+    doc.Set("title", Value(title));
+    ASSERT_TRUE(db_->Insert(std::move(doc)).ok());
+  }
+
+  std::unique_ptr<Esdb> db_;
+};
+
+TEST_F(ScoringTest, OrderByScoreRanksByRelevance) {
+  auto result = db_->ExecuteSql(
+      "SELECT * FROM t WHERE tenant_id = 1 AND MATCH(title, 'novel') "
+      "ORDER BY _score DESC");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 4u);  // doc 4 does not match
+  // Highest term frequency first.
+  EXPECT_EQ(result->rows[0].record_id(), 2);
+  // Scores are attached, positive, and non-increasing.
+  double prev = 1e9;
+  for (const Document& row : result->rows) {
+    const Value& score = row.Get(kFieldScore);
+    ASSERT_TRUE(score.is_double());
+    EXPECT_GT(score.as_double(), 0.0);
+    EXPECT_LE(score.as_double(), prev);
+    prev = score.as_double();
+  }
+}
+
+TEST_F(ScoringTest, RareTermsScoreHigherThanCommonOnes) {
+  auto result = db_->ExecuteSql(
+      "SELECT * FROM t WHERE tenant_id = 1 AND "
+      "MATCH(title, 'rareword novel') ORDER BY _score DESC LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  // Doc 5 holds the rare term (high idf) plus 'novel'.
+  EXPECT_EQ(result->rows[0].record_id(), 5);
+}
+
+TEST_F(ScoringTest, ScoreSelectableAsColumn) {
+  auto result = db_->ExecuteSql(
+      "SELECT record_id, _score FROM t WHERE tenant_id = 1 AND "
+      "MATCH(title, 'novel') ORDER BY _score DESC LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0].size(), 2u);
+  EXPECT_TRUE(result->rows[0].Get(kFieldScore).is_double());
+}
+
+TEST_F(ScoringTest, NoMatchPredicateGivesZeroScores) {
+  auto result = db_->ExecuteSql(
+      "SELECT * FROM t WHERE tenant_id = 1 ORDER BY _score DESC");
+  ASSERT_TRUE(result.ok());
+  for (const Document& row : result->rows) {
+    EXPECT_DOUBLE_EQ(row.Get(kFieldScore).as_double(), 0.0);
+  }
+}
+
+TEST_F(ScoringTest, WithoutScoreSortNoScoreField) {
+  auto result = db_->ExecuteSql(
+      "SELECT * FROM t WHERE tenant_id = 1 AND MATCH(title, 'novel')");
+  ASSERT_TRUE(result.ok());
+  for (const Document& row : result->rows) {
+    EXPECT_FALSE(row.Has(kFieldScore));  // scoring only when requested
+  }
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "storage/analyzer.h"
+#include "storage/segment.h"
+
+namespace esdb {
+namespace {
+
+Document MakeLog(int64_t tenant, int64_t record, int64_t time, int64_t status,
+                 const std::string& title, const std::string& attrs = "") {
+  Document doc;
+  doc.Set(kFieldTenantId, Value(tenant));
+  doc.Set(kFieldRecordId, Value(record));
+  doc.Set(kFieldCreatedTime, Value(time));
+  doc.Set("status", Value(status));
+  doc.Set("title", Value(title));
+  if (!attrs.empty()) doc.Set(kFieldAttributes, Value(attrs));
+  return doc;
+}
+
+IndexSpec TestSpec() {
+  IndexSpec spec;
+  spec.text_fields = {"title"};
+  spec.composite_indexes = {{"tenant_id", "created_time"}};
+  spec.scan_fields = {"status"};
+  spec.indexed_sub_attributes = {"activity"};
+  return spec;
+}
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = TestSpec();
+    SegmentBuilder builder(&spec_);
+    builder.Add(MakeLog(1, 100, 1000, 0, "classic novel",
+                        "activity:promo;size:XL"));
+    builder.Add(MakeLog(1, 101, 2000, 1, "cotton shirt", "activity:none"));
+    builder.Add(MakeLog(2, 102, 1500, 0, "novel lamp", "size:S"));
+    segment_ = std::move(builder).Build(7);
+  }
+
+  IndexSpec spec_;
+  std::unique_ptr<Segment> segment_;
+};
+
+TEST_F(SegmentTest, BasicProperties) {
+  EXPECT_EQ(segment_->id(), 7u);
+  EXPECT_EQ(segment_->num_docs(), 3u);
+  EXPECT_EQ(segment_->num_live_docs(), 3u);
+  EXPECT_GT(segment_->SizeBytes(), 0u);
+}
+
+TEST_F(SegmentTest, KeywordPostings) {
+  const PostingList& hits =
+      segment_->Postings("tenant_id", Value(int64_t(1)).EncodeSortable());
+  EXPECT_EQ(hits, PostingList(std::vector<DocId>{0, 1}));
+  // status is a scan-list field but still indexed (access-path choice
+  // happens in the optimizer).
+  EXPECT_EQ(
+      segment_->Postings("status", Value(int64_t(0)).EncodeSortable()).size(),
+      2u);
+}
+
+TEST_F(SegmentTest, TextFieldIsTokenized) {
+  EXPECT_EQ(segment_->Postings("title", "novel"),
+            PostingList(std::vector<DocId>{0, 2}));
+  // The exact full string is NOT a term on text fields.
+  EXPECT_TRUE(segment_->Postings("title", "classic novel").empty());
+}
+
+TEST_F(SegmentTest, FrequencyBasedSubAttributeIndexing) {
+  // "activity" is in the indexed set -> term exists.
+  EXPECT_EQ(segment_
+                ->Postings("attributes.activity",
+                           Value(std::string("promo")).EncodeSortable())
+                .size(),
+            1u);
+  // "size" is not indexed -> no postings (query falls back to scan).
+  EXPECT_TRUE(segment_
+                  ->Postings("attributes.size",
+                             Value(std::string("XL")).EncodeSortable())
+                  .empty());
+  EXPECT_FALSE(segment_->HasInvertedIndex("attributes.size"));
+}
+
+TEST_F(SegmentTest, IndexAllSubAttributes) {
+  IndexSpec spec = TestSpec();
+  spec.index_all_sub_attributes = true;
+  SegmentBuilder builder(&spec);
+  builder.Add(MakeLog(1, 1, 1, 0, "t", "size:XL"));
+  auto seg = std::move(builder).Build(1);
+  EXPECT_EQ(seg->Postings("attributes.size",
+                          Value(std::string("XL")).EncodeSortable())
+                .size(),
+            1u);
+}
+
+TEST_F(SegmentTest, CompositeIndexScan) {
+  const SortedKeyIndex* index =
+      segment_->CompositeIndex("tenant_id_created_time");
+  ASSERT_NE(index, nullptr);
+  const Value lo(int64_t(900)), hi(int64_t(1600));
+  const KeyRange r = MakeKeyRange({Value(int64_t(1))}, &lo, true, &hi, true);
+  EXPECT_EQ(index->ScanRange(r.lo, r.hi),
+            PostingList(std::vector<DocId>{0}));
+  EXPECT_EQ(segment_->CompositeIndex("missing"), nullptr);
+}
+
+TEST_F(SegmentTest, DocValuesAndStoredFields) {
+  const DocValues::Column* status = segment_->doc_values().Find("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->Get(1).as_int(), 1);
+
+  auto doc = segment_->GetDocument(2);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("title").as_string(), "novel lamp");
+  EXPECT_FALSE(segment_->GetDocument(99).ok());
+}
+
+TEST_F(SegmentTest, TombstonesAndLiveDocs) {
+  EXPECT_EQ(segment_->FindByRecordId(101), 1);
+  EXPECT_EQ(segment_->FindByRecordId(999), -1);
+  EXPECT_TRUE(segment_->MarkDeleted(1));
+  EXPECT_FALSE(segment_->MarkDeleted(1));  // already deleted
+  EXPECT_EQ(segment_->num_live_docs(), 2u);
+  EXPECT_EQ(segment_->LiveDocs(), PostingList(std::vector<DocId>{0, 2}));
+}
+
+TEST_F(SegmentTest, EncodeDecodeRoundTrip) {
+  segment_->MarkDeleted(0);
+  const std::string bytes = segment_->Encode();
+  auto decoded = Segment::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const Segment& seg = **decoded;
+
+  EXPECT_EQ(seg.id(), segment_->id());
+  EXPECT_EQ(seg.num_docs(), segment_->num_docs());
+  EXPECT_EQ(seg.num_deleted(), 1u);
+  EXPECT_TRUE(seg.IsDeleted(0));
+  // Indexes survive byte-for-byte.
+  EXPECT_EQ(seg.Postings("title", "novel"),
+            segment_->Postings("title", "novel"));
+  ASSERT_NE(seg.CompositeIndex("tenant_id_created_time"), nullptr);
+  EXPECT_EQ(seg.FindByRecordId(102), 2);
+  auto doc = seg.GetDocument(2);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("title").as_string(), "novel lamp");
+}
+
+TEST_F(SegmentTest, DecodeRejectsTruncation) {
+  const std::string bytes = segment_->Encode();
+  for (size_t len : {size_t(0), bytes.size() / 4, bytes.size() - 1}) {
+    EXPECT_FALSE(Segment::Decode(std::string_view(bytes).substr(0, len)).ok());
+  }
+  EXPECT_FALSE(Segment::Decode(bytes + "junk").ok());
+}
+
+TEST(AnalyzerTest, TokenizeLowercasesAndSplits) {
+  const auto tokens = Tokenize("Hello, World-42!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "42");
+}
+
+TEST(AnalyzerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ---").empty());
+}
+
+TEST(AnalyzerTest, NormalizeTerm) {
+  EXPECT_EQ(NormalizeTerm("HeLLo"), "hello");
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "cluster/shard_allocator.h"
+#include "common/random.h"
+
+namespace esdb {
+namespace {
+
+void CheckInvariants(const ShardAllocator& alloc) {
+  ASSERT_TRUE(alloc.allocated());
+  // Primary and replica never share a node (fault isolation).
+  for (uint32_t shard = 0; shard < alloc.num_shards(); ++shard) {
+    EXPECT_NE(alloc.Of(shard).primary, alloc.Of(shard).replica) << shard;
+  }
+  // Every placement refers to a registered node.
+  const auto load = alloc.LoadByNode();
+  size_t total = 0;
+  for (const auto& [node, count] : load) total += count;
+  EXPECT_EQ(total, size_t(alloc.num_shards()) * 2);
+}
+
+double LoadSpread(const ShardAllocator& alloc) {
+  const auto load = alloc.LoadByNode();
+  size_t lo = SIZE_MAX, hi = 0;
+  for (const auto& [node, count] : load) {
+    lo = std::min(lo, count);
+    hi = std::max(hi, count);
+  }
+  return double(hi) - double(lo);
+}
+
+TEST(ShardAllocatorTest, InitialAllocationNeedsTwoNodes) {
+  ShardAllocator alloc(64);
+  auto moves = alloc.AddNode(1);
+  ASSERT_TRUE(moves.ok());
+  EXPECT_FALSE(alloc.allocated());
+  moves = alloc.AddNode(2);
+  ASSERT_TRUE(moves.ok());
+  EXPECT_TRUE(moves->empty());  // first allocation is not movement
+  CheckInvariants(alloc);
+}
+
+TEST(ShardAllocatorTest, DuplicateNodeRejected) {
+  ShardAllocator alloc(8);
+  ASSERT_TRUE(alloc.AddNode(1).ok());
+  EXPECT_FALSE(alloc.AddNode(1).ok());
+}
+
+TEST(ShardAllocatorTest, JoinStealsFromBusiest) {
+  ShardAllocator alloc(64);
+  ASSERT_TRUE(alloc.AddNode(1).ok());
+  ASSERT_TRUE(alloc.AddNode(2).ok());
+  auto moves = alloc.AddNode(3);
+  ASSERT_TRUE(moves.ok());
+  EXPECT_FALSE(moves->empty());
+  CheckInvariants(alloc);
+  // Roughly balanced after the join.
+  EXPECT_LE(LoadSpread(alloc), 4.0);
+  // Minimal movement: about a third of placements moved, no more.
+  EXPECT_LE(moves->size(), size_t(64 * 2 / 3 + 4));
+}
+
+TEST(ShardAllocatorTest, RemoveReassignsEverything) {
+  ShardAllocator alloc(64);
+  for (NodeId node = 1; node <= 4; ++node) {
+    ASSERT_TRUE(alloc.AddNode(node).ok());
+  }
+  auto moves = alloc.RemoveNode(2);
+  ASSERT_TRUE(moves.ok());
+  CheckInvariants(alloc);
+  for (uint32_t shard = 0; shard < 64; ++shard) {
+    EXPECT_NE(alloc.Of(shard).primary, 2u);
+    EXPECT_NE(alloc.Of(shard).replica, 2u);
+  }
+  EXPECT_LE(LoadSpread(alloc), 4.0);
+}
+
+TEST(ShardAllocatorTest, RemoveBelowTwoNodesFails) {
+  ShardAllocator alloc(8);
+  ASSERT_TRUE(alloc.AddNode(1).ok());
+  ASSERT_TRUE(alloc.AddNode(2).ok());
+  EXPECT_FALSE(alloc.RemoveNode(1).ok());
+  EXPECT_FALSE(alloc.RemoveNode(99).ok());  // unknown node
+}
+
+// Property: random join/leave churn preserves the invariants.
+TEST(ShardAllocatorProperty, ChurnKeepsInvariants) {
+  Rng rng(55);
+  ShardAllocator alloc(32);
+  NodeId next_node = 1;
+  ASSERT_TRUE(alloc.AddNode(next_node++).ok());
+  ASSERT_TRUE(alloc.AddNode(next_node++).ok());
+  ASSERT_TRUE(alloc.AddNode(next_node++).ok());
+  for (int step = 0; step < 40; ++step) {
+    if (rng.Bernoulli(0.5) || alloc.num_nodes() <= 3) {
+      ASSERT_TRUE(alloc.AddNode(next_node++).ok());
+    } else {
+      const auto& nodes = alloc.nodes();
+      const NodeId victim = nodes[rng.Uniform(nodes.size())];
+      ASSERT_TRUE(alloc.RemoveNode(victim).ok());
+    }
+    CheckInvariants(alloc);
+  }
+}
+
+}  // namespace
+}  // namespace esdb

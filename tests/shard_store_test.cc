@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/merge_policy.h"
+#include "storage/shard_store.h"
+
+namespace esdb {
+namespace {
+
+IndexSpec TestSpec() {
+  IndexSpec spec;
+  spec.composite_indexes = {{"tenant_id", "created_time"}};
+  return spec;
+}
+
+WriteOp Insert(int64_t tenant, int64_t record, int64_t time,
+               int64_t status = 0) {
+  WriteOp op;
+  op.type = OpType::kInsert;
+  op.doc.Set(kFieldTenantId, Value(tenant));
+  op.doc.Set(kFieldRecordId, Value(record));
+  op.doc.Set(kFieldCreatedTime, Value(time));
+  op.doc.Set("status", Value(status));
+  return op;
+}
+
+WriteOp Delete(int64_t tenant, int64_t record, int64_t time) {
+  WriteOp op;
+  op.type = OpType::kDelete;
+  op.doc.Set(kFieldTenantId, Value(tenant));
+  op.doc.Set(kFieldRecordId, Value(record));
+  op.doc.Set(kFieldCreatedTime, Value(time));
+  return op;
+}
+
+ShardStore::Options ManualRefresh() {
+  ShardStore::Options options;
+  options.refresh_doc_count = 0;
+  return options;
+}
+
+TEST(TranslogTest, AppendGetTruncate) {
+  Translog log;
+  const WriteOp op = Insert(1, 10, 100);
+  EXPECT_EQ(log.Append(op), 0u);
+  EXPECT_EQ(log.Append(op), 1u);
+  EXPECT_EQ(log.end_seq(), 2u);
+
+  auto got = log.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->doc.record_id(), 10);
+  EXPECT_FALSE(log.Get(2).ok());
+
+  log.TruncateBefore(1);
+  EXPECT_EQ(log.begin_seq(), 1u);
+  EXPECT_FALSE(log.Get(0).ok());
+  EXPECT_TRUE(log.Get(1).ok());
+}
+
+TEST(TranslogTest, WriteOpEncodeDecode) {
+  const WriteOp op = Delete(3, 42, 999);
+  auto decoded = WriteOp::Decode(op.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, OpType::kDelete);
+  EXPECT_EQ(decoded->record_id(), 42);
+  EXPECT_FALSE(WriteOp::Decode("").ok());
+  EXPECT_FALSE(WriteOp::Decode("\x09junk").ok());
+}
+
+TEST(ShardStoreTest, NearRealTimeVisibility) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, ManualRefresh());
+  ASSERT_TRUE(store.Apply(Insert(1, 100, 1000)).ok());
+  // Not yet refreshed: invisible to search and point reads.
+  EXPECT_EQ(store.num_live_docs(), 0u);
+  EXPECT_FALSE(store.GetByRecordId(100).ok());
+  EXPECT_EQ(store.buffered_docs(), 1u);
+
+  EXPECT_TRUE(store.Refresh());
+  EXPECT_EQ(store.num_live_docs(), 1u);
+  EXPECT_TRUE(store.GetByRecordId(100).ok());
+}
+
+TEST(ShardStoreTest, UpsertReplacesAcrossRefresh) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, ManualRefresh());
+  ASSERT_TRUE(store.Apply(Insert(1, 100, 1000, /*status=*/0)).ok());
+  store.Refresh();
+  ASSERT_TRUE(store.Apply(Insert(1, 100, 1000, /*status=*/5)).ok());
+  store.Refresh();
+
+  EXPECT_EQ(store.num_live_docs(), 1u);
+  auto doc = store.GetByRecordId(100);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("status").as_int(), 5);
+}
+
+TEST(ShardStoreTest, UpsertWithinBuffer) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, ManualRefresh());
+  ASSERT_TRUE(store.Apply(Insert(1, 100, 1000, 0)).ok());
+  ASSERT_TRUE(store.Apply(Insert(1, 100, 1000, 7)).ok());
+  store.Refresh();
+  EXPECT_EQ(store.num_live_docs(), 1u);
+  EXPECT_EQ(store.GetByRecordId(100)->Get("status").as_int(), 7);
+}
+
+TEST(ShardStoreTest, DeleteInBufferAndSegment) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, ManualRefresh());
+  ASSERT_TRUE(store.Apply(Insert(1, 1, 10)).ok());
+  ASSERT_TRUE(store.Apply(Insert(1, 2, 20)).ok());
+  store.Refresh();
+  ASSERT_TRUE(store.Apply(Insert(1, 3, 30)).ok());
+
+  // Delete one refreshed and one buffered record.
+  ASSERT_TRUE(store.Apply(Delete(1, 1, 10)).ok());
+  ASSERT_TRUE(store.Apply(Delete(1, 3, 30)).ok());
+  store.Refresh();
+
+  EXPECT_EQ(store.num_live_docs(), 1u);
+  EXPECT_FALSE(store.GetByRecordId(1).ok());
+  EXPECT_TRUE(store.GetByRecordId(2).ok());
+  EXPECT_FALSE(store.GetByRecordId(3).ok());
+}
+
+TEST(ShardStoreTest, DeleteNonexistentIsNoop) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, ManualRefresh());
+  EXPECT_TRUE(store.Apply(Delete(1, 999, 0)).ok());
+  EXPECT_EQ(store.num_live_docs(), 0u);
+}
+
+TEST(ShardStoreTest, WriteWithoutRecordIdFails) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, ManualRefresh());
+  WriteOp op;
+  op.type = OpType::kInsert;
+  op.doc.Set(kFieldTenantId, Value(int64_t(1)));
+  EXPECT_FALSE(store.Apply(op).ok());
+}
+
+TEST(ShardStoreTest, AutoRefreshAtThreshold) {
+  IndexSpec spec = TestSpec();
+  ShardStore::Options options;
+  options.refresh_doc_count = 10;
+  ShardStore store(&spec, options);
+  for (int64_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(1, i, i)).ok());
+  }
+  // Two refreshes happened; 5 docs still buffered.
+  EXPECT_EQ(store.num_live_docs(), 20u);
+  EXPECT_EQ(store.buffered_docs(), 5u);
+  EXPECT_GE(store.num_segments(), 2u);
+}
+
+TEST(ShardStoreTest, MergeReducesSegmentsPreservesDocs) {
+  IndexSpec spec = TestSpec();
+  ShardStore::Options options = ManualRefresh();
+  options.merge.max_segments = 3;
+  ShardStore store(&spec, options);
+  for (int64_t seg = 0; seg < 6; ++seg) {
+    for (int64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(store.Apply(Insert(1, seg * 10 + i, seg * 100 + i)).ok());
+    }
+    store.Refresh();
+  }
+  EXPECT_EQ(store.num_segments(), 6u);
+  EXPECT_TRUE(store.MaybeMerge());
+  EXPECT_LE(store.num_segments(), 3u);
+  EXPECT_EQ(store.num_live_docs(), 24u);
+  EXPECT_GT(store.merged_docs_total(), 0u);
+  // Every record still retrievable.
+  for (int64_t seg = 0; seg < 6; ++seg) {
+    for (int64_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(store.GetByRecordId(seg * 10 + i).ok());
+    }
+  }
+}
+
+TEST(ShardStoreTest, MergeDropsTombstonedDocs) {
+  IndexSpec spec = TestSpec();
+  ShardStore::Options options = ManualRefresh();
+  options.merge.max_segments = 1;
+  ShardStore store(&spec, options);
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(1, i, i)).ok());
+  }
+  store.Refresh();
+  ASSERT_TRUE(store.Apply(Delete(1, 3, 3)).ok());
+  for (int64_t i = 10; i < 14; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(1, i, i)).ok());
+  }
+  store.Refresh();
+  store.MaybeMerge();
+  EXPECT_EQ(store.num_live_docs(), 13u);
+  for (const auto& seg : store.Snapshot()) {
+    EXPECT_EQ(seg->num_deleted(), 0u);  // merge purges tombstones
+  }
+}
+
+TEST(ShardStoreTest, FlushTruncatesTranslog) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, ManualRefresh());
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(1, i, i)).ok());
+  }
+  EXPECT_EQ(store.translog().num_entries(), 5u);
+  store.Refresh();
+  store.Flush();
+  EXPECT_EQ(store.translog().num_entries(), 0u);
+  // Un-refreshed ops stay in the log across flush.
+  ASSERT_TRUE(store.Apply(Insert(1, 100, 100)).ok());
+  store.Flush();
+  EXPECT_EQ(store.translog().num_entries(), 1u);
+}
+
+// Property: recovery from the translog reproduces the exact live set,
+// for random op sequences (inserts, upserts, deletes).
+TEST(ShardStoreProperty, RecoveryEqualsReplay) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    IndexSpec spec = TestSpec();
+    ShardStore store(&spec, ManualRefresh());
+    Translog full_log;  // untruncated copy of everything applied
+    const int ops = 100;
+    for (int i = 0; i < ops; ++i) {
+      const int64_t record = int64_t(rng.Uniform(30));
+      WriteOp op = rng.Bernoulli(0.25) ? Delete(1, record, i)
+                                       : Insert(1, record, i, int64_t(i));
+      full_log.Append(op);
+      ASSERT_TRUE(store.Apply(op).ok());
+      if (rng.Bernoulli(0.1)) store.Refresh();
+    }
+    store.Refresh();
+
+    auto recovered = ShardStore::Recover(&spec, full_log, ManualRefresh());
+    ASSERT_TRUE(recovered.ok());
+    (*recovered)->Refresh();
+    EXPECT_EQ((*recovered)->num_live_docs(), store.num_live_docs());
+    for (int64_t record = 0; record < 30; ++record) {
+      auto a = store.GetByRecordId(record);
+      auto b = (*recovered)->GetByRecordId(record);
+      EXPECT_EQ(a.ok(), b.ok()) << "record " << record;
+      if (a.ok() && b.ok()) {
+        EXPECT_EQ(*a, *b);
+      }
+    }
+  }
+}
+
+TEST(MergePolicyTest, NoMergeUnderCap) {
+  MergePolicy policy(MergePolicy::Options{4, 8});
+  EXPECT_TRUE(policy.PickMerge({100, 200, 300, 400}).empty());
+  EXPECT_TRUE(policy.PickMerge({}).empty());
+}
+
+TEST(MergePolicyTest, PicksSmallestSegments) {
+  MergePolicy policy(MergePolicy::Options{3, 8});
+  // 5 segments, cap 3: merge 3 smallest (excess 2 -> inputs 3).
+  const auto picked = policy.PickMerge({500, 10, 400, 20, 30});
+  EXPECT_EQ(picked, (std::vector<size_t>{1, 3, 4}));
+}
+
+TEST(MergePolicyTest, RespectsMaxInputs) {
+  MergePolicy policy(MergePolicy::Options{2, 3});
+  const auto picked = policy.PickMerge({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/histogram.h"
+#include "sim/cluster_sim.h"
+
+namespace esdb {
+namespace {
+
+// Small, fast configuration: 4 nodes, 64 shards, modest rates.
+ClusterSim::Options FastOptions(RoutingKind routing) {
+  ClusterSim::Options options;
+  options.num_nodes = 4;
+  options.num_shards = 64;
+  options.node_capacity = 10000;
+  options.routing = routing;
+  options.generate_rate = 20000;
+  options.workload.num_tenants = 10000;
+  options.workload.theta = 1.0;
+  options.monitor_window = kMicrosPerSecond / 2;
+  options.consensus.interval = kMicrosPerSecond;  // fast T for tests
+  options.balancer.max_offset = 64;
+  // ESDB write clients (hotspot isolation) accompany dynamic routing;
+  // the baselines use plain transport clients (Section 3.1).
+  options.hotspot_isolation = (routing == RoutingKind::kDynamic);
+  return options;
+}
+
+TEST(ClusterSimTest, ConservationUnderLightLoad) {
+  // Uniform workload well under capacity: essentially everything
+  // completes with sub-tick delays.
+  ClusterSim::Options options = FastOptions(RoutingKind::kHash);
+  options.workload.theta = 0.0;
+  options.generate_rate = 5000;
+  ClusterSim sim(options);
+  sim.Run(5 * kMicrosPerSecond);
+  const auto& m = sim.metrics();
+  EXPECT_GT(m.generated, 24000u);
+  EXPECT_GE(m.generated, m.completed);
+  EXPECT_GT(double(m.completed), 0.95 * double(m.generated));
+  EXPECT_LT(m.delay.Quantile(0.5), 0.5);
+}
+
+TEST(ClusterSimTest, DeterministicBySeed) {
+  ClusterSim a(FastOptions(RoutingKind::kDynamic));
+  ClusterSim b(FastOptions(RoutingKind::kDynamic));
+  a.Run(3 * kMicrosPerSecond);
+  b.Run(3 * kMicrosPerSecond);
+  EXPECT_EQ(a.metrics().generated, b.metrics().generated);
+  EXPECT_EQ(a.metrics().completed, b.metrics().completed);
+  EXPECT_EQ(a.metrics().node_completed, b.metrics().node_completed);
+}
+
+TEST(ClusterSimTest, SkewSaturatesHashingButNotDynamic) {
+  // Figure 10/11 shape: under heavy skew the hot tenant's single node
+  // caps the cluster for hashing while dynamic secondary hashing keeps
+  // up. (Zipf 2.0 on this 4-node toy cluster concentrates ~61% of all
+  // writes on one shard, far past one node's capacity.)
+  ClusterSim::Options options = FastOptions(RoutingKind::kHash);
+  options.workload.theta = 2.0;
+  // Offer close to the balanced cluster ceiling (4 nodes x 10000 /
+  // 1.55 units per doc ~ 25.8K/s) so headroom exposes the policies.
+  options.generate_rate = 25000;
+  ClusterSim hash_sim(options);
+  hash_sim.Run(10 * kMicrosPerSecond);
+
+  options.routing = RoutingKind::kDynamic;
+  ClusterSim dyn_sim(options);
+  dyn_sim.Run(10 * kMicrosPerSecond);
+
+  const double hash_tput = hash_sim.metrics().Throughput();
+  const double dyn_tput = dyn_sim.metrics().Throughput();
+  EXPECT_GT(dyn_tput, 1.2 * hash_tput)
+      << "hash " << hash_tput << " dyn " << dyn_tput;
+  EXPECT_GT(dyn_sim.rules_committed(), 0u);
+  // Delays likewise: hashing queues grow, dynamic stays bounded.
+  EXPECT_GT(hash_sim.metrics().delay.Mean(),
+            dyn_sim.metrics().delay.Mean());
+}
+
+TEST(ClusterSimTest, DoubleHashingBalancesNodes) {
+  // Figure 12 shape: per-node throughput stddev under skew is far
+  // smaller for double hashing than plain hashing.
+  ClusterSim::Options options = FastOptions(RoutingKind::kHash);
+  options.double_hash_offset = 64;
+  ClusterSim hash_sim(options);
+  hash_sim.Run(8 * kMicrosPerSecond);
+
+  options.routing = RoutingKind::kDoubleHash;
+  ClusterSim dh_sim(options);
+  dh_sim.Run(8 * kMicrosPerSecond);
+
+  const double hash_stddev =
+      PopulationStdDev(hash_sim.metrics().NodeThroughputs());
+  const double dh_stddev =
+      PopulationStdDev(dh_sim.metrics().NodeThroughputs());
+  EXPECT_LT(dh_stddev, hash_stddev / 2)
+      << "hash " << hash_stddev << " dh " << dh_stddev;
+}
+
+TEST(ClusterSimTest, DynamicAdaptsToHotspotShift) {
+  // Figure 14 shape: a hotspot shift dents throughput, then new rules
+  // restore it.
+  ClusterSim sim(FastOptions(RoutingKind::kDynamic));
+  sim.Run(8 * kMicrosPerSecond);  // warm up, rules committed
+  const uint64_t rules_before = sim.rules_committed();
+  sim.ResetMetrics();
+  sim.ShiftHotspots(5000);
+  sim.Run(12 * kMicrosPerSecond);
+  EXPECT_GT(sim.rules_committed(), rules_before);
+  // Recovery: the last samples' throughput is close to the offered
+  // rate again.
+  const auto& timeline = sim.metrics().timeline;
+  ASSERT_GE(timeline.size(), 4u);
+  const double tail = timeline.back().throughput;
+  EXPECT_GT(tail, 0.85 * 20000);
+}
+
+TEST(ClusterSimTest, PhysicalReplicationRaisesCeiling) {
+  // Figure 15 shape: same offered load, physical replication completes
+  // more and burns less CPU.
+  ClusterSim::Options options = FastOptions(RoutingKind::kDoubleHash);
+  options.double_hash_offset = 64;
+  options.generate_rate = 30000;  // beyond logical ceiling
+  options.replication = ReplicationMode::kLogical;
+  ClusterSim logical(options);
+  logical.Run(8 * kMicrosPerSecond);
+
+  options.replication = ReplicationMode::kPhysical;
+  ClusterSim physical(options);
+  physical.Run(8 * kMicrosPerSecond);
+
+  EXPECT_GT(physical.metrics().Throughput(),
+            1.15 * logical.metrics().Throughput());
+}
+
+TEST(ClusterSimTest, ShardSizesFollowPolicySkew) {
+  // Figure 13(d) shape: hashing's max/min shard-size ratio is far
+  // larger than dynamic secondary hashing's.
+  auto max_min_ratio = [](const std::vector<uint64_t>& docs) {
+    uint64_t lo = UINT64_MAX, hi = 0;
+    for (uint64_t d : docs) {
+      lo = std::min(lo, d + 1);  // +1: avoid div by zero on empties
+      hi = std::max(hi, d + 1);
+    }
+    return double(hi) / double(lo);
+  };
+  ClusterSim hash_sim(FastOptions(RoutingKind::kHash));
+  hash_sim.Run(8 * kMicrosPerSecond);
+  ClusterSim dyn_sim(FastOptions(RoutingKind::kDynamic));
+  dyn_sim.Run(8 * kMicrosPerSecond);
+  EXPECT_GT(max_min_ratio(hash_sim.metrics().shard_docs),
+            max_min_ratio(dyn_sim.metrics().shard_docs));
+}
+
+TEST(ClusterSimTest, CpuUsageBounded) {
+  ClusterSim sim(FastOptions(RoutingKind::kDynamic));
+  sim.Run(5 * kMicrosPerSecond);
+  for (double usage :
+       sim.metrics().NodeCpuUsage(FastOptions(RoutingKind::kDynamic)
+                                      .node_capacity)) {
+    EXPECT_GE(usage, 0.0);
+    EXPECT_LE(usage, 1.0 + 1e-9);
+  }
+}
+
+TEST(ClusterSimTest, RateChangeTakesEffect) {
+  ClusterSim sim(FastOptions(RoutingKind::kDoubleHash));
+  sim.Run(2 * kMicrosPerSecond);
+  sim.ResetMetrics();
+  sim.SetRate(1000);
+  sim.Run(4 * kMicrosPerSecond);
+  EXPECT_NEAR(double(sim.metrics().generated), 4000, 200);
+}
+
+TEST(ClusterSimTest, TimelineSamplesCoverRun) {
+  ClusterSim sim(FastOptions(RoutingKind::kDynamic));
+  sim.Run(5 * kMicrosPerSecond);
+  EXPECT_GE(sim.metrics().timeline.size(), 4u);
+  for (size_t i = 1; i < sim.metrics().timeline.size(); ++i) {
+    EXPECT_GT(sim.metrics().timeline[i].time,
+              sim.metrics().timeline[i - 1].time);
+  }
+}
+
+TEST(ClusterSimTest, BacklogGrowsWhenOverloaded) {
+  ClusterSim::Options options = FastOptions(RoutingKind::kHash);
+  options.workload.theta = 2.0;  // extreme skew
+  options.generate_rate = 30000;
+  ClusterSim sim(options);
+  sim.Run(5 * kMicrosPerSecond);
+  EXPECT_GT(sim.backlog(), 0u);
+  EXPECT_LT(sim.metrics().completed, sim.metrics().generated);
+}
+
+
+TEST(ClusterSimTest, BackpressureThrottlesWholeClientWithoutIsolation) {
+  // A plain transport client head-of-line blocks on the hot worker:
+  // generated docs pile up client-side, so the backlog far exceeds
+  // what the worker queues alone would hold.
+  ClusterSim::Options options = FastOptions(RoutingKind::kHash);
+  options.workload.theta = 2.0;
+  options.generate_rate = 30000;
+  options.hotspot_isolation = false;
+  ClusterSim sim(options);
+  sim.Run(6 * kMicrosPerSecond);
+  // Severe under-delivery: completions well below the offered load.
+  EXPECT_LT(double(sim.metrics().completed),
+            0.8 * double(sim.metrics().generated));
+}
+
+TEST(ClusterSimTest, HotspotIsolationProtectsColdTenants) {
+  // Same overload, but ESDB write clients: only the hot destination
+  // waits; the rest of the workload keeps completing, so total
+  // completions are strictly better than the head-of-line case.
+  ClusterSim::Options base = FastOptions(RoutingKind::kHash);
+  base.workload.theta = 2.0;
+  base.generate_rate = 30000;
+
+  base.hotspot_isolation = false;
+  ClusterSim blocked(base);
+  blocked.Run(8 * kMicrosPerSecond);
+
+  base.hotspot_isolation = true;
+  ClusterSim isolated(base);
+  isolated.Run(8 * kMicrosPerSecond);
+
+  EXPECT_GT(isolated.metrics().completed, blocked.metrics().completed);
+}
+
+TEST(ClusterSimTest, HeldHotWritesEventuallyDeliver) {
+  // Drive a burst past the hot worker's queue limit, then stop the
+  // load: the held client-side batches must drain to zero.
+  ClusterSim::Options options = FastOptions(RoutingKind::kHash);
+  options.workload.theta = 2.0;
+  options.generate_rate = 30000;
+  options.hotspot_isolation = true;
+  ClusterSim sim(options);
+  sim.Run(5 * kMicrosPerSecond);
+  EXPECT_GT(sim.backlog(), 0u);
+  sim.SetRate(0);
+  sim.Run(30 * kMicrosPerSecond);
+  EXPECT_EQ(sim.backlog(), 0u);
+  EXPECT_EQ(sim.metrics().completed + 0, sim.metrics().generated);
+}
+
+}  // namespace
+}  // namespace esdb

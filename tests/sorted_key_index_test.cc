@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/clock.h"
+#include "storage/sorted_key_index.h"
+
+namespace esdb {
+namespace {
+
+Value RandomKeyValue(Rng& rng) {
+  switch (rng.Uniform(3)) {
+    case 0:
+      return Value(int64_t(rng.Next() % 41) - 20);
+    case 1:
+      return Value(double(int64_t(rng.Next() % 41) - 20) / 4.0);
+    default: {
+      // Include strings with embedded NULs to exercise escaping.
+      std::string s;
+      const size_t len = rng.Uniform(4);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(char(rng.Uniform(3)));  // bytes 0x00-0x02
+      }
+      return Value(std::move(s));
+    }
+  }
+}
+
+int CompareTuples(const std::vector<Value>& a, const std::vector<Value>& b) {
+  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return int(a.size()) - int(b.size());
+}
+
+// Property: byte order of EncodeKey equals column-wise tuple order,
+// including tuples of different lengths (prefix relationships).
+TEST(KeyEncodingProperty, ByteOrderEqualsTupleOrder) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::vector<Value> a, b;
+    const size_t na = 1 + rng.Uniform(3), nb = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < na; ++i) a.push_back(RandomKeyValue(rng));
+    for (size_t i = 0; i < nb; ++i) b.push_back(RandomKeyValue(rng));
+    const int tuple_cmp = CompareTuples(a, b);
+    const int byte_cmp = EncodeKey(a).compare(EncodeKey(b));
+    if (tuple_cmp < 0) {
+      EXPECT_LT(byte_cmp, 0);
+    } else if (tuple_cmp > 0) {
+      EXPECT_GT(byte_cmp, 0);
+    } else {
+      EXPECT_EQ(byte_cmp, 0);
+    }
+  }
+}
+
+TEST(SortedKeyIndexTest, PrefixScan) {
+  SortedKeyIndex index({"tenant_id", "created_time"});
+  for (int64_t tenant = 1; tenant <= 3; ++tenant) {
+    for (int64_t time = 0; time < 5; ++time) {
+      index.Add(EncodeKey({Value(tenant), Value(time)}),
+                DocId(tenant * 10 + time));
+    }
+  }
+  index.Seal();
+  const PostingList hits = index.ScanPrefix(EncodeKey({Value(int64_t(2))}));
+  ASSERT_EQ(hits.size(), 5u);
+  for (DocId id : hits.ids()) {
+    EXPECT_GE(id, 20u);
+    EXPECT_LT(id, 25u);
+  }
+}
+
+TEST(SortedKeyIndexTest, EqualityPlusRangeBounds) {
+  SortedKeyIndex index({"tenant_id", "created_time"});
+  for (int64_t time = 0; time < 10; ++time) {
+    index.Add(EncodeKey({Value(int64_t(1)), Value(time)}), DocId(time));
+  }
+  index.Seal();
+
+  const Value lo(int64_t(3)), hi(int64_t(6));
+  // [3, 6] inclusive.
+  KeyRange r = MakeKeyRange({Value(int64_t(1))}, &lo, true, &hi, true);
+  EXPECT_EQ(index.ScanRange(r.lo, r.hi),
+            PostingList(std::vector<DocId>{3, 4, 5, 6}));
+  // (3, 6) exclusive.
+  r = MakeKeyRange({Value(int64_t(1))}, &lo, false, &hi, false);
+  EXPECT_EQ(index.ScanRange(r.lo, r.hi),
+            PostingList(std::vector<DocId>{4, 5}));
+  // Unbounded below, <= 2.
+  const Value two(int64_t(2));
+  r = MakeKeyRange({Value(int64_t(1))}, nullptr, true, &two, true);
+  EXPECT_EQ(index.ScanRange(r.lo, r.hi),
+            PostingList(std::vector<DocId>{0, 1, 2}));
+  // >= 8, unbounded above.
+  const Value eight(int64_t(8));
+  r = MakeKeyRange({Value(int64_t(1))}, &eight, true, nullptr, true);
+  EXPECT_EQ(index.ScanRange(r.lo, r.hi),
+            PostingList(std::vector<DocId>{8, 9}));
+}
+
+TEST(SortedKeyIndexTest, RangeDoesNotLeakAcrossEqualityPrefix) {
+  SortedKeyIndex index({"tenant_id", "created_time"});
+  index.Add(EncodeKey({Value(int64_t(1)), Value(int64_t(100))}), 1);
+  index.Add(EncodeKey({Value(int64_t(2)), Value(int64_t(1))}), 2);
+  index.Seal();
+  // Unbounded range under tenant 1 must not see tenant 2's rows.
+  KeyRange r = MakeKeyRange({Value(int64_t(1))}, nullptr, true, nullptr, true);
+  EXPECT_EQ(index.ScanRange(r.lo, r.hi), PostingList(std::vector<DocId>{1}));
+}
+
+// Property: scans agree with brute force over random data.
+TEST(SortedKeyIndexProperty, ScanMatchesBruteForce) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    SortedKeyIndex index({"a", "b"});
+    std::vector<std::pair<std::vector<Value>, DocId>> rows;
+    const size_t n = 1 + rng.Uniform(60);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Value> tuple = {RandomKeyValue(rng), RandomKeyValue(rng)};
+      index.Add(EncodeKey(tuple), DocId(i));
+      rows.push_back({std::move(tuple), DocId(i)});
+    }
+    index.Seal();
+
+    const Value eq = RandomKeyValue(rng);
+    const Value lo = RandomKeyValue(rng);
+    const Value hi = RandomKeyValue(rng);
+    const KeyRange r = MakeKeyRange({eq}, &lo, true, &hi, false);
+
+    std::vector<DocId> expected;
+    for (const auto& [tuple, id] : rows) {
+      if (tuple[0].Compare(eq) == 0 && tuple[1].Compare(lo) >= 0 &&
+          tuple[1].Compare(hi) < 0) {
+        expected.push_back(id);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(index.ScanRange(r.lo, r.hi).ids(), expected);
+  }
+}
+
+TEST(SortedKeyIndexTest, SerializationRoundTrip) {
+  Rng rng(23);
+  SortedKeyIndex index({"x", "y"});
+  for (size_t i = 0; i < 200; ++i) {
+    index.Add(EncodeKey({RandomKeyValue(rng), RandomKeyValue(rng)}),
+              DocId(i));
+  }
+  index.Seal();
+
+  std::string buf;
+  index.EncodeTo(&buf);
+  size_t pos = 0;
+  SortedKeyIndex decoded({});
+  ASSERT_TRUE(SortedKeyIndex::DecodeFrom(buf, &pos, &decoded).ok());
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(decoded.columns(), index.columns());
+  EXPECT_EQ(decoded.num_entries(), index.num_entries());
+
+  // Same scans on both.
+  const KeyRange r =
+      MakeKeyRange({Value(int64_t(0))}, nullptr, true, nullptr, true);
+  EXPECT_EQ(decoded.ScanRange(r.lo, r.hi), index.ScanRange(r.lo, r.hi));
+}
+
+TEST(SortedKeyIndexTest, PrefixCompressionShrinksFootprint) {
+  // Keys share a long common prefix (same tenant): the compressed
+  // footprint must be well below the raw key bytes.
+  SortedKeyIndex index({"tenant_id", "created_time"});
+  size_t raw_bytes = 0;
+  for (int64_t time = 0; time < 1000; ++time) {
+    std::string key =
+        EncodeKey({Value(int64_t(7)), Value(time * kMicrosPerSecond)});
+    raw_bytes += key.size();
+    index.Add(std::move(key), DocId(time));
+  }
+  index.Seal();
+  // The shared tenant prefix (and shared timestamp high bytes) must
+  // buy a substantial reduction over storing full keys.
+  EXPECT_LT(index.ApproximateBytes(), raw_bytes * 3 / 4);
+}
+
+TEST(SortedKeyIndexTest, DecodeRejectsCorruption) {
+  SortedKeyIndex index({"a"});
+  index.Add(EncodeKey({Value(int64_t(1))}), 0);
+  index.Seal();
+  std::string buf;
+  index.EncodeTo(&buf);
+  size_t pos = 0;
+  SortedKeyIndex out({});
+  EXPECT_FALSE(
+      SortedKeyIndex::DecodeFrom(buf.substr(0, buf.size() - 1), &pos, &out)
+          .ok());
+}
+
+}  // namespace
+}  // namespace esdb

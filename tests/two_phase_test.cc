@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "cluster/esdb.h"
+#include "common/random.h"
+
+namespace esdb {
+namespace {
+
+// Builds two identical clusters differing only in execution mode.
+struct Pair {
+  std::unique_ptr<Esdb> two_phase;
+  std::unique_ptr<Esdb> single_phase;
+};
+
+Pair BuildPair(uint64_t seed, int docs) {
+  Pair pair;
+  for (bool two_phase : {true, false}) {
+    Esdb::Options options;
+    options.num_shards = 8;
+    options.routing = RoutingKind::kDoubleHash;  // multi-shard merges
+    options.store.refresh_doc_count = 0;
+    options.two_phase_queries = two_phase;
+    auto db = std::make_unique<Esdb>(std::move(options));
+    Rng rng(seed);
+    for (int64_t i = 0; i < docs; ++i) {
+      Document doc;
+      doc.Set(kFieldTenantId, Value(int64_t(1 + rng.Uniform(4))));
+      doc.Set(kFieldRecordId, Value(i));
+      doc.Set(kFieldCreatedTime, Value(int64_t(rng.Uniform(1000))));
+      doc.Set("status", Value(int64_t(rng.Uniform(3))));
+      doc.Set("title", Value(std::string(
+                           rng.Bernoulli(0.4) ? "classic novel" : "lamp")));
+      EXPECT_TRUE(db->Insert(std::move(doc)).ok());
+    }
+    db->RefreshAll();
+    (two_phase ? pair.two_phase : pair.single_phase) = std::move(db);
+  }
+  return pair;
+}
+
+std::vector<int64_t> Records(const QueryResult& r) {
+  std::vector<int64_t> out;
+  for (const Document& doc : r.rows) out.push_back(doc.record_id());
+  return out;
+}
+
+class TwoPhaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pair_ = BuildPair(31337, 400); }
+
+  void ExpectSameResults(const std::string& sql) {
+    auto a = pair_.two_phase->ExecuteSql(sql);
+    auto b = pair_.single_phase->ExecuteSql(sql);
+    ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+    EXPECT_EQ(Records(*a), Records(*b)) << sql;
+    EXPECT_EQ(a->total_matched, b->total_matched) << sql;
+    // Rows carry the same fields too.
+    for (size_t i = 0; i < a->rows.size(); ++i) {
+      EXPECT_EQ(a->rows[i], b->rows[i]) << sql << " row " << i;
+    }
+  }
+
+  Pair pair_;
+};
+
+TEST_F(TwoPhaseTest, SortedLimitedQueriesMatch) {
+  ExpectSameResults(
+      "SELECT * FROM t WHERE tenant_id = 1 "
+      "ORDER BY created_time DESC LIMIT 10");
+  ExpectSameResults(
+      "SELECT * FROM t WHERE status = 1 "
+      "ORDER BY created_time, record_id LIMIT 25");
+}
+
+TEST_F(TwoPhaseTest, OffsetPagesMatch) {
+  for (int offset : {0, 5, 37, 395, 1000}) {
+    ExpectSameResults(
+        "SELECT * FROM t ORDER BY record_id LIMIT 10 OFFSET " +
+        std::to_string(offset));
+  }
+}
+
+TEST_F(TwoPhaseTest, ProjectionAndScoringMatch) {
+  ExpectSameResults(
+      "SELECT record_id, status FROM t WHERE tenant_id = 2 "
+      "ORDER BY created_time LIMIT 20");
+  ExpectSameResults(
+      "SELECT record_id, _score FROM t WHERE tenant_id = 1 AND "
+      "MATCH(title, 'novel') ORDER BY _score DESC, record_id LIMIT 15");
+}
+
+TEST_F(TwoPhaseTest, UnsortedLimitedCountsMatch) {
+  // Row sets may legally differ in membership order without ORDER BY;
+  // sizes must agree.
+  auto a = pair_.two_phase->ExecuteSql(
+      "SELECT * FROM t WHERE tenant_id = 3 LIMIT 7");
+  auto b = pair_.single_phase->ExecuteSql(
+      "SELECT * FROM t WHERE tenant_id = 3 LIMIT 7");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rows.size(), b->rows.size());
+}
+
+TEST_F(TwoPhaseTest, FetchesOnlyTheWinners) {
+  // The whole point: a LIMIT-10 query across many matches must
+  // materialize ~10 documents, not every match.
+  auto result = pair_.two_phase->ExecuteSql(
+      "SELECT * FROM t ORDER BY created_time DESC LIMIT 10");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 10u);
+  EXPECT_GT(result->total_matched, 100u);
+  EXPECT_EQ(pair_.two_phase->last_stats().rows_materialized, 10u);
+
+  auto single = pair_.single_phase->ExecuteSql(
+      "SELECT * FROM t ORDER BY created_time DESC LIMIT 10");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(pair_.single_phase->last_stats().rows_materialized,
+            single->total_matched);
+}
+
+TEST_F(TwoPhaseTest, AggregatesFallBackToSinglePhase) {
+  auto a = pair_.two_phase->ExecuteSql("SELECT COUNT(*) FROM t");
+  auto b = pair_.single_phase->ExecuteSql("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->agg_count, b->agg_count);
+  EXPECT_EQ(a->agg_count, 400u);
+}
+
+// Property: random sorted/limited queries agree between the modes.
+TEST_F(TwoPhaseTest, RandomQueriesAgree) {
+  Rng rng(99);
+  const char* sort_cols[] = {"created_time", "record_id", "status"};
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string sql = "SELECT * FROM t WHERE tenant_id = " +
+                      std::to_string(1 + rng.Uniform(4));
+    if (rng.Bernoulli(0.5)) {
+      sql += " AND status = " + std::to_string(rng.Uniform(3));
+    }
+    if (rng.Bernoulli(0.4)) {
+      sql += " AND created_time >= " + std::to_string(rng.Uniform(800));
+    }
+    sql += " ORDER BY ";
+    sql += sort_cols[rng.Uniform(3)];
+    if (rng.Bernoulli(0.5)) sql += " DESC";
+    sql += ", record_id";  // total order -> deterministic comparison
+    sql += " LIMIT " + std::to_string(1 + rng.Uniform(30));
+    if (rng.Bernoulli(0.3)) {
+      sql += " OFFSET " + std::to_string(rng.Uniform(20));
+    }
+    ExpectSameResults(sql);
+  }
+}
+
+}  // namespace
+}  // namespace esdb

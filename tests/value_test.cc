@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "document/value.h"
+
+namespace esdb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t(5)).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(int64_t(1)).is_numeric());
+  EXPECT_TRUE(Value(1.0).is_numeric());
+  EXPECT_FALSE(Value("1").is_numeric());
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // null < bool < numeric < string.
+  Value null_v, bool_v(true), int_v(int64_t(5)), str_v("a");
+  EXPECT_LT(null_v.Compare(bool_v), 0);
+  EXPECT_LT(bool_v.Compare(int_v), 0);
+  EXPECT_LT(int_v.Compare(str_v), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t(3)).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(int64_t(3)).Compare(Value(3.5)), 0);
+  EXPECT_GT(Value(4.5).Compare(Value(int64_t(4))), 0);
+}
+
+TEST(ValueTest, IntComparisonIsExact) {
+  // Values beyond double's 53-bit mantissa still compare exactly
+  // when both sides are ints.
+  const int64_t big = (1ll << 60);
+  EXPECT_LT(Value(big).Compare(Value(big + 1)), 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t(-7)).ToString(), "-7");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+Value RandomValue(Rng& rng) {
+  switch (rng.Uniform(5)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value(rng.Bernoulli(0.5));
+    case 2:
+      return Value(int64_t(rng.Next() % 2001) - 1000);
+    case 3:
+      return Value(double(int64_t(rng.Next() % 2001) - 1000) / 8.0);
+    default: {
+      std::string s;
+      const size_t len = rng.Uniform(6);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(char('a' + rng.Uniform(4)));
+      }
+      return Value(std::move(s));
+    }
+  }
+}
+
+// Property: EncodeSortable is order-preserving w.r.t. Compare.
+TEST(ValueEncodingProperty, SortableEncodingPreservesOrder) {
+  Rng rng(99);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const Value a = RandomValue(rng);
+    const Value b = RandomValue(rng);
+    const int cmp = a.Compare(b);
+    const int enc_cmp = a.EncodeSortable().compare(b.EncodeSortable());
+    if (cmp < 0) {
+      EXPECT_LT(enc_cmp, 0) << a.ToString() << " vs " << b.ToString();
+    } else if (cmp > 0) {
+      EXPECT_GT(enc_cmp, 0) << a.ToString() << " vs " << b.ToString();
+    } else {
+      EXPECT_EQ(enc_cmp, 0) << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+// Property: EncodeTo/DecodeFrom round-trips every value.
+TEST(ValueEncodingProperty, BinaryRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const Value v = RandomValue(rng);
+    std::string buf;
+    v.EncodeTo(&buf);
+    size_t pos = 0;
+    Value out;
+    ASSERT_TRUE(Value::DecodeFrom(buf, &pos, &out));
+    EXPECT_EQ(pos, buf.size());
+    EXPECT_EQ(v.Compare(out), 0);
+    EXPECT_EQ(v.type(), out.type());
+  }
+}
+
+TEST(ValueEncodingTest, NegativeDoublesOrderCorrectly) {
+  const std::vector<double> ordered = {-1e30, -2.5, -0.0, 0.0,
+                                       1e-9, 2.5,  1e30};
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    const std::string prev = Value(ordered[i - 1]).EncodeSortable();
+    const std::string cur = Value(ordered[i]).EncodeSortable();
+    EXPECT_LE(prev.compare(cur), 0) << ordered[i - 1] << " vs " << ordered[i];
+  }
+}
+
+TEST(ValueEncodingTest, DecodeRejectsGarbage) {
+  Value out;
+  size_t pos = 0;
+  EXPECT_FALSE(Value::DecodeFrom("?junk", &pos, &out));
+  pos = 0;
+  EXPECT_FALSE(Value::DecodeFrom("", &pos, &out));
+  pos = 0;
+  EXPECT_FALSE(Value::DecodeFrom("d12", &pos, &out));  // truncated double
+}
+
+}  // namespace
+}  // namespace esdb

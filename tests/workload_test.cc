@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "query/parser.h"
+#include "workload/generator.h"
+
+namespace esdb {
+namespace {
+
+WorkloadGenerator::Options SmallOptions() {
+  WorkloadGenerator::Options options;
+  options.num_tenants = 100;
+  options.theta = 1.0;
+  options.num_sub_attributes = 40;
+  options.sub_attributes_per_row = 5;
+  options.seed = 9;
+  return options;
+}
+
+TEST(WorkloadTest, KeysAreWellFormed) {
+  WorkloadGenerator generator(SmallOptions());
+  std::set<RecordId> records;
+  for (int i = 0; i < 500; ++i) {
+    const RouteKey key = generator.NextKey(Micros(i));
+    EXPECT_GE(key.tenant, 1);
+    EXPECT_LE(key.tenant, 100);
+    EXPECT_EQ(key.created_time, Micros(i));
+    // Record ids are unique auto-increments.
+    EXPECT_TRUE(records.insert(key.record).second);
+  }
+}
+
+TEST(WorkloadTest, DeterministicBySeed) {
+  WorkloadGenerator a(SmallOptions()), b(SmallOptions());
+  for (int i = 0; i < 100; ++i) {
+    const RouteKey ka = a.NextKey(0), kb = b.NextKey(0);
+    EXPECT_EQ(ka.tenant, kb.tenant);
+    EXPECT_EQ(ka.record, kb.record);
+  }
+}
+
+TEST(WorkloadTest, TenantSkewFollowsZipf) {
+  WorkloadGenerator generator(SmallOptions());
+  std::map<TenantId, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[generator.NextKey(0).tenant]++;
+  // Rank-1 tenant (id 1, no shift) dominates rank-50 heavily.
+  EXPECT_GT(counts[1], 10 * counts[50]);
+}
+
+TEST(WorkloadTest, HotspotShiftRemapsHotTenant) {
+  WorkloadGenerator generator(SmallOptions());
+  EXPECT_EQ(generator.TenantForRank(0), 1);
+  generator.ShiftHotspots(10);
+  EXPECT_EQ(generator.TenantForRank(0), 11);
+  generator.ShiftHotspots(95);  // wraps around
+  EXPECT_EQ(generator.TenantForRank(0), 6);
+}
+
+TEST(WorkloadTest, SetThetaChangesConcentration) {
+  WorkloadGenerator generator(SmallOptions());
+  auto head_share = [&]() {
+    std::map<TenantId, int> counts;
+    for (int i = 0; i < 20000; ++i) counts[generator.NextKey(0).tenant]++;
+    return double(counts[generator.TenantForRank(0)]) / 20000.0;
+  };
+  const double before = head_share();
+  generator.SetTenantTheta(2.0);
+  const double after = head_share();
+  EXPECT_GT(after, 1.5 * before);
+}
+
+TEST(WorkloadTest, DocumentsCarryTheTemplate) {
+  WorkloadGenerator generator(SmallOptions());
+  const Document doc = generator.NextDocument(123456);
+  for (const char* field :
+       {"tenant_id", "record_id", "created_time", "status", "flag", "group",
+        "amount", "quantity", "region", "channel", "title", "buyer_nick",
+        "seller_nick", "attributes"}) {
+    EXPECT_TRUE(doc.Has(field)) << field;
+  }
+  // Attributes parse back into sub-attributes from the configured
+  // universe.
+  const auto attrs = ParseAttributes(doc.Get("attributes").as_string());
+  EXPECT_FALSE(attrs.empty());
+  EXPECT_LE(attrs.size(), 5u);
+  for (const auto& [key, value] : attrs) {
+    EXPECT_EQ(key.rfind("attr", 0), 0u) << key;
+  }
+}
+
+TEST(WorkloadTest, KeyOnlyModeSkipsBody) {
+  WorkloadGenerator::Options options = SmallOptions();
+  options.full_documents = false;
+  WorkloadGenerator generator(options);
+  const Document doc = generator.NextDocument(0);
+  EXPECT_EQ(doc.size(), 3u);  // routing fields only
+}
+
+TEST(QueryGeneratorTest, ProducesParseableSql) {
+  QueryGenerator::Options options;
+  options.seed = 5;
+  QueryGenerator generator(options);
+  for (int i = 0; i < 300; ++i) {
+    const std::string sql =
+        generator.NextSql(TenantId(1 + i), Micros(i) * kMicrosPerSecond +
+                                               365 * 86400 * kMicrosPerSecond);
+    auto parsed = ParseSql(sql);
+    ASSERT_TRUE(parsed.ok()) << sql << "\n" << parsed.status().ToString();
+    EXPECT_EQ(parsed->limit, 100);
+    ASSERT_NE(parsed->where, nullptr);
+  }
+}
+
+TEST(QueryGeneratorTest, SubAttributeFilterAppended) {
+  QueryGenerator::Options options;
+  options.with_sub_attribute_filter = true;
+  options.num_sub_attributes = 10;
+  QueryGenerator generator(options);
+  const std::string sql =
+      generator.NextSql(1, 365 * 86400 * kMicrosPerSecond);
+  EXPECT_NE(sql.find("attributes.attr"), std::string::npos) << sql;
+  EXPECT_TRUE(ParseSql(sql).ok());
+}
+
+TEST(QueryGeneratorTest, SameSeedSameQueries) {
+  QueryGenerator::Options options;
+  options.seed = 77;
+  QueryGenerator a(options), b(options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.NextSql(3, kMicrosPerSecond), b.NextSql(3, kMicrosPerSecond));
+  }
+}
+
+}  // namespace
+}  // namespace esdb
