@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_offsets.dir/bench_ablation_offsets.cc.o"
+  "CMakeFiles/bench_ablation_offsets.dir/bench_ablation_offsets.cc.o.d"
+  "bench_ablation_offsets"
+  "bench_ablation_offsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_offsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_stddev.dir/bench_fig12_stddev.cc.o"
+  "CMakeFiles/bench_fig12_stddev.dir/bench_fig12_stddev.cc.o.d"
+  "bench_fig12_stddev"
+  "bench_fig12_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_query_qps.dir/bench_fig16_query_qps.cc.o"
+  "CMakeFiles/bench_fig16_query_qps.dir/bench_fig16_query_qps.cc.o.d"
+  "bench_fig16_query_qps"
+  "bench_fig16_query_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_query_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_festival.dir/bench_fig19_festival.cc.o"
+  "CMakeFiles/bench_fig19_festival.dir/bench_fig19_festival.cc.o.d"
+  "bench_fig19_festival"
+  "bench_fig19_festival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_festival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

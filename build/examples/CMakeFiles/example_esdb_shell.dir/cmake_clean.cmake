@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_esdb_shell.dir/esdb_shell.cc.o"
+  "CMakeFiles/example_esdb_shell.dir/esdb_shell.cc.o.d"
+  "example_esdb_shell"
+  "example_esdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_esdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

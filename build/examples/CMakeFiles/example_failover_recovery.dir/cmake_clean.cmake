@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failover_recovery.dir/failover_recovery.cc.o"
+  "CMakeFiles/example_failover_recovery.dir/failover_recovery.cc.o.d"
+  "example_failover_recovery"
+  "example_failover_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failover_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

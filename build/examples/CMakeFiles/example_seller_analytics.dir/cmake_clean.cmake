@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_seller_analytics.dir/seller_analytics.cc.o"
+  "CMakeFiles/example_seller_analytics.dir/seller_analytics.cc.o.d"
+  "example_seller_analytics"
+  "example_seller_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_seller_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

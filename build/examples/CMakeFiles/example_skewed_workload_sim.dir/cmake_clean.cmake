@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_skewed_workload_sim.dir/skewed_workload_sim.cc.o"
+  "CMakeFiles/example_skewed_workload_sim.dir/skewed_workload_sim.cc.o.d"
+  "example_skewed_workload_sim"
+  "example_skewed_workload_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_skewed_workload_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/balancer/load_balancer.cc" "src/CMakeFiles/esdb.dir/balancer/load_balancer.cc.o" "gcc" "src/CMakeFiles/esdb.dir/balancer/load_balancer.cc.o.d"
+  "/root/repo/src/cluster/cluster_persistence.cc" "src/CMakeFiles/esdb.dir/cluster/cluster_persistence.cc.o" "gcc" "src/CMakeFiles/esdb.dir/cluster/cluster_persistence.cc.o.d"
+  "/root/repo/src/cluster/distributed.cc" "src/CMakeFiles/esdb.dir/cluster/distributed.cc.o" "gcc" "src/CMakeFiles/esdb.dir/cluster/distributed.cc.o.d"
+  "/root/repo/src/cluster/esdb.cc" "src/CMakeFiles/esdb.dir/cluster/esdb.cc.o" "gcc" "src/CMakeFiles/esdb.dir/cluster/esdb.cc.o.d"
+  "/root/repo/src/cluster/shard_allocator.cc" "src/CMakeFiles/esdb.dir/cluster/shard_allocator.cc.o" "gcc" "src/CMakeFiles/esdb.dir/cluster/shard_allocator.cc.o.d"
+  "/root/repo/src/cluster/write_client.cc" "src/CMakeFiles/esdb.dir/cluster/write_client.cc.o" "gcc" "src/CMakeFiles/esdb.dir/cluster/write_client.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/esdb.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/esdb.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/esdb.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/esdb.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/esdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/esdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/esdb.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/esdb.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/esdb.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/esdb.dir/common/zipf.cc.o.d"
+  "/root/repo/src/consensus/network.cc" "src/CMakeFiles/esdb.dir/consensus/network.cc.o" "gcc" "src/CMakeFiles/esdb.dir/consensus/network.cc.o.d"
+  "/root/repo/src/consensus/protocol.cc" "src/CMakeFiles/esdb.dir/consensus/protocol.cc.o" "gcc" "src/CMakeFiles/esdb.dir/consensus/protocol.cc.o.d"
+  "/root/repo/src/document/document.cc" "src/CMakeFiles/esdb.dir/document/document.cc.o" "gcc" "src/CMakeFiles/esdb.dir/document/document.cc.o.d"
+  "/root/repo/src/document/json.cc" "src/CMakeFiles/esdb.dir/document/json.cc.o" "gcc" "src/CMakeFiles/esdb.dir/document/json.cc.o.d"
+  "/root/repo/src/document/value.cc" "src/CMakeFiles/esdb.dir/document/value.cc.o" "gcc" "src/CMakeFiles/esdb.dir/document/value.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/esdb.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/datetime.cc" "src/CMakeFiles/esdb.dir/query/datetime.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/datetime.cc.o.d"
+  "/root/repo/src/query/dsl.cc" "src/CMakeFiles/esdb.dir/query/dsl.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/dsl.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/esdb.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/filter_cache.cc" "src/CMakeFiles/esdb.dir/query/filter_cache.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/filter_cache.cc.o.d"
+  "/root/repo/src/query/normalize.cc" "src/CMakeFiles/esdb.dir/query/normalize.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/normalize.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/esdb.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/esdb.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/CMakeFiles/esdb.dir/query/plan.cc.o" "gcc" "src/CMakeFiles/esdb.dir/query/plan.cc.o.d"
+  "/root/repo/src/replication/replication.cc" "src/CMakeFiles/esdb.dir/replication/replication.cc.o" "gcc" "src/CMakeFiles/esdb.dir/replication/replication.cc.o.d"
+  "/root/repo/src/routing/router.cc" "src/CMakeFiles/esdb.dir/routing/router.cc.o" "gcc" "src/CMakeFiles/esdb.dir/routing/router.cc.o.d"
+  "/root/repo/src/routing/rule_list.cc" "src/CMakeFiles/esdb.dir/routing/rule_list.cc.o" "gcc" "src/CMakeFiles/esdb.dir/routing/rule_list.cc.o.d"
+  "/root/repo/src/sim/cluster_sim.cc" "src/CMakeFiles/esdb.dir/sim/cluster_sim.cc.o" "gcc" "src/CMakeFiles/esdb.dir/sim/cluster_sim.cc.o.d"
+  "/root/repo/src/storage/analyzer.cc" "src/CMakeFiles/esdb.dir/storage/analyzer.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/analyzer.cc.o.d"
+  "/root/repo/src/storage/doc_values.cc" "src/CMakeFiles/esdb.dir/storage/doc_values.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/doc_values.cc.o.d"
+  "/root/repo/src/storage/index_spec.cc" "src/CMakeFiles/esdb.dir/storage/index_spec.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/index_spec.cc.o.d"
+  "/root/repo/src/storage/inverted_index.cc" "src/CMakeFiles/esdb.dir/storage/inverted_index.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/inverted_index.cc.o.d"
+  "/root/repo/src/storage/merge_policy.cc" "src/CMakeFiles/esdb.dir/storage/merge_policy.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/merge_policy.cc.o.d"
+  "/root/repo/src/storage/persistence.cc" "src/CMakeFiles/esdb.dir/storage/persistence.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/persistence.cc.o.d"
+  "/root/repo/src/storage/posting.cc" "src/CMakeFiles/esdb.dir/storage/posting.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/posting.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/CMakeFiles/esdb.dir/storage/segment.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/segment.cc.o.d"
+  "/root/repo/src/storage/shard_store.cc" "src/CMakeFiles/esdb.dir/storage/shard_store.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/shard_store.cc.o.d"
+  "/root/repo/src/storage/sorted_key_index.cc" "src/CMakeFiles/esdb.dir/storage/sorted_key_index.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/sorted_key_index.cc.o.d"
+  "/root/repo/src/storage/translog.cc" "src/CMakeFiles/esdb.dir/storage/translog.cc.o" "gcc" "src/CMakeFiles/esdb.dir/storage/translog.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/esdb.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/esdb.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

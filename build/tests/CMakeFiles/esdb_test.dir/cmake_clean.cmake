@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esdb_test.dir/esdb_test.cc.o"
+  "CMakeFiles/esdb_test.dir/esdb_test.cc.o.d"
+  "esdb_test"
+  "esdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagination_explain_test.dir/pagination_explain_test.cc.o"
+  "CMakeFiles/pagination_explain_test.dir/pagination_explain_test.cc.o.d"
+  "pagination_explain_test"
+  "pagination_explain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagination_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

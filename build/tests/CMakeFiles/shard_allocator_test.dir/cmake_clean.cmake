@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_allocator_test.dir/shard_allocator_test.cc.o"
+  "CMakeFiles/shard_allocator_test.dir/shard_allocator_test.cc.o.d"
+  "shard_allocator_test"
+  "shard_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
