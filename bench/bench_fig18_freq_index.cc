@@ -7,6 +7,7 @@
 // the top-100 tenants by up to 94.1%.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
 #include "cluster/esdb.h"
@@ -24,7 +25,8 @@ constexpr int kQueriesPerTenant = 10;
 constexpr int kTopTenants = 100;
 constexpr uint64_t kIndexedSubAttributes = 30;
 
-Esdb BuildCluster(bool frequency_based_indexing, size_t* storage_bytes) {
+std::unique_ptr<Esdb> BuildCluster(bool frequency_based_indexing,
+                                   size_t* storage_bytes) {
   Esdb::Options options;
   options.num_shards = kShards;
   options.routing = RoutingKind::kHash;
@@ -35,7 +37,7 @@ Esdb BuildCluster(bool frequency_based_indexing, size_t* storage_bytes) {
           WorkloadGenerator::SubAttributeKey(rank));
     }
   }
-  Esdb db(std::move(options));
+  auto db = std::make_unique<Esdb>(std::move(options));
 
   WorkloadGenerator::Options wopts;
   wopts.num_tenants = kTenants;
@@ -46,13 +48,13 @@ Esdb BuildCluster(bool frequency_based_indexing, size_t* storage_bytes) {
   wopts.sub_attribute_theta = 1.0;
   WorkloadGenerator generator(wopts);
   for (int i = 0; i < kDocs; ++i) {
-    (void)db.Insert(generator.NextDocument(Micros(i) * kMicrosPerMilli));
+    (void)db->Insert(generator.NextDocument(Micros(i) * kMicrosPerMilli));
   }
-  db.RefreshAll();
+  db->RefreshAll();
 
   *storage_bytes = 0;
   for (uint32_t s = 0; s < kShards; ++s) {
-    *storage_bytes += db.shard(s)->SizeBytes();
+    *storage_bytes += db->shard(s)->SizeBytes();
   }
   return db;
 }
@@ -67,7 +69,7 @@ int main() {
   double mean_latency[2] = {0, 0};
   for (int c = 0; c < 2; ++c) {
     const bool indexed = (c == 1);
-    Esdb db = BuildCluster(indexed, &storage[c]);
+    std::unique_ptr<Esdb> db = BuildCluster(indexed, &storage[c]);
 
     QueryGenerator::Options qopts;
     // Full history: top tenants have large candidate sets, so the
@@ -85,7 +87,7 @@ int main() {
         const std::string sql =
             queries.NextSql(TenantId(rank), Micros(kDocs) * kMicrosPerMilli);
         bench::Stopwatch watch;
-        auto result = db.ExecuteSql(sql);
+        auto result = db->ExecuteSql(sql);
         const double seconds = watch.ElapsedSeconds();
         if (!result.ok()) {
           std::fprintf(stderr, "query failed: %s\n",

@@ -1,6 +1,8 @@
 #include "cluster/esdb.h"
 
 #include <algorithm>
+#include <functional>
+#include <future>
 
 #include "query/dsl.h"
 #include "query/normalize.h"
@@ -9,6 +11,25 @@
 namespace esdb {
 
 namespace {
+
+// Runs fn(ordinal) for every ordinal in [0, n): serially in the
+// calling thread when `pool` is null (or there is nothing to fan
+// out), else as pool tasks, joining before return. fn must only touch
+// its own ordinal's output slots; the future join publishes those
+// writes to the caller.
+void RunPerOrdinal(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(pool->Submit([&fn, i] { fn(i); }));
+  }
+  for (auto& future : futures) future.get();
+}
 
 // Finds a top-level tenant_id equality (possibly nested under ANDs):
 // the common shape of seller-facing queries. Returns false when the
@@ -66,6 +87,24 @@ Esdb::Esdb(Options options)
           std::make_unique<ShardStore>(&options_.spec, options_.store));
     }
   }
+  if (options_.query_threads > 0) {
+    query_pool_ = std::make_unique<ThreadPool>(options_.query_threads);
+  }
+}
+
+void Esdb::SetQueryThreads(uint32_t n) {
+  options_.query_threads = n;
+  query_pool_ = n > 0 ? std::make_unique<ThreadPool>(n) : nullptr;
+}
+
+uint32_t Esdb::last_subqueries() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_subqueries_;
+}
+
+ExecStats Esdb::last_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_stats_;
 }
 
 ShardStore* Esdb::Primary(ShardId id) {
@@ -219,8 +258,14 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
     target_shards.resize(options_.num_shards);
     for (uint32_t i = 0; i < options_.num_shards; ++i) target_shards[i] = i;
   }
-  last_subqueries_ = uint32_t(target_shards.size());
-  last_stats_ = ExecStats{};
+  // Executor counters accumulate locally and publish under the stats
+  // mutex on every exit, keeping concurrent client queries race-free.
+  ExecStats exec_stats;
+  const auto publish_stats = [&] {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_subqueries_ = uint32_t(target_shards.size());
+    last_stats_ = exec_stats;
+  };
 
   // Xdriver4ES pipeline + RBO, once per query (plans are shard-
   // agnostic).
@@ -231,23 +276,54 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
   const std::unique_ptr<PlanNode> plan =
       PlanWhere(normalized.get(), options_.spec, planner);
 
+  const size_t fan_out = target_shards.size();
+  FilterCache* cache = options_.use_filter_cache ? &filter_cache_ : nullptr;
+
+  // Snapshots are taken serially up front (one cheap shared_ptr-vector
+  // move per shard); the subqueries themselves run against these
+  // immutable segment sets — serially, or as pool tasks when
+  // query_threads > 0. Each task writes only its own ordinal's slots;
+  // merging happens afterwards in shard-ordinal order, so parallel
+  // results are byte-identical to serial ones.
+  std::vector<std::vector<std::shared_ptr<Segment>>> snapshots;
+  snapshots.reserve(fan_out);
+  for (ShardId shard : target_shards) {
+    snapshots.push_back(Primary(shard)->Snapshot());
+  }
+
   // Two-phase path for row queries: the coordinator merges row ids +
   // sort keys and fetches raw documents only for the global winners.
   if (options_.two_phase_queries && query.agg == AggFunc::kNone &&
       query.group_by.empty()) {
-    std::vector<std::vector<std::shared_ptr<Segment>>> snapshots;
-    snapshots.reserve(target_shards.size());
-    std::vector<RowRef> all_refs;
+    std::vector<std::vector<RowRef>> shard_refs(fan_out);
+    std::vector<Status> statuses(fan_out, Status::OK());
+    std::vector<ExecStats> shard_stats(fan_out);
+    std::vector<uint64_t> shard_matched(fan_out, 0);
+    RunPerOrdinal(query_pool_.get(), fan_out, [&](size_t ordinal) {
+      auto refs = ExecuteQueryPhase(query, *plan, snapshots[ordinal],
+                                    uint32_t(ordinal), &shard_stats[ordinal],
+                                    &shard_matched[ordinal], cache,
+                                    target_shards[ordinal]);
+      if (refs.ok()) {
+        shard_refs[ordinal] = std::move(*refs);
+      } else {
+        statuses[ordinal] = refs.status();
+      }
+    });
     uint64_t total_matched = 0;
-    for (uint32_t ordinal = 0; ordinal < target_shards.size(); ++ordinal) {
-      snapshots.push_back(Primary(target_shards[ordinal])->Snapshot());
-      ESDB_ASSIGN_OR_RETURN(
-          std::vector<RowRef> refs,
-          ExecuteQueryPhase(query, *plan, snapshots.back(), ordinal,
-                            &last_stats_, &total_matched,
-                            options_.use_filter_cache ? &filter_cache_
-                                                      : nullptr,
-                            target_shards[ordinal]));
+    size_t total_refs = 0;
+    for (size_t ordinal = 0; ordinal < fan_out; ++ordinal) {
+      if (!statuses[ordinal].ok()) {
+        publish_stats();
+        return statuses[ordinal];
+      }
+      exec_stats.Add(shard_stats[ordinal]);
+      total_matched += shard_matched[ordinal];
+      total_refs += shard_refs[ordinal].size();
+    }
+    std::vector<RowRef> all_refs;
+    all_refs.reserve(total_refs);
+    for (std::vector<RowRef>& refs : shard_refs) {
       for (RowRef& ref : refs) all_refs.push_back(std::move(ref));
     }
     if (!query.order_by.empty()) SortRowRefs(query, &all_refs);
@@ -261,25 +337,36 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
     }
     QueryResult result;
     result.total_matched = total_matched;
-    ESDB_ASSIGN_OR_RETURN(
-        result.rows,
-        ExecuteFetchPhase(query, snapshots, all_refs, &last_stats_));
+    auto fetched = ExecuteFetchPhase(query, snapshots, all_refs, &exec_stats);
+    publish_stats();
+    if (!fetched.ok()) return fetched.status();
+    result.rows = std::move(*fetched);
     ProjectRows(query, &result.rows);
     return result;
   }
 
-  std::vector<QueryResult> shard_results;
-  shard_results.reserve(target_shards.size());
-  for (ShardId shard : target_shards) {
-    ESDB_ASSIGN_OR_RETURN(
-        QueryResult r,
-        ExecuteOnShard(query, *plan, Primary(shard)->Snapshot(),
-                       &last_stats_,
-                       options_.use_filter_cache ? &filter_cache_
-                                                 : nullptr,
-                       shard));
-    shard_results.push_back(std::move(r));
+  // Single-phase path (aggregates, group-bys, or two-phase disabled).
+  std::vector<QueryResult> shard_results(fan_out);
+  std::vector<Status> statuses(fan_out, Status::OK());
+  std::vector<ExecStats> shard_stats(fan_out);
+  RunPerOrdinal(query_pool_.get(), fan_out, [&](size_t ordinal) {
+    auto r = ExecuteOnShard(query, *plan, snapshots[ordinal],
+                            &shard_stats[ordinal], cache,
+                            target_shards[ordinal]);
+    if (r.ok()) {
+      shard_results[ordinal] = std::move(*r);
+    } else {
+      statuses[ordinal] = r.status();
+    }
+  });
+  for (size_t ordinal = 0; ordinal < fan_out; ++ordinal) {
+    if (!statuses[ordinal].ok()) {
+      publish_stats();
+      return statuses[ordinal];
+    }
+    exec_stats.Add(shard_stats[ordinal]);
   }
+  publish_stats();
   return AggregateResults(query, std::move(shard_results));
 }
 

@@ -2,12 +2,14 @@
 #define ESDB_CLUSTER_ESDB_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "balancer/load_balancer.h"
 #include "balancer/monitor.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "document/document.h"
 #include "query/executor.h"
 #include "query/optimizer.h"
@@ -24,7 +26,13 @@ namespace esdb {
 // indexed, SQL is parsed/optimized/executed. Cluster-scale resource
 // contention (CPU, queues) is studied separately in sim/cluster_sim.h.
 //
-// Thread model: single-threaded (callers serialize access).
+// Thread model: writes are single-writer (callers serialize Apply/
+// RefreshAll/balancing). Queries are safe to issue from multiple
+// threads concurrently with each other (not with writers): each
+// subquery runs against an immutable segment snapshot and the filter
+// cache is lock-striped. With query_threads > 0 each query
+// additionally fans its per-shard subqueries out over an internal
+// thread pool. See DESIGN.md "Thread model".
 class Esdb {
  public:
   struct Options {
@@ -46,6 +54,12 @@ class Esdb {
     // Per-segment filter cache for repeated (cacheable) plans.
     bool use_filter_cache = true;
     FilterCache::Options filter_cache;
+    // Per-shard subquery parallelism (Section 3.2's concurrent
+    // fan-out): 0 = serial in the calling thread (the historical
+    // behavior), N > 0 = execute subqueries on an N-thread pool.
+    // Results are byte-identical either way; per-shard merge order is
+    // fixed by shard ordinal.
+    uint32_t query_threads = 0;
   };
 
   explicit Esdb(Options options);
@@ -99,9 +113,16 @@ class Esdb {
   Result<uint64_t> ExecuteDml(const DmlStatement& statement);
 
   // Number of shard subqueries the last Execute performed (Figure 16's
-  // cost driver) and its executor counters.
-  uint32_t last_subqueries() const { return last_subqueries_; }
-  const ExecStats& last_stats() const { return last_stats_; }
+  // cost driver) and its executor counters. Mutex-guarded so
+  // concurrent client queries stay race-free; with queries in flight
+  // from several threads, "last" means "most recently finished".
+  uint32_t last_subqueries() const;
+  ExecStats last_stats() const;
+
+  // Resizes the subquery pool (0 = serial). NOT thread-safe: call
+  // only while no query is in flight (bench sweeps, tests).
+  void SetQueryThreads(uint32_t n);
+  uint32_t query_threads() const { return options_.query_threads; }
 
   // --- Balancing ------------------------------------------------------
 
@@ -153,6 +174,8 @@ class Esdb {
   WorkloadMonitor monitor_;
   LoadBalancer balancer_;
   FilterCache filter_cache_;
+  std::unique_ptr<ThreadPool> query_pool_;  // null when query_threads == 0
+  mutable std::mutex stats_mu_;  // guards last_subqueries_/last_stats_
   uint32_t last_subqueries_ = 0;
   ExecStats last_stats_;
 };

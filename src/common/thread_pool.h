@@ -1,0 +1,94 @@
+#ifndef ESDB_COMMON_THREAD_POOL_H_
+#define ESDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace esdb {
+
+// Fixed-size thread pool: a bounded set of workers draining one FIFO
+// task queue. Submit returns a std::future so callers can join on
+// individual tasks and observe exceptions (a throwing task surfaces at
+// future.get(), not in the worker). Shutdown is graceful: the
+// destructor lets already-queued tasks finish before joining.
+//
+// This is the shared substrate for parallel shard fan-out (query
+// path today; refresh/merge and sim workers are planned consumers).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  // Enqueues `fn` and returns a future for its result. The future's
+  // get() rethrows any exception the task raised.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  size_t queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping_ and drained
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();  // packaged_task captures exceptions into the future
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_THREAD_POOL_H_

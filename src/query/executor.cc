@@ -271,9 +271,9 @@ Result<PostingList> EvalPlanCached(const PlanNode& plan,
   if (cache == nullptr || fingerprint.empty()) {
     return EvalPlan(plan, segment, stats);
   }
-  if (const PostingList* cached =
-          cache->Get(cache_domain, segment.id(), fingerprint)) {
-    return *cached;
+  PostingList cached;
+  if (cache->Get(cache_domain, segment.id(), fingerprint, &cached)) {
+    return cached;
   }
   ESDB_ASSIGN_OR_RETURN(PostingList candidates,
                         EvalPlan(plan, segment, stats));

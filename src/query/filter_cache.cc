@@ -1,5 +1,7 @@
 #include "query/filter_cache.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 #include "common/varint.h"
 
@@ -9,41 +11,69 @@ size_t FilterCache::KeyHash::operator()(const Key& k) const {
   return size_t(HashString(k.fingerprint, Mix64(k.domain) ^ k.segment_id));
 }
 
-const PostingList* FilterCache::Get(uint64_t domain, uint64_t segment_id,
-                                    const std::string& fingerprint) {
-  auto it = entries_.find(Key{domain, segment_id, fingerprint});
-  if (it == entries_.end()) {
-    ++misses_;
-    return nullptr;
+FilterCache::FilterCache(Options options)
+    : options_(options),
+      per_stripe_capacity_(std::max<size_t>(
+          1, options.max_entries / std::max<size_t>(1, options.num_stripes))),
+      stripes_(std::max<size_t>(1, options.num_stripes)) {}
+
+bool FilterCache::Get(uint64_t domain, uint64_t segment_id,
+                      const std::string& fingerprint, PostingList* out) {
+  const Key key{domain, segment_id, fingerprint};
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   // Move to the LRU front.
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return &it->second->candidates;
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+  *out = it->second->candidates;  // copy-out under the stripe lock
+  return true;
 }
 
 void FilterCache::Put(uint64_t domain, uint64_t segment_id,
                       const std::string& fingerprint,
                       PostingList candidates) {
   const Key key{domain, segment_id, fingerprint};
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second->candidates = std::move(candidates);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  Stripe& stripe = StripeFor(key);
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.entries.find(key);
+    if (it != stripe.entries.end()) {
+      it->second->candidates = std::move(candidates);
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+      return;
+    }
+    stripe.lru.push_front(Entry{key, std::move(candidates)});
+    stripe.entries[key] = stripe.lru.begin();
+    while (stripe.entries.size() > per_stripe_capacity_) {
+      stripe.entries.erase(stripe.lru.back().key);
+      stripe.lru.pop_back();
+      ++evicted;
+    }
   }
-  lru_.push_front(Entry{key, std::move(candidates)});
-  entries_[key] = lru_.begin();
-  while (entries_.size() > options_.max_entries) {
-    entries_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+size_t FilterCache::size() const {
+  size_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    n += stripe.entries.size();
   }
+  return n;
 }
 
 void FilterCache::Clear() {
-  lru_.clear();
-  entries_.clear();
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.lru.clear();
+    stripe.entries.clear();
+  }
 }
 
 namespace {

@@ -1,9 +1,12 @@
 #ifndef ESDB_QUERY_FILTER_CACHE_H_
 #define ESDB_QUERY_FILTER_CACHE_H_
 
+#include <atomic>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "query/plan.h"
 #include "storage/posting.h"
@@ -18,29 +21,42 @@ namespace esdb {
 // containing a FullScan node are not cacheable (LiveDocs shrinks as
 // tombstones land); IsCacheable() gates that.
 //
-// LRU-evicted; single-threaded like the rest of the engine.
+// Concurrency-safe: the table is split into `num_stripes` lock-striped
+// segments (stripe chosen by KeyHash), each with its own mutex and LRU
+// list, so parallel shard subqueries contend only when their keys
+// collide on a stripe. Get copies the posting list out under the
+// stripe lock — no pointer into the cache ever escapes, so a
+// concurrent Put/eviction can never invalidate a caller's view.
+// Hit/miss/eviction counters are atomic. Eviction is LRU per stripe
+// (capacity max_entries/num_stripes); with num_stripes = 1 this is
+// exactly the old global LRU.
 class FilterCache {
  public:
   struct Options {
     size_t max_entries = 4096;
+    // Lock stripes; 1 gives a single global LRU (deterministic
+    // eviction order, used by tests).
+    size_t num_stripes = 16;
   };
 
-  explicit FilterCache(Options options) : options_(options) {}
+  explicit FilterCache(Options options);
   FilterCache() : FilterCache(Options{}) {}
 
-  // Cached candidates for (domain, segment, fingerprint), or nullptr.
-  // The pointer stays valid until the next Put (single-threaded use:
-  // consume before mutating).
-  const PostingList* Get(uint64_t domain, uint64_t segment_id,
-                         const std::string& fingerprint);
+  // Copies the cached candidates for (domain, segment, fingerprint)
+  // into *out and returns true, or returns false on a miss. The copy
+  // makes the result immune to concurrent Put/eviction.
+  bool Get(uint64_t domain, uint64_t segment_id,
+           const std::string& fingerprint, PostingList* out);
 
   void Put(uint64_t domain, uint64_t segment_id,
            const std::string& fingerprint, PostingList candidates);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
   void Clear();
 
  private:
@@ -60,13 +76,24 @@ class FilterCache {
     Key key;
     PostingList candidates;
   };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries;
+  };
+
+  Stripe& StripeFor(const Key& key) {
+    return stripes_[KeyHash{}(key) % stripes_.size()];
+  }
 
   Options options_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  size_t per_stripe_capacity_;
+  // vector never resizes after construction (Stripe holds a mutex and
+  // is immovable).
+  std::vector<Stripe> stripes_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 // Deterministic byte-exact fingerprint of a plan (unlike ToString,

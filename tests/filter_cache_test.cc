@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "cluster/esdb.h"
 #include "query/filter_cache.h"
 #include "query/normalize.h"
@@ -10,31 +14,41 @@ namespace {
 
 PostingList Ids(std::vector<DocId> ids) { return PostingList(std::move(ids)); }
 
+bool Contains(FilterCache* cache, uint64_t domain, uint64_t segment,
+              const std::string& fp) {
+  PostingList out;
+  return cache->Get(domain, segment, fp, &out);
+}
+
 TEST(FilterCacheTest, HitMissAndLru) {
   FilterCache::Options options;
   options.max_entries = 2;
+  options.num_stripes = 1;  // one global LRU: deterministic eviction
   FilterCache cache(options);
-  EXPECT_EQ(cache.Get(0, 1, "a"), nullptr);
+  PostingList out;
+  EXPECT_FALSE(cache.Get(0, 1, "a", &out));
   EXPECT_EQ(cache.misses(), 1u);
 
   cache.Put(0, 1, "a", Ids({1, 2}));
   cache.Put(0, 2, "a", Ids({3}));
-  ASSERT_NE(cache.Get(0, 1, "a"), nullptr);
+  ASSERT_TRUE(cache.Get(0, 1, "a", &out));
+  EXPECT_EQ(out.ids(), (std::vector<DocId>{1, 2}));
   EXPECT_EQ(cache.hits(), 1u);
 
   // Third insert evicts the LRU entry (segment 2, untouched since Put).
   cache.Put(0, 3, "a", Ids({4}));
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_EQ(cache.Get(0, 2, "a"), nullptr);
-  EXPECT_NE(cache.Get(0, 1, "a"), nullptr);  // recently used: survived
+  EXPECT_FALSE(cache.Get(0, 2, "a", &out));
+  EXPECT_TRUE(cache.Get(0, 1, "a", &out));  // recently used: survived
 }
 
 TEST(FilterCacheTest, DomainsAreIsolated) {
   FilterCache cache;
   cache.Put(/*domain=*/7, /*segment=*/1, "fp", Ids({1, 2, 3}));
-  EXPECT_EQ(cache.Get(/*domain=*/8, 1, "fp"), nullptr);
-  ASSERT_NE(cache.Get(7, 1, "fp"), nullptr);
-  EXPECT_EQ(cache.Get(7, 1, "fp")->size(), 3u);
+  PostingList out;
+  EXPECT_FALSE(cache.Get(/*domain=*/8, 1, "fp", &out));
+  ASSERT_TRUE(cache.Get(7, 1, "fp", &out));
+  EXPECT_EQ(out.size(), 3u);
 }
 
 TEST(FilterCacheTest, PutOverwrites) {
@@ -42,7 +56,83 @@ TEST(FilterCacheTest, PutOverwrites) {
   cache.Put(0, 1, "fp", Ids({1}));
   cache.Put(0, 1, "fp", Ids({1, 2}));
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.Get(0, 1, "fp")->size(), 2u);
+  PostingList out;
+  ASSERT_TRUE(cache.Get(0, 1, "fp", &out));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(FilterCacheTest, GetCopyOutSurvivesEviction) {
+  FilterCache::Options options;
+  options.max_entries = 1;
+  options.num_stripes = 1;
+  FilterCache cache(options);
+  cache.Put(0, 1, "fp", Ids({1, 2, 3}));
+  PostingList out;
+  ASSERT_TRUE(cache.Get(0, 1, "fp", &out));
+  // Evict the entry the copy came from; the copy must be unaffected.
+  cache.Put(0, 2, "fp", Ids({9}));
+  EXPECT_FALSE(Contains(&cache, 0, 1, "fp"));
+  EXPECT_EQ(out.ids(), (std::vector<DocId>{1, 2, 3}));
+}
+
+TEST(FilterCacheTest, StripedCapacityIsBounded) {
+  FilterCache::Options options;
+  options.max_entries = 64;
+  options.num_stripes = 8;
+  FilterCache cache(options);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    cache.Put(0, i, "fp", Ids({DocId(i)}));
+  }
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GE(cache.evictions(), 1000u - 64u);
+}
+
+// Satellite: concurrent Get/Put hammering (run under TSan in CI).
+// Each key always maps to the same value, so any successful Get must
+// return exactly that value, and hits + misses must equal the total
+// number of Get calls.
+TEST(FilterCacheTest, ConcurrentGetPutHammer) {
+  FilterCache::Options options;
+  options.max_entries = 128;  // small: forces constant eviction churn
+  options.num_stripes = 8;
+  FilterCache cache(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr uint64_t kKeySpace = 512;
+  std::atomic<uint64_t> total_gets{0};
+  std::atomic<int> value_mismatches{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t local_gets = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t k = uint64_t(t * 31 + i * 7) % kKeySpace;
+        const uint64_t domain = k % 4;
+        const uint64_t segment = k / 4;
+        if ((t + i) % 3 == 0) {
+          cache.Put(domain, segment, "fp", Ids({DocId(k), DocId(k + 1)}));
+        } else {
+          PostingList out;
+          ++local_gets;
+          if (cache.Get(domain, segment, "fp", &out)) {
+            if (out.ids() != std::vector<DocId>{DocId(k), DocId(k + 1)}) {
+              value_mismatches.fetch_add(1);
+            }
+          }
+        }
+      }
+      total_gets.fetch_add(local_gets);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(value_mismatches.load(), 0);
+  // Counters must account for every Get exactly once.
+  EXPECT_EQ(cache.hits() + cache.misses(), total_gets.load());
+  EXPECT_LE(cache.size(), options.max_entries);
 }
 
 std::unique_ptr<PlanNode> PlanOf(const std::string& where,

@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace esdb {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[size_t(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 1; });
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.Submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks that can only complete by observing each other: passes
+  // only if the pool really runs them on distinct threads.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived == 2; });
+  };
+  auto a = pool.Submit(rendezvous);
+  auto b = pool.Submit(rendezvous);
+  a.get();
+  b.get();
+  EXPECT_EQ(arrived, 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        executed.fetch_add(1);
+      });
+    }
+    // Destructor: graceful shutdown finishes everything queued.
+  }
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolTest, ManyProducersOneQueue) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&pool, &sum] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 200; ++i) {
+        futures.push_back(pool.Submit([&sum] { sum.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  EXPECT_EQ(sum.load(), 800);
+}
+
+}  // namespace
+}  // namespace esdb
