@@ -1,0 +1,147 @@
+// Refresh/merge throughput: RefreshAll wall time on a 64-shard
+// cluster as the maintenance pool grows. Each configuration replays
+// the identical insert stream (batches between refreshes large enough
+// that every shard builds a real segment per round, with a small
+// merge cap so tiered merges run too), so the sweep isolates the
+// refresh fan-out itself. The bench verifies that every parallel
+// configuration ends byte-identical to the serial baseline: same
+// per-shard doc counts, same segment counts, same query answers.
+//
+// Usage:
+//   bench_refresh [--threads=0,2,4,8] [--rounds=N] [--batch=N]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/esdb.h"
+#include "workload/generator.h"
+
+using namespace esdb;  // NOLINT
+
+namespace {
+
+constexpr uint32_t kShards = 64;
+constexpr uint64_t kTenants = 10000;
+
+struct RunResult {
+  double refresh_seconds = 0;  // total across all rounds
+  std::vector<size_t> shard_docs;
+  std::vector<size_t> shard_segments;
+  QueryResult probe;
+};
+
+RunResult RunConfig(uint32_t maintenance_threads, int rounds, int batch) {
+  Esdb::Options options;
+  options.num_shards = kShards;
+  options.routing = RoutingKind::kHash;
+  options.store.refresh_doc_count = 0;  // refresh only via RefreshAll
+  options.store.merge.max_segments = 6;  // keep merges in the loop
+  options.maintenance_threads = maintenance_threads;
+  Esdb db(std::move(options));
+
+  WorkloadGenerator::Options wopts;
+  wopts.num_tenants = kTenants;
+  wopts.theta = 1.0;
+  wopts.seed = 424242;
+  WorkloadGenerator generator(wopts);
+
+  RunResult out;
+  int64_t clock = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (int i = 0; i < batch; ++i) {
+      const Status s =
+          db.Insert(generator.NextDocument(Micros(clock++) * kMicrosPerMilli));
+      if (!s.ok()) {
+        std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    bench::Stopwatch watch;
+    db.RefreshAll();
+    out.refresh_seconds += watch.ElapsedSeconds();
+  }
+
+  out.shard_docs = db.ShardDocCounts();
+  out.shard_segments.reserve(kShards);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    out.shard_segments.push_back(db.shard(ShardId(s))->num_segments());
+  }
+  auto probe = db.ExecuteSql(
+      "SELECT * FROM transaction_logs WHERE amount >= 400 AND status = 2 "
+      "ORDER BY created_time DESC LIMIT 100");
+  if (!probe.ok()) {
+    std::fprintf(stderr, "probe query failed: %s\n",
+                 probe.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.probe = std::move(*probe);
+  return out;
+}
+
+bool Identical(const RunResult& a, const RunResult& b) {
+  return a.shard_docs == b.shard_docs &&
+         a.shard_segments == b.shard_segments &&
+         a.probe.rows == b.probe.rows &&
+         a.probe.total_matched == b.probe.total_matched;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<uint32_t> thread_counts = {0, 2, 4, 8};
+  int rounds = 12;
+  int batch = 24000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_counts.clear();
+      const char* p = argv[i] + 10;
+      while (*p != '\0') {
+        thread_counts.push_back(uint32_t(std::strtoul(p, nullptr, 10)));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = int(std::strtol(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      batch = int(std::strtol(argv[i] + 8, nullptr, 10));
+    }
+  }
+
+  bench::PrintHeader(
+      "RefreshAll sweep: 64 shards, refresh+merge per round on the "
+      "maintenance pool");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("rounds=%d batch=%d docs=%d cores=%u\n", rounds, batch,
+              rounds * batch, cores);
+  if (cores <= 1) {
+    std::printf("NOTE: single-core host — refresh is CPU-bound, so the "
+                "sweep can only validate correctness here, not speedup.\n");
+  }
+  std::printf("\n");
+
+  // Serial baseline first (thread count 0), whatever the user listed.
+  RunResult baseline = RunConfig(0, rounds, batch);
+  std::printf("%-12s %-14s %-10s %-12s\n", "threads", "refresh_sec",
+              "speedup", "identical");
+  std::printf("%-12s %-14.3f %-10s %-12s\n", "0 (serial)",
+              baseline.refresh_seconds, "1.00x", "baseline");
+
+  for (uint32_t threads : thread_counts) {
+    if (threads == 0) continue;
+    RunResult run = RunConfig(threads, rounds, batch);
+    const bool identical = Identical(baseline, run);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  baseline.refresh_seconds / run.refresh_seconds);
+    std::printf("%-12u %-14.3f %-10s %-12s\n", threads, run.refresh_seconds,
+                speedup, identical ? "yes" : "NO (BUG)");
+    if (!identical) return 1;
+  }
+  return 0;
+}

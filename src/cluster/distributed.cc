@@ -52,6 +52,10 @@ DistributedEsdb::DistributedEsdb(Options options)
     shards_.push_back(std::make_unique<ReplicatedShard>(
         &options_.spec, options_.store, ReplicationMode::kPhysical));
   }
+  if (options_.maintenance_threads > 0) {
+    maintenance_pool_ =
+        std::make_unique<ThreadPool>(options_.maintenance_threads);
+  }
 }
 
 Status DistributedEsdb::CheckReady() const {
@@ -143,7 +147,10 @@ Status DistributedEsdb::Insert(Document doc) {
 }
 
 void DistributedEsdb::RefreshAll() {
-  for (auto& shard : shards_) (void)shard->Refresh();
+  // One refresh+replication round per shard; shards are independent,
+  // so the rounds run as pool tasks when maintenance_threads > 0.
+  RunPerOrdinal(maintenance_pool_.get(), shards_.size(),
+                [&](size_t i) { (void)shards_[i]->Refresh(); });
 }
 
 Result<QueryResult> DistributedEsdb::ExecuteSql(std::string_view sql) {
@@ -172,7 +179,7 @@ Result<QueryResult> DistributedEsdb::ExecuteSql(std::string_view sql) {
   for (ShardId shard : targets) {
     ESDB_ASSIGN_OR_RETURN(
         QueryResult r,
-        ExecuteOnShard(query, *plan, shards_[shard]->primary()->Snapshot(),
+        ExecuteOnShard(query, *plan, *shards_[shard]->primary()->Snapshot(),
                        &stats));
     shard_results.push_back(std::move(r));
   }

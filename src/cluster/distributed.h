@@ -9,6 +9,7 @@
 
 #include "cluster/shard_allocator.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "query/executor.h"
 #include "query/optimizer.h"
 #include "replication/replication.h"
@@ -25,7 +26,10 @@ namespace esdb {
 // (translog-tail replay) and lost replicas are rebuilt on surviving
 // nodes, exactly the recovery story of Sections 3.3 and 5.2.
 //
-// Single-threaded; "nodes" are failure domains, not threads.
+// Externally single-threaded ("nodes" are failure domains, not
+// threads), but RefreshAll fans refresh+replication out over an
+// internal pool when maintenance_threads > 0 — one task per shard,
+// preserving the single-writer-per-shard invariant.
 class DistributedEsdb {
  public:
   struct Options {
@@ -35,6 +39,9 @@ class DistributedEsdb {
     IndexSpec spec = IndexSpec::TransactionLogDefault();
     ShardStore::Options store;
     PlannerOptions planner;
+    // Refresh/merge/replication parallelism for RefreshAll (0 =
+    // serial, matching the query_threads convention in Esdb).
+    uint32_t maintenance_threads = 0;
   };
 
   explicit DistributedEsdb(Options options);
@@ -85,6 +92,7 @@ class DistributedEsdb {
   std::unique_ptr<RoutingPolicy> routing_;
   DynamicSecondaryHashing* dynamic_ = nullptr;
   std::vector<std::unique_ptr<ReplicatedShard>> shards_;  // by shard id
+  std::unique_ptr<ThreadPool> maintenance_pool_;  // null when serial
   uint64_t failovers_ = 0;
   uint64_t replicas_rebuilt_ = 0;
 };

@@ -12,25 +12,6 @@ namespace esdb {
 
 namespace {
 
-// Runs fn(ordinal) for every ordinal in [0, n): serially in the
-// calling thread when `pool` is null (or there is nothing to fan
-// out), else as pool tasks, joining before return. fn must only touch
-// its own ordinal's output slots; the future join publishes those
-// writes to the caller.
-void RunPerOrdinal(ThreadPool* pool, size_t n,
-                   const std::function<void(size_t)>& fn) {
-  if (pool == nullptr || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futures.push_back(pool->Submit([&fn, i] { fn(i); }));
-  }
-  for (auto& future : futures) future.get();
-}
-
 // Finds a top-level tenant_id equality (possibly nested under ANDs):
 // the common shape of seller-facing queries. Returns false when the
 // query is not tenant-scoped.
@@ -88,13 +69,31 @@ Esdb::Esdb(Options options)
     }
   }
   if (options_.query_threads > 0) {
-    query_pool_ = std::make_unique<ThreadPool>(options_.query_threads);
+    query_pool_ = std::make_shared<ThreadPool>(options_.query_threads);
+  }
+  if (options_.maintenance_threads > 0) {
+    maintenance_pool_ =
+        std::make_shared<ThreadPool>(options_.maintenance_threads);
   }
 }
 
 void Esdb::SetQueryThreads(uint32_t n) {
   options_.query_threads = n;
-  query_pool_ = n > 0 ? std::make_unique<ThreadPool>(n) : nullptr;
+  // In-flight queries hold their own shared_ptr to the old pool; it
+  // drains and dies when the last of them finishes. Build the new
+  // pool outside the lock: pool construction spawns threads.
+  std::shared_ptr<ThreadPool> next =
+      n > 0 ? std::make_shared<ThreadPool>(n) : nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  query_pool_ = std::move(next);
+}
+
+void Esdb::SetMaintenanceThreads(uint32_t n) {
+  options_.maintenance_threads = n;
+  std::shared_ptr<ThreadPool> next =
+      n > 0 ? std::make_shared<ThreadPool>(n) : nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  maintenance_pool_ = std::move(next);
 }
 
 uint32_t Esdb::last_subqueries() const {
@@ -144,7 +143,15 @@ Status Esdb::Delete(TenantId tenant, RecordId record, Micros created_time) {
 }
 
 void Esdb::RefreshAll() {
-  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+  // One refresh+merge task per shard. Each shard's new segment epoch
+  // is published atomically, so queries may run concurrently — they
+  // see each shard's pre- or post-refresh epoch, never a torn list.
+  std::shared_ptr<ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool = maintenance_pool_;
+  }
+  RunPerOrdinal(pool.get(), options_.num_shards, [&](size_t i) {
     if (options_.with_replicas) {
       // ReplicatedShard::Refresh also runs the replication round.
       (void)replicated_[i]->Refresh();
@@ -152,7 +159,7 @@ void Esdb::RefreshAll() {
       shards_[i]->Refresh();
       shards_[i]->MaybeMerge();
     }
-  }
+  });
 }
 
 Result<QueryResult> Esdb::ExecuteSql(std::string_view sql) {
@@ -226,9 +233,27 @@ Result<uint64_t> Esdb::ExecuteDml(const DmlStatement& statement) {
       op.doc.Set(kFieldCreatedTime, row.Get(kFieldCreatedTime));
     } else {
       op.type = OpType::kUpdate;
+      const Value old_tenant = row.Get(kFieldTenantId);
+      const Value old_record = row.Get(kFieldRecordId);
+      const Value old_created = row.Get(kFieldCreatedTime);
       op.doc = std::move(row);
       for (const auto& [column, value] : statement.set) {
         op.doc.Set(column, value);
+      }
+      // SET may have touched a routing column (tenant_id, record_id,
+      // created_time), re-routing the upsert to a different shard —
+      // or, for record_id, to a different upsert key. The old version
+      // would then stay live where it is; delete it via its ORIGINAL
+      // routing key before applying the re-routed write.
+      if (!(old_tenant == op.doc.Get(kFieldTenantId)) ||
+          !(old_record == op.doc.Get(kFieldRecordId)) ||
+          !(old_created == op.doc.Get(kFieldCreatedTime))) {
+        WriteOp erase_old;
+        erase_old.type = OpType::kDelete;
+        erase_old.doc.Set(kFieldTenantId, old_tenant);
+        erase_old.doc.Set(kFieldRecordId, old_record);
+        erase_old.doc.Set(kFieldCreatedTime, old_created);
+        ESDB_RETURN_IF_ERROR(Apply(erase_old));
       }
     }
     ESDB_RETURN_IF_ERROR(Apply(op));
@@ -279,13 +304,23 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
   const size_t fan_out = target_shards.size();
   FilterCache* cache = options_.use_filter_cache ? &filter_cache_ : nullptr;
 
-  // Snapshots are taken serially up front (one cheap shared_ptr-vector
-  // move per shard); the subqueries themselves run against these
-  // immutable segment sets — serially, or as pool tasks when
-  // query_threads > 0. Each task writes only its own ordinal's slots;
+  // Pin the subquery pool for the whole query: SetQueryThreads swaps
+  // the pool through this atomic shared_ptr, so a concurrent resize
+  // can never destroy the pool while our tasks are on it.
+  std::shared_ptr<ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool = query_pool_;
+  }
+
+  // Snapshots are taken serially up front (one lock-free epoch load
+  // per shard); the subqueries themselves run against these immutable
+  // segment epochs — serially, or as pool tasks when query_threads >
+  // 0 — and stay valid even if a concurrent RefreshAll publishes new
+  // epochs mid-query. Each task writes only its own ordinal's slots;
   // merging happens afterwards in shard-ordinal order, so parallel
   // results are byte-identical to serial ones.
-  std::vector<std::vector<std::shared_ptr<Segment>>> snapshots;
+  std::vector<SegmentSnapshot> snapshots;
   snapshots.reserve(fan_out);
   for (ShardId shard : target_shards) {
     snapshots.push_back(Primary(shard)->Snapshot());
@@ -299,8 +334,8 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
     std::vector<Status> statuses(fan_out, Status::OK());
     std::vector<ExecStats> shard_stats(fan_out);
     std::vector<uint64_t> shard_matched(fan_out, 0);
-    RunPerOrdinal(query_pool_.get(), fan_out, [&](size_t ordinal) {
-      auto refs = ExecuteQueryPhase(query, *plan, snapshots[ordinal],
+    RunPerOrdinal(pool.get(), fan_out, [&](size_t ordinal) {
+      auto refs = ExecuteQueryPhase(query, *plan, *snapshots[ordinal],
                                     uint32_t(ordinal), &shard_stats[ordinal],
                                     &shard_matched[ordinal], cache,
                                     target_shards[ordinal]);
@@ -349,8 +384,8 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
   std::vector<QueryResult> shard_results(fan_out);
   std::vector<Status> statuses(fan_out, Status::OK());
   std::vector<ExecStats> shard_stats(fan_out);
-  RunPerOrdinal(query_pool_.get(), fan_out, [&](size_t ordinal) {
-    auto r = ExecuteOnShard(query, *plan, snapshots[ordinal],
+  RunPerOrdinal(pool.get(), fan_out, [&](size_t ordinal) {
+    auto r = ExecuteOnShard(query, *plan, *snapshots[ordinal],
                             &shard_stats[ordinal], cache,
                             target_shards[ordinal]);
     if (r.ok()) {
@@ -385,10 +420,13 @@ size_t Esdb::RunBalanceCycle(Micros effective_time) {
 
 size_t Esdb::InitializeRulesFromStorage(Micros effective_time) {
   if (dynamic_ == nullptr) return 0;
-  // Storage proportion per tenant, summed across shards.
+  // Storage proportion per tenant, summed across shards: refreshed
+  // segments PLUS the write buffer, so tenants that are hot right now
+  // but not yet refreshed are weighted too.
   std::map<TenantId, uint64_t> storage;
   for (uint32_t i = 0; i < options_.num_shards; ++i) {
-    for (const auto& segment : Primary(ShardId(i))->Snapshot()) {
+    const SegmentSnapshot snapshot = Primary(ShardId(i))->Snapshot();
+    for (const auto& segment : *snapshot) {
       const DocValues::Column* col =
           segment->doc_values().Find(kFieldTenantId);
       if (col == nullptr) continue;
@@ -397,6 +435,10 @@ size_t Esdb::InitializeRulesFromStorage(Micros effective_time) {
         const Value& v = col->Get(id);
         if (v.is_int()) storage[v.as_int()] += 1;
       }
+    }
+    for (const auto& [tenant, count] :
+         Primary(ShardId(i))->BufferedTenantCounts()) {
+      storage[tenant] += count;
     }
   }
   const std::vector<RuleProposal> proposals =

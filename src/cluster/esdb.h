@@ -1,6 +1,7 @@
 #ifndef ESDB_CLUSTER_ESDB_H_
 #define ESDB_CLUSTER_ESDB_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,13 +27,17 @@ namespace esdb {
 // indexed, SQL is parsed/optimized/executed. Cluster-scale resource
 // contention (CPU, queues) is studied separately in sim/cluster_sim.h.
 //
-// Thread model: writes are single-writer (callers serialize Apply/
-// RefreshAll/balancing). Queries are safe to issue from multiple
-// threads concurrently with each other (not with writers): each
-// subquery runs against an immutable segment snapshot and the filter
-// cache is lock-striped. With query_threads > 0 each query
-// additionally fans its per-shard subqueries out over an internal
-// thread pool. See DESIGN.md "Thread model".
+// Thread model: the searchable state of every shard is an epoch-
+// published immutable segment list, so queries are safe to issue from
+// multiple threads concurrently with each other AND with refresh/
+// merge maintenance (RefreshAll). Writes stay single-writer per shard
+// (ShardStore's internal writer mutex); callers still serialize
+// Apply/DML/balancing against each other and against queries, because
+// deletes tombstone docs inside published segments. With
+// query_threads > 0 each query fans its per-shard subqueries out over
+// an internal pool; with maintenance_threads > 0 RefreshAll fans
+// refresh+merge (and the replication round) out the same way. See
+// DESIGN.md "Thread model".
 class Esdb {
  public:
   struct Options {
@@ -60,6 +65,11 @@ class Esdb {
     // Results are byte-identical either way; per-shard merge order is
     // fixed by shard ordinal.
     uint32_t query_threads = 0;
+    // Refresh/merge parallelism: 0 = RefreshAll walks shards serially
+    // (the historical behavior), N > 0 = one refresh+merge task per
+    // shard on an N-thread pool. Safe concurrently with queries:
+    // each shard publishes its new segment epoch atomically.
+    uint32_t maintenance_threads = 0;
   };
 
   explicit Esdb(Options options);
@@ -119,10 +129,18 @@ class Esdb {
   uint32_t last_subqueries() const;
   ExecStats last_stats() const;
 
-  // Resizes the subquery pool (0 = serial). NOT thread-safe: call
-  // only while no query is in flight (bench sweeps, tests).
+  // Resizes the subquery pool (0 = serial). Safe to call while
+  // queries are in flight: the pool is swapped through a shared_ptr
+  // each query pins for its full duration, so the old pool drains its
+  // tasks and is destroyed only after the last in-flight query
+  // releases it.
   void SetQueryThreads(uint32_t n);
   uint32_t query_threads() const { return options_.query_threads; }
+
+  // Resizes the refresh/merge pool (0 = serial). Same swap discipline
+  // as SetQueryThreads.
+  void SetMaintenanceThreads(uint32_t n);
+  uint32_t maintenance_threads() const { return options_.maintenance_threads; }
 
   // --- Balancing ------------------------------------------------------
 
@@ -174,7 +192,15 @@ class Esdb {
   WorkloadMonitor monitor_;
   LoadBalancer balancer_;
   FilterCache filter_cache_;
-  std::unique_ptr<ThreadPool> query_pool_;  // null when query_threads == 0
+  // Pools are swapped under pool_mu_ and pinned (shared_ptr copy) by
+  // each operation that uses them, so a concurrent Set*Threads can
+  // never destroy a pool out from under an in-flight fan-out. Null
+  // when the corresponding thread count is 0. (Guarded by a plain
+  // mutex rather than std::atomic<shared_ptr> — see the epoch_mu_
+  // note in storage/shard_store.h.)
+  mutable std::mutex pool_mu_;
+  std::shared_ptr<ThreadPool> query_pool_;
+  std::shared_ptr<ThreadPool> maintenance_pool_;
   mutable std::mutex stats_mu_;  // guards last_subqueries_/last_stats_
   uint32_t last_subqueries_ = 0;
   ExecStats last_stats_;

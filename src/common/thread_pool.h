@@ -89,6 +89,26 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+// Runs fn(ordinal) for every ordinal in [0, n): serially in the
+// calling thread when `pool` is null (or there is nothing to fan
+// out), else as pool tasks, joining before return. fn must only touch
+// its own ordinal's output slots; the future join publishes those
+// writes to the caller. Shared by the query fan-out and the
+// refresh/merge maintenance fan-out.
+inline void RunPerOrdinal(ThreadPool* pool, size_t n,
+                          const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(pool->Submit([&fn, i] { fn(i); }));
+  }
+  for (auto& future : futures) future.get();
+}
+
 }  // namespace esdb
 
 #endif  // ESDB_COMMON_THREAD_POOL_H_

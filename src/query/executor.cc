@@ -406,15 +406,14 @@ void SortRowRefs(const Query& query, std::vector<RowRef>* refs) {
 }
 
 Result<std::vector<Document>> ExecuteFetchPhase(
-    const Query& query,
-    const std::vector<std::vector<std::shared_ptr<Segment>>>& snapshots,
+    const Query& query, const std::vector<SegmentSnapshot>& snapshots,
     const std::vector<RowRef>& refs, ExecStats* stats) {
   const bool scoring = NeedsScoring(query);
   std::vector<Document> rows;
   rows.reserve(refs.size());
   for (const RowRef& ref : refs) {
     const Segment& segment =
-        *snapshots[ref.shard_ordinal][ref.segment_ordinal];
+        *(*snapshots[ref.shard_ordinal])[ref.segment_ordinal];
     ESDB_ASSIGN_OR_RETURN(Document doc, segment.GetDocument(ref.doc));
     ++stats->rows_materialized;
     if (scoring) {

@@ -136,8 +136,7 @@ void SortRowRefs(const Query& query, std::vector<RowRef>* refs);
 // for it. `snapshots[shard_ordinal]` must be the same snapshot the
 // query phase used.
 Result<std::vector<Document>> ExecuteFetchPhase(
-    const Query& query,
-    const std::vector<std::vector<std::shared_ptr<Segment>>>& snapshots,
+    const Query& query, const std::vector<SegmentSnapshot>& snapshots,
     const std::vector<RowRef>& refs, ExecStats* stats);
 
 // Applies SELECT-column projection in place (shared by both paths).

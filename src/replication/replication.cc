@@ -10,26 +10,26 @@ Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
   stats.rounds = 1;
 
   // Step 1-2 (Figure 9): the current primary snapshot (segment ids).
-  const std::vector<std::shared_ptr<Segment>> primary_snapshot =
-      primary.Snapshot();
+  const SegmentSnapshot primary_snapshot = primary.Snapshot();
   std::vector<uint64_t> primary_ids;
-  primary_ids.reserve(primary_snapshot.size());
-  for (const auto& seg : primary_snapshot) primary_ids.push_back(seg->id());
+  primary_ids.reserve(primary_snapshot->size());
+  for (const auto& seg : *primary_snapshot) primary_ids.push_back(seg->id());
 
   // Step 3-4: replica computes the segment diff.
+  const SegmentSnapshot replica_snapshot = replica->Snapshot();
   std::vector<uint64_t> replica_ids;
-  for (const auto& seg : replica->Snapshot()) replica_ids.push_back(seg->id());
+  for (const auto& seg : *replica_snapshot) replica_ids.push_back(seg->id());
 
   // Step 5: copy missing segments as encoded files; decoding performs
   // no index computation. Existing segments are re-copied only when
   // their tombstone count changed (delete propagation) — we detect
   // that cheaply by comparing live-doc counts.
-  for (const auto& seg : primary_snapshot) {
+  for (const auto& seg : *primary_snapshot) {
     bool need_copy =
         std::find(replica_ids.begin(), replica_ids.end(), seg->id()) ==
         replica_ids.end();
     if (!need_copy) {
-      for (const auto& rseg : replica->Snapshot()) {
+      for (const auto& rseg : *replica_snapshot) {
         if (rseg->id() == seg->id() &&
             rseg->num_deleted() != seg->num_deleted()) {
           need_copy = true;
@@ -47,9 +47,9 @@ Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
   }
 
   // Step 6: drop segments the primary deleted (merged away).
-  const size_t before = replica->Snapshot().size();
+  const size_t before = replica->Snapshot()->size();
   replica->RetainSegments(primary_ids);
-  stats.segments_dropped += before - replica->Snapshot().size();
+  stats.segments_dropped += before - replica->Snapshot()->size();
   return stats;
 }
 
@@ -106,11 +106,12 @@ Status ReplicatedShard::Refresh() {
 
   // Visibility-delay proxy: does the replica already have everything?
   {
-    const auto primary_segments = primary_->Snapshot();
-    if (!primary_segments.empty()) {
-      const uint64_t newest = primary_segments.back()->id();
+    const SegmentSnapshot primary_segments = primary_->Snapshot();
+    if (!primary_segments->empty()) {
+      const uint64_t newest = primary_segments->back()->id();
       bool replica_has = false;
-      for (const auto& seg : replica_->Snapshot()) {
+      const SegmentSnapshot replica_segments = replica_->Snapshot();
+      for (const auto& seg : *replica_segments) {
         if (seg->id() == newest) {
           replica_has = true;
           break;

@@ -45,7 +45,8 @@ Status SaveShard(const ShardStore& store, const std::string& dir) {
 
   // Segment files.
   std::vector<uint64_t> segment_ids;
-  for (const auto& segment : store.Snapshot()) {
+  const SegmentSnapshot snapshot = store.Snapshot();
+  for (const auto& segment : *snapshot) {
     segment_ids.push_back(segment->id());
     const fs::path path =
         fs::path(dir) / ("seg-" + std::to_string(segment->id()) + ".seg");

@@ -102,6 +102,14 @@ class Segment {
   size_t size_bytes_ = 0;
 };
 
+// One epoch of a shard's searchable state: the ordered segment list
+// published by the shard store. The vector itself is immutable once
+// published (refresh/merge build a NEW vector and swap the pointer),
+// so readers holding a SegmentSnapshot see a frozen segment list for
+// as long as they keep the pointer alive.
+using SegmentVec = std::vector<std::shared_ptr<Segment>>;
+using SegmentSnapshot = std::shared_ptr<const SegmentVec>;
+
 // Accumulates documents and produces an immutable Segment. Also used
 // by merges (re-adding live docs of the input segments).
 class SegmentBuilder {

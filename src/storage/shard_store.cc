@@ -5,9 +5,20 @@
 namespace esdb {
 
 ShardStore::ShardStore(const IndexSpec* spec, Options options)
-    : spec_(spec), options_(options) {}
+    : spec_(spec),
+      options_(options),
+      segments_(std::make_shared<const SegmentVec>()) {}
+
+void ShardStore::PublishSegments(SegmentVec next) {
+  // Allocate the new epoch before taking the publication lock so the
+  // critical section is a bare pointer swap.
+  auto epoch = std::make_shared<const SegmentVec>(std::move(next));
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  segments_ = std::move(epoch);
+}
 
 Result<uint64_t> ShardStore::Apply(const WriteOp& op) {
+  std::lock_guard<std::mutex> lock(write_mu_);
   // Durability first: acknowledged writes are always in the translog.
   const uint64_t seq = translog_.Append(op);
   const Status status = ApplyInternal(op);
@@ -16,6 +27,7 @@ Result<uint64_t> ShardStore::Apply(const WriteOp& op) {
 }
 
 Status ShardStore::ApplyNoLog(const WriteOp& op) {
+  std::lock_guard<std::mutex> lock(write_mu_);
   return ApplyInternal(op);
 }
 
@@ -29,10 +41,11 @@ Status ShardStore::ApplyInternal(const WriteOp& op) {
       DeleteExisting(op.record_id());
       buffer_.push_back(BufferedDoc{op.doc, false});
       buffer_by_record_[op.record_id()] = buffer_.size() - 1;
+      buffered_count_.fetch_add(1, std::memory_order_relaxed);
       if (options_.refresh_doc_count > 0 &&
           buffer_.size() >= options_.refresh_doc_count) {
-        Refresh();
-        MaybeMerge();
+        RefreshLocked();
+        MaybeMergeLocked();
       }
       return Status::OK();
     }
@@ -48,12 +61,14 @@ void ShardStore::DeleteExisting(int64_t record_id) {
   if (it != buffer_by_record_.end()) {
     buffer_[it->second].deleted = true;
     buffer_by_record_.erase(it);
+    buffered_count_.fetch_sub(1, std::memory_order_relaxed);
     // A record lives in the buffer only when its prior segment copy
     // (if any) was already tombstoned, so we can stop here.
     return;
   }
   // Newest segment first: at most one live copy exists.
-  for (auto seg = segments_.rbegin(); seg != segments_.rend(); ++seg) {
+  const SegmentSnapshot snap = Snapshot();
+  for (auto seg = snap->rbegin(); seg != snap->rend(); ++seg) {
     const int64_t local = (*seg)->FindByRecordId(record_id);
     if (local >= 0 && !(*seg)->IsDeleted(DocId(local))) {
       (*seg)->MarkDeleted(DocId(local));
@@ -63,6 +78,11 @@ void ShardStore::DeleteExisting(int64_t record_id) {
 }
 
 bool ShardStore::Refresh() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return RefreshLocked();
+}
+
+bool ShardStore::RefreshLocked() {
   if (buffer_.empty()) return false;
   SegmentBuilder builder(spec_);
   size_t live = 0;
@@ -74,24 +94,36 @@ bool ShardStore::Refresh() {
   }
   buffer_.clear();
   buffer_by_record_.clear();
-  refreshed_seq_ = translog_.end_seq();
+  buffered_count_.store(0, std::memory_order_relaxed);
+  refreshed_seq_.store(translog_.end_seq(), std::memory_order_release);
   if (live == 0) return false;
-  segments_.push_back(std::move(builder).Build(next_segment_id_++));
+  SegmentVec next = *Snapshot();
+  next.push_back(std::move(builder).Build(next_segment_id_++));
+  PublishSegments(std::move(next));
   return true;
 }
 
-void ShardStore::Flush() { translog_.TruncateBefore(refreshed_seq_); }
+void ShardStore::Flush() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  translog_.TruncateBefore(refreshed_seq_.load(std::memory_order_relaxed));
+}
 
 bool ShardStore::MaybeMerge() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return MaybeMergeLocked();
+}
+
+bool ShardStore::MaybeMergeLocked() {
+  const SegmentSnapshot snap = Snapshot();
   std::vector<size_t> sizes;
-  sizes.reserve(segments_.size());
-  for (const auto& seg : segments_) sizes.push_back(seg->SizeBytes());
+  sizes.reserve(snap->size());
+  for (const auto& seg : *snap) sizes.push_back(seg->SizeBytes());
   const std::vector<size_t> picked = MergePolicy(options_.merge).PickMerge(sizes);
   if (picked.empty()) return false;
 
   SegmentBuilder builder(spec_);
   for (size_t pos : picked) {
-    const Segment& seg = *segments_[pos];
+    const Segment& seg = *(*snap)[pos];
     const PostingList live = seg.LiveDocs();
     for (DocId id : live.ids()) {
       auto doc = seg.GetDocument(id);
@@ -101,23 +133,24 @@ bool ShardStore::MaybeMerge() {
   merged_docs_total_ += builder.num_docs();
   std::shared_ptr<Segment> merged = std::move(builder).Build(next_segment_id_++);
 
-  std::vector<std::shared_ptr<Segment>> remaining;
-  remaining.reserve(segments_.size() - picked.size() + 1);
+  SegmentVec remaining;
+  remaining.reserve(snap->size() - picked.size() + 1);
   size_t next_picked = 0;
-  for (size_t i = 0; i < segments_.size(); ++i) {
+  for (size_t i = 0; i < snap->size(); ++i) {
     if (next_picked < picked.size() && picked[next_picked] == i) {
       ++next_picked;
       continue;
     }
-    remaining.push_back(segments_[i]);
+    remaining.push_back((*snap)[i]);
   }
   if (merged->num_docs() > 0) remaining.push_back(std::move(merged));
-  segments_ = std::move(remaining);
+  PublishSegments(std::move(remaining));
   return true;
 }
 
 Result<Document> ShardStore::GetByRecordId(int64_t record_id) const {
-  for (auto seg = segments_.rbegin(); seg != segments_.rend(); ++seg) {
+  const SegmentSnapshot snap = Snapshot();
+  for (auto seg = snap->rbegin(); seg != snap->rend(); ++seg) {
     const int64_t local = (*seg)->FindByRecordId(record_id);
     if (local >= 0 && !(*seg)->IsDeleted(DocId(local))) {
       return (*seg)->GetDocument(DocId(local));
@@ -127,15 +160,28 @@ Result<Document> ShardStore::GetByRecordId(int64_t record_id) const {
 }
 
 size_t ShardStore::num_live_docs() const {
+  const SegmentSnapshot snap = Snapshot();
   size_t n = 0;
-  for (const auto& seg : segments_) n += seg->num_live_docs();
+  for (const auto& seg : *snap) n += seg->num_live_docs();
   return n;
 }
 
 size_t ShardStore::SizeBytes() const {
   size_t bytes = translog_.SizeBytes();
-  for (const auto& seg : segments_) bytes += seg->SizeBytes();
+  const SegmentSnapshot snap = Snapshot();
+  for (const auto& seg : *snap) bytes += seg->SizeBytes();
   return bytes;
+}
+
+std::map<int64_t, uint64_t> ShardStore::BufferedTenantCounts() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  std::map<int64_t, uint64_t> counts;
+  for (const BufferedDoc& bd : buffer_) {
+    if (bd.deleted) continue;
+    const Value& v = bd.doc.Get(kFieldTenantId);
+    if (v.is_int()) counts[v.as_int()] += 1;
+  }
+  return counts;
 }
 
 Result<std::unique_ptr<ShardStore>> ShardStore::Recover(const IndexSpec* spec,
@@ -153,26 +199,33 @@ Result<std::unique_ptr<ShardStore>> ShardStore::Recover(const IndexSpec* spec,
 }
 
 void ShardStore::InstallSegment(std::shared_ptr<Segment> segment) {
-  for (auto& existing : segments_) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  SegmentVec next = *Snapshot();
+  for (auto& existing : next) {
     if (existing->id() == segment->id()) {
       existing = std::move(segment);
+      PublishSegments(std::move(next));
       return;
     }
   }
-  segments_.push_back(std::move(segment));
-  std::sort(segments_.begin(), segments_.end(),
+  next.push_back(std::move(segment));
+  std::sort(next.begin(), next.end(),
             [](const auto& a, const auto& b) { return a->id() < b->id(); });
-  next_segment_id_ = std::max(next_segment_id_, segments_.back()->id() + 1);
+  next_segment_id_ = std::max(next_segment_id_, next.back()->id() + 1);
+  PublishSegments(std::move(next));
 }
 
 void ShardStore::RetainSegments(const std::vector<uint64_t>& live_ids) {
-  segments_.erase(
-      std::remove_if(segments_.begin(), segments_.end(),
+  std::lock_guard<std::mutex> lock(write_mu_);
+  SegmentVec next = *Snapshot();
+  next.erase(
+      std::remove_if(next.begin(), next.end(),
                      [&](const std::shared_ptr<Segment>& seg) {
                        return std::find(live_ids.begin(), live_ids.end(),
                                         seg->id()) == live_ids.end();
                      }),
-      segments_.end());
+      next.end());
+  PublishSegments(std::move(next));
 }
 
 }  // namespace esdb

@@ -1,8 +1,11 @@
 #ifndef ESDB_STORAGE_SHARD_STORE_H_
 #define ESDB_STORAGE_SHARD_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,8 +26,20 @@ namespace esdb {
 //             time search: un-refreshed writes are not visible);
 //   Flush()   checkpoints (truncates) the translog;
 //   MaybeMerge() runs the tiered merge policy.
-// Single-threaded by design; the cluster layer serializes access per
-// shard.
+//
+// Thread model: single writer per shard, many concurrent readers.
+// The searchable segment list is published as an immutable epoch
+// (SegmentSnapshot): Snapshot() copies one shared_ptr under a tiny
+// per-shard publication mutex (a reference-count bump — constant
+// time, never blocking on a refresh or merge in flight, which build
+// the next epoch entirely outside that lock). All mutators
+// (Apply/Refresh/Flush/MaybeMerge/InstallSegment/
+// RetainSegments) serialize on an internal per-shard writer mutex, so
+// different shards' writers proceed fully in parallel. The one
+// remaining caveat is tombstones: a DELETE marks a doc deleted inside
+// an already-published segment, so Apply of deletes must not run
+// concurrently with queries on the same shard (the cluster layer's
+// NRT write/read phases keep that contract).
 class ShardStore {
  public:
   struct Options {
@@ -64,9 +79,15 @@ class ShardStore {
 
   // --- Read path --------------------------------------------------------
 
-  // Snapshot of searchable segments (shared ownership; stable across
-  // later refreshes/merges).
-  std::vector<std::shared_ptr<Segment>> Snapshot() const { return segments_; }
+  // Current segment epoch (constant-time shared_ptr copy under the
+  // publication mutex; the lock spans only the refcount bump, never
+  // segment building). The returned list is immutable and stable
+  // across later refreshes/merges; holding it keeps every segment in
+  // it alive.
+  SegmentSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    return segments_;
+  }
 
   // Latest live version of a record across segments (not the buffer:
   // near-real-time semantics).
@@ -75,11 +96,23 @@ class ShardStore {
   // --- Stats ------------------------------------------------------------
 
   size_t num_live_docs() const;
-  size_t buffered_docs() const { return buffer_.size(); }
+  size_t buffered_docs() const {
+    return buffered_count_.load(std::memory_order_relaxed);
+  }
   size_t SizeBytes() const;
+  // Writer-context only: the translog is mutated under the writer
+  // mutex, so only maintenance/persistence callers may walk it.
   const Translog& translog() const { return translog_; }
-  uint64_t refreshed_seq() const { return refreshed_seq_; }
-  size_t num_segments() const { return segments_.size(); }
+  uint64_t refreshed_seq() const {
+    return refreshed_seq_.load(std::memory_order_acquire);
+  }
+  size_t num_segments() const { return Snapshot()->size(); }
+
+  // Live (non-deleted) buffered docs per tenant — the write-buffer
+  // complement of per-tenant storage proportions, so rule
+  // initialization can weight tenants that are hot *right now* but
+  // not yet refreshed.
+  std::map<int64_t, uint64_t> BufferedTenantCounts() const;
 
   // Cumulative count of docs (re)indexed by merges — the CPU the
   // merge mechanism spends (used by replication experiments).
@@ -112,15 +145,35 @@ class ShardStore {
   Status ApplyInternal(const WriteOp& op);
   // Removes any live prior version of record_id (buffer + segments).
   void DeleteExisting(int64_t record_id);
+  // Mutators below require write_mu_ held.
+  bool RefreshLocked();
+  bool MaybeMergeLocked();
+  // Publishes the next segment epoch (pointer swap under epoch_mu_).
+  void PublishSegments(SegmentVec next);
 
   const IndexSpec* spec_;
   Options options_;
+  // Serializes all mutators of this shard (the single-writer-per-
+  // shard invariant); never held by readers.
+  mutable std::mutex write_mu_;
   Translog translog_;
   std::vector<BufferedDoc> buffer_;
   std::unordered_map<int64_t, size_t> buffer_by_record_;
-  std::vector<std::shared_ptr<Segment>> segments_;
+  // Published segment epoch. Writers (holding write_mu_) build the
+  // next immutable vector outside epoch_mu_, then swap the pointer
+  // under it; readers copy the pointer under it. epoch_mu_ guards
+  // only that pointer — its critical sections are a few instructions,
+  // so it never serializes real work. (A std::atomic<shared_ptr>
+  // would be the natural fit, but libstdc++'s _Sp_atomic unlocks its
+  // internal spinlock with a relaxed RMW on the load path, which
+  // breaks the happens-before chain ThreadSanitizer — and the letter
+  // of the memory model — requires.)
+  mutable std::mutex epoch_mu_;
+  SegmentSnapshot segments_;
+  std::atomic<size_t> buffered_count_{0};  // live docs in buffer_
   uint64_t next_segment_id_ = 1;
-  uint64_t refreshed_seq_ = 0;  // translog seqs below this are in segments
+  // Translog seqs below this are in segments.
+  std::atomic<uint64_t> refreshed_seq_{0};
   uint64_t merged_docs_total_ = 0;
 };
 

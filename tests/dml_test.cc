@@ -129,6 +129,72 @@ TEST_F(DmlExecTest, UpdateAfterRebalanceFindsOriginalShard) {
   EXPECT_EQ(Count("tenant_id = 1"), 65u);  // no duplicates
 }
 
+// Regression: an UPDATE that modifies a routing key re-routes the
+// upsert to a different shard. The old version must be deleted from
+// its original shard first, or it stays live there as a duplicate.
+TEST_F(DmlExecTest, UpdateChangingTenantIdMovesRowsWithoutDuplicates) {
+  const uint64_t total_before = db_->TotalDocs();
+  auto affected =
+      db_->ExecuteDmlSql("UPDATE t SET tenant_id = 9 WHERE tenant_id = 2");
+  ASSERT_TRUE(affected.ok()) << affected.status().ToString();
+  EXPECT_EQ(*affected, 25u);
+  db_->RefreshAll();
+  EXPECT_EQ(Count("tenant_id = 2"), 0u);   // old copies gone
+  EXPECT_EQ(Count("tenant_id = 9"), 25u);  // moved, once each
+  EXPECT_EQ(db_->TotalDocs(), total_before);
+}
+
+TEST_F(DmlExecTest, UpdateChangingCreatedTimeAcrossRuleBoundary) {
+  // Rule splits tenant 1 at t=1000: records re-dated past the
+  // boundary route to a different shard run than their originals.
+  db_->dynamic_routing()->mutable_rules()->Update(1000, 8, 1);
+  const uint64_t total_before = db_->TotalDocs();
+  auto affected = db_->ExecuteDmlSql(
+      "UPDATE t SET created_time = 2000 WHERE tenant_id = 1");
+  ASSERT_TRUE(affected.ok()) << affected.status().ToString();
+  EXPECT_EQ(*affected, 25u);
+  db_->RefreshAll();
+  EXPECT_EQ(Count("tenant_id = 1"), 25u);  // no strays on the old shards
+  EXPECT_EQ(Count("tenant_id = 1 AND created_time = 2000"), 25u);
+  EXPECT_EQ(db_->TotalDocs(), total_before);
+}
+
+TEST_F(DmlExecTest, UpdateChangingRecordIdLeavesNoStaleRow) {
+  const uint64_t total_before = db_->TotalDocs();
+  auto affected = db_->ExecuteDmlSql(
+      "UPDATE t SET record_id = 7000 WHERE record_id = 13");
+  ASSERT_TRUE(affected.ok()) << affected.status().ToString();
+  EXPECT_EQ(*affected, 1u);
+  db_->RefreshAll();
+  EXPECT_EQ(Count("record_id = 13"), 0u);
+  EXPECT_EQ(Count("record_id = 7000"), 1u);
+  EXPECT_EQ(db_->TotalDocs(), total_before);
+}
+
+// Pins the documented NRT contract: DML WHERE selection sees only
+// refreshed rows; buffered writes are invisible until RefreshAll.
+TEST_F(DmlExecTest, DmlSelectionIgnoresUnrefreshedRows) {
+  Document doc;
+  doc.Set(kFieldTenantId, Value(int64_t(1)));
+  doc.Set(kFieldRecordId, Value(int64_t(999)));
+  doc.Set(kFieldCreatedTime, Value(int64_t(999)));
+  doc.Set("status", Value(int64_t(0)));
+  ASSERT_TRUE(db_->Insert(std::move(doc)).ok());
+  // Buffered only: the DML's WHERE can't see it yet.
+  auto affected = db_->ExecuteDmlSql(
+      "UPDATE t SET status = 5 WHERE record_id = 999");
+  ASSERT_TRUE(affected.ok());
+  EXPECT_EQ(*affected, 0u);
+  db_->RefreshAll();
+  // Visible after refresh; same statement now lands.
+  affected = db_->ExecuteDmlSql(
+      "UPDATE t SET status = 5 WHERE record_id = 999");
+  ASSERT_TRUE(affected.ok());
+  EXPECT_EQ(*affected, 1u);
+  db_->RefreshAll();
+  EXPECT_EQ(Count("record_id = 999 AND status = 5"), 1u);
+}
+
 TEST_F(DmlExecTest, ExecuteSqlRejectsDml) {
   auto r = db_->ExecuteSql("DELETE FROM t WHERE tenant_id = 1");
   EXPECT_FALSE(r.ok());

@@ -180,6 +180,29 @@ TEST(EsdbIntegration, InitializeRulesFromStorage) {
   EXPECT_EQ(db.dynamic_routing()->rules().MaxOffset(2), 1u);
 }
 
+// Regression: the initialization scan must count buffered (not yet
+// refreshed) docs too — a freshly loaded cluster would otherwise look
+// empty and seed no rules at all.
+TEST(EsdbIntegration, InitializeRulesFromStorageSeesBufferedDocs) {
+  Esdb::Options options = SmallCluster(RoutingKind::kDynamic);
+  options.balancer.target_share_per_shard = 0.1;
+  Esdb db(options);
+  // Same skew as InitializeRulesFromStorage above, but nothing is
+  // refreshed: all 330 docs sit in the shard write buffers.
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(db.Insert(MakeLog(/*tenant=*/1, i, i)).ok());
+  }
+  for (int64_t i = 300; i < 330; ++i) {
+    ASSERT_TRUE(db.Insert(MakeLog(/*tenant=*/2, i, i)).ok());
+  }
+  for (uint32_t i = 0; i < db.num_shards(); ++i) {
+    EXPECT_EQ(db.shard(ShardId(i))->num_live_docs(), 0u);
+  }
+  ASSERT_GT(db.InitializeRulesFromStorage(/*effective_time=*/1000), 0u);
+  EXPECT_GT(db.dynamic_routing()->rules().MaxOffset(1), 1u);
+  EXPECT_EQ(db.dynamic_routing()->rules().MaxOffset(2), 1u);
+}
+
 TEST(EsdbIntegration, WorksWithReplicasEnabled) {
   Esdb::Options options = SmallCluster(RoutingKind::kDynamic);
   options.with_replicas = true;

@@ -88,7 +88,8 @@ bool EvalExprOnDoc(const Expr& e, const Document& doc) {
 
 std::vector<int64_t> BruteForce(const ShardStore& store, const Expr* where) {
   std::vector<int64_t> out;
-  for (const auto& seg : store.Snapshot()) {
+  const SegmentSnapshot snapshot = store.Snapshot();
+  for (const auto& seg : *snapshot) {
     const PostingList live = seg->LiveDocs();
     for (DocId id : live.ids()) {
       auto doc = seg->GetDocument(id);
@@ -111,7 +112,7 @@ std::vector<int64_t> RunPlan(const ShardStore& store, const Query& query,
   }
   auto plan = PlanWhere(normalized.get(), spec, planner);
   ExecStats stats;
-  auto result = ExecuteOnShard(query, *plan, store.Snapshot(), &stats);
+  auto result = ExecuteOnShard(query, *plan, *store.Snapshot(), &stats);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   std::vector<int64_t> out;
   for (const Document& doc : result->rows) out.push_back(doc.record_id());
@@ -245,7 +246,7 @@ TEST_F(ExecutorTest, OrderByAndLimit) {
   auto plan =
       PlanWhere(q.where.get(), spec_, PlannerOptions{});
   ExecStats stats;
-  auto result = ExecuteOnShard(q, *plan, store_->Snapshot(), &stats);
+  auto result = ExecuteOnShard(q, *plan, *store_->Snapshot(), &stats);
   ASSERT_TRUE(result.ok());
   ASSERT_LE(result->rows.size(), 10u);
   for (size_t i = 1; i < result->rows.size(); ++i) {
@@ -258,7 +259,7 @@ TEST_F(ExecutorTest, EarlyStopWithoutOrderBy) {
   const Query q = ParseQuery("SELECT * FROM t WHERE tenant_id = 1 LIMIT 3");
   auto plan = PlanWhere(q.where.get(), spec_, PlannerOptions{});
   ExecStats stats;
-  auto result = ExecuteOnShard(q, *plan, store_->Snapshot(), &stats);
+  auto result = ExecuteOnShard(q, *plan, *store_->Snapshot(), &stats);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->rows.size(), 3u);
 }
@@ -268,7 +269,7 @@ TEST_F(ExecutorTest, Projection) {
       ParseQuery("SELECT record_id, status FROM t WHERE tenant_id = 1");
   auto plan = PlanWhere(q.where.get(), spec_, PlannerOptions{});
   ExecStats stats;
-  auto shard = ExecuteOnShard(q, *plan, store_->Snapshot(), &stats);
+  auto shard = ExecuteOnShard(q, *plan, *store_->Snapshot(), &stats);
   ASSERT_TRUE(shard.ok());
   std::vector<QueryResult> results;
   results.push_back(std::move(shard).value());
@@ -282,17 +283,18 @@ TEST_F(ExecutorTest, Aggregates) {
   const Query count_q = ParseQuery("SELECT COUNT(*) FROM t WHERE flag = 1");
   auto plan = PlanWhere(count_q.where.get(), spec_, PlannerOptions{});
   ExecStats stats;
-  auto result = ExecuteOnShard(count_q, *plan, store_->Snapshot(), &stats);
+  auto result = ExecuteOnShard(count_q, *plan, *store_->Snapshot(), &stats);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->agg_count,
             BruteForce(*store_, count_q.where.get()).size());
 
   const Query sum_q = ParseQuery("SELECT SUM(amount) FROM t");
   auto plan2 = PlanWhere(nullptr, spec_, PlannerOptions{});
-  auto sum_result = ExecuteOnShard(sum_q, *plan2, store_->Snapshot(), &stats);
+  auto sum_result = ExecuteOnShard(sum_q, *plan2, *store_->Snapshot(), &stats);
   ASSERT_TRUE(sum_result.ok());
   double expected = 0;
-  for (const auto& seg : store_->Snapshot()) {
+  const SegmentSnapshot snapshot = store_->Snapshot();
+  for (const auto& seg : *snapshot) {
     const PostingList live = seg->LiveDocs();
     for (DocId id : live.ids()) {
       expected += seg->GetDocument(id)->Get("amount").NumericValue();
@@ -409,7 +411,7 @@ TEST_F(ExecutorTest, OptimizerReducesPostingsConsidered) {
   auto rbo_plan = PlanWhere(normalized.get(), spec_, PlannerOptions{});
   ExecStats rbo_stats;
   ASSERT_TRUE(
-      ExecuteOnShard(q, *rbo_plan, store_->Snapshot(), &rbo_stats).ok());
+      ExecuteOnShard(q, *rbo_plan, *store_->Snapshot(), &rbo_stats).ok());
 
   PlannerOptions baseline;
   baseline.use_composite_index = false;
@@ -417,7 +419,7 @@ TEST_F(ExecutorTest, OptimizerReducesPostingsConsidered) {
   auto base_plan = PlanWhere(normalized.get(), spec_, baseline);
   ExecStats base_stats;
   ASSERT_TRUE(
-      ExecuteOnShard(q, *base_plan, store_->Snapshot(), &base_stats).ok());
+      ExecuteOnShard(q, *base_plan, *store_->Snapshot(), &base_stats).ok());
 
   EXPECT_LT(rbo_stats.postings_considered, base_stats.postings_considered);
 }

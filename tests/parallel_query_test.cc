@@ -157,5 +157,44 @@ TEST(ParallelQueryTest, ConcurrentClientsMatchSerial) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// Regression: SetQueryThreads used to destroy the old pool while
+// in-flight queries still held a raw pointer to it (use-after-free).
+// The pool now swaps through a shared_ptr each query pins for its
+// full duration. Hammer resizes from one thread while clients query.
+// Run under TSan in CI.
+TEST(ParallelQueryTest, SetQueryThreadsDuringInFlightQueries) {
+  Esdb db(BaseOptions(/*query_threads=*/4));
+  Load(&db, 3000);
+  const std::vector<std::string> sqls = QueryMix();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      int round = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const size_t q = size_t(c + round++) % sqls.size();
+        if (!db.ExecuteSql(sqls[q]).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  // Resize the pool through every interesting shape, repeatedly:
+  // serial <-> small pool <-> bigger pool. Each store drops the only
+  // owning reference besides the pins held by in-flight queries.
+  for (int i = 0; i < 40; ++i) {
+    db.SetQueryThreads(uint32_t(i % 3 == 0 ? 0 : (i % 3) * 2));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Engine still healthy on whatever pool the last resize installed.
+  auto r = db.ExecuteSql("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->agg_count, 3000u);
+}
+
 }  // namespace
 }  // namespace esdb

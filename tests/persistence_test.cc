@@ -81,9 +81,60 @@ TEST_F(PersistenceTest, SaveOpenRoundTrip) {
     if (original.ok()) EXPECT_EQ(*original, *recovered);
   }
   // Full-text index survived the segment files.
-  const auto snapshot = (*opened)->Snapshot();
-  ASSERT_FALSE(snapshot.empty());
-  EXPECT_FALSE(snapshot[0]->Postings("title", "novel").empty());
+  const SegmentSnapshot snapshot = (*opened)->Snapshot();
+  ASSERT_FALSE(snapshot->empty());
+  EXPECT_FALSE((*snapshot)[0]->Postings("title", "novel").empty());
+}
+
+// Round trip exactly at the refreshed_seq_ truncation boundary: ops
+// below the watermark live only in segments (Flush dropped their log
+// entries), ops at/above it live only in the translog tail. Recovery
+// must splice the two without losing or double-applying either side.
+TEST_F(PersistenceTest, FlushThenRecoverAtTruncationBoundary) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, Manual());
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i, i % 3)).ok());
+  }
+  store.Refresh();
+  // Tail ops past the watermark: a fresh insert, an upsert of a
+  // refreshed record, and a delete of a refreshed record.
+  ASSERT_TRUE(store.Apply(Insert(100, 100)).ok());
+  ASSERT_TRUE(store.Apply(Insert(5, 5, /*status=*/99)).ok());
+  WriteOp del;
+  del.type = OpType::kDelete;
+  del.doc.Set(kFieldTenantId, Value(int64_t(1)));
+  del.doc.Set(kFieldRecordId, Value(int64_t(7)));
+  del.doc.Set(kFieldCreatedTime, Value(int64_t(7)));
+  ASSERT_TRUE(store.Apply(del).ok());
+  store.Flush();  // drops everything below refreshed_seq_
+  EXPECT_EQ(store.translog().num_entries(), 3u);
+
+  ASSERT_TRUE(SaveShard(store, dir_.string()).ok());
+  auto opened = OpenShard(&spec, Manual(), dir_.string());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  // Exactly the three tail ops replayed: two buffered upserts (the
+  // delete tombstones a segment doc instead of buffering).
+  EXPECT_EQ((*opened)->translog().num_entries(), 3u);
+  EXPECT_EQ((*opened)->buffered_docs(), 2u);
+  (*opened)->Refresh();
+  store.Refresh();
+
+  EXPECT_EQ((*opened)->num_live_docs(), store.num_live_docs());
+  EXPECT_EQ((*opened)->num_live_docs(), 30u);  // 30 + 1 insert - 1 delete
+  EXPECT_FALSE((*opened)->GetByRecordId(7).ok());
+  auto upserted = (*opened)->GetByRecordId(5);
+  ASSERT_TRUE(upserted.ok());
+  EXPECT_EQ(upserted->Get("status").as_int(), 99);
+  ASSERT_TRUE((*opened)->GetByRecordId(100).ok());
+  for (int64_t i = 0; i < 30; ++i) {
+    if (i == 7) continue;
+    auto a = store.GetByRecordId(i);
+    auto b = (*opened)->GetByRecordId(i);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "record " << i;
+  }
 }
 
 TEST_F(PersistenceTest, TombstonesSurvive) {

@@ -194,7 +194,8 @@ TEST(ShardStoreTest, MergeDropsTombstonedDocs) {
   store.Refresh();
   store.MaybeMerge();
   EXPECT_EQ(store.num_live_docs(), 13u);
-  for (const auto& seg : store.Snapshot()) {
+  const SegmentSnapshot snapshot = store.Snapshot();
+  for (const auto& seg : *snapshot) {
     EXPECT_EQ(seg->num_deleted(), 0u);  // merge purges tombstones
   }
 }
