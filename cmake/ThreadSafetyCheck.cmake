@@ -1,0 +1,62 @@
+# Negative-compilation check for the thread-safety annotations in
+# src/common/mutex.h: proves that `clang++ -Werror=thread-safety-analysis`
+# actually REJECTS a read of a GUARDED_BY field made without its mutex,
+# so the annotations are tested, not decorative. Clang-only (the
+# attributes are no-ops elsewhere); skipped with a message on other
+# compilers.
+#
+# Two try_compiles run at configure time:
+#   * guarded_read.cc   (takes the lock)   must COMPILE  — the positive
+#     control, proving a failure below isn't some unrelated error;
+#   * unguarded_read.cc (skips the lock)   must NOT compile.
+# A mismatch either way is a FATAL_ERROR: the annotation machinery is
+# broken and every "thread-safety clean" claim with it.
+
+function(esdb_check_thread_safety_annotations)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(STATUS
+      "Thread-safety negative-compilation check: skipped "
+      "(requires Clang; compiler is ${CMAKE_CXX_COMPILER_ID})")
+    return()
+  endif()
+
+  set(ts_flags "-Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis")
+
+  try_compile(positive_ok
+    ${CMAKE_BINARY_DIR}/thread_safety_check/positive
+    SOURCES ${CMAKE_SOURCE_DIR}/tests/negative_compile/guarded_read.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_FLAGS=${ts_flags}"
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE positive_out)
+  if(NOT positive_ok)
+    message(FATAL_ERROR
+      "Thread-safety check control failed: guarded_read.cc (a correctly "
+      "locked GUARDED_BY access) did not compile under ${ts_flags}. The "
+      "annotation wrappers in src/common/mutex.h are broken:\n"
+      "${positive_out}")
+  endif()
+
+  try_compile(negative_ok
+    ${CMAKE_BINARY_DIR}/thread_safety_check/negative
+    SOURCES ${CMAKE_SOURCE_DIR}/tests/negative_compile/unguarded_read.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_FLAGS=${ts_flags}"
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE negative_out)
+  if(negative_ok)
+    message(FATAL_ERROR
+      "Thread-safety check failed: unguarded_read.cc reads a GUARDED_BY "
+      "field without holding its mutex, yet it COMPILED under ${ts_flags}. "
+      "The annotations in src/common/mutex.h are decorative — fix them "
+      "before trusting any thread-safety build.")
+  endif()
+
+  message(STATUS
+    "Thread-safety negative-compilation check: passed "
+    "(unguarded GUARDED_BY access rejected; guarded control accepted)")
+endfunction()

@@ -54,8 +54,19 @@ DistributedEsdb::DistributedEsdb(Options options)
   }
   if (options_.maintenance_threads > 0) {
     maintenance_pool_ =
-        std::make_unique<ThreadPool>(options_.maintenance_threads);
+        std::make_shared<ThreadPool>(options_.maintenance_threads);
   }
+}
+
+void DistributedEsdb::SetMaintenanceThreads(uint32_t n) {
+  options_.maintenance_threads = n;
+  // Build the new pool outside the lock (construction spawns
+  // threads); an in-flight RefreshAll holds its own shared_ptr, so
+  // the old pool drains and dies with its last holder.
+  std::shared_ptr<ThreadPool> next =
+      n > 0 ? std::make_shared<ThreadPool>(n) : nullptr;
+  MutexLock lock(&pool_mu_);
+  maintenance_pool_ = std::move(next);
 }
 
 Status DistributedEsdb::CheckReady() const {
@@ -149,7 +160,12 @@ Status DistributedEsdb::Insert(Document doc) {
 void DistributedEsdb::RefreshAll() {
   // One refresh+replication round per shard; shards are independent,
   // so the rounds run as pool tasks when maintenance_threads > 0.
-  RunPerOrdinal(maintenance_pool_.get(), shards_.size(),
+  std::shared_ptr<ThreadPool> pool;
+  {
+    MutexLock lock(&pool_mu_);
+    pool = maintenance_pool_;
+  }
+  RunPerOrdinal(pool.get(), shards_.size(),
                 [&](size_t i) { (void)shards_[i]->Refresh(); });
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/shard_allocator.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "query/executor.h"
@@ -73,6 +74,13 @@ class DistributedEsdb {
   Status Insert(Document doc);
   void RefreshAll();
 
+  // Resizes the refresh/replication pool (0 = serial). Same swap
+  // discipline as Esdb::SetMaintenanceThreads: the pool lives behind
+  // a mutex-guarded shared_ptr that RefreshAll pins for its full
+  // fan-out, so an in-flight round keeps the old pool alive.
+  void SetMaintenanceThreads(uint32_t n);
+  uint32_t maintenance_threads() const { return options_.maintenance_threads; }
+
   Result<QueryResult> ExecuteSql(std::string_view sql);
 
   // --- Introspection -------------------------------------------------------
@@ -92,7 +100,9 @@ class DistributedEsdb {
   std::unique_ptr<RoutingPolicy> routing_;
   DynamicSecondaryHashing* dynamic_ = nullptr;
   std::vector<std::unique_ptr<ReplicatedShard>> shards_;  // by shard id
-  std::unique_ptr<ThreadPool> maintenance_pool_;  // null when serial
+  // Null when serial; swapped under pool_mu_ and pinned by RefreshAll.
+  mutable Mutex pool_mu_;
+  std::shared_ptr<ThreadPool> maintenance_pool_ GUARDED_BY(pool_mu_);
   uint64_t failovers_ = 0;
   uint64_t replicas_rebuilt_ = 0;
 };

@@ -84,7 +84,7 @@ void Esdb::SetQueryThreads(uint32_t n) {
   // pool outside the lock: pool construction spawns threads.
   std::shared_ptr<ThreadPool> next =
       n > 0 ? std::make_shared<ThreadPool>(n) : nullptr;
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   query_pool_ = std::move(next);
 }
 
@@ -92,17 +92,17 @@ void Esdb::SetMaintenanceThreads(uint32_t n) {
   options_.maintenance_threads = n;
   std::shared_ptr<ThreadPool> next =
       n > 0 ? std::make_shared<ThreadPool>(n) : nullptr;
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   maintenance_pool_ = std::move(next);
 }
 
 uint32_t Esdb::last_subqueries() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return last_subqueries_;
 }
 
 ExecStats Esdb::last_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return last_stats_;
 }
 
@@ -148,7 +148,7 @@ void Esdb::RefreshAll() {
   // see each shard's pre- or post-refresh epoch, never a torn list.
   std::shared_ptr<ThreadPool> pool;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(&pool_mu_);
     pool = maintenance_pool_;
   }
   RunPerOrdinal(pool.get(), options_.num_shards, [&](size_t i) {
@@ -287,7 +287,7 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
   // mutex on every exit, keeping concurrent client queries race-free.
   ExecStats exec_stats;
   const auto publish_stats = [&] {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     last_subqueries_ = uint32_t(target_shards.size());
     last_stats_ = exec_stats;
   };
@@ -309,7 +309,7 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
   // can never destroy the pool while our tasks are on it.
   std::shared_ptr<ThreadPool> pool;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(&pool_mu_);
     pool = query_pool_;
   }
 

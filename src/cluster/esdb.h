@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "balancer/load_balancer.h"
 #include "balancer/monitor.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "document/document.h"
@@ -198,12 +198,14 @@ class Esdb {
   // when the corresponding thread count is 0. (Guarded by a plain
   // mutex rather than std::atomic<shared_ptr> — see the epoch_mu_
   // note in storage/shard_store.h.)
-  mutable std::mutex pool_mu_;
-  std::shared_ptr<ThreadPool> query_pool_;
-  std::shared_ptr<ThreadPool> maintenance_pool_;
-  mutable std::mutex stats_mu_;  // guards last_subqueries_/last_stats_
-  uint32_t last_subqueries_ = 0;
-  ExecStats last_stats_;
+  mutable Mutex pool_mu_;
+  std::shared_ptr<ThreadPool> query_pool_ GUARDED_BY(pool_mu_);
+  std::shared_ptr<ThreadPool> maintenance_pool_ GUARDED_BY(pool_mu_);
+  // Guards the "most recently finished query" introspection pair.
+  // Leaf mutex, never held together with pool_mu_.
+  mutable Mutex stats_mu_;
+  uint32_t last_subqueries_ GUARDED_BY(stats_mu_) = 0;
+  ExecStats last_stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace esdb

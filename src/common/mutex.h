@@ -1,0 +1,180 @@
+#ifndef ESDB_COMMON_MUTEX_H_
+#define ESDB_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Annotated synchronization primitives: thin wrappers over the std
+// types carrying Clang thread-safety-analysis attributes, so every
+// locking rule in the codebase ("this field is guarded by that mutex",
+// "this function requires that lock held") is machine-checked at
+// compile time under `clang++ -Wthread-safety
+// -Werror=thread-safety-analysis` (the `thread-safety` CI job). On
+// compilers without the attributes (gcc, msvc) everything compiles to
+// the plain std behavior — zero overhead, no-op annotations.
+//
+// Usage rules (see DESIGN.md "Lock hierarchy & thread-safety
+// contract" for the per-mutex inventory):
+//   * declare shared fields with GUARDED_BY(mu_);
+//   * lock with the RAII guards (MutexLock / ReaderLock / WriterLock),
+//     never bare lock()/unlock() pairs;
+//   * internal helpers that assume a lock is held take REQUIRES(mu_);
+//   * a deliberate unchecked access (e.g. a writer-context-only
+//     accessor whose caller holds no lock we can name) is marked
+//     NO_THREAD_SAFETY_ANALYSIS with a comment defending it.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ESDB_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef ESDB_THREAD_ANNOTATION__
+#define ESDB_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) ESDB_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY ESDB_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) ESDB_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) ESDB_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  ESDB_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  ESDB_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  ESDB_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  ESDB_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) ESDB_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  ESDB_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) ESDB_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  ESDB_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  ESDB_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  ESDB_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  ESDB_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) ESDB_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) ESDB_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  ESDB_THREAD_ANNOTATION__(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) ESDB_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ESDB_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace esdb {
+
+// Exclusive mutex (std::mutex with a capability annotation). Prefer
+// MutexLock over calling lock()/unlock() directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The wrapped std::mutex, for CondVar (which must wait on the
+  // native handle). Not for direct locking.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Reader/writer mutex (std::shared_mutex with a capability
+// annotation). Writers use WriterLock, readers ReaderLock.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive guard over Mutex (the annotated lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// RAII exclusive guard over SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~WriterLock() RELEASE() { mu_->unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// RAII shared (read) guard over SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderLock() RELEASE_GENERIC() { mu_->unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Condition variable paired with esdb::Mutex. Wait() atomically
+// releases and reacquires the mutex, so the REQUIRES contract holds on
+// both entry and exit — which is exactly what the analysis assumes
+// about a function that neither acquires nor releases.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait protocol, then
+    // release the unique_lock's ownership claim without unlocking —
+    // the caller's guard still owns the (reacquired) lock.
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_COMMON_MUTEX_H_

@@ -1,16 +1,16 @@
 #ifndef ESDB_COMMON_THREAD_POOL_H_
 #define ESDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace esdb {
 
@@ -37,10 +37,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& worker : workers_) worker.join();
   }
 
@@ -53,17 +53,17 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       tasks_.push([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
   size_t num_threads() const { return workers_.size(); }
 
   size_t queued() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return tasks_.size();
   }
 
@@ -72,8 +72,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        MutexLock lock(&mu_);
+        while (!stopping_ && tasks_.empty()) cv_.Wait(mu_);
         if (tasks_.empty()) return;  // stopping_ and drained
         task = std::move(tasks_.front());
         tasks_.pop();
@@ -82,10 +82,10 @@ class ThreadPool {
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -374,8 +374,8 @@ Result<std::vector<RowRef>> ExecuteQueryPhase(
       // phase is to avoid decoding stored documents for losers.
       for (const OrderBy& ob : query.order_by) {
         if (ob.column == kFieldScore && scoring) {
-          ref.sort_keys.push_back(
-              Value(ScoreFromDocValues(segment, id, query.where.get())));
+          ref.sort_keys.emplace_back(
+              ScoreFromDocValues(segment, id, query.where.get()));
         } else {
           ref.sort_keys.push_back(ResolveFieldValue(segment, id, ob.column));
         }

@@ -21,7 +21,7 @@ bool FilterCache::Get(uint64_t domain, uint64_t segment_id,
                       const std::string& fingerprint, PostingList* out) {
   const Key key{domain, segment_id, fingerprint};
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   auto it = stripe.entries.find(key);
   if (it == stripe.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -41,7 +41,7 @@ void FilterCache::Put(uint64_t domain, uint64_t segment_id,
   Stripe& stripe = StripeFor(key);
   uint64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     auto it = stripe.entries.find(key);
     if (it != stripe.entries.end()) {
       it->second->candidates = std::move(candidates);
@@ -62,7 +62,7 @@ void FilterCache::Put(uint64_t domain, uint64_t segment_id,
 size_t FilterCache::size() const {
   size_t n = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     n += stripe.entries.size();
   }
   return n;
@@ -70,7 +70,7 @@ size_t FilterCache::size() const {
 
 void FilterCache::Clear() {
   for (Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     stripe.lru.clear();
     stripe.entries.clear();
   }

@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "query/plan.h"
 #include "storage/posting.h"
 
@@ -77,9 +77,12 @@ class FilterCache {
     PostingList candidates;
   };
   struct Stripe {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries;
+    // Each stripe is its own capability: parallel subqueries contend
+    // only when their keys collide on a stripe.
+    mutable Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries
+        GUARDED_BY(mu);
   };
 
   Stripe& StripeFor(const Key& key) {

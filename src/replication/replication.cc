@@ -69,6 +69,7 @@ ReplicatedShard::ReplicatedShard(const IndexSpec* spec,
 }
 
 void ReplicatedShard::ResetReplica() {
+  MutexLock lock(&mu_);
   replica_ = std::make_unique<ShardStore>(spec_, options_);
   replica_log_ = Translog();
   // Everything the primary holds must flow again: segments via the
@@ -81,6 +82,7 @@ void ReplicatedShard::ResetReplica() {
 }
 
 Result<uint64_t> ReplicatedShard::Apply(const WriteOp& op) {
+  MutexLock lock(&mu_);
   ESDB_ASSIGN_OR_RETURN(uint64_t seq, primary_->Apply(op));
   if (mode_ == ReplicationMode::kLogical) {
     // Replica re-executes the op (own translog, own indexing cost).
@@ -96,6 +98,7 @@ Result<uint64_t> ReplicatedShard::Apply(const WriteOp& op) {
 }
 
 Status ReplicatedShard::Refresh() {
+  MutexLock lock(&mu_);
   if (mode_ == ReplicationMode::kLogical) {
     primary_->Refresh();
     primary_->MaybeMerge();
@@ -141,6 +144,7 @@ Status ReplicatedShard::Refresh() {
 }
 
 Result<std::unique_ptr<ShardStore>> ReplicatedShard::Failover() && {
+  MutexLock lock(&mu_);
   if (mode_ == ReplicationMode::kLogical) {
     // The logical replica is already an independent, current store.
     return std::move(replica_);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "storage/shard_store.h"
 
@@ -74,7 +75,10 @@ class ReplicatedShard {
   const ShardStore* replica() const { return replica_.get(); }
 
   // Write: primary executes; the replica's translog is synchronized
-  // in real time; logical mode re-executes on the replica.
+  // in real time; logical mode re-executes on the replica. Serialized
+  // against Refresh() on mu_, so a maintenance-pool refresh round and
+  // a client write on the same shard never race on the replication
+  // bookkeeping.
   Result<uint64_t> Apply(const WriteOp& op);
 
   // Refresh primary (buffer -> segment). Physical mode then runs one
@@ -88,22 +92,42 @@ class ReplicatedShard {
   // Returns the promoted store (the old primary is discarded).
   Result<std::unique_ptr<ShardStore>> Failover() &&;
 
-  const ReplicationStats& stats() const { return stats_; }
+  // Copy-out under mu_: safe to read while a maintenance-pool
+  // Refresh() is adding to the counters.
+  ReplicationStats stats() const {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
   // Visibility delay proxy: number of Refresh() rounds where the
   // replica still lacked the newest primary segment at entry.
-  uint64_t replica_lag_rounds() const { return replica_lag_rounds_; }
+  uint64_t replica_lag_rounds() const {
+    MutexLock lock(&mu_);
+    return replica_lag_rounds_;
+  }
 
  private:
   const IndexSpec* spec_;
   ShardStore::Options options_;
   ReplicationMode mode_;
+  // Single writer per replicated shard: Apply/Refresh/ResetReplica/
+  // Failover serialize here, and the replication bookkeeping below is
+  // guarded by it. mu_ is held while calling into the primary's and
+  // replica's ShardStore mutators, so it sits ABOVE ShardStore::
+  // write_mu_ in the lock hierarchy (see DESIGN.md).
+  mutable Mutex mu_;
+  // The store pointers themselves are rebound only by membership
+  // operations (ResetReplica / Failover), which the cluster layer
+  // serializes externally; the accessors above hand the raw pointers
+  // out, so guarding them here would be a fiction.
   std::unique_ptr<ShardStore> primary_;
   std::unique_ptr<ShardStore> replica_;
-  Translog replica_log_;  // replica-side translog (real-time sync)
-  uint64_t replica_applied_seq_ = 0;  // logical mode: ops executed
-  ReplicationStats stats_;
-  uint64_t replica_lag_rounds_ = 0;
+  // Replica-side translog (real-time sync).
+  Translog replica_log_ GUARDED_BY(mu_);
+  // Logical mode: ops executed on the replica.
+  uint64_t replica_applied_seq_ GUARDED_BY(mu_) = 0;
+  ReplicationStats stats_ GUARDED_BY(mu_);
+  uint64_t replica_lag_rounds_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace esdb

@@ -13,12 +13,12 @@ void ShardStore::PublishSegments(SegmentVec next) {
   // Allocate the new epoch before taking the publication lock so the
   // critical section is a bare pointer swap.
   auto epoch = std::make_shared<const SegmentVec>(std::move(next));
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  MutexLock lock(&epoch_mu_);
   segments_ = std::move(epoch);
 }
 
 Result<uint64_t> ShardStore::Apply(const WriteOp& op) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   // Durability first: acknowledged writes are always in the translog.
   const uint64_t seq = translog_.Append(op);
   const Status status = ApplyInternal(op);
@@ -27,7 +27,7 @@ Result<uint64_t> ShardStore::Apply(const WriteOp& op) {
 }
 
 Status ShardStore::ApplyNoLog(const WriteOp& op) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   return ApplyInternal(op);
 }
 
@@ -78,7 +78,7 @@ void ShardStore::DeleteExisting(int64_t record_id) {
 }
 
 bool ShardStore::Refresh() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   return RefreshLocked();
 }
 
@@ -104,12 +104,12 @@ bool ShardStore::RefreshLocked() {
 }
 
 void ShardStore::Flush() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   translog_.TruncateBefore(refreshed_seq_.load(std::memory_order_relaxed));
 }
 
 bool ShardStore::MaybeMerge() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   return MaybeMergeLocked();
 }
 
@@ -167,14 +167,18 @@ size_t ShardStore::num_live_docs() const {
 }
 
 size_t ShardStore::SizeBytes() const {
-  size_t bytes = translog_.SizeBytes();
+  size_t bytes = 0;
+  {
+    MutexLock lock(&write_mu_);
+    bytes = translog_.SizeBytes();
+  }
   const SegmentSnapshot snap = Snapshot();
   for (const auto& seg : *snap) bytes += seg->SizeBytes();
   return bytes;
 }
 
 std::map<int64_t, uint64_t> ShardStore::BufferedTenantCounts() const {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   std::map<int64_t, uint64_t> counts;
   for (const BufferedDoc& bd : buffer_) {
     if (bd.deleted) continue;
@@ -199,7 +203,7 @@ Result<std::unique_ptr<ShardStore>> ShardStore::Recover(const IndexSpec* spec,
 }
 
 void ShardStore::InstallSegment(std::shared_ptr<Segment> segment) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   SegmentVec next = *Snapshot();
   for (auto& existing : next) {
     if (existing->id() == segment->id()) {
@@ -216,7 +220,7 @@ void ShardStore::InstallSegment(std::shared_ptr<Segment> segment) {
 }
 
 void ShardStore::RetainSegments(const std::vector<uint64_t>& live_ids) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   SegmentVec next = *Snapshot();
   next.erase(
       std::remove_if(next.begin(), next.end(),

@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "document/document.h"
 #include "storage/index_spec.h"
@@ -85,7 +85,7 @@ class ShardStore {
   // across later refreshes/merges; holding it keeps every segment in
   // it alive.
   SegmentSnapshot Snapshot() const {
-    std::lock_guard<std::mutex> lock(epoch_mu_);
+    MutexLock lock(&epoch_mu_);
     return segments_;
   }
 
@@ -101,8 +101,13 @@ class ShardStore {
   }
   size_t SizeBytes() const;
   // Writer-context only: the translog is mutated under the writer
-  // mutex, so only maintenance/persistence callers may walk it.
-  const Translog& translog() const { return translog_; }
+  // mutex, so only maintenance/persistence callers — externally
+  // serialized against this shard's writers — may walk it. The
+  // returned reference outlives any lock we could take here, so the
+  // access is deliberately unchecked.
+  const Translog& translog() const NO_THREAD_SAFETY_ANALYSIS {
+    return translog_;
+  }
   uint64_t refreshed_seq() const {
     return refreshed_seq_.load(std::memory_order_acquire);
   }
@@ -116,7 +121,10 @@ class ShardStore {
 
   // Cumulative count of docs (re)indexed by merges — the CPU the
   // merge mechanism spends (used by replication experiments).
-  uint64_t merged_docs_total() const { return merged_docs_total_; }
+  uint64_t merged_docs_total() const {
+    MutexLock lock(&write_mu_);
+    return merged_docs_total_;
+  }
 
   // --- Recovery & replication hooks --------------------------------------
 
@@ -133,8 +141,14 @@ class ShardStore {
   // snapshot after a replication round).
   void RetainSegments(const std::vector<uint64_t>& live_ids);
 
-  uint64_t next_segment_id() const { return next_segment_id_; }
-  void set_next_segment_id(uint64_t id) { next_segment_id_ = id; }
+  uint64_t next_segment_id() const {
+    MutexLock lock(&write_mu_);
+    return next_segment_id_;
+  }
+  void set_next_segment_id(uint64_t id) {
+    MutexLock lock(&write_mu_);
+    next_segment_id_ = id;
+  }
 
  private:
   struct BufferedDoc {
@@ -142,39 +156,40 @@ class ShardStore {
     bool deleted = false;
   };
 
-  Status ApplyInternal(const WriteOp& op);
+  Status ApplyInternal(const WriteOp& op) REQUIRES(write_mu_);
   // Removes any live prior version of record_id (buffer + segments).
-  void DeleteExisting(int64_t record_id);
-  // Mutators below require write_mu_ held.
-  bool RefreshLocked();
-  bool MaybeMergeLocked();
+  void DeleteExisting(int64_t record_id) REQUIRES(write_mu_);
+  bool RefreshLocked() REQUIRES(write_mu_);
+  bool MaybeMergeLocked() REQUIRES(write_mu_);
   // Publishes the next segment epoch (pointer swap under epoch_mu_).
-  void PublishSegments(SegmentVec next);
+  void PublishSegments(SegmentVec next) REQUIRES(write_mu_);
 
   const IndexSpec* spec_;
   Options options_;
   // Serializes all mutators of this shard (the single-writer-per-
   // shard invariant); never held by readers.
-  mutable std::mutex write_mu_;
-  Translog translog_;
-  std::vector<BufferedDoc> buffer_;
-  std::unordered_map<int64_t, size_t> buffer_by_record_;
+  mutable Mutex write_mu_;
+  Translog translog_ GUARDED_BY(write_mu_);
+  std::vector<BufferedDoc> buffer_ GUARDED_BY(write_mu_);
+  std::unordered_map<int64_t, size_t> buffer_by_record_
+      GUARDED_BY(write_mu_);
   // Published segment epoch. Writers (holding write_mu_) build the
   // next immutable vector outside epoch_mu_, then swap the pointer
   // under it; readers copy the pointer under it. epoch_mu_ guards
   // only that pointer — its critical sections are a few instructions,
-  // so it never serializes real work. (A std::atomic<shared_ptr>
-  // would be the natural fit, but libstdc++'s _Sp_atomic unlocks its
-  // internal spinlock with a relaxed RMW on the load path, which
-  // breaks the happens-before chain ThreadSanitizer — and the letter
-  // of the memory model — requires.)
-  mutable std::mutex epoch_mu_;
-  SegmentSnapshot segments_;
+  // so it never serializes real work, and it is a leaf in the lock
+  // hierarchy: nothing is ever acquired under it. (A
+  // std::atomic<shared_ptr> would be the natural fit, but libstdc++'s
+  // _Sp_atomic unlocks its internal spinlock with a relaxed RMW on
+  // the load path, which breaks the happens-before chain
+  // ThreadSanitizer — and the letter of the memory model — requires.)
+  mutable Mutex epoch_mu_ ACQUIRED_AFTER(write_mu_);
+  SegmentSnapshot segments_ GUARDED_BY(epoch_mu_);
   std::atomic<size_t> buffered_count_{0};  // live docs in buffer_
-  uint64_t next_segment_id_ = 1;
+  uint64_t next_segment_id_ GUARDED_BY(write_mu_) = 1;
   // Translog seqs below this are in segments.
   std::atomic<uint64_t> refreshed_seq_{0};
-  uint64_t merged_docs_total_ = 0;
+  uint64_t merged_docs_total_ GUARDED_BY(write_mu_) = 0;
 };
 
 }  // namespace esdb

@@ -62,6 +62,35 @@ TEST_F(DistributedTest, QueriesWork) {
   EXPECT_EQ(Count("status = 0"), 67u);
 }
 
+TEST_F(DistributedTest, SetMaintenanceThreadsKeepsResultsIdentical) {
+  // Flip the refresh/replication fan-out between serial and pooled
+  // mid-stream; every configuration must refresh the same state.
+  EXPECT_EQ(db_->maintenance_threads(), 0u);
+  const uint64_t baseline = Count("status = 0");
+  for (uint32_t threads : {4u, 0u, 2u}) {
+    db_->SetMaintenanceThreads(threads);
+    EXPECT_EQ(db_->maintenance_threads(), threads);
+    for (int64_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE(
+          db_->Insert(MakeLog(1 + i % 5, 1000 + i, 1000 + i, 1)).ok());
+    }
+    db_->RefreshAll();
+    EXPECT_EQ(Count("status = 0"), baseline);
+    EXPECT_EQ(Count("record_id >= 1000"), 50u);
+    // Delete the batch so each loop iteration starts from the same
+    // corpus regardless of the pool size that refreshed it.
+    for (int64_t i = 0; i < 50; ++i) {
+      WriteOp op;
+      op.type = OpType::kDelete;
+      op.doc = MakeLog(1 + i % 5, 1000 + i, 1000 + i, 1);
+      ASSERT_TRUE(db_->Apply(op).ok());
+    }
+    db_->RefreshAll();
+    EXPECT_EQ(Count("record_id >= 1000"), 0u);
+  }
+  EXPECT_EQ(db_->TotalDocs(), 200u);
+}
+
 TEST_F(DistributedTest, PrimaryNodeFailureLosesNothing) {
   // Fail each node once (re-adding in between): all 200 docs survive
   // every single-node failure.

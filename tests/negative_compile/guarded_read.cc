@@ -1,0 +1,26 @@
+// Positive control for cmake/ThreadSafetyCheck.cmake: a correctly
+// locked GUARDED_BY access. This file MUST compile under
+// -Werror=thread-safety-analysis; if it doesn't, the failure of its
+// sibling unguarded_read.cc proves nothing.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Increment() {
+    esdb::MutexLock lock(&mu_);
+    return ++value_;
+  }
+
+ private:
+  esdb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Increment() == 1 ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+// Negative-compilation input for cmake/ThreadSafetyCheck.cmake: reads
+// and writes a GUARDED_BY field WITHOUT taking its mutex. This file
+// MUST FAIL to compile under -Werror=thread-safety-analysis — if it
+// compiles, the annotations in common/mutex.h are decorative.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Increment() {
+    return ++value_;  // deliberate bug: mu_ not held
+  }
+
+ private:
+  esdb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Increment() == 1 ? 0 : 1;
+}

@@ -78,7 +78,9 @@ TEST_F(PersistenceTest, SaveOpenRoundTrip) {
         Status::NotFound("buffered"));
     auto recovered = (*opened)->GetByRecordId(i);
     ASSERT_TRUE(recovered.ok()) << i;
-    if (original.ok()) EXPECT_EQ(*original, *recovered);
+    if (original.ok()) {
+      EXPECT_EQ(*original, *recovered);
+    }
   }
   // Full-text index survived the segment files.
   const SegmentSnapshot snapshot = (*opened)->Snapshot();
@@ -245,7 +247,9 @@ TEST_F(PersistenceTest, RandomRoundTripProperty) {
     auto a = store.GetByRecordId(record);
     auto b = (*opened)->GetByRecordId(record);
     ASSERT_EQ(a.ok(), b.ok()) << record;
-    if (a.ok()) EXPECT_EQ(*a, *b);
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b);
+    }
   }
 }
 

@@ -44,7 +44,9 @@ void ExpectSameLiveSet(const ShardStore& a, const ShardStore& b,
     auto da = a.GetByRecordId(record);
     auto db = b.GetByRecordId(record);
     ASSERT_EQ(da.ok(), db.ok()) << "record " << record;
-    if (da.ok()) EXPECT_EQ(*da, *db);
+    if (da.ok()) {
+      EXPECT_EQ(*da, *db);
+    }
   }
 }
 
@@ -131,7 +133,9 @@ TEST_P(ReplicatedShardTest, ReplicaConvergesToPrimary) {
     WriteOp op = rng.Bernoulli(0.2) ? Delete(record, i)
                                     : Insert(record, i, int64_t(i));
     ASSERT_TRUE(shard.Apply(op).ok());
-    if (i % 30 == 29) ASSERT_TRUE(shard.Refresh().ok());
+    if (i % 30 == 29) {
+      ASSERT_TRUE(shard.Refresh().ok());
+    }
   }
   ASSERT_TRUE(shard.Refresh().ok());
   ExpectSameLiveSet(*shard.primary(), *shard.replica(), 50);
@@ -141,7 +145,9 @@ TEST_P(ReplicatedShardTest, FailoverRecoversEverything) {
   ReplicatedShard shard(&spec_, ManualRefresh(), GetParam());
   for (int64_t i = 0; i < 50; ++i) {
     ASSERT_TRUE(shard.Apply(Insert(i, i, i)).ok());
-    if (i == 25) ASSERT_TRUE(shard.Refresh().ok());
+    if (i == 25) {
+      ASSERT_TRUE(shard.Refresh().ok());
+    }
   }
   // Ops 26..49 are not replicated as segments yet — the replica must
   // recover them from its synchronized translog on promotion.
@@ -210,7 +216,9 @@ TEST(ReplicationTest, TranslogTailStaysBounded) {
   ReplicatedShard shard(&spec, ManualRefresh(), ReplicationMode::kPhysical);
   for (int64_t i = 0; i < 100; ++i) {
     ASSERT_TRUE(shard.Apply(Insert(i, i)).ok());
-    if (i % 10 == 9) ASSERT_TRUE(shard.Refresh().ok());
+    if (i % 10 == 9) {
+      ASSERT_TRUE(shard.Refresh().ok());
+    }
   }
   // After each replication round the replica translog is truncated to
   // the un-replicated tail (here: empty).
