@@ -1,0 +1,392 @@
+// Mixed read/write throughput: reader QPS and write ops/s on one
+// Esdb instance while DML runs concurrently — the workload the
+// write/read decoupling work targets. Sweeps writer threads x query
+// (fan-out) threads x DELETE ratio over a Zipf-skewed tenant
+// population; every config gets a fresh engine with the identical
+// deterministic preload. Readers mix hot-tenant queries (which take
+// the inline <= 2-shard fan-out path) with broadcast aggregates
+// (which use the subquery pool when query_threads > 0).
+//
+// Correctness gate (the only thing that affects the exit code): a
+// deterministic insert+delete stream replayed into a serial-query
+// engine and a pooled-query engine must answer a probe set
+// byte-identically. Throughput numbers additionally go to
+// BENCH_mixed_rw.json for machine consumption; the headline ratio is
+// reader QPS with writers active vs. reader-only QPS.
+//
+// Usage:
+//   bench_mixed_rw [--quick] [--seconds=S] [--preload=N] [--readers=N]
+//
+// --quick shrinks the preload and measurement window for CI smoke
+// runs: it validates concurrency + identity, not throughput.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/esdb.h"
+#include "common/random.h"
+#include "workload/generator.h"
+
+using namespace esdb;  // NOLINT
+
+namespace {
+
+constexpr uint32_t kShards = 16;
+constexpr uint64_t kTenants = 1000;
+constexpr uint64_t kSeed = 20220611;
+
+struct Config {
+  uint32_t writer_threads = 0;
+  uint32_t query_threads = 0;
+  double delete_ratio = 0.0;
+};
+
+struct Measurement {
+  Config config;
+  double elapsed_sec = 0;
+  uint64_t queries = 0;
+  uint64_t writes = 0;   // inserts applied during the window
+  uint64_t deletes = 0;  // deletes applied during the window
+  double reader_qps = 0;
+  double write_ops_per_sec = 0;
+};
+
+WorkloadGenerator::Options GeneratorOptions(uint64_t seed) {
+  WorkloadGenerator::Options options;
+  options.num_tenants = kTenants;
+  options.theta = 1.0;
+  options.seed = seed;
+  return options;
+}
+
+Esdb::Options EngineOptions(uint32_t query_threads) {
+  Esdb::Options options;
+  options.num_shards = kShards;
+  options.routing = RoutingKind::kHash;
+  options.store.refresh_doc_count = 0;  // refresh only when asked
+  options.store.merge.max_segments = 6;
+  options.query_threads = query_threads;
+  return options;
+}
+
+void Preload(Esdb* db, int docs) {
+  WorkloadGenerator generator(GeneratorOptions(kSeed));
+  for (int i = 0; i < docs; ++i) {
+    const Status s =
+        db->Insert(generator.NextDocument(Micros(i) * kMicrosPerMilli));
+    if (!s.ok()) {
+      std::fprintf(stderr, "preload insert failed: %s\n",
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  db->RefreshAll();
+}
+
+// One writer thread: Zipf-tenant inserts with a `delete_ratio` chance
+// of instead DELETE-ing a row this writer inserted earlier. Record
+// ids are rewritten into a per-writer namespace so writers never
+// upsert over each other. Refreshes every kRefreshEvery ops keep
+// segment publishing (and merges) in the loop.
+void WriterLoop(Esdb* db, uint32_t writer_id, double delete_ratio,
+                const std::atomic<bool>* stop, std::atomic<uint64_t>* writes,
+                std::atomic<uint64_t>* deletes) {
+  constexpr int kRefreshEvery = 2000;
+  WorkloadGenerator generator(GeneratorOptions(kSeed + 17 * (writer_id + 1)));
+  Rng rng(kSeed + 1000 + writer_id);
+  struct Key {
+    int64_t tenant, record, created;
+  };
+  std::vector<Key> inserted;
+  int64_t seq = 0;
+  int since_refresh = 0;
+  while (!stop->load(std::memory_order_acquire)) {
+    if (!inserted.empty() && rng.Bernoulli(delete_ratio)) {
+      const size_t pick = rng.Uniform(inserted.size());
+      const Key victim = inserted[pick];
+      inserted[pick] = inserted.back();
+      inserted.pop_back();
+      if (db->Delete(TenantId(victim.tenant), RecordId(victim.record),
+                     Micros(victim.created))
+              .ok()) {
+        deletes->fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      Document doc = generator.NextDocument(Micros(seq) * kMicrosPerMilli);
+      const int64_t record =
+          int64_t(writer_id + 1) * 1000000000 + seq;  // private namespace
+      doc.Set(kFieldRecordId, Value(record));
+      const Key key{doc.tenant_id(), record, doc.created_time()};
+      if (db->Insert(std::move(doc)).ok()) {
+        inserted.push_back(key);
+        writes->fetch_add(1, std::memory_order_relaxed);
+      }
+      ++seq;
+    }
+    if (++since_refresh >= kRefreshEvery) {
+      db->RefreshAll();
+      since_refresh = 0;
+    }
+  }
+}
+
+// One reader thread: rotates hot-tenant row queries and counts
+// (inline fan-out path) with periodic broadcast aggregates (pool
+// path). Exits the process on any query failure — a query must never
+// break, whatever the writers are doing.
+void ReaderLoop(Esdb* db, const WorkloadGenerator& tenants, uint32_t reader_id,
+                const std::atomic<bool>* stop,
+                std::atomic<uint64_t>* queries) {
+  uint64_t i = reader_id;  // de-phase the readers
+  while (!stop->load(std::memory_order_acquire)) {
+    const TenantId tenant = tenants.TenantForRank(i % 16);  // hot ranks
+    std::string sql;
+    switch (i % 4) {
+      case 0:
+        sql = "SELECT * FROM transaction_logs WHERE tenant_id = " +
+              std::to_string(tenant) +
+              " ORDER BY created_time DESC LIMIT 20";
+        break;
+      case 1:
+        sql = "SELECT COUNT(*) FROM transaction_logs WHERE tenant_id = " +
+              std::to_string(tenant) + " AND status = 2";
+        break;
+      case 2:
+        sql = "SELECT * FROM transaction_logs WHERE tenant_id = " +
+              std::to_string(tenant) +
+              " AND amount >= 300 ORDER BY created_time DESC LIMIT 10";
+        break;
+      default:
+        sql = "SELECT COUNT(*) FROM transaction_logs WHERE status = " +
+              std::to_string(i % 5);
+        break;
+    }
+    const auto result = db->ExecuteSql(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed under concurrent DML: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    queries->fetch_add(1, std::memory_order_relaxed);
+    ++i;
+  }
+}
+
+Measurement RunConfig(const Config& config, int preload, int readers,
+                      double seconds) {
+  Esdb db(EngineOptions(config.query_threads));
+  Preload(&db, preload);
+  const WorkloadGenerator tenants(GeneratorOptions(kSeed));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> deletes{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(readers + config.writer_threads);
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back(ReaderLoop, &db, std::cref(tenants), uint32_t(r),
+                         &stop, &queries);
+  }
+  for (uint32_t w = 0; w < config.writer_threads; ++w) {
+    threads.emplace_back(WriterLoop, &db, w, config.delete_ratio, &stop,
+                         &writes, &deletes);
+  }
+
+  bench::Stopwatch watch;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(int64_t(seconds * 1000)));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  Measurement m;
+  m.config = config;
+  m.elapsed_sec = watch.ElapsedSeconds();
+  m.queries = queries.load();
+  m.writes = writes.load();
+  m.deletes = deletes.load();
+  m.reader_qps = double(m.queries) / m.elapsed_sec;
+  m.write_ops_per_sec = double(m.writes + m.deletes) / m.elapsed_sec;
+  return m;
+}
+
+// Deterministic serial-vs-pooled identity: the same insert+delete
+// stream (with refreshes at fixed points) into two engines that
+// differ only in query_threads, probed with inline-path and
+// pool-path queries. Any byte difference is a bug.
+bool IdenticalSerialVsPooled(int ops) {
+  Esdb serial(EngineOptions(0));
+  Esdb pooled(EngineOptions(4));
+  WorkloadGenerator generator(GeneratorOptions(kSeed));
+  Rng rng(kSeed + 7);
+  struct Key {
+    int64_t tenant, record, created;
+  };
+  std::vector<Key> inserted;
+  for (int i = 0; i < ops; ++i) {
+    if (!inserted.empty() && rng.Bernoulli(0.2)) {
+      const size_t pick = rng.Uniform(inserted.size());
+      const Key victim = inserted[pick];
+      inserted[pick] = inserted.back();
+      inserted.pop_back();
+      for (Esdb* db : {&serial, &pooled}) {
+        if (!db->Delete(TenantId(victim.tenant), RecordId(victim.record),
+                        Micros(victim.created))
+                 .ok()) {
+          return false;
+        }
+      }
+    } else {
+      const Document doc = generator.NextDocument(Micros(i) * kMicrosPerMilli);
+      inserted.push_back({doc.tenant_id(), doc.record_id(),
+                          doc.created_time()});
+      if (!serial.Insert(doc).ok() || !pooled.Insert(doc).ok()) return false;
+    }
+    if (i % 500 == 499) {
+      serial.RefreshAll();
+      pooled.RefreshAll();
+    }
+  }
+  serial.RefreshAll();
+  pooled.RefreshAll();
+
+  if (serial.ShardDocCounts() != pooled.ShardDocCounts()) return false;
+  const WorkloadGenerator tenants(GeneratorOptions(kSeed));
+  std::vector<std::string> probes;
+  for (uint64_t rank = 0; rank < 8; ++rank) {
+    const std::string t = std::to_string(tenants.TenantForRank(rank));
+    probes.push_back("SELECT * FROM transaction_logs WHERE tenant_id = " + t +
+                     " ORDER BY created_time DESC LIMIT 25");
+    probes.push_back("SELECT COUNT(*) FROM transaction_logs WHERE tenant_id " +
+                     std::string("= ") + t + " AND status = 2");
+  }
+  probes.push_back(
+      "SELECT * FROM transaction_logs WHERE amount >= 400 AND status = 2 "
+      "ORDER BY created_time DESC LIMIT 100");
+  probes.push_back("SELECT COUNT(*) FROM transaction_logs");
+  for (const std::string& sql : probes) {
+    const auto a = serial.ExecuteSql(sql);
+    const auto b = pooled.ExecuteSql(sql);
+    if (!a.ok() || !b.ok()) return false;
+    if (a->rows != b->rows || a->total_matched != b->total_matched ||
+        a->agg_count != b->agg_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<Measurement>& measurements,
+               double writer_impact_ratio, bool identical, bool quick) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"mixed_rw\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"cores\": %u,\n  \"shards\": %u,\n",
+               std::thread::hardware_concurrency(), kShards);
+  std::fprintf(f, "  \"identical_serial_vs_pooled\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"writer_impact_ratio\": %.4f,\n", writer_impact_ratio);
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    std::fprintf(f,
+                 "    {\"writer_threads\": %u, \"query_threads\": %u, "
+                 "\"delete_ratio\": %.2f, \"elapsed_sec\": %.3f, "
+                 "\"queries\": %llu, \"writes\": %llu, \"deletes\": %llu, "
+                 "\"reader_qps\": %.1f, \"write_ops_per_sec\": %.1f}%s\n",
+                 m.config.writer_threads, m.config.query_threads,
+                 m.config.delete_ratio, m.elapsed_sec,
+                 (unsigned long long)m.queries, (unsigned long long)m.writes,
+                 (unsigned long long)m.deletes, m.reader_qps,
+                 m.write_ops_per_sec,
+                 i + 1 < measurements.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  double seconds = 1.5;
+  int preload = 20000;
+  int readers = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::strtod(argv[i] + 10, nullptr);
+    } else if (std::strncmp(argv[i], "--preload=", 10) == 0) {
+      preload = int(std::strtol(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--readers=", 10) == 0) {
+      readers = int(std::strtol(argv[i] + 10, nullptr, 10));
+    }
+  }
+  if (quick) {
+    seconds = 0.25;
+    preload = 2000;
+  }
+
+  bench::PrintHeader(
+      "Mixed read/write: reader QPS under concurrent DML (writer threads x "
+      "query threads x DELETE ratio)");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("shards=%u tenants=%llu preload=%d readers=%d window=%.2fs "
+              "cores=%u%s\n\n",
+              kShards, (unsigned long long)kTenants, preload, readers, seconds,
+              cores, quick ? " (quick: correctness smoke only)" : "");
+
+  std::vector<Config> sweep;
+  if (quick) {
+    sweep = {{0, 2, 0.0}, {1, 2, 0.3}, {2, 0, 0.3}};
+  } else {
+    sweep = {{0, 0, 0.0}, {0, 4, 0.0}, {1, 4, 0.0},
+             {1, 4, 0.2}, {2, 4, 0.2}, {2, 0, 0.2}};
+  }
+
+  std::printf("%-9s %-9s %-9s %-12s %-14s %-10s\n", "writers", "qthreads",
+              "del_ratio", "reader_qps", "write_ops/s", "queries");
+  std::vector<Measurement> measurements;
+  double reader_only_qps = 0;
+  double hammered_qps = 0;
+  for (const Config& config : sweep) {
+    const Measurement m = RunConfig(config, preload, readers, seconds);
+    std::printf("%-9u %-9u %-9.2f %-12.1f %-14.1f %-10llu\n",
+                m.config.writer_threads, m.config.query_threads,
+                m.config.delete_ratio, m.reader_qps, m.write_ops_per_sec,
+                (unsigned long long)m.queries);
+    // Headline ratio: heaviest-writer config vs. reader-only, at the
+    // same query_threads as the heaviest-writer config.
+    if (m.config.writer_threads == 0) reader_only_qps = m.reader_qps;
+    hammered_qps = m.reader_qps;  // last config has the most writers
+    measurements.push_back(m);
+  }
+
+  const double ratio =
+      reader_only_qps > 0 ? hammered_qps / reader_only_qps : 0.0;
+  std::printf("\nreader QPS with writers active / reader-only: %.2f\n", ratio);
+  if (!quick && cores > 2 && ratio < 0.8) {
+    std::printf("NOTE: below the 0.80 target — check for reader stalls "
+                "behind the write path.\n");
+  }
+
+  const bool identical = IdenticalSerialVsPooled(quick ? 1500 : 5000);
+  std::printf("serial vs pooled identical: %s\n",
+              identical ? "yes" : "NO (BUG)");
+  WriteJson("BENCH_mixed_rw.json", measurements, ratio, identical, quick);
+  return identical ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "routing/rule_list.h"
 
 namespace esdb {
@@ -13,18 +14,25 @@ namespace esdb {
 // per-tenant write counts over a reporting window; the load balancer
 // drains it periodically to get real-time throughput proportions.
 // RecordWrite is on the per-document hot path of the cluster
-// simulator, hence the hash map.
+// simulator, hence the hash map. Internally synchronized: with the
+// write path fully concurrent, RecordWrite is called from many client
+// threads at once while the balancer drains the window.
 class WorkloadMonitor {
  public:
   void RecordWrite(TenantId tenant, uint64_t count = 1) {
+    MutexLock lock(&mu_);
     window_[tenant] += count;
     total_ += count;
   }
 
-  uint64_t window_total() const { return total_; }
+  uint64_t window_total() const {
+    MutexLock lock(&mu_);
+    return total_;
+  }
 
   // Returns the window's per-tenant counts and resets the window.
   std::map<TenantId, uint64_t> Drain() {
+    MutexLock lock(&mu_);
     std::map<TenantId, uint64_t> out(window_.begin(), window_.end());
     window_.clear();
     total_ = 0;
@@ -32,8 +40,9 @@ class WorkloadMonitor {
   }
 
  private:
-  std::unordered_map<TenantId, uint64_t> window_;
-  uint64_t total_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<TenantId, uint64_t> window_ GUARDED_BY(mu_);
+  uint64_t total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace esdb

@@ -27,10 +27,14 @@ namespace esdb {
 // (translog-tail replay) and lost replicas are rebuilt on surviving
 // nodes, exactly the recovery story of Sections 3.3 and 5.2.
 //
-// Externally single-threaded ("nodes" are failure domains, not
-// threads), but RefreshAll fans refresh+replication out over an
-// internal pool when maintenance_threads > 0 — one task per shard,
-// preserving the single-writer-per-shard invariant.
+// Membership operations (Add/Remove/FailNode) are externally
+// single-threaded ("nodes" are failure domains, not threads), but the
+// data path is not phased: queries run concurrently with Apply/DML
+// and with RefreshAll — every shard publishes its searchable state
+// (segments + copy-on-write tombstone overlays) as immutable epochs.
+// RefreshAll fans refresh+replication out over an internal pool when
+// maintenance_threads > 0 — one task per shard, preserving the
+// single-writer-per-shard invariant.
 class DistributedEsdb {
  public:
   struct Options {

@@ -304,11 +304,18 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
   const size_t fan_out = target_shards.size();
   FilterCache* cache = options_.use_filter_cache ? &filter_cache_ : nullptr;
 
-  // Pin the subquery pool for the whole query: SetQueryThreads swaps
-  // the pool through this atomic shared_ptr, so a concurrent resize
-  // can never destroy the pool while our tasks are on it.
+  // Adaptive parallelism: a tenant-scoped query resolving to one or
+  // two shards runs inline in the calling thread even when a pool is
+  // configured — the handoff/join overhead exceeds the win at that
+  // fan-out, and the hot skewed tenant issues exactly these queries.
+  // Broad fan-outs pin the subquery pool for the whole query:
+  // SetQueryThreads swaps the pool through a mutex-guarded
+  // shared_ptr, so a concurrent resize can never destroy the pool
+  // while our tasks are on it. Results are byte-identical either way
+  // (merge order is fixed by shard ordinal).
+  constexpr size_t kInlineFanOut = 2;
   std::shared_ptr<ThreadPool> pool;
-  {
+  if (fan_out > kInlineFanOut) {
     MutexLock lock(&pool_mu_);
     pool = query_pool_;
   }
@@ -426,11 +433,10 @@ size_t Esdb::InitializeRulesFromStorage(Micros effective_time) {
   std::map<TenantId, uint64_t> storage;
   for (uint32_t i = 0; i < options_.num_shards; ++i) {
     const SegmentSnapshot snapshot = Primary(ShardId(i))->Snapshot();
-    for (const auto& segment : *snapshot) {
-      const DocValues::Column* col =
-          segment->doc_values().Find(kFieldTenantId);
+    for (const SegmentView& view : *snapshot) {
+      const DocValues::Column* col = view->doc_values().Find(kFieldTenantId);
       if (col == nullptr) continue;
-      const PostingList live = segment->LiveDocs();
+      const PostingList live = view.LiveDocs();
       for (DocId id : live.ids()) {
         const Value& v = col->Get(id);
         if (v.is_int()) storage[v.as_int()] += 1;

@@ -28,16 +28,19 @@ namespace esdb {
 // contention (CPU, queues) is studied separately in sim/cluster_sim.h.
 //
 // Thread model: the searchable state of every shard is an epoch-
-// published immutable segment list, so queries are safe to issue from
-// multiple threads concurrently with each other AND with refresh/
-// merge maintenance (RefreshAll). Writes stay single-writer per shard
-// (ShardStore's internal writer mutex); callers still serialize
-// Apply/DML/balancing against each other and against queries, because
-// deletes tombstone docs inside published segments. With
-// query_threads > 0 each query fans its per-shard subqueries out over
-// an internal pool; with maintenance_threads > 0 RefreshAll fans
-// refresh+merge (and the replication round) out the same way. See
-// DESIGN.md "Thread model".
+// published immutable view — segment list AND copy-on-write tombstone
+// overlays — so queries are safe to issue from multiple threads
+// concurrently with each other, with refresh/merge maintenance
+// (RefreshAll), and with Apply/DML/balancing: a DELETE publishes a
+// new overlay epoch instead of mutating published state, so no
+// write/read phasing is required anywhere. Writes stay single-writer
+// per shard (ShardStore's internal writer mutex); concurrent callers
+// of Apply targeting the same shard serialize there, nothing else.
+// With query_threads > 0 each query fans its per-shard subqueries out
+// over an internal pool (tenant-scoped queries touching at most two
+// shards run inline — the handoff costs more than it buys); with
+// maintenance_threads > 0 RefreshAll fans refresh+merge (and the
+// replication round) out the same way. See DESIGN.md "Thread model".
 class Esdb {
  public:
   struct Options {

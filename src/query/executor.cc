@@ -52,13 +52,17 @@ PostingList ApplyFilters(const Segment& segment, PostingList candidates,
 
 }  // namespace
 
-Result<PostingList> EvalPlan(const PlanNode& plan, const Segment& segment,
+Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
                              ExecStats* stats) {
+  const Segment& segment = *view;
   switch (plan.kind) {
     case PlanNode::Kind::kEmpty:
       return PostingList();
     case PlanNode::Kind::kFullScan: {
-      PostingList live = segment.LiveDocs();
+      // Live docs of the pinned epoch: the overlay is applied here
+      // (which is why FullScan plans are not filter-cacheable — the
+      // live set shrinks as later epochs add tombstones).
+      PostingList live = view.LiveDocs();
       stats->postings_considered += live.size();
       return ApplyFilters(segment, std::move(live), plan.filters, stats);
     }
@@ -92,14 +96,14 @@ Result<PostingList> EvalPlan(const PlanNode& plan, const Segment& segment,
     }
     case PlanNode::Kind::kDocValueFilter: {
       ESDB_ASSIGN_OR_RETURN(PostingList child,
-                            EvalPlan(*plan.children[0], segment, stats));
+                            EvalPlan(*plan.children[0], view, stats));
       return ApplyFilters(segment, std::move(child), plan.filters, stats);
     }
     case PlanNode::Kind::kIntersect: {
       std::vector<PostingList> lists;
       lists.reserve(plan.children.size());
       for (const auto& c : plan.children) {
-        ESDB_ASSIGN_OR_RETURN(PostingList child, EvalPlan(*c, segment, stats));
+        ESDB_ASSIGN_OR_RETURN(PostingList child, EvalPlan(*c, view, stats));
         if (child.empty()) return PostingList();
         lists.push_back(std::move(child));
       }
@@ -111,7 +115,7 @@ Result<PostingList> EvalPlan(const PlanNode& plan, const Segment& segment,
     case PlanNode::Kind::kUnion: {
       PostingList acc;
       for (const auto& c : plan.children) {
-        ESDB_ASSIGN_OR_RETURN(PostingList child, EvalPlan(*c, segment, stats));
+        ESDB_ASSIGN_OR_RETURN(PostingList child, EvalPlan(*c, view, stats));
         acc = PostingList::Union(acc, child);
       }
       return acc;
@@ -265,26 +269,24 @@ void ProjectRows(const Query& query, std::vector<Document>* rows) {
 }
 
 Result<PostingList> EvalPlanCached(const PlanNode& plan,
-                                   const Segment& segment, ExecStats* stats,
+                                   const SegmentView& view, ExecStats* stats,
                                    FilterCache* cache, uint64_t cache_domain,
                                    const std::string& fingerprint) {
   if (cache == nullptr || fingerprint.empty()) {
-    return EvalPlan(plan, segment, stats);
+    return EvalPlan(plan, view, stats);
   }
   PostingList cached;
-  if (cache->Get(cache_domain, segment.id(), fingerprint, &cached)) {
+  if (cache->Get(cache_domain, view->id(), fingerprint, &cached)) {
     return cached;
   }
-  ESDB_ASSIGN_OR_RETURN(PostingList candidates,
-                        EvalPlan(plan, segment, stats));
-  cache->Put(cache_domain, segment.id(), fingerprint, candidates);
+  ESDB_ASSIGN_OR_RETURN(PostingList candidates, EvalPlan(plan, view, stats));
+  cache->Put(cache_domain, view->id(), fingerprint, candidates);
   return candidates;
 }
 
 Result<QueryResult> ExecuteOnShard(
-    const Query& query, const PlanNode& plan,
-    const std::vector<std::shared_ptr<Segment>>& snapshot, ExecStats* stats,
-    FilterCache* cache, uint64_t cache_domain) {
+    const Query& query, const PlanNode& plan, const ShardView& snapshot,
+    ExecStats* stats, FilterCache* cache, uint64_t cache_domain) {
   const std::string fingerprint =
       (cache != nullptr && IsCacheable(plan)) ? PlanFingerprint(plan)
                                               : std::string();
@@ -295,24 +297,23 @@ Result<QueryResult> ExecuteOnShard(
   const bool can_early_stop =
       !aggregating && query.order_by.empty() && query.limit >= 0;
 
-  for (const auto& segment : snapshot) {
+  for (const SegmentView& view : snapshot) {
     ++stats->segments_visited;
     ESDB_ASSIGN_OR_RETURN(
         PostingList candidates,
-        EvalPlanCached(plan, *segment, stats, cache, cache_domain,
-                       fingerprint));
+        EvalPlanCached(plan, view, stats, cache, cache_domain, fingerprint));
     for (DocId id : candidates.ids()) {
-      if (segment->IsDeleted(id)) continue;
+      if (view.IsDeleted(id)) continue;
       ++result.total_matched;
       if (aggregating) {
-        Accumulate(query, *segment, id, &result);
+        Accumulate(query, *view, id, &result);
         continue;
       }
-      ESDB_ASSIGN_OR_RETURN(Document doc, segment->GetDocument(id));
+      ESDB_ASSIGN_OR_RETURN(Document doc, view->GetDocument(id));
       ++stats->rows_materialized;
       if (scoring) {
         doc.Set(kFieldScore,
-                Value(ScoreDocument(*segment, doc, query.where.get())));
+                Value(ScoreDocument(*view, doc, query.where.get())));
       }
       result.rows.push_back(std::move(doc));
       // Shards must over-fetch by the global offset (skipping is only
@@ -338,8 +339,7 @@ Result<QueryResult> ExecuteOnShard(
 }
 
 Result<std::vector<RowRef>> ExecuteQueryPhase(
-    const Query& query, const PlanNode& plan,
-    const std::vector<std::shared_ptr<Segment>>& snapshot,
+    const Query& query, const PlanNode& plan, const ShardView& snapshot,
     uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
     FilterCache* cache, uint64_t cache_domain) {
   if (query.agg != AggFunc::kNone || !query.group_by.empty()) {
@@ -357,14 +357,13 @@ Result<std::vector<RowRef>> ExecuteQueryPhase(
   std::vector<RowRef> refs;
   for (uint32_t segment_ordinal = 0; segment_ordinal < snapshot.size();
        ++segment_ordinal) {
-    const Segment& segment = *snapshot[segment_ordinal];
+    const SegmentView& view = snapshot[segment_ordinal];
     ++stats->segments_visited;
     ESDB_ASSIGN_OR_RETURN(
         PostingList candidates,
-        EvalPlanCached(plan, segment, stats, cache, cache_domain,
-                       fingerprint));
+        EvalPlanCached(plan, view, stats, cache, cache_domain, fingerprint));
     for (DocId id : candidates.ids()) {
-      if (segment.IsDeleted(id)) continue;
+      if (view.IsDeleted(id)) continue;
       ++(*total_matched);
       RowRef ref;
       ref.shard_ordinal = shard_ordinal;
@@ -375,9 +374,9 @@ Result<std::vector<RowRef>> ExecuteQueryPhase(
       for (const OrderBy& ob : query.order_by) {
         if (ob.column == kFieldScore && scoring) {
           ref.sort_keys.emplace_back(
-              ScoreFromDocValues(segment, id, query.where.get()));
+              ScoreFromDocValues(*view, id, query.where.get()));
         } else {
-          ref.sort_keys.push_back(ResolveFieldValue(segment, id, ob.column));
+          ref.sort_keys.push_back(ResolveFieldValue(*view, id, ob.column));
         }
       }
       refs.push_back(std::move(ref));
@@ -412,8 +411,9 @@ Result<std::vector<Document>> ExecuteFetchPhase(
   std::vector<Document> rows;
   rows.reserve(refs.size());
   for (const RowRef& ref : refs) {
-    const Segment& segment =
-        *(*snapshots[ref.shard_ordinal])[ref.segment_ordinal];
+    const SegmentView& view =
+        (*snapshots[ref.shard_ordinal])[ref.segment_ordinal];
+    const Segment& segment = *view;
     ESDB_ASSIGN_OR_RETURN(Document doc, segment.GetDocument(ref.doc));
     ++stats->rows_materialized;
     if (scoring) {

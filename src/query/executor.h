@@ -72,29 +72,32 @@ struct ExecStats {
 Value ResolveFieldValue(const Segment& segment, DocId id,
                         const std::string& field);
 
-// Evaluates a physical plan against one segment, producing candidate
-// doc ids (tombstones not yet applied).
-Result<PostingList> EvalPlan(const PlanNode& plan, const Segment& segment,
+// Evaluates a physical plan against one segment view, producing
+// candidate doc ids. Index-driven nodes do not consult tombstones
+// (candidates are filtered against the view's overlay afterwards);
+// kFullScan enumerates the view's live docs directly.
+Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
                              ExecStats* stats);
 
-// Runs `query` (with its compiled `plan`) over a shard snapshot:
-// evaluates the plan per segment, drops deleted docs, materializes or
-// aggregates, applies ORDER BY and LIMIT shard-locally (the
-// coordinator re-merges across shards). With a non-null `cache`,
-// cacheable plans reuse per-segment candidate lists (filter cache).
-// `cache_domain` identifies the shard the snapshot belongs to
+// Runs `query` (with its compiled `plan`) over a pinned shard view:
+// evaluates the plan per segment, drops docs deleted in that epoch's
+// tombstone overlay, materializes or aggregates, applies ORDER BY and
+// LIMIT shard-locally (the coordinator re-merges across shards). The
+// view is immutable, so this is safe against concurrent DML — a
+// query observes the frozen set of deletes it pinned. With a non-null
+// `cache`, cacheable plans reuse per-segment candidate lists (filter
+// cache). `cache_domain` identifies the shard the snapshot belongs to
 // (segment ids are shard-local, so the cache keys on both).
 Result<QueryResult> ExecuteOnShard(
-    const Query& query, const PlanNode& plan,
-    const std::vector<std::shared_ptr<Segment>>& snapshot, ExecStats* stats,
-    FilterCache* cache = nullptr, uint64_t cache_domain = 0);
+    const Query& query, const PlanNode& plan, const ShardView& snapshot,
+    ExecStats* stats, FilterCache* cache = nullptr, uint64_t cache_domain = 0);
 
 // Plan evaluation through the filter cache: consults/populates `cache`
 // when the plan is cacheable; falls back to EvalPlan otherwise.
 // `fingerprint` must be PlanFingerprint(plan) (computed once per
 // query, not per segment).
 Result<PostingList> EvalPlanCached(const PlanNode& plan,
-                                   const Segment& segment, ExecStats* stats,
+                                   const SegmentView& view, ExecStats* stats,
                                    FilterCache* cache, uint64_t cache_domain,
                                    const std::string& fingerprint);
 
@@ -123,8 +126,7 @@ struct RowRef {
 // locally when sorted. `total_matched` accumulates the full match
 // count. Only valid for row queries (no aggregate/group-by).
 Result<std::vector<RowRef>> ExecuteQueryPhase(
-    const Query& query, const PlanNode& plan,
-    const std::vector<std::shared_ptr<Segment>>& snapshot,
+    const Query& query, const PlanNode& plan, const ShardView& snapshot,
     uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
     FilterCache* cache = nullptr, uint64_t cache_domain = 0);
 

@@ -10,38 +10,49 @@ Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
   stats.rounds = 1;
 
   // Step 1-2 (Figure 9): the current primary snapshot (segment ids).
+  // Both snapshots are pinned epochs, so the round runs safely while
+  // client DML keeps publishing new tombstone overlays on the primary
+  // — the round ships a consistent point-in-time state and the next
+  // round catches anything newer.
   const SegmentSnapshot primary_snapshot = primary.Snapshot();
   std::vector<uint64_t> primary_ids;
   primary_ids.reserve(primary_snapshot->size());
-  for (const auto& seg : *primary_snapshot) primary_ids.push_back(seg->id());
+  for (const SegmentView& view : *primary_snapshot) {
+    primary_ids.push_back(view->id());
+  }
 
   // Step 3-4: replica computes the segment diff.
   const SegmentSnapshot replica_snapshot = replica->Snapshot();
   std::vector<uint64_t> replica_ids;
-  for (const auto& seg : *replica_snapshot) replica_ids.push_back(seg->id());
+  for (const SegmentView& view : *replica_snapshot) {
+    replica_ids.push_back(view->id());
+  }
 
   // Step 5: copy missing segments as encoded files; decoding performs
   // no index computation. Existing segments are re-copied only when
-  // their tombstone count changed (delete propagation) — we detect
-  // that cheaply by comparing live-doc counts.
-  for (const auto& seg : *primary_snapshot) {
+  // their tombstone overlay grew (delete propagation) — detected
+  // cheaply by comparing overlay counts.
+  for (const SegmentView& view : *primary_snapshot) {
     bool need_copy =
-        std::find(replica_ids.begin(), replica_ids.end(), seg->id()) ==
+        std::find(replica_ids.begin(), replica_ids.end(), view->id()) ==
         replica_ids.end();
     if (!need_copy) {
-      for (const auto& rseg : *replica_snapshot) {
-        if (rseg->id() == seg->id() &&
-            rseg->num_deleted() != seg->num_deleted()) {
+      for (const SegmentView& rview : *replica_snapshot) {
+        if (rview->id() == view->id() &&
+            rview.num_deleted() != view.num_deleted()) {
           need_copy = true;
           break;
         }
       }
     }
     if (!need_copy) continue;
-    const std::string bytes = seg->Encode();
+    // The segment file folds the pinned overlay into its delete
+    // bitmap; the replica decodes it back out as its own overlay.
+    const std::string bytes = view->Encode(view.tombstones.get());
+    std::shared_ptr<const Tombstones> tombstones;
     ESDB_ASSIGN_OR_RETURN(std::unique_ptr<Segment> copy,
-                          Segment::Decode(bytes));
-    replica->InstallSegment(std::move(copy));
+                          Segment::Decode(bytes, &tombstones));
+    replica->InstallSegment(std::move(copy), std::move(tombstones));
     ++stats.segments_copied;
     stats.bytes_copied += bytes.size();
   }
@@ -114,8 +125,8 @@ Status ReplicatedShard::Refresh() {
       const uint64_t newest = primary_segments->back()->id();
       bool replica_has = false;
       const SegmentSnapshot replica_segments = replica_->Snapshot();
-      for (const auto& seg : *replica_segments) {
-        if (seg->id() == newest) {
+      for (const SegmentView& view : *replica_segments) {
+        if (view->id() == newest) {
           replica_has = true;
           break;
         }

@@ -1,13 +1,49 @@
 #include "storage/merge_policy.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 
 namespace esdb {
 
 std::vector<size_t> MergePolicy::PickMerge(
-    const std::vector<size_t>& segment_sizes) const {
-  if (segment_sizes.size() <= options_.max_segments) return {};
+    const std::vector<size_t>& segment_sizes,
+    const std::vector<double>& deleted_fractions) const {
+  // GC candidates: segments at or above the deleted-fraction
+  // threshold merge regardless of the segment-count cap (a merge is
+  // the only thing that reclaims tombstoned docs).
+  std::vector<size_t> gc;
+  if (deleted_fractions.size() == segment_sizes.size()) {
+    for (size_t i = 0; i < deleted_fractions.size(); ++i) {
+      if (deleted_fractions[i] >= options_.gc_deleted_fraction) {
+        gc.push_back(i);
+      }
+    }
+  }
+
+  if (segment_sizes.size() <= options_.max_segments) {
+    if (gc.empty()) return {};
+    // Under the cap: merge only because GC is due. Pair a lone GC
+    // candidate with the smallest other segment so the round also
+    // compacts; a single-input "merge" is still legal (it rewrites
+    // the segment without its dead docs).
+    std::vector<size_t> picked = gc;
+    if (picked.size() < 2 && segment_sizes.size() > 1) {
+      size_t best = SIZE_MAX;
+      for (size_t i = 0; i < segment_sizes.size(); ++i) {
+        if (i == picked[0]) continue;
+        if (best == SIZE_MAX || segment_sizes[i] < segment_sizes[best]) {
+          best = i;
+        }
+      }
+      if (best != SIZE_MAX) picked.push_back(best);
+    }
+    if (picked.size() > options_.max_merge_inputs) {
+      picked.resize(options_.max_merge_inputs);
+    }
+    std::sort(picked.begin(), picked.end());
+    return picked;
+  }
 
   // Order positions by size ascending; merge enough of the smallest
   // ones to get back under the cap (merging k segments removes k-1).
@@ -23,6 +59,13 @@ std::vector<size_t> MergePolicy::PickMerge(
   if (inputs < 2) return {};
 
   std::vector<size_t> picked(order.begin(), order.begin() + long(inputs));
+  // Fold due-GC segments into the same round when there is room.
+  for (size_t g : gc) {
+    if (picked.size() >= options_.max_merge_inputs) break;
+    if (std::find(picked.begin(), picked.end(), g) == picked.end()) {
+      picked.push_back(g);
+    }
+  }
   std::sort(picked.begin(), picked.end());
   return picked;
 }

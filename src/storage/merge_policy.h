@@ -17,6 +17,11 @@ class MergePolicy {
     size_t max_segments = 8;
     // At most this many segments merge at once.
     size_t max_merge_inputs = 8;
+    // A segment whose deleted fraction reaches this threshold is
+    // merge-eligible even when the shard is under max_segments —
+    // merging is what GCs tombstone overlays back into compact
+    // segments, so heavily-deleted segments must not linger.
+    double gc_deleted_fraction = 0.5;
   };
 
   explicit MergePolicy(Options options) : options_(options) {}
@@ -26,8 +31,12 @@ class MergePolicy {
 
   // Returns indices into `segment_sizes` (sorted ascending) of the
   // smallest segments, chosen so that after merging the shard is back
-  // under max_segments.
-  std::vector<size_t> PickMerge(const std::vector<size_t>& segment_sizes) const;
+  // under max_segments. When `deleted_fractions` is supplied (parallel
+  // to `segment_sizes`), segments at or above gc_deleted_fraction are
+  // additionally picked so the merge GCs their tombstones.
+  std::vector<size_t> PickMerge(
+      const std::vector<size_t>& segment_sizes,
+      const std::vector<double>& deleted_fractions = {}) const;
 
  private:
   Options options_;

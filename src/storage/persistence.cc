@@ -43,14 +43,15 @@ Status SaveShard(const ShardStore& store, const std::string& dir) {
                             ec.message());
   }
 
-  // Segment files.
+  // Segment files, each with its tombstone overlay folded into the
+  // file's delete bitmap so deletes survive the checkpoint.
   std::vector<uint64_t> segment_ids;
   const SegmentSnapshot snapshot = store.Snapshot();
-  for (const auto& segment : *snapshot) {
-    segment_ids.push_back(segment->id());
+  for (const SegmentView& view : *snapshot) {
+    segment_ids.push_back(view->id());
     const fs::path path =
-        fs::path(dir) / ("seg-" + std::to_string(segment->id()) + ".seg");
-    ESDB_RETURN_IF_ERROR(WriteFile(path, segment->Encode()));
+        fs::path(dir) / ("seg-" + std::to_string(view->id()) + ".seg");
+    ESDB_RETURN_IF_ERROR(WriteFile(path, view->Encode(view.tombstones.get())));
   }
 
   // Translog: starting sequence then length-prefixed encoded entries.
@@ -103,9 +104,10 @@ Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
     ESDB_ASSIGN_OR_RETURN(
         std::string bytes,
         ReadFile(fs::path(dir) / ("seg-" + std::to_string(id) + ".seg")));
-    auto segment = Segment::Decode(bytes);
+    std::shared_ptr<const Tombstones> tombstones;
+    auto segment = Segment::Decode(bytes, &tombstones);
     if (!segment.ok()) return segment.status();
-    store->InstallSegment(std::move(*segment));
+    store->InstallSegment(std::move(*segment), std::move(tombstones));
   }
   store->set_next_segment_id(next_segment_id);
 

@@ -43,22 +43,6 @@ Result<Document> Segment::GetDocument(DocId id) const {
   return Document::Deserialize(stored_[id]);
 }
 
-PostingList Segment::LiveDocs() const {
-  PostingList out;
-  for (DocId id = 0; id < num_docs_; ++id) {
-    if (!deleted_[id]) out.Append(id);
-  }
-  return out;
-}
-
-bool Segment::MarkDeleted(DocId id) {
-  assert(id < num_docs_);
-  if (deleted_[id]) return false;
-  deleted_[id] = true;
-  ++num_deleted_;
-  return true;
-}
-
 int64_t Segment::FindByRecordId(int64_t record_id) const {
   auto it = record_ids_.find(record_id);
   return it == record_ids_.end() ? -1 : int64_t(it->second);
@@ -74,8 +58,55 @@ void Segment::RecomputeSize() {
     bytes += name.size() + index.ApproximateBytes();
   }
   bytes += doc_values_->ApproximateBytes();
-  bytes += deleted_.size() / 8;
   size_bytes_ = bytes;
+}
+
+// --- Tombstones -----------------------------------------------------------
+
+std::shared_ptr<const Tombstones> Tombstones::WithDeleted(
+    const Tombstones* base, uint32_t num_docs, DocId id) {
+  assert(id < num_docs);
+  auto next = std::shared_ptr<Tombstones>(new Tombstones());
+  if (base != nullptr) {
+    next->bits_ = base->bits_;
+    next->count_ = base->count_;
+  }
+  if (next->bits_.size() < num_docs) next->bits_.resize(num_docs, false);
+  if (!next->bits_[id]) {
+    next->bits_[id] = true;
+    ++next->count_;
+  }
+  return next;
+}
+
+std::shared_ptr<const Tombstones> Tombstones::FromBits(
+    std::vector<bool> bits) {
+  size_t count = 0;
+  for (const bool bit : bits) count += bit ? 1 : 0;
+  if (count == 0) return nullptr;
+  auto out = std::shared_ptr<Tombstones>(new Tombstones());
+  out->bits_ = std::move(bits);
+  out->count_ = count;
+  return out;
+}
+
+// --- SegmentView ----------------------------------------------------------
+
+PostingList SegmentView::LiveDocs() const {
+  PostingList out;
+  const uint32_t n = uint32_t(segment->num_docs());
+  for (DocId id = 0; id < n; ++id) {
+    if (!IsDeleted(id)) out.Append(id);
+  }
+  return out;
+}
+
+size_t SegmentView::LiveSizeBytes() const {
+  const size_t total = segment->num_docs();
+  if (total == 0) return 0;
+  const size_t bytes = SizeBytes();
+  return bytes / total * num_live_docs() +
+         bytes % total * num_live_docs() / total;
 }
 
 // --- Segment file format ------------------------------------------------
@@ -88,9 +119,10 @@ void Segment::RecomputeSize() {
 //   varint  #composite-indexes, per index: SortedKeyIndex encoding
 //   varint  #doc-value-columns, per column: name, num_docs x Value
 //   varint  #record-id-entries, per entry: varint zigzag(record), varint doc
-//   deleted bitmap: num_docs bits, padded to bytes
+//   deleted bitmap: num_docs bits, padded to bytes (the caller-
+//   supplied tombstone overlay; zeros when none)
 
-std::string Segment::Encode() const {
+std::string Segment::Encode(const Tombstones* tombstones) const {
   std::string out;
   PutVarint64(&out, id_);
   PutVarint64(&out, num_docs_);
@@ -127,14 +159,17 @@ std::string Segment::Encode() const {
   for (uint32_t i = 0; i < num_docs_; i += 8) {
     uint8_t byte = 0;
     for (uint32_t b = 0; b < 8 && i + b < num_docs_; ++b) {
-      if (deleted_[i + b]) byte |= uint8_t(1u << b);
+      if (tombstones != nullptr && tombstones->Test(i + b)) {
+        byte |= uint8_t(1u << b);
+      }
     }
     out.push_back(char(byte));
   }
   return out;
 }
 
-Result<std::unique_ptr<Segment>> Segment::Decode(std::string_view data) {
+Result<std::unique_ptr<Segment>> Segment::Decode(
+    std::string_view data, std::shared_ptr<const Tombstones>* tombstones) {
   auto seg = std::unique_ptr<Segment>(new Segment());
   size_t pos = 0;
   uint64_t id = 0, num_docs = 0;
@@ -225,21 +260,21 @@ Result<std::unique_ptr<Segment>> Segment::Decode(std::string_view data) {
     seg->record_ids_[int64_t((zz >> 1) ^ (~(zz & 1) + 1))] = DocId(doc);
   }
 
-  seg->deleted_.assign(num_docs, false);
+  std::vector<bool> deleted(num_docs, false);
   for (uint64_t i = 0; i < num_docs; i += 8) {
     if (pos >= data.size()) {
       return Status::Corruption("segment: truncated delete bitmap");
     }
     const uint8_t byte = uint8_t(data[pos++]);
     for (uint64_t b = 0; b < 8 && i + b < num_docs; ++b) {
-      if (byte & (1u << b)) {
-        seg->deleted_[i + b] = true;
-        ++seg->num_deleted_;
-      }
+      if (byte & (1u << b)) deleted[i + b] = true;
     }
   }
   if (pos != data.size()) {
     return Status::Corruption("segment: trailing bytes");
+  }
+  if (tombstones != nullptr) {
+    *tombstones = Tombstones::FromBits(std::move(deleted));
   }
   seg->RecomputeSize();
   return seg;
@@ -257,7 +292,6 @@ std::unique_ptr<Segment> SegmentBuilder::Build(uint64_t segment_id) && {
   seg->id_ = segment_id;
   seg->num_docs_ = uint32_t(docs_.size());
   seg->doc_values_ = std::make_unique<DocValues>(docs_.size());
-  seg->deleted_.assign(docs_.size(), false);
   seg->stored_.reserve(docs_.size());
 
   for (DocId id = 0; id < docs_.size(); ++id) {

@@ -18,10 +18,16 @@
 
 namespace esdb {
 
+class Tombstones;
+
 // Immutable index unit, the analog of a Lucene segment file: stored
 // documents, per-field inverted indexes, composite sorted-key indexes
-// and doc values, built once at refresh/merge time. The only mutable
-// state after construction is the tombstone bitmap (deletes).
+// and doc values, built once at refresh/merge time. A Segment is
+// FULLY immutable after construction — deletes live outside it, in a
+// per-epoch Tombstones overlay carried alongside the segment by the
+// shard store's published snapshot (SegmentView below). That is what
+// lets DML run concurrently with queries: a DELETE never writes into
+// state a reader might be scanning.
 class Segment {
  public:
   // Segments are built by SegmentBuilder or decoded by Decode.
@@ -30,7 +36,6 @@ class Segment {
 
   uint64_t id() const { return id_; }
   size_t num_docs() const { return size_t(num_docs_); }
-  size_t num_live_docs() const { return num_docs() - num_deleted_; }
 
   // --- Read paths used by the query executor -------------------------
 
@@ -59,30 +64,27 @@ class Segment {
   // Stored document by local id.
   Result<Document> GetDocument(DocId id) const;
 
-  // All live doc ids as a posting list.
-  PostingList LiveDocs() const;
-
-  // --- Tombstones -----------------------------------------------------
-
-  bool IsDeleted(DocId id) const { return deleted_[id]; }
-  // Marks a doc deleted; returns false if already deleted.
-  bool MarkDeleted(DocId id);
-  size_t num_deleted() const { return num_deleted_; }
-
   // Local id of the (unique) doc with this record id, or -1.
   int64_t FindByRecordId(int64_t record_id) const;
 
   // --- Sizing & replication -------------------------------------------
 
-  // Approximate byte footprint; counted as segment-file size by the
-  // shard store and the replication layer.
+  // Approximate byte footprint of the index data; counted as
+  // segment-file size by the shard store and the replication layer.
+  // Deletedness is not segment state — see SegmentView::SizeBytes().
   size_t SizeBytes() const { return size_bytes_; }
 
-  // Full segment-file round trip. Decoding a segment does NOT redo any
-  // index computation — this is what makes physical replication cheap
-  // (Section 5.2).
-  std::string Encode() const;
-  static Result<std::unique_ptr<Segment>> Decode(std::string_view data);
+  // Full segment-file round trip. The file format carries a delete
+  // bitmap so physical replication propagates tombstones; pass the
+  // epoch's overlay to fold it in (null = no deletes). Decoding a
+  // segment does NOT redo any index computation — this is what makes
+  // physical replication cheap (Section 5.2). Decode surfaces the
+  // file's tombstones through `tombstones` (set to null when the
+  // bitmap is empty); callers that pass nullptr drop them.
+  std::string Encode(const Tombstones* tombstones = nullptr) const;
+  static Result<std::unique_ptr<Segment>> Decode(
+      std::string_view data,
+      std::shared_ptr<const Tombstones>* tombstones = nullptr);
 
  private:
   friend class SegmentBuilder;
@@ -97,18 +99,81 @@ class Segment {
   std::map<std::string, SortedKeyIndex> composites_;  // name -> index
   std::unique_ptr<DocValues> doc_values_;
   std::unordered_map<int64_t, DocId> record_ids_;
-  std::vector<bool> deleted_;
-  size_t num_deleted_ = 0;
   size_t size_bytes_ = 0;
 };
 
+// Immutable tombstone overlay for one segment: which local doc ids
+// are deleted as of the epoch that published it. Copy-on-write: a
+// DELETE builds a copy with one more bit set (WithDeleted) and
+// publishes it in the next snapshot epoch; the instance itself is
+// never mutated after construction, so readers holding a snapshot can
+// consult it with no synchronization.
+class Tombstones {
+ public:
+  // COW step: a copy of `base` (null = empty) sized for a segment of
+  // `num_docs` docs, with `id` additionally marked deleted.
+  static std::shared_ptr<const Tombstones> WithDeleted(
+      const Tombstones* base, uint32_t num_docs, DocId id);
+
+  // Wraps a decoded bitmap; returns null when no bit is set (the
+  // "no deletes" overlay is represented by the null pointer).
+  static std::shared_ptr<const Tombstones> FromBits(std::vector<bool> bits);
+
+  bool Test(DocId id) const { return id < bits_.size() && bits_[id]; }
+  size_t count() const { return count_; }
+  size_t SizeBytes() const { return bits_.size() / 8; }
+  const std::vector<bool>& bits() const { return bits_; }
+
+ private:
+  Tombstones() = default;
+
+  std::vector<bool> bits_;
+  size_t count_ = 0;
+};
+
+// One segment as seen through a pinned snapshot: the immutable
+// segment plus the tombstone overlay of that epoch (null = nothing
+// deleted). Deletedness is resolved against the overlay the reader
+// pinned, so a query observes a frozen set of deletes for its whole
+// run even while DML publishes newer epochs.
+struct SegmentView {
+  std::shared_ptr<const Segment> segment;
+  std::shared_ptr<const Tombstones> tombstones;
+
+  const Segment* operator->() const { return segment.get(); }
+  const Segment& operator*() const { return *segment; }
+
+  bool IsDeleted(DocId id) const {
+    return tombstones != nullptr && tombstones->Test(id);
+  }
+  size_t num_deleted() const {
+    return tombstones != nullptr ? tombstones->count() : 0;
+  }
+  size_t num_live_docs() const { return segment->num_docs() - num_deleted(); }
+
+  // All live doc ids of this epoch as a posting list.
+  PostingList LiveDocs() const;
+
+  // Raw footprint: index data plus the overlay bitmap.
+  size_t SizeBytes() const {
+    return segment->SizeBytes() +
+           (tombstones != nullptr ? tombstones->SizeBytes() : 0);
+  }
+  // Footprint scaled to the live fraction — the shard-size signal the
+  // balancer and replication layer consume. A segment that is half
+  // tombstones weighs half: stale bytes must not skew LoadBalancer
+  // decisions or replication cost accounting.
+  size_t LiveSizeBytes() const;
+};
+
 // One epoch of a shard's searchable state: the ordered segment list
-// published by the shard store. The vector itself is immutable once
-// published (refresh/merge build a NEW vector and swap the pointer),
-// so readers holding a SegmentSnapshot see a frozen segment list for
+// (with per-segment tombstone overlays) published by the shard store.
+// The vector itself is immutable once published (refresh/merge/DML
+// build a NEW vector and swap the pointer), so readers holding a
+// SegmentSnapshot see a frozen view — segment list AND deletes — for
 // as long as they keep the pointer alive.
-using SegmentVec = std::vector<std::shared_ptr<Segment>>;
-using SegmentSnapshot = std::shared_ptr<const SegmentVec>;
+using ShardView = std::vector<SegmentView>;
+using SegmentSnapshot = std::shared_ptr<const ShardView>;
 
 // Accumulates documents and produces an immutable Segment. Also used
 // by merges (re-adding live docs of the input segments).

@@ -7,12 +7,12 @@ namespace esdb {
 ShardStore::ShardStore(const IndexSpec* spec, Options options)
     : spec_(spec),
       options_(options),
-      segments_(std::make_shared<const SegmentVec>()) {}
+      segments_(std::make_shared<const ShardView>()) {}
 
-void ShardStore::PublishSegments(SegmentVec next) {
+void ShardStore::PublishSegments(ShardView next) {
   // Allocate the new epoch before taking the publication lock so the
   // critical section is a bare pointer swap.
-  auto epoch = std::make_shared<const SegmentVec>(std::move(next));
+  auto epoch = std::make_shared<const ShardView>(std::move(next));
   MutexLock lock(&epoch_mu_);
   segments_ = std::move(epoch);
 }
@@ -21,6 +21,7 @@ Result<uint64_t> ShardStore::Apply(const WriteOp& op) {
   MutexLock lock(&write_mu_);
   // Durability first: acknowledged writes are always in the translog.
   const uint64_t seq = translog_.Append(op);
+  translog_bytes_.store(translog_.SizeBytes(), std::memory_order_relaxed);
   const Status status = ApplyInternal(op);
   if (!status.ok()) return status;
   return seq;
@@ -39,11 +40,16 @@ Status ShardStore::ApplyInternal(const WriteOp& op) {
         return Status::InvalidArgument("write requires record_id");
       }
       DeleteExisting(op.record_id());
-      buffer_.push_back(BufferedDoc{op.doc, false});
-      buffer_by_record_[op.record_id()] = buffer_.size() - 1;
+      size_t pending = 0;
+      {
+        MutexLock buf(&buffer_mu_);
+        buffer_.push_back(BufferedDoc{op.doc, false});
+        buffer_by_record_[op.record_id()] = buffer_.size() - 1;
+        pending = buffer_.size();
+      }
       buffered_count_.fetch_add(1, std::memory_order_relaxed);
       if (options_.refresh_doc_count > 0 &&
-          buffer_.size() >= options_.refresh_doc_count) {
+          pending >= options_.refresh_doc_count) {
         RefreshLocked();
         MaybeMergeLocked();
       }
@@ -57,21 +63,33 @@ Status ShardStore::ApplyInternal(const WriteOp& op) {
 }
 
 void ShardStore::DeleteExisting(int64_t record_id) {
-  auto it = buffer_by_record_.find(record_id);
-  if (it != buffer_by_record_.end()) {
-    buffer_[it->second].deleted = true;
-    buffer_by_record_.erase(it);
-    buffered_count_.fetch_sub(1, std::memory_order_relaxed);
-    // A record lives in the buffer only when its prior segment copy
-    // (if any) was already tombstoned, so we can stop here.
-    return;
+  {
+    MutexLock buf(&buffer_mu_);
+    auto it = buffer_by_record_.find(record_id);
+    if (it != buffer_by_record_.end()) {
+      buffer_[it->second].deleted = true;
+      buffer_by_record_.erase(it);
+      buffered_count_.fetch_sub(1, std::memory_order_relaxed);
+      // A record lives in the buffer only when its prior segment copy
+      // (if any) was already tombstoned, so we can stop here.
+      return;
+    }
   }
-  // Newest segment first: at most one live copy exists.
+  // Newest segment first: at most one live copy exists. The delete is
+  // copy-on-write: copy that one segment's overlay with one more bit
+  // set, rebuild the (pointer-sized) view vector, and publish it as
+  // the next epoch. In-flight readers keep their pinned epoch and see
+  // the doc until they re-snapshot — exactly the frozen-deletes
+  // semantics queries rely on.
   const SegmentSnapshot snap = Snapshot();
-  for (auto seg = snap->rbegin(); seg != snap->rend(); ++seg) {
-    const int64_t local = (*seg)->FindByRecordId(record_id);
-    if (local >= 0 && !(*seg)->IsDeleted(DocId(local))) {
-      (*seg)->MarkDeleted(DocId(local));
+  for (size_t i = snap->size(); i-- > 0;) {
+    const SegmentView& view = (*snap)[i];
+    const int64_t local = view->FindByRecordId(record_id);
+    if (local >= 0 && !view.IsDeleted(DocId(local))) {
+      ShardView next = *snap;
+      next[i].tombstones = Tombstones::WithDeleted(
+          view.tombstones.get(), uint32_t(view->num_docs()), DocId(local));
+      PublishSegments(std::move(next));
       return;
     }
   }
@@ -83,22 +101,29 @@ bool ShardStore::Refresh() {
 }
 
 bool ShardStore::RefreshLocked() {
-  if (buffer_.empty()) return false;
+  std::vector<BufferedDoc> drained;
+  {
+    MutexLock buf(&buffer_mu_);
+    if (buffer_.empty()) return false;
+    drained.swap(buffer_);
+    buffer_by_record_.clear();
+  }
+  buffered_count_.store(0, std::memory_order_relaxed);
+  refreshed_seq_.store(translog_.end_seq(), std::memory_order_release);
   SegmentBuilder builder(spec_);
   size_t live = 0;
-  for (const BufferedDoc& bd : buffer_) {
+  for (const BufferedDoc& bd : drained) {
     if (!bd.deleted) {
       builder.Add(bd.doc);
       ++live;
     }
   }
-  buffer_.clear();
-  buffer_by_record_.clear();
-  buffered_count_.store(0, std::memory_order_relaxed);
-  refreshed_seq_.store(translog_.end_seq(), std::memory_order_release);
   if (live == 0) return false;
-  SegmentVec next = *Snapshot();
-  next.push_back(std::move(builder).Build(next_segment_id_++));
+  ShardView next = *Snapshot();
+  next.push_back(SegmentView{
+      std::shared_ptr<const Segment>(
+          std::move(builder).Build(next_segment_id_++)),
+      nullptr});
   PublishSegments(std::move(next));
   return true;
 }
@@ -106,6 +131,7 @@ bool ShardStore::RefreshLocked() {
 void ShardStore::Flush() {
   MutexLock lock(&write_mu_);
   translog_.TruncateBefore(refreshed_seq_.load(std::memory_order_relaxed));
+  translog_bytes_.store(translog_.SizeBytes(), std::memory_order_relaxed);
 }
 
 bool ShardStore::MaybeMerge() {
@@ -116,24 +142,37 @@ bool ShardStore::MaybeMerge() {
 bool ShardStore::MaybeMergeLocked() {
   const SegmentSnapshot snap = Snapshot();
   std::vector<size_t> sizes;
+  std::vector<double> deleted_fractions;
   sizes.reserve(snap->size());
-  for (const auto& seg : *snap) sizes.push_back(seg->SizeBytes());
-  const std::vector<size_t> picked = MergePolicy(options_.merge).PickMerge(sizes);
+  deleted_fractions.reserve(snap->size());
+  for (const SegmentView& view : *snap) {
+    sizes.push_back(view.SizeBytes());
+    deleted_fractions.push_back(
+        view->num_docs() == 0
+            ? 0.0
+            : double(view.num_deleted()) / double(view->num_docs()));
+  }
+  const std::vector<size_t> picked =
+      MergePolicy(options_.merge).PickMerge(sizes, deleted_fractions);
   if (picked.empty()) return false;
 
+  // Only live docs are re-added: the merge folds each input's
+  // tombstone overlay into the merged segment, which therefore
+  // carries no overlay of its own.
   SegmentBuilder builder(spec_);
   for (size_t pos : picked) {
-    const Segment& seg = *(*snap)[pos];
-    const PostingList live = seg.LiveDocs();
+    const SegmentView& view = (*snap)[pos];
+    const PostingList live = view.LiveDocs();
     for (DocId id : live.ids()) {
-      auto doc = seg.GetDocument(id);
+      auto doc = view->GetDocument(id);
       if (doc.ok()) builder.Add(*doc);
     }
   }
   merged_docs_total_ += builder.num_docs();
-  std::shared_ptr<Segment> merged = std::move(builder).Build(next_segment_id_++);
+  std::shared_ptr<const Segment> merged =
+      std::move(builder).Build(next_segment_id_++);
 
-  SegmentVec remaining;
+  ShardView remaining;
   remaining.reserve(snap->size() - picked.size() + 1);
   size_t next_picked = 0;
   for (size_t i = 0; i < snap->size(); ++i) {
@@ -143,17 +182,19 @@ bool ShardStore::MaybeMergeLocked() {
     }
     remaining.push_back((*snap)[i]);
   }
-  if (merged->num_docs() > 0) remaining.push_back(std::move(merged));
+  if (merged->num_docs() > 0) {
+    remaining.push_back(SegmentView{std::move(merged), nullptr});
+  }
   PublishSegments(std::move(remaining));
   return true;
 }
 
 Result<Document> ShardStore::GetByRecordId(int64_t record_id) const {
   const SegmentSnapshot snap = Snapshot();
-  for (auto seg = snap->rbegin(); seg != snap->rend(); ++seg) {
-    const int64_t local = (*seg)->FindByRecordId(record_id);
-    if (local >= 0 && !(*seg)->IsDeleted(DocId(local))) {
-      return (*seg)->GetDocument(DocId(local));
+  for (auto view = snap->rbegin(); view != snap->rend(); ++view) {
+    const int64_t local = (*view)->FindByRecordId(record_id);
+    if (local >= 0 && !view->IsDeleted(DocId(local))) {
+      return (*view)->GetDocument(DocId(local));
     }
   }
   return Status::NotFound("record not found (or not yet refreshed)");
@@ -162,23 +203,19 @@ Result<Document> ShardStore::GetByRecordId(int64_t record_id) const {
 size_t ShardStore::num_live_docs() const {
   const SegmentSnapshot snap = Snapshot();
   size_t n = 0;
-  for (const auto& seg : *snap) n += seg->num_live_docs();
+  for (const SegmentView& view : *snap) n += view.num_live_docs();
   return n;
 }
 
 size_t ShardStore::SizeBytes() const {
-  size_t bytes = 0;
-  {
-    MutexLock lock(&write_mu_);
-    bytes = translog_.SizeBytes();
-  }
+  size_t bytes = translog_bytes_.load(std::memory_order_relaxed);
   const SegmentSnapshot snap = Snapshot();
-  for (const auto& seg : *snap) bytes += seg->SizeBytes();
+  for (const SegmentView& view : *snap) bytes += view.LiveSizeBytes();
   return bytes;
 }
 
 std::map<int64_t, uint64_t> ShardStore::BufferedTenantCounts() const {
-  MutexLock lock(&write_mu_);
+  MutexLock buf(&buffer_mu_);
   std::map<int64_t, uint64_t> counts;
   for (const BufferedDoc& bd : buffer_) {
     if (bd.deleted) continue;
@@ -202,33 +239,37 @@ Result<std::unique_ptr<ShardStore>> ShardStore::Recover(const IndexSpec* spec,
   return store;
 }
 
-void ShardStore::InstallSegment(std::shared_ptr<Segment> segment) {
+void ShardStore::InstallSegment(
+    std::shared_ptr<const Segment> segment,
+    std::shared_ptr<const Tombstones> tombstones) {
   MutexLock lock(&write_mu_);
-  SegmentVec next = *Snapshot();
-  for (auto& existing : next) {
+  ShardView next = *Snapshot();
+  for (SegmentView& existing : next) {
     if (existing->id() == segment->id()) {
-      existing = std::move(segment);
+      existing = SegmentView{std::move(segment), std::move(tombstones)};
       PublishSegments(std::move(next));
       return;
     }
   }
-  next.push_back(std::move(segment));
+  next.push_back(SegmentView{std::move(segment), std::move(tombstones)});
   std::sort(next.begin(), next.end(),
-            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+            [](const SegmentView& a, const SegmentView& b) {
+              return a->id() < b->id();
+            });
   next_segment_id_ = std::max(next_segment_id_, next.back()->id() + 1);
   PublishSegments(std::move(next));
 }
 
 void ShardStore::RetainSegments(const std::vector<uint64_t>& live_ids) {
   MutexLock lock(&write_mu_);
-  SegmentVec next = *Snapshot();
-  next.erase(
-      std::remove_if(next.begin(), next.end(),
-                     [&](const std::shared_ptr<Segment>& seg) {
-                       return std::find(live_ids.begin(), live_ids.end(),
-                                        seg->id()) == live_ids.end();
-                     }),
-      next.end());
+  ShardView next = *Snapshot();
+  next.erase(std::remove_if(next.begin(), next.end(),
+                            [&](const SegmentView& view) {
+                              return std::find(live_ids.begin(),
+                                               live_ids.end(),
+                                               view->id()) == live_ids.end();
+                            }),
+             next.end());
   PublishSegments(std::move(next));
 }
 

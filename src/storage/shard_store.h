@@ -27,19 +27,22 @@ namespace esdb {
 //   Flush()   checkpoints (truncates) the translog;
 //   MaybeMerge() runs the tiered merge policy.
 //
-// Thread model: single writer per shard, many concurrent readers.
-// The searchable segment list is published as an immutable epoch
-// (SegmentSnapshot): Snapshot() copies one shared_ptr under a tiny
-// per-shard publication mutex (a reference-count bump — constant
-// time, never blocking on a refresh or merge in flight, which build
-// the next epoch entirely outside that lock). All mutators
-// (Apply/Refresh/Flush/MaybeMerge/InstallSegment/
-// RetainSegments) serialize on an internal per-shard writer mutex, so
-// different shards' writers proceed fully in parallel. The one
-// remaining caveat is tombstones: a DELETE marks a doc deleted inside
-// an already-published segment, so Apply of deletes must not run
-// concurrently with queries on the same shard (the cluster layer's
-// NRT write/read phases keep that contract).
+// Thread model: single writer per shard, many concurrent readers —
+// and DML is fully concurrent with queries on the same shard. The
+// searchable state is published as an immutable epoch
+// (SegmentSnapshot = shared_ptr<const ShardView>): Snapshot() copies
+// one shared_ptr under a tiny per-shard publication mutex (a
+// reference-count bump — constant time, never blocking on a refresh,
+// merge, or delete in flight, which all build the next epoch entirely
+// outside that lock). Deletes are copy-on-write tombstone overlays:
+// a DELETE copies the target segment's Tombstones, sets one more bit,
+// and publishes a new epoch — it never writes into state a reader
+// might be scanning, so a pinned snapshot observes a frozen set of
+// deletes for its whole run. All mutators
+// (Apply/Refresh/Flush/MaybeMerge/InstallSegment/RetainSegments)
+// serialize on an internal per-shard writer mutex, so different
+// shards' writers proceed fully in parallel while this shard's
+// readers proceed concurrently with its writer.
 class ShardStore {
  public:
   struct Options {
@@ -59,6 +62,7 @@ class ShardStore {
 
   // Applies a write op: INSERT/UPDATE upsert by record_id, DELETE
   // removes by record_id. Returns the translog sequence number.
+  // Safe to call while queries are in flight on this shard.
   Result<uint64_t> Apply(const WriteOp& op);
 
   // Re-applies an op during recovery or replica catch-up: identical to
@@ -75,15 +79,18 @@ class ShardStore {
   void Flush();
 
   // Runs one round of the merge policy; returns true if it merged.
+  // Merging folds each input segment's tombstone overlay into the
+  // merged segment (only live docs are re-added), so the overlay is
+  // the transient delete representation and merges are the GC.
   bool MaybeMerge();
 
   // --- Read path --------------------------------------------------------
 
-  // Current segment epoch (constant-time shared_ptr copy under the
+  // Current epoch (constant-time shared_ptr copy under the
   // publication mutex; the lock spans only the refcount bump, never
-  // segment building). The returned list is immutable and stable
-  // across later refreshes/merges; holding it keeps every segment in
-  // it alive.
+  // segment building). The returned view — segment list AND tombstone
+  // overlays — is immutable and stable across later refreshes,
+  // merges, and deletes; holding it keeps every segment in it alive.
   SegmentSnapshot Snapshot() const {
     MutexLock lock(&epoch_mu_);
     return segments_;
@@ -99,6 +106,11 @@ class ShardStore {
   size_t buffered_docs() const {
     return buffered_count_.load(std::memory_order_relaxed);
   }
+  // Shard-size signal for the balancer and replication layer:
+  // translog bytes (tracked atomically — no lock) plus the
+  // live-fraction-scaled footprint of each segment, so tombstoned
+  // docs stop counting toward a shard's weight as soon as the delete
+  // is published (not only after the merge GCs it).
   size_t SizeBytes() const;
   // Writer-context only: the translog is mutated under the writer
   // mutex, so only maintenance/persistence callers — externally
@@ -116,7 +128,8 @@ class ShardStore {
   // Live (non-deleted) buffered docs per tenant — the write-buffer
   // complement of per-tenant storage proportions, so rule
   // initialization can weight tenants that are hot *right now* but
-  // not yet refreshed.
+  // not yet refreshed. Takes only the buffer mutex: never stalls
+  // behind a refresh or merge holding the writer mutex.
   std::map<int64_t, uint64_t> BufferedTenantCounts() const;
 
   // Cumulative count of docs (re)indexed by merges — the CPU the
@@ -134,8 +147,12 @@ class ShardStore {
                                                      Options options);
 
   // Installs a decoded segment received from a primary (physical
-  // replication). Replaces any existing segment with the same id.
-  void InstallSegment(std::shared_ptr<Segment> segment);
+  // replication), with the tombstone overlay decoded alongside it
+  // (null = no deletes). Replaces any existing segment with the same
+  // id — overlay included, which is how delete propagation reaches
+  // replicas.
+  void InstallSegment(std::shared_ptr<const Segment> segment,
+                      std::shared_ptr<const Tombstones> tombstones = nullptr);
 
   // Drops segments absent from `live_ids` (mirror of the primary's
   // snapshot after a replication round).
@@ -158,11 +175,12 @@ class ShardStore {
 
   Status ApplyInternal(const WriteOp& op) REQUIRES(write_mu_);
   // Removes any live prior version of record_id (buffer + segments).
+  // Segment hits publish a copy-on-write tombstone epoch.
   void DeleteExisting(int64_t record_id) REQUIRES(write_mu_);
   bool RefreshLocked() REQUIRES(write_mu_);
   bool MaybeMergeLocked() REQUIRES(write_mu_);
-  // Publishes the next segment epoch (pointer swap under epoch_mu_).
-  void PublishSegments(SegmentVec next) REQUIRES(write_mu_);
+  // Publishes the next epoch (pointer swap under epoch_mu_).
+  void PublishSegments(ShardView next) REQUIRES(write_mu_);
 
   const IndexSpec* spec_;
   Options options_;
@@ -170,11 +188,18 @@ class ShardStore {
   // shard invariant); never held by readers.
   mutable Mutex write_mu_;
   Translog translog_ GUARDED_BY(write_mu_);
-  std::vector<BufferedDoc> buffer_ GUARDED_BY(write_mu_);
+  // The write buffer has its own leaf mutex (below write_mu_, never
+  // held together with epoch_mu_) so buffer-sampling readers
+  // (BufferedTenantCounts, rule initialization, balancer stats) don't
+  // block behind a writer spending a long critical section in a
+  // refresh or merge. Mutators hold write_mu_ AND buffer_mu_ when
+  // touching the buffer; pure readers take buffer_mu_ alone.
+  mutable Mutex buffer_mu_ ACQUIRED_AFTER(write_mu_);
+  std::vector<BufferedDoc> buffer_ GUARDED_BY(buffer_mu_);
   std::unordered_map<int64_t, size_t> buffer_by_record_
-      GUARDED_BY(write_mu_);
-  // Published segment epoch. Writers (holding write_mu_) build the
-  // next immutable vector outside epoch_mu_, then swap the pointer
+      GUARDED_BY(buffer_mu_);
+  // Published epoch. Writers (holding write_mu_) build the next
+  // immutable ShardView outside epoch_mu_, then swap the pointer
   // under it; readers copy the pointer under it. epoch_mu_ guards
   // only that pointer — its critical sections are a few instructions,
   // so it never serializes real work, and it is a leaf in the lock
@@ -186,6 +211,9 @@ class ShardStore {
   mutable Mutex epoch_mu_ ACQUIRED_AFTER(write_mu_);
   SegmentSnapshot segments_ GUARDED_BY(epoch_mu_);
   std::atomic<size_t> buffered_count_{0};  // live docs in buffer_
+  // Mirror of translog_.SizeBytes(), maintained by the writer so
+  // SizeBytes() readers never touch write_mu_.
+  std::atomic<size_t> translog_bytes_{0};
   uint64_t next_segment_id_ GUARDED_BY(write_mu_) = 1;
   // Translog seqs below this are in segments.
   std::atomic<uint64_t> refreshed_seq_{0};

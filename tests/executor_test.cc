@@ -89,8 +89,8 @@ bool EvalExprOnDoc(const Expr& e, const Document& doc) {
 std::vector<int64_t> BruteForce(const ShardStore& store, const Expr* where) {
   std::vector<int64_t> out;
   const SegmentSnapshot snapshot = store.Snapshot();
-  for (const auto& seg : *snapshot) {
-    const PostingList live = seg->LiveDocs();
+  for (const SegmentView& seg : *snapshot) {
+    const PostingList live = seg.LiveDocs();
     for (DocId id : live.ids()) {
       auto doc = seg->GetDocument(id);
       EXPECT_TRUE(doc.ok());
@@ -294,8 +294,8 @@ TEST_F(ExecutorTest, Aggregates) {
   ASSERT_TRUE(sum_result.ok());
   double expected = 0;
   const SegmentSnapshot snapshot = store_->Snapshot();
-  for (const auto& seg : *snapshot) {
-    const PostingList live = seg->LiveDocs();
+  for (const SegmentView& seg : *snapshot) {
+    const PostingList live = seg.LiveDocs();
     for (DocId id : live.ids()) {
       expected += seg->GetDocument(id)->Get("amount").NumericValue();
     }

@@ -46,7 +46,6 @@ class SegmentTest : public ::testing::Test {
 TEST_F(SegmentTest, BasicProperties) {
   EXPECT_EQ(segment_->id(), 7u);
   EXPECT_EQ(segment_->num_docs(), 3u);
-  EXPECT_EQ(segment_->num_live_docs(), 3u);
   EXPECT_GT(segment_->SizeBytes(), 0u);
 }
 
@@ -117,26 +116,49 @@ TEST_F(SegmentTest, DocValuesAndStoredFields) {
   EXPECT_FALSE(segment_->GetDocument(99).ok());
 }
 
-TEST_F(SegmentTest, TombstonesAndLiveDocs) {
+TEST_F(SegmentTest, TombstoneOverlayAndLiveDocs) {
   EXPECT_EQ(segment_->FindByRecordId(101), 1);
   EXPECT_EQ(segment_->FindByRecordId(999), -1);
-  EXPECT_TRUE(segment_->MarkDeleted(1));
-  EXPECT_FALSE(segment_->MarkDeleted(1));  // already deleted
-  EXPECT_EQ(segment_->num_live_docs(), 2u);
-  EXPECT_EQ(segment_->LiveDocs(), PostingList(std::vector<DocId>{0, 2}));
+
+  // The segment itself is immutable; deletes live in a copy-on-write
+  // overlay carried by the view.
+  SegmentView view{std::shared_ptr<const Segment>(std::move(segment_)),
+                   nullptr};
+  EXPECT_EQ(view.num_deleted(), 0u);
+  const auto base = view.tombstones;
+  view.tombstones =
+      Tombstones::WithDeleted(base.get(), uint32_t(view->num_docs()), 1);
+  ASSERT_NE(view.tombstones, nullptr);
+  EXPECT_TRUE(view.IsDeleted(1));
+  EXPECT_EQ(view.num_deleted(), 1u);
+  EXPECT_EQ(view.num_live_docs(), 2u);
+  EXPECT_EQ(view.LiveDocs(), PostingList(std::vector<DocId>{0, 2}));
+
+  // Marking the same doc again is idempotent (count stays 1).
+  const auto again = Tombstones::WithDeleted(
+      view.tombstones.get(), uint32_t(view->num_docs()), 1);
+  EXPECT_EQ(again->count(), 1u);
+
+  // FromBits maps the all-clear bitmap to the null overlay.
+  EXPECT_EQ(Tombstones::FromBits(std::vector<bool>(3, false)), nullptr);
 }
 
 TEST_F(SegmentTest, EncodeDecodeRoundTrip) {
-  segment_->MarkDeleted(0);
-  const std::string bytes = segment_->Encode();
-  auto decoded = Segment::Decode(bytes);
+  const auto overlay =
+      Tombstones::WithDeleted(nullptr, uint32_t(segment_->num_docs()), 0);
+  const std::string bytes = segment_->Encode(overlay.get());
+  std::shared_ptr<const Tombstones> decoded_overlay;
+  auto decoded = Segment::Decode(bytes, &decoded_overlay);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   const Segment& seg = **decoded;
 
   EXPECT_EQ(seg.id(), segment_->id());
   EXPECT_EQ(seg.num_docs(), segment_->num_docs());
-  EXPECT_EQ(seg.num_deleted(), 1u);
-  EXPECT_TRUE(seg.IsDeleted(0));
+  // The file's delete bitmap comes back as a decoded overlay.
+  ASSERT_NE(decoded_overlay, nullptr);
+  EXPECT_EQ(decoded_overlay->count(), 1u);
+  EXPECT_TRUE(decoded_overlay->Test(0));
+  EXPECT_FALSE(decoded_overlay->Test(1));
   // Indexes survive byte-for-byte.
   EXPECT_EQ(seg.Postings("title", "novel"),
             segment_->Postings("title", "novel"));
@@ -145,6 +167,12 @@ TEST_F(SegmentTest, EncodeDecodeRoundTrip) {
   auto doc = seg.GetDocument(2);
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->Get("title").as_string(), "novel lamp");
+
+  // Without deletes the decoded overlay is null.
+  std::shared_ptr<const Tombstones> none;
+  auto clean = Segment::Decode(seg.Encode(), &none);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(none, nullptr);
 }
 
 TEST_F(SegmentTest, DecodeRejectsTruncation) {

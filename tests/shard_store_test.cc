@@ -195,8 +195,8 @@ TEST(ShardStoreTest, MergeDropsTombstonedDocs) {
   store.MaybeMerge();
   EXPECT_EQ(store.num_live_docs(), 13u);
   const SegmentSnapshot snapshot = store.Snapshot();
-  for (const auto& seg : *snapshot) {
-    EXPECT_EQ(seg->num_deleted(), 0u);  // merge purges tombstones
+  for (const SegmentView& seg : *snapshot) {
+    EXPECT_EQ(seg.num_deleted(), 0u);  // merge purges tombstones
   }
 }
 

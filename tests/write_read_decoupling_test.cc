@@ -1,0 +1,408 @@
+// Write/read decoupling tests: DML — including DELETE and
+// routing-key UPDATE — hammers a shard while reader threads query it
+// concurrently. No phasing anywhere: deletes are copy-on-write
+// tombstone overlays published as immutable epochs, so every query
+// observes a snapshot-consistent row count bracketed by the refresh
+// and delete boundaries it straddled. Runs under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/esdb.h"
+#include "storage/shard_store.h"
+
+namespace esdb {
+namespace {
+
+Document MakeDoc(int64_t id, int64_t tenant) {
+  Document doc;
+  doc.Set(kFieldTenantId, Value(tenant));
+  doc.Set(kFieldRecordId, Value(id));
+  doc.Set(kFieldCreatedTime, Value(id));
+  doc.Set("status", Value(id % 5));
+  return doc;
+}
+
+WriteOp Insert(int64_t id, int64_t tenant) {
+  return WriteOp{OpType::kInsert, MakeDoc(id, tenant)};
+}
+
+WriteOp DeleteOp(int64_t id, int64_t tenant) {
+  WriteOp op;
+  op.type = OpType::kDelete;
+  op.doc.Set(kFieldTenantId, Value(tenant));
+  op.doc.Set(kFieldRecordId, Value(id));
+  op.doc.Set(kFieldCreatedTime, Value(id));
+  return op;
+}
+
+// DML vs. queries on one cluster, one hot tenant (single shard under
+// hash routing): a writer inserts, refreshes, DELETEs refreshed rows
+// and moves rows to another tenant via routing-key UPDATE, while
+// reader threads run broadcast counts and hot-tenant queries the
+// whole time.
+//
+// Snapshot-consistency invariant. All counters are monotone:
+//   pub(t)  = inserts made searchable by a completed refresh,
+//   del(t)  = deletes visible (published overlay epochs),
+// and a query pinning its snapshots at time t sees pub(t) - del(t)
+// rows. Bracketing with counters read around the query:
+//   floor   = published_done(before) - deletes_started(after)
+//   ceiling = refresh_started(after) - deletes_done(before)
+// ("started" counters bump before the operation, "done" after, so an
+// operation concurrent with the query is counted permissively on the
+// side it can affect).
+TEST(WriteReadDecouplingTest, DmlVsConcurrentQueries) {
+  Esdb::Options options;
+  options.num_shards = 4;
+  options.routing = RoutingKind::kHash;
+  options.store.refresh_doc_count = 0;   // manual refresh only
+  options.store.merge.max_segments = 3;  // force merges during the run
+  options.query_threads = 2;
+  Esdb db(options);
+
+  constexpr int kRounds = 10;
+  constexpr int kBatch = 150;
+  constexpr int kDeletesPerRound = 25;
+  constexpr int kReaders = 4;
+  constexpr int64_t kHotTenant = 7;
+  constexpr int64_t kColdTenant = 999;
+
+  std::atomic<uint64_t> inserted_total{0};
+  std::atomic<uint64_t> refresh_started{0};
+  std::atomic<uint64_t> published_done{0};
+  std::atomic<uint64_t> deletes_started{0};
+  std::atomic<uint64_t> deletes_done{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    int64_t next_id = 0;
+    std::vector<int64_t> live;  // refreshed hot-tenant rows not yet touched
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < kBatch; ++i) {
+        if (!db.Insert(MakeDoc(next_id, kHotTenant)).ok()) {
+          failures.fetch_add(1);
+        }
+        live.push_back(next_id);
+        ++next_id;
+        inserted_total.fetch_add(1, std::memory_order_release);
+      }
+      refresh_started.store(inserted_total.load(), std::memory_order_release);
+      db.RefreshAll();  // concurrent with the readers below
+      published_done.store(refresh_started.load(), std::memory_order_release);
+
+      // DELETE refreshed rows. An acked delete of a refreshed row is
+      // visible immediately (tombstone epoch publish, no refresh
+      // needed); record ids are never reused, so the targeted probe
+      // must see zero rows.
+      for (int d = 0; d < kDeletesPerRound && !live.empty(); ++d) {
+        const int64_t victim = live.front();
+        live.erase(live.begin());
+        deletes_started.fetch_add(1, std::memory_order_release);
+        if (!db.Delete(kHotTenant, victim, victim).ok()) {
+          failures.fetch_add(1);
+        }
+        deletes_done.fetch_add(1, std::memory_order_release);
+        auto probe = db.ExecuteSql("SELECT COUNT(*) FROM t WHERE record_id = " +
+                                   std::to_string(victim));
+        if (!probe.ok() || probe->agg_count != 0) violations.fetch_add(1);
+      }
+
+      // Routing-key UPDATE: move one refreshed row to another tenant.
+      // The old version dies now (delete via its original routing
+      // key); the re-routed copy is buffered until the next refresh —
+      // bookkeeping-wise one delete plus one insert.
+      if (!live.empty()) {
+        const int64_t moved = live.back();
+        live.pop_back();
+        deletes_started.fetch_add(1, std::memory_order_release);
+        auto updated = db.ExecuteDmlSql(
+            "UPDATE t SET tenant_id = " + std::to_string(kColdTenant) +
+            " WHERE record_id = " + std::to_string(moved));
+        if (!updated.ok() || *updated != 1) failures.fetch_add(1);
+        deletes_done.fetch_add(1, std::memory_order_release);
+        inserted_total.fetch_add(1, std::memory_order_release);
+      }
+    }
+    refresh_started.store(inserted_total.load(), std::memory_order_release);
+    db.RefreshAll();  // surface the last round's moved copies
+    published_done.store(refresh_started.load(), std::memory_order_release);
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const int64_t pub_before =
+            int64_t(published_done.load(std::memory_order_acquire));
+        const int64_t del_done_before =
+            int64_t(deletes_done.load(std::memory_order_acquire));
+        auto count = db.ExecuteSql("SELECT COUNT(*) FROM t");
+        const int64_t started_after =
+            int64_t(refresh_started.load(std::memory_order_acquire));
+        const int64_t del_started_after =
+            int64_t(deletes_started.load(std::memory_order_acquire));
+        if (!count.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const int64_t seen = int64_t(count->agg_count);
+        if (seen < pub_before - del_started_after ||
+            seen > started_after - del_done_before) {
+          violations.fetch_add(1);
+        }
+        // Hot-tenant query: resolves to <= 2 shards, so it takes the
+        // inline fan-out path concurrently with the same DML.
+        auto rows = db.ExecuteSql("SELECT * FROM t WHERE tenant_id = " +
+                                  std::to_string(kHotTenant) +
+                                  " ORDER BY created_time DESC LIMIT 10");
+        if (!rows.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(violations.load(), 0);
+
+  // Quiescent: exactly inserts minus deletes remain.
+  auto final_count = db.ExecuteSql("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(final_count->agg_count,
+            inserted_total.load() - deletes_done.load());
+}
+
+// The same decoupling at the ShardStore layer: one writer thread
+// applies inserts, deletes and refreshes against a single store while
+// reader threads pin snapshots and count live docs through the views.
+// Pure TSan fodder for the copy-on-write tombstone publish path.
+TEST(WriteReadDecouplingTest, ShardStoreDmlVsSnapshotReaders) {
+  IndexSpec spec = IndexSpec::TransactionLogDefault();
+  ShardStore::Options options;
+  options.refresh_doc_count = 0;
+  options.merge.max_segments = 3;
+  ShardStore store(&spec, options);
+
+  constexpr int kRounds = 15;
+  constexpr int kBatch = 80;
+  constexpr int kDeletesPerRound = 15;
+  constexpr int kReaders = 3;
+
+  std::atomic<uint64_t> published_done{0};
+  std::atomic<uint64_t> refresh_started{0};
+  std::atomic<uint64_t> deletes_started{0};
+  std::atomic<uint64_t> deletes_done{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    int64_t next_id = 0;
+    std::vector<int64_t> live;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < kBatch; ++i) {
+        if (!store.Apply(Insert(next_id, 1)).ok()) failures.fetch_add(1);
+        live.push_back(next_id);
+        ++next_id;
+      }
+      refresh_started.store(uint64_t(next_id), std::memory_order_release);
+      store.Refresh();
+      store.MaybeMerge();
+      published_done.store(uint64_t(next_id), std::memory_order_release);
+      for (int d = 0; d < kDeletesPerRound && !live.empty(); ++d) {
+        const int64_t victim = live.front();
+        live.erase(live.begin());
+        deletes_started.fetch_add(1, std::memory_order_release);
+        if (!store.Apply(DeleteOp(victim, 1)).ok()) failures.fetch_add(1);
+        deletes_done.fetch_add(1, std::memory_order_release);
+        if (store.GetByRecordId(victim).ok()) violations.fetch_add(1);
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const int64_t pub_before =
+            int64_t(published_done.load(std::memory_order_acquire));
+        const int64_t del_done_before =
+            int64_t(deletes_done.load(std::memory_order_acquire));
+        // Pin one epoch; walk it entirely through the views. The view
+        // is immutable, so this cannot race with the writer.
+        const SegmentSnapshot snap = store.Snapshot();
+        int64_t seen = 0;
+        for (const SegmentView& view : *snap) {
+          seen += int64_t(view.num_live_docs());
+          // Spot-check the overlay agrees with LiveDocs.
+          if (view.LiveDocs().size() != view.num_live_docs()) {
+            violations.fetch_add(1);
+          }
+        }
+        const int64_t started_after =
+            int64_t(refresh_started.load(std::memory_order_acquire));
+        const int64_t del_started_after =
+            int64_t(deletes_started.load(std::memory_order_acquire));
+        if (seen < pub_before - del_started_after ||
+            seen > started_after - del_done_before) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(store.num_live_docs(),
+            size_t(kRounds * kBatch) - deletes_done.load());
+}
+
+// A pinned snapshot observes a frozen set of deletes: DML published
+// after the pin is invisible to it, while a fresh snapshot sees it.
+TEST(WriteReadDecouplingTest, PinnedSnapshotFreezesDeletes) {
+  IndexSpec spec = IndexSpec::TransactionLogDefault();
+  ShardStore::Options options;
+  options.refresh_doc_count = 0;
+  ShardStore store(&spec, options);
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, 1)).ok());
+  }
+  store.Refresh();
+
+  const SegmentSnapshot pinned = store.Snapshot();
+  ASSERT_TRUE(store.Apply(DeleteOp(2, 1)).ok());
+
+  size_t pinned_live = 0;
+  for (const SegmentView& view : *pinned) pinned_live += view.num_live_docs();
+  EXPECT_EQ(pinned_live, 4u);  // the epoch the reader holds is frozen
+
+  const SegmentSnapshot fresh = store.Snapshot();
+  size_t fresh_live = 0;
+  for (const SegmentView& view : *fresh) fresh_live += view.num_live_docs();
+  EXPECT_EQ(fresh_live, 3u);
+  EXPECT_FALSE(store.GetByRecordId(2).ok());
+}
+
+// Merge folds the tombstone overlay back into the merged segment —
+// and a heavily-deleted segment merges even when the shard is under
+// max_segments (gc_deleted_fraction trigger).
+TEST(WriteReadDecouplingTest, MergeGcFoldsTombstoneOverlay) {
+  IndexSpec spec = IndexSpec::TransactionLogDefault();
+  ShardStore::Options options;
+  options.refresh_doc_count = 0;  // defaults: max_segments = 8
+  ShardStore store(&spec, options);
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, 1)).ok());
+  }
+  store.Refresh();
+  ASSERT_EQ(store.num_segments(), 1u);
+
+  // 60% deleted > gc_deleted_fraction (0.5) — merge is due despite
+  // being far under the segment-count cap.
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Apply(DeleteOp(i, 1)).ok());
+  }
+  EXPECT_TRUE(store.MaybeMerge());
+
+  const SegmentSnapshot snap = store.Snapshot();
+  size_t live = 0;
+  for (const SegmentView& view : *snap) {
+    EXPECT_EQ(view.num_deleted(), 0u);  // overlay folded away
+    EXPECT_EQ(view.tombstones, nullptr);
+    live += view.num_live_docs();
+  }
+  EXPECT_EQ(live, 4u);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(store.GetByRecordId(i).ok(), i >= 6) << "record " << i;
+  }
+}
+
+// Tombstone overlays shrink the shard-size signal immediately: a
+// shard whose rows are half tombstoned must weigh roughly half, even
+// before any merge GCs the segment (stale sizes would skew the
+// balancer and replication cost accounting).
+TEST(WriteReadDecouplingTest, TombstonesShrinkShardSizeSignal) {
+  IndexSpec spec = IndexSpec::TransactionLogDefault();
+  ShardStore::Options options;
+  options.refresh_doc_count = 0;
+  options.merge.max_segments = 100;          // keep the merge out of it
+  options.merge.gc_deleted_fraction = 1.1;   // disable GC for this test
+  ShardStore store(&spec, options);
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, 1)).ok());
+  }
+  store.Refresh();
+  store.Flush();  // translog out of the signal
+  const size_t before = store.SizeBytes();
+  ASSERT_GT(before, 0u);
+
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.Apply(DeleteOp(i, 1)).ok());
+  }
+  store.Flush();
+  const size_t after = store.SizeBytes();
+  EXPECT_LT(after, before * 6 / 10);  // ~half, with slack for rounding
+  EXPECT_GT(after, before * 4 / 10);
+}
+
+// Adaptive fan-out (tenant-scoped queries run inline even with a
+// pool) must not change results: byte-identical rows between
+// query_threads = 0 and query_threads = 4, for both the inline
+// tenant-scoped shape and the pooled broadcast shape.
+TEST(WriteReadDecouplingTest, InlineFanOutMatchesPooled) {
+  Esdb::Options base;
+  base.num_shards = 8;
+  base.routing = RoutingKind::kHash;
+  base.store.refresh_doc_count = 0;
+  Esdb serial(base);
+  Esdb::Options pooled_options = base;
+  pooled_options.query_threads = 4;
+  Esdb pooled(pooled_options);
+
+  for (int64_t i = 0; i < 600; ++i) {
+    const int64_t tenant = 1 + i % 12;
+    ASSERT_TRUE(serial.Insert(MakeDoc(i, tenant)).ok());
+    ASSERT_TRUE(pooled.Insert(MakeDoc(i, tenant)).ok());
+  }
+  serial.RefreshAll();
+  pooled.RefreshAll();
+
+  const std::vector<std::string> queries = {
+      // Tenant-scoped: <= 2 shards -> inline path in `pooled`.
+      "SELECT * FROM t WHERE tenant_id = 3 ORDER BY created_time DESC "
+      "LIMIT 20",
+      "SELECT COUNT(*) FROM t WHERE tenant_id = 5",
+      // Broadcast: wide fan-out -> pool path in `pooled`.
+      "SELECT * FROM t WHERE status = 2 ORDER BY created_time DESC LIMIT 25",
+      "SELECT COUNT(*) FROM t",
+  };
+  for (const std::string& sql : queries) {
+    auto a = serial.ExecuteSql(sql);
+    auto b = pooled.ExecuteSql(sql);
+    ASSERT_TRUE(a.ok()) << sql;
+    ASSERT_TRUE(b.ok()) << sql;
+    EXPECT_EQ(a->total_matched, b->total_matched) << sql;
+    EXPECT_EQ(a->agg_count, b->agg_count) << sql;
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << sql;
+    for (size_t i = 0; i < a->rows.size(); ++i) {
+      EXPECT_EQ(a->rows[i], b->rows[i]) << sql << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esdb
