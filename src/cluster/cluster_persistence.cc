@@ -37,17 +37,42 @@ Status SaveCluster(const Esdb& db, const std::string& dir) {
   PutLengthPrefixed(&manifest,
                     dynamic != nullptr ? dynamic->rules().Encode() : "");
 
-  std::ofstream out(fs::path(dir) / "CLUSTER",
-                    std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot write cluster manifest");
-  out.write(manifest.data(), std::streamsize(manifest.size()));
-  out.flush();
-  if (!out) return Status::Internal("cluster manifest write failed");
+  // Atomic commit, mirroring the per-shard MANIFEST protocol: tmp
+  // file then rename, so a crash mid-save leaves the old cluster
+  // manifest (and its still-intact shard checkpoints) in place.
+  const fs::path tmp = fs::path(dir) / "CLUSTER.tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot write cluster manifest");
+    out.write(manifest.data(), std::streamsize(manifest.size()));
+    out.flush();
+    if (!out) return Status::Internal("cluster manifest write failed");
+  }
+  fs::rename(tmp, fs::path(dir) / "CLUSTER", ec);
+  if (ec) {
+    return Status::Internal("cluster manifest rename failed: " +
+                            ec.message());
+  }
   return Status::OK();
 }
 
-Result<std::unique_ptr<Esdb>> OpenCluster(Esdb::Options options,
-                                          const std::string& dir) {
+std::string ClusterRecoveryReport::ToString() const {
+  std::string out = "recovered " + std::to_string(shards.size()) +
+                    " shard(s): " + total.ToString();
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const RecoveryReport& shard = shards[i];
+    if (shard.ops_replayed == 0 && shard.ops_discarded == 0 &&
+        !shard.torn_tail) {
+      continue;  // only shards with something to say
+    }
+    out += "\n  shard " + std::to_string(i) + ": " + shard.ToString();
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Esdb>> RecoverCluster(Esdb::Options options,
+                                             const std::string& dir,
+                                             ClusterRecoveryReport* report) {
   if (options.with_replicas) {
     return Status::InvalidArgument(
         "cluster restore targets a replica-less cluster; replicas "
@@ -77,12 +102,19 @@ Result<std::unique_ptr<Esdb>> OpenCluster(Esdb::Options options,
 
   const ShardStore::Options store_options = options.store;
   auto db = std::make_unique<Esdb>(std::move(options));
+  if (report != nullptr) *report = ClusterRecoveryReport{};
   for (uint32_t i = 0; i < num_shards; ++i) {
     const fs::path shard_dir = fs::path(dir) / ("shard-" + std::to_string(i));
+    RecoveryReport shard_report;
     ESDB_ASSIGN_OR_RETURN(
         std::unique_ptr<ShardStore> store,
-        OpenShard(&db->spec(), store_options, shard_dir.string()));
+        OpenShard(&db->spec(), store_options, shard_dir.string(),
+                  &shard_report));
     ESDB_RETURN_IF_ERROR(db->InstallShard(ShardId(i), std::move(store)));
+    if (report != nullptr) {
+      report->shards.push_back(shard_report);
+      report->total.Add(shard_report);
+    }
   }
   if (!rules_bytes.empty() && db->dynamic_routing() != nullptr) {
     auto rules = RuleList::Decode(rules_bytes);
@@ -90,6 +122,11 @@ Result<std::unique_ptr<Esdb>> OpenCluster(Esdb::Options options,
     *db->dynamic_routing()->mutable_rules() = std::move(*rules);
   }
   return db;
+}
+
+Result<std::unique_ptr<Esdb>> OpenCluster(Esdb::Options options,
+                                          const std::string& dir) {
+  return RecoverCluster(std::move(options), dir, nullptr);
 }
 
 }  // namespace esdb

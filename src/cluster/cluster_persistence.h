@@ -3,9 +3,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/esdb.h"
 #include "common/result.h"
+#include "storage/persistence.h"
 
 namespace esdb {
 
@@ -20,11 +22,28 @@ namespace esdb {
 // primaries, the same path a failed replica takes (Section 5.2).
 Status SaveCluster(const Esdb& db, const std::string& dir);
 
-// Reopens a cluster checkpoint. `options` must match the checkpoint's
-// shard count (validated) and use the same index spec it was written
-// with (trusted — opening a store with the wrong schema misbehaves,
-// as in any storage engine). Restores the committed rule list when
-// the routing policy is dynamic.
+// What cluster recovery did, shard by shard: segments loaded,
+// translog ops replayed vs. skipped (idempotent overlap) vs.
+// discarded (torn tails truncated with a warning).
+struct ClusterRecoveryReport {
+  std::vector<RecoveryReport> shards;  // indexed by shard ordinal
+  RecoveryReport total;
+
+  std::string ToString() const;
+};
+
+// Reopens a cluster checkpoint — the cluster's crash-recovery entry
+// point. `options` must match the checkpoint's shard count (validated)
+// and use the same index spec it was written with (trusted — opening a
+// store with the wrong schema misbehaves, as in any storage engine).
+// Restores the committed rule list when the routing policy is dynamic.
+// When `report` is non-null it receives the per-shard replayed/
+// discarded accounting.
+Result<std::unique_ptr<Esdb>> RecoverCluster(Esdb::Options options,
+                                             const std::string& dir,
+                                             ClusterRecoveryReport* report);
+
+// RecoverCluster without the report.
 Result<std::unique_ptr<Esdb>> OpenCluster(Esdb::Options options,
                                           const std::string& dir);
 

@@ -1,0 +1,197 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/mutex.h"
+#include "common/random.h"
+
+namespace esdb {
+
+namespace {
+
+struct ArmedSite {
+  FailPoints::Policy policy;
+  Rng rng{0};
+  uint64_t evals_since_armed = 0;
+};
+
+struct SiteStats {
+  uint64_t evaluations = 0;
+  uint64_t triggers = 0;
+  // Arg of the policy that last triggered here. Keeps Arg() readable
+  // at the site after a fail-once policy auto-disarmed itself.
+  uint64_t last_arg = 0;
+};
+
+// Function-local statics so the registry is safe to use from any
+// static initialization context.
+struct Registry {
+  Mutex mu;
+  std::map<std::string, ArmedSite> armed GUARDED_BY(mu);
+  std::map<std::string, SiteStats> stats GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+std::atomic<int> FailPoints::armed_count_{0};
+
+FailPoints::Policy FailPoints::Once(uint64_t arg) {
+  Policy p;
+  p.mode = Mode::kFailOnce;
+  p.arg = arg;
+  return p;
+}
+
+FailPoints::Policy FailPoints::EveryN(uint64_t n, uint64_t arg) {
+  Policy p;
+  p.mode = Mode::kFailEveryN;
+  p.every_n = n == 0 ? 1 : n;
+  p.arg = arg;
+  return p;
+}
+
+FailPoints::Policy FailPoints::WithProbability(double probability,
+                                               uint64_t seed, uint64_t arg) {
+  Policy p;
+  p.mode = Mode::kFailWithProbability;
+  p.probability = probability;
+  p.seed = seed;
+  p.arg = arg;
+  return p;
+}
+
+FailPoints::Policy FailPoints::CrashHere() {
+  Policy p;
+  p.mode = Mode::kCrash;
+  return p;
+}
+
+void FailPoints::Arm(const char* site, Policy policy) {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  auto [it, inserted] = r.armed.try_emplace(site);
+  it->second.policy = policy;
+  it->second.rng = Rng(policy.seed);
+  it->second.evals_since_armed = 0;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoints::Disarm(const char* site) {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  if (r.armed.erase(site) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisarmAll() {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  armed_count_.fetch_sub(int(r.armed.size()), std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+bool FailPoints::IsArmed(const char* site) {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  return r.armed.count(site) > 0;
+}
+
+uint64_t FailPoints::Triggers(const char* site) {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  auto it = r.stats.find(site);
+  return it == r.stats.end() ? 0 : it->second.triggers;
+}
+
+uint64_t FailPoints::Evaluations(const char* site) {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  auto it = r.stats.find(site);
+  return it == r.stats.end() ? 0 : it->second.evaluations;
+}
+
+void FailPoints::ResetCounters() {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  r.stats.clear();
+}
+
+uint64_t FailPoints::Arg(const char* site) {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  auto it = r.armed.find(site);
+  if (it != r.armed.end()) return it->second.policy.arg;
+  auto stat = r.stats.find(site);
+  return stat == r.stats.end() ? 0 : stat->second.last_arg;
+}
+
+std::vector<std::string> FailPoints::AllSites() {
+  return {
+      failsite::kTranslogAppend,
+      failsite::kTranslogTruncate,
+      failsite::kSaveSegment,
+      failsite::kSaveTranslog,
+      failsite::kSaveManifest,
+      failsite::kTornTail,
+      failsite::kLoadSegment,
+      failsite::kReplicationCopySegment,
+      failsite::kReplicationCatchup,
+      failsite::kNetDrop,
+      failsite::kNetDelay,
+  };
+}
+
+bool FailPoints::ShouldFailSlow(const char* site) {
+  Registry& r = registry();
+  bool triggered = false;
+  bool crash = false;
+  {
+    MutexLock lock(&r.mu);
+    auto it = r.armed.find(site);
+    if (it == r.armed.end()) return false;
+    ArmedSite& armed = it->second;
+    ++armed.evals_since_armed;
+    const uint64_t arg = armed.policy.arg;
+    SiteStats& stats = r.stats[site];
+    ++stats.evaluations;
+    switch (armed.policy.mode) {
+      case Mode::kOff:
+        break;
+      case Mode::kFailOnce:
+        triggered = true;
+        r.armed.erase(it);
+        armed_count_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      case Mode::kFailEveryN:
+        triggered = armed.evals_since_armed % armed.policy.every_n == 0;
+        break;
+      case Mode::kFailWithProbability:
+        triggered = armed.rng.Bernoulli(armed.policy.probability);
+        break;
+      case Mode::kCrash:
+        triggered = true;
+        crash = true;
+        break;
+    }
+    if (triggered) {
+      ++stats.triggers;
+      stats.last_arg = arg;
+    }
+  }
+  if (crash) {
+    std::fprintf(stderr, "esdb: fail point '%s' crashing here\n", site);
+    std::fflush(stderr);
+    std::abort();
+  }
+  return triggered;
+}
+
+}  // namespace esdb

@@ -1,0 +1,159 @@
+#ifndef ESDB_COMMON_FAILPOINT_H_
+#define ESDB_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Deterministic fail-point registry: named sites in the durability
+// stack (translog, persistence, replication, consensus network) where
+// tests inject failures — an I/O error, a torn write, a dropped
+// message, a hard crash — to prove the recovery path tolerates every
+// crash point. Inspired by FoundationDB's deterministic fault
+// simulation (see PAPERS.md): the recovery code that is never made to
+// fail is the recovery code that loses data.
+//
+// Hot-path contract (enforced by the crash-recovery acceptance tests):
+// a *disabled* fail point costs one relaxed atomic load and a
+// predictable branch — no lock, no map lookup. Only when at least one
+// site is armed anywhere does evaluation take the registry mutex.
+//
+// Compile-time switch: the CMake option ESDB_FAILPOINTS (default ON)
+// defines ESDB_FAILPOINTS=1. With -DESDB_FAILPOINTS=OFF the
+// ESDB_FAIL_POINT macro is the constant `false` and every site
+// compiles to nothing; the registry API remains (tests call
+// FailPoints::CompiledIn() and skip themselves).
+//
+// Usage at a site (inside the code under test):
+//
+//   if (ESDB_FAIL_POINT(failsite::kSaveManifest)) {
+//     return Status::Internal("failpoint: crash before manifest");
+//   }
+//
+// Usage in a test:
+//
+//   ScopedFailPoint fp(failsite::kSaveManifest, FailPoints::Once());
+//   EXPECT_FALSE(SaveShard(store, dir).ok());   // "crashed" mid-save
+//   // fp's destructor disarms; recovery now runs clean.
+
+#ifndef ESDB_FAILPOINTS
+#define ESDB_FAILPOINTS 1
+#endif
+
+namespace esdb {
+
+// Canonical site names. Every constant here must appear in
+// FailPoints::AllSites() (failpoint.cc keeps the single inventory)
+// and in the crash-recovery matrix (tests/crash_recovery_test.cc
+// fails if a site has no matrix scenario).
+namespace failsite {
+// Durability: translog boundaries inside ShardStore.
+inline constexpr const char* kTranslogAppend = "translog/append";
+inline constexpr const char* kTranslogTruncate = "translog/truncate";
+// Durability: checkpoint save/load (storage/persistence.cc).
+inline constexpr const char* kSaveSegment = "persist/save-segment";
+inline constexpr const char* kSaveTranslog = "persist/save-translog";
+inline constexpr const char* kSaveManifest = "persist/save-manifest";
+inline constexpr const char* kTornTail = "persist/torn-tail";
+inline constexpr const char* kLoadSegment = "persist/load-segment";
+// Replication: segment copy and catch-up rounds.
+inline constexpr const char* kReplicationCopySegment =
+    "replication/copy-segment";
+inline constexpr const char* kReplicationCatchup = "replication/catchup";
+// Consensus: simulated network faults beyond SimNetwork's own
+// partition/drop knobs (deterministic per-message schedules).
+inline constexpr const char* kNetDrop = "consensus/net-drop";
+inline constexpr const char* kNetDelay = "consensus/net-delay";
+}  // namespace failsite
+
+// Process-wide fail-point registry. All methods are thread-safe (the
+// registry mutex is an esdb::Mutex; see common/mutex.h).
+class FailPoints {
+ public:
+  enum class Mode : uint8_t {
+    kOff,
+    kFailOnce,      // fires on the next evaluation, then auto-disarms
+    kFailEveryN,    // fires on every Nth evaluation since arming
+    kFailWithProbability,  // fires with probability p (seeded Rng)
+    kCrash,         // std::abort() at the site (child-process tests)
+  };
+
+  struct Policy {
+    Mode mode = Mode::kOff;
+    uint64_t every_n = 0;    // kFailEveryN period (>= 1)
+    double probability = 0;  // kFailWithProbability
+    uint64_t seed = 0;       // kFailWithProbability Rng seed
+    uint64_t arg = 0;        // site-specific payload (e.g. torn bytes)
+  };
+
+  // Policy makers (the readable way to arm).
+  static Policy Once(uint64_t arg = 0);
+  static Policy EveryN(uint64_t n, uint64_t arg = 0);
+  static Policy WithProbability(double p, uint64_t seed, uint64_t arg = 0);
+  static Policy CrashHere();
+
+  static constexpr bool CompiledIn() { return ESDB_FAILPOINTS != 0; }
+
+  // Arms `site` with `policy` (replaces any existing policy).
+  static void Arm(const char* site, Policy policy);
+  static void Disarm(const char* site);
+  static void DisarmAll();
+  static bool IsArmed(const char* site);
+
+  // Lifetime counters (persist across arm/disarm; reset with
+  // ResetCounters). `evaluations` counts armed evaluations only —
+  // the disabled fast path is deliberately unobservable.
+  static uint64_t Triggers(const char* site);
+  static uint64_t Evaluations(const char* site);
+  static void ResetCounters();
+
+  // The armed payload for `site`: the armed policy's arg, or — after
+  // a fail-once policy fired and auto-disarmed — the arg of the last
+  // trigger (so sites can read it right after ShouldFail returns
+  // true). 0 when never armed or after ResetCounters.
+  static uint64_t Arg(const char* site);
+
+  // The full site inventory (every failsite:: constant, in a stable
+  // order). The crash-recovery matrix iterates this.
+  static std::vector<std::string> AllSites();
+
+  // Site check: called via ESDB_FAIL_POINT. When nothing is armed
+  // anywhere this is a single relaxed atomic load plus one branch.
+  static bool ShouldFail(const char* site) {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+    return ShouldFailSlow(site);
+  }
+
+ private:
+  static bool ShouldFailSlow(const char* site);
+
+  static std::atomic<int> armed_count_;
+};
+
+// RAII arm/disarm for tests: arms in the constructor, disarms the same
+// site in the destructor (whether or not it fired).
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(const char* site, FailPoints::Policy policy)
+      : site_(site) {
+    FailPoints::Arm(site_, policy);
+  }
+  ~ScopedFailPoint() { FailPoints::Disarm(site_); }
+
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+ private:
+  const char* const site_;
+};
+
+}  // namespace esdb
+
+#if ESDB_FAILPOINTS
+#define ESDB_FAIL_POINT(site) (::esdb::FailPoints::ShouldFail(site))
+#else
+#define ESDB_FAIL_POINT(site) (false)
+#endif
+
+#endif  // ESDB_COMMON_FAILPOINT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace esdb {
 
 const char* MsgTypeName(MsgType type) {
@@ -38,8 +40,21 @@ void SimNetwork::Send(Message m) {
     ++dropped_;
     return;
   }
+  // Fault point: deterministic per-message drop schedules (every Nth
+  // message, fail-once, seeded probability) on top of the network's
+  // own drop_prob/partition knobs.
+  if (ESDB_FAIL_POINT(failsite::kNetDrop)) {
+    ++dropped_;
+    return;
+  }
   Micros delay = options_.latency;
   if (options_.jitter > 0) delay += Micros(rng_.Uniform(uint64_t(options_.jitter)));
+  // Fault point: injected extra delivery delay (arg = extra micros,
+  // default 50ms) — models a congested or flapping link.
+  if (ESDB_FAIL_POINT(failsite::kNetDelay)) {
+    const uint64_t extra = FailPoints::Arg(failsite::kNetDelay);
+    delay += extra > 0 ? Micros(extra) : 50 * kMicrosPerMilli;
+  }
   m.deliver_at = clock_->Now() + delay;
   in_flight_.push_back(m);
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace esdb {
 
 Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
@@ -46,6 +48,14 @@ Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
       }
     }
     if (!need_copy) continue;
+    // Fault point: the copy stream dies mid-round (network cut,
+    // replica restart). Segments already installed this round stay —
+    // InstallSegment is idempotent by id — and the next round re-diffs
+    // and ships the remainder, so a failed round only delays, never
+    // corrupts.
+    if (ESDB_FAIL_POINT(failsite::kReplicationCopySegment)) {
+      return Status::Unavailable("failpoint: replication/copy-segment");
+    }
     // The segment file folds the pinned overlay into its delete
     // bitmap; the replica decodes it back out as its own overlay.
     const std::string bytes = view->Encode(view.tombstones.get());
@@ -136,6 +146,12 @@ Status ReplicatedShard::Refresh() {
   }
 
   primary_->Refresh();
+  // Fault point: the whole catch-up round is unreachable (replica
+  // partitioned). The primary refreshed; replication lag grows until
+  // a later Refresh() heals it.
+  if (ESDB_FAIL_POINT(failsite::kReplicationCatchup)) {
+    return Status::Unavailable("failpoint: replication/catchup");
+  }
   if (primary_->MaybeMerge()) {
     // Pre-replication of merged segments: ship the merge result
     // immediately, on its own round, so it never delays the

@@ -84,6 +84,10 @@ ClusterSim::ClusterSim(Options options)
 
   node_queues_.resize(options_.num_nodes);
   node_queued_units_.assign(options_.num_nodes, 0);
+  node_scratch_.resize(options_.num_nodes);
+  if (options_.sim_threads > 0) {
+    sim_pool_ = std::make_unique<ThreadPool>(options_.sim_threads);
+  }
   metrics_.node_busy_seconds.assign(options_.num_nodes, 0);
   metrics_.node_completed.assign(options_.num_nodes, 0);
   metrics_.shard_completed.assign(options_.num_shards, 0);
@@ -299,7 +303,10 @@ void ClusterSim::RouteArrivals(uint64_t count) {
   }
 }
 
-void ClusterSim::ProcessNode(uint32_t node) {
+void ClusterSim::ProcessNodeInto(uint32_t node, NodeTickScratch* out) {
+  out->completions.clear();
+  out->busy_seconds = 0;
+
   const double tick_seconds = double(options_.tick) / kMicrosPerSecond;
   double budget = options_.node_capacity * tick_seconds;
   const double full_budget = budget;
@@ -323,20 +330,27 @@ void ClusterSim::ProcessNode(uint32_t node) {
     if (!batch.replica_work) {
       const double delay =
           double(completion_time - batch.arrival) / kMicrosPerSecond;
-      metrics_.completed += can_do;
-      metrics_.delay.RecordN(delay, can_do);
-      metrics_.max_delay = std::max(metrics_.max_delay, delay);
-      metrics_.node_completed[node] += can_do;
-      metrics_.shard_completed[batch.shard] += can_do;
-      window_completed_ += can_do;
-      window_delay_sum_ += delay * double(can_do);
-      window_delay_max_ = std::max(window_delay_max_, delay);
+      out->completions.push_back(
+          NodeTickScratch::Completion{batch.shard, can_do, delay});
     }
     if (batch.count == 0) queue.pop_front();
   }
-  metrics_.node_busy_seconds[node] += (full_budget - budget) /
-                                      options_.node_capacity;
-  window_busy_seconds_ += (full_budget - budget) / options_.node_capacity;
+  out->busy_seconds = (full_budget - budget) / options_.node_capacity;
+}
+
+void ClusterSim::MergeNodeTick(uint32_t node, const NodeTickScratch& scratch) {
+  for (const NodeTickScratch::Completion& done : scratch.completions) {
+    metrics_.completed += done.count;
+    metrics_.delay.RecordN(done.delay, done.count);
+    metrics_.max_delay = std::max(metrics_.max_delay, done.delay);
+    metrics_.node_completed[node] += done.count;
+    metrics_.shard_completed[done.shard] += done.count;
+    window_completed_ += done.count;
+    window_delay_sum_ += done.delay * double(done.count);
+    window_delay_max_ = std::max(window_delay_max_, done.delay);
+  }
+  metrics_.node_busy_seconds[node] += scratch.busy_seconds;
+  window_busy_seconds_ += scratch.busy_seconds;
 }
 
 void ClusterSim::ControlLoop() {
@@ -410,8 +424,17 @@ void ClusterSim::Tick() {
   arrival_accumulator_ -= double(arrivals);
   RouteArrivals(arrivals);
 
+  // Node ticks are independent: each drains its own queue and writes
+  // only its scratch slot (sim workers, when sim_threads > 0; the
+  // RunPerOrdinal join is the tick barrier). Completions then merge
+  // serially in node order — the same statement order as the
+  // historical serial walk — so pooled and serial runs are
+  // byte-identical.
+  RunPerOrdinal(sim_pool_.get(), options_.num_nodes, [this](size_t node) {
+    ProcessNodeInto(uint32_t(node), &node_scratch_[node]);
+  });
   for (uint32_t node = 0; node < options_.num_nodes; ++node) {
-    ProcessNode(node);
+    MergeNodeTick(node, node_scratch_[node]);
   }
 
   ControlLoop();

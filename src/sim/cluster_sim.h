@@ -12,6 +12,7 @@
 #include "cluster/esdb.h"
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/thread_pool.h"
 #include "consensus/protocol.h"
 #include "replication/replication.h"
 #include "routing/router.h"
@@ -68,6 +69,14 @@ class ClusterSim {
 
     // Timeline sampling period for the time-series figures (14, 19).
     Micros sample_period = 1 * kMicrosPerSecond;
+
+    // Sim workers: 0 = each tick processes nodes serially (the
+    // historical behavior); N > 0 = node ticks run as tasks on an
+    // N-thread pool with a barrier before the control loop. Node
+    // ticks are independent (each drains its own queue and writes a
+    // private scratch; completions merge serially in node order
+    // afterwards), so the parallel tick is byte-identical to serial.
+    uint32_t sim_threads = 0;
 
     uint64_t seed = 7;
   };
@@ -140,6 +149,22 @@ class ClusterSim {
     bool replica_work = false;
   };
 
+  // One node-tick's private output: the completions it drained (in
+  // drain order) and the CPU it burned. Filled by ProcessNodeInto —
+  // which touches only node-local state — and folded into the shared
+  // metrics serially, in node order, by MergeNodeTick. The split is
+  // what lets node ticks run on the pool while staying byte-identical
+  // to the serial walk (same merge order, same float-addition order).
+  struct NodeTickScratch {
+    struct Completion {
+      uint32_t shard = 0;
+      uint64_t count = 0;
+      double delay = 0;
+    };
+    std::vector<Completion> completions;
+    double busy_seconds = 0;
+  };
+
   const RuleList& coordinator_rules() const;
   uint32_t PrimaryNode(uint32_t shard) const {
     return shard % options_.num_nodes;
@@ -152,7 +177,8 @@ class ClusterSim {
   void Deliver(const WorkBatch& batch);  // enqueue primary + replica work
   void Tick();
   void RouteArrivals(uint64_t count);
-  void ProcessNode(uint32_t node);
+  void ProcessNodeInto(uint32_t node, NodeTickScratch* out);
+  void MergeNodeTick(uint32_t node, const NodeTickScratch& scratch);
   void ControlLoop();
   void SampleTimeline();
 
@@ -183,6 +209,11 @@ class ClusterSim {
   // Per-tick routing scratch (flat counts + touched list).
   std::vector<uint64_t> per_shard_scratch_;
   std::vector<uint32_t> touched_shards_;
+  // Sim workers (Options::sim_threads > 0): node ticks fan out here;
+  // the RunPerOrdinal join is the tick barrier. One scratch slot per
+  // node, reused across ticks.
+  std::unique_ptr<ThreadPool> sim_pool_;
+  std::vector<NodeTickScratch> node_scratch_;
 
   // Metrics.
   Metrics metrics_;

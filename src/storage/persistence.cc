@@ -1,8 +1,13 @@
 #include "storage/persistence.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <utility>
+#include <vector>
 
+#include "common/failpoint.h"
 #include "common/varint.h"
 
 namespace esdb {
@@ -11,16 +16,46 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr char kManifestMagic[] = "ESDBSHARD1";
+constexpr char kManifestMagic[] = "ESDBSHARD2";
 
-Status WriteFile(const fs::path& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open for write: " + path.string());
+std::string SegmentFileName(uint64_t id, uint64_t num_deleted) {
+  return "seg-" + std::to_string(id) + "-" + std::to_string(num_deleted) +
+         ".seg";
+}
+
+// The translog file is versioned by its sequence range, exactly as
+// segment files are versioned by (id, folded tombstones): entries are
+// immutable once assigned a sequence, so (begin, end) names immutable
+// content, a checkpoint with a different retained range lands in a NEW
+// file, and the committed manifest's translog file is never renamed
+// over mid-save. Without this, a crash between the translog rename and
+// the MANIFEST rename could pair an old manifest with a translog
+// truncated by a later Flush — losing the ops in between.
+std::string TranslogFileName(uint64_t begin_seq, uint64_t end_seq) {
+  return "translog-" + std::to_string(begin_seq) + "-" +
+         std::to_string(end_seq) + ".log";
+}
+
+// Atomic file write: data lands in a .tmp sibling, then renames over
+// `path`. A crash at any point leaves either the old file or the new
+// one — never a partial.
+Status WriteFileAtomic(const fs::path& path, std::string_view data) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open for write: " + tmp.string());
+    }
+    out.write(data.data(), std::streamsize(data.size()));
+    out.flush();
+    if (!out) return Status::Internal("write failed: " + tmp.string());
   }
-  out.write(data.data(), std::streamsize(data.size()));
-  out.flush();
-  if (!out) return Status::Internal("write failed: " + path.string());
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("rename failed: " + path.string() + ": " +
+                            ec.message());
+  }
   return Status::OK();
 }
 
@@ -33,7 +68,39 @@ Result<std::string> ReadFile(const fs::path& path) {
   return data;
 }
 
+// Drops committed-checkpoint leftovers: .tmp files from an interrupted
+// save and segment files the new manifest no longer references. Runs
+// only after the MANIFEST rename, so nothing recoverable is touched.
+void CollectGarbage(const fs::path& dir,
+                    const std::vector<std::string>& live_files) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() == ".tmp") {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (entry.path().extension() != ".seg" &&
+        entry.path().extension() != ".log") {
+      continue;
+    }
+    if (std::find(live_files.begin(), live_files.end(), name) ==
+        live_files.end()) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
 }  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::string out = "segments_loaded=" + std::to_string(segments_loaded) +
+                    " ops_replayed=" + std::to_string(ops_replayed) +
+                    " ops_skipped=" + std::to_string(ops_skipped) +
+                    " ops_discarded=" + std::to_string(ops_discarded);
+  if (torn_tail) out += " (torn translog tail truncated)";
+  return out;
+}
 
 Status SaveShard(const ShardStore& store, const std::string& dir) {
   std::error_code ec;
@@ -44,43 +111,96 @@ Status SaveShard(const ShardStore& store, const std::string& dir) {
   }
 
   // Segment files, each with its tombstone overlay folded into the
-  // file's delete bitmap so deletes survive the checkpoint.
-  std::vector<uint64_t> segment_ids;
+  // file's delete bitmap so deletes survive the checkpoint. The file
+  // name carries the folded tombstone count: overlays only grow (a
+  // merge produces a fresh id), so (id, count) names immutable
+  // content and a grown overlay lands in a NEW file, leaving the one
+  // the committed manifest references untouched until the new
+  // manifest commits.
   const SegmentSnapshot snapshot = store.Snapshot();
+  std::vector<std::pair<uint64_t, uint64_t>> segment_ids;  // (id, ndeleted)
+  std::vector<std::string> live_files;
   for (const SegmentView& view : *snapshot) {
-    segment_ids.push_back(view->id());
-    const fs::path path =
-        fs::path(dir) / ("seg-" + std::to_string(view->id()) + ".seg");
-    ESDB_RETURN_IF_ERROR(WriteFile(path, view->Encode(view.tombstones.get())));
+    const uint64_t num_deleted = view.num_deleted();
+    segment_ids.emplace_back(view->id(), num_deleted);
+    const std::string name = SegmentFileName(view->id(), num_deleted);
+    live_files.push_back(name);
+    const fs::path path = fs::path(dir) / name;
+    if (fs::exists(path)) continue;  // immutable content, already saved
+    // Crash point: the process dies while writing a segment file
+    // mid-checkpoint. The committed manifest is untouched, so the
+    // previous checkpoint remains the recoverable state.
+    if (ESDB_FAIL_POINT(failsite::kSaveSegment)) {
+      return Status::Internal("failpoint: persist/save-segment");
+    }
+    ESDB_RETURN_IF_ERROR(
+        WriteFileAtomic(path, view->Encode(view.tombstones.get())));
   }
 
-  // Translog: starting sequence then length-prefixed encoded entries.
+  // Translog: length-prefixed encoded entries; the sequence range
+  // (and thus the file name) lives in the manifest. Always rewritten —
+  // identical ranges have identical content, so a rewrite is a no-op
+  // rename over the same bytes, and it heals a previously torn file.
+  const Translog& translog = store.translog();
+  const uint64_t log_begin = translog.begin_seq();
+  const uint64_t log_end = translog.end_seq();
   {
     std::string log;
-    const Translog& translog = store.translog();
-    PutVarint64(&log, translog.begin_seq());
-    PutVarint64(&log, translog.num_entries());
-    for (uint64_t seq = translog.begin_seq(); seq < translog.end_seq();
-         ++seq) {
+    for (uint64_t seq = log_begin; seq < log_end; ++seq) {
       auto op = translog.Get(seq);
       if (!op.ok()) return op.status();
       PutLengthPrefixed(&log, op->Encode());
     }
-    ESDB_RETURN_IF_ERROR(WriteFile(fs::path(dir) / "translog.log", log));
+    // Crash point: the process dies while writing the translog file.
+    if (ESDB_FAIL_POINT(failsite::kSaveTranslog)) {
+      return Status::Internal("failpoint: persist/save-translog");
+    }
+    const fs::path log_path =
+        fs::path(dir) / TranslogFileName(log_begin, log_end);
+    live_files.push_back(TranslogFileName(log_begin, log_end));
+    // Torn tail: the write "succeeds" but the device tore the final
+    // sector — the file ends mid-record (arg = bytes torn off the
+    // end, default 3). Unlike the crash points above this one
+    // REPORTS SUCCESS, modeling an fsync lie; recovery must truncate
+    // the unparseable tail and warn rather than crash or load
+    // garbage.
+    if (!log.empty() && ESDB_FAIL_POINT(failsite::kTornTail)) {
+      uint64_t torn = FailPoints::Arg(failsite::kTornTail);
+      if (torn == 0) torn = 3;
+      if (torn >= log.size()) torn = log.size() - 1;
+      ESDB_RETURN_IF_ERROR(WriteFileAtomic(
+          log_path, std::string_view(log).substr(0, log.size() - torn)));
+    } else {
+      ESDB_RETURN_IF_ERROR(WriteFileAtomic(log_path, log));
+    }
   }
 
-  // Manifest last (its presence marks a complete checkpoint).
+  // Manifest last — its rename is the checkpoint's commit point.
   std::string manifest(kManifestMagic);
   PutVarint64(&manifest, store.next_segment_id());
   PutVarint64(&manifest, store.refreshed_seq());
+  PutVarint64(&manifest, log_begin);
+  PutVarint64(&manifest, log_end);
   PutVarint64(&manifest, segment_ids.size());
-  for (uint64_t id : segment_ids) PutVarint64(&manifest, id);
-  return WriteFile(fs::path(dir) / "MANIFEST", manifest);
+  for (const auto& [id, num_deleted] : segment_ids) {
+    PutVarint64(&manifest, id);
+    PutVarint64(&manifest, num_deleted);
+  }
+  // Crash point: the process dies after data files but before the
+  // manifest commit. Recovery sees the previous checkpoint.
+  if (ESDB_FAIL_POINT(failsite::kSaveManifest)) {
+    return Status::Internal("failpoint: persist/save-manifest");
+  }
+  ESDB_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir) / "MANIFEST", manifest));
+  CollectGarbage(dir, live_files);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
                                               ShardStore::Options options,
-                                              const std::string& dir) {
+                                              const std::string& dir,
+                                              RecoveryReport* report) {
+  RecoveryReport local;
   ESDB_ASSIGN_OR_RETURN(std::string manifest,
                         ReadFile(fs::path(dir) / "MANIFEST"));
   const size_t magic_len = sizeof(kManifestMagic) - 1;
@@ -89,51 +209,86 @@ Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
   }
   size_t pos = magic_len;
   uint64_t next_segment_id = 0, refreshed_seq = 0, num_segments = 0;
+  uint64_t log_begin = 0, log_end = 0;
   if (!GetVarint64(manifest, &pos, &next_segment_id) ||
       !GetVarint64(manifest, &pos, &refreshed_seq) ||
+      !GetVarint64(manifest, &pos, &log_begin) ||
+      !GetVarint64(manifest, &pos, &log_end) ||
       !GetVarint64(manifest, &pos, &num_segments)) {
     return Status::Corruption("truncated shard manifest");
+  }
+  if (log_end < log_begin) {
+    return Status::Corruption("shard manifest translog range inverted");
   }
 
   auto store = std::make_unique<ShardStore>(spec, options);
   for (uint64_t i = 0; i < num_segments; ++i) {
-    uint64_t id = 0;
-    if (!GetVarint64(manifest, &pos, &id)) {
+    uint64_t id = 0, num_deleted = 0;
+    if (!GetVarint64(manifest, &pos, &id) ||
+        !GetVarint64(manifest, &pos, &num_deleted)) {
       return Status::Corruption("truncated shard manifest segment list");
+    }
+    // Fault point: a segment file read error (bad sector, missing
+    // file). Recovery fails cleanly — the caller retries or falls
+    // back to a replica; nothing partial is returned.
+    if (ESDB_FAIL_POINT(failsite::kLoadSegment)) {
+      return Status::Unavailable("failpoint: persist/load-segment");
     }
     ESDB_ASSIGN_OR_RETURN(
         std::string bytes,
-        ReadFile(fs::path(dir) / ("seg-" + std::to_string(id) + ".seg")));
+        ReadFile(fs::path(dir) / SegmentFileName(id, num_deleted)));
     std::shared_ptr<const Tombstones> tombstones;
     auto segment = Segment::Decode(bytes, &tombstones);
     if (!segment.ok()) return segment.status();
     store->InstallSegment(std::move(*segment), std::move(tombstones));
+    ++local.segments_loaded;
   }
   store->set_next_segment_id(next_segment_id);
 
   // Replay the translog tail not yet covered by segments: ops with
   // sequence numbers >= refreshed_seq land back in the write buffer.
+  // A file that ends mid-record (torn tail — the crash interrupted
+  // the final write) is truncated at the last whole record, with the
+  // loss accounted in the report; everything before the tear replays
+  // normally. A torn record can never be mistaken for a whole one:
+  // truncation only ever removes trailing bytes, so the parse fails
+  // cleanly at the tear instead of decoding garbage.
   {
-    ESDB_ASSIGN_OR_RETURN(std::string log,
-                          ReadFile(fs::path(dir) / "translog.log"));
+    ESDB_ASSIGN_OR_RETURN(
+        std::string log,
+        ReadFile(fs::path(dir) / TranslogFileName(log_begin, log_end)));
     size_t log_pos = 0;
-    uint64_t begin_seq = 0, count = 0;
-    if (!GetVarint64(log, &log_pos, &begin_seq) ||
-        !GetVarint64(log, &log_pos, &count)) {
-      return Status::Corruption("truncated translog file");
-    }
+    const uint64_t count = log_end - log_begin;
     for (uint64_t i = 0; i < count; ++i) {
       std::string_view entry;
       if (!GetLengthPrefixed(log, &log_pos, &entry)) {
-        return Status::Corruption("truncated translog entry");
+        local.torn_tail = true;
+        local.ops_discarded = count - i;
+        std::fprintf(stderr,
+                     "[esdb] warning: torn translog tail in %s: %llu of "
+                     "%llu op(s) truncated at the tear\n",
+                     dir.c_str(),
+                     static_cast<unsigned long long>(local.ops_discarded),
+                     static_cast<unsigned long long>(count));
+        break;
       }
-      ESDB_ASSIGN_OR_RETURN(WriteOp op, WriteOp::Decode(entry));
-      const uint64_t seq = begin_seq + i;
-      if (seq < refreshed_seq) continue;  // already inside segments
-      auto applied = store->Apply(op);
+      auto op = WriteOp::Decode(entry);
+      if (!op.ok()) {
+        // A complete-looking record that fails to decode is real
+        // corruption mid-file, not a torn tail.
+        return op.status();
+      }
+      const uint64_t seq = log_begin + i;
+      if (seq < refreshed_seq) {
+        ++local.ops_skipped;  // already inside segments
+        continue;
+      }
+      auto applied = store->Apply(*op);
       if (!applied.ok()) return applied.status();
+      ++local.ops_replayed;
     }
   }
+  if (report != nullptr) *report = local;
   return store;
 }
 

@@ -1,6 +1,7 @@
 #ifndef ESDB_STORAGE_PERSISTENCE_H_
 #define ESDB_STORAGE_PERSISTENCE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -11,21 +12,65 @@ namespace esdb {
 
 // On-disk layout of one shard (the worker's "local SSD", Section 3.3):
 //
-//   <dir>/MANIFEST         next segment id, refreshed seq, segment ids
-//   <dir>/seg-<id>.seg     one encoded segment file each
-//   <dir>/translog.log     retained translog entries (durability tail)
+//   <dir>/MANIFEST            next segment id, refreshed seq, translog
+//                             range, (segment id, folded tombstones) pairs
+//   <dir>/seg-<id>-<nd>.seg   one encoded segment file each; <nd> is
+//                             the tombstone count folded into the file
+//   <dir>/translog-<b>-<e>.log  retained translog entries [b, e)
+//                             (durability tail), length-prefixed
+//
+// Crash atomicity: every file is written to a .tmp sibling and
+// renamed into place (POSIX rename is atomic), and the MANIFEST
+// rename is last — it is the commit point of the checkpoint. Data
+// files are versioned by immutable content: a segment whose tombstone
+// overlay grew since the last checkpoint gets a NEW file name (the
+// <nd> suffix), and a translog whose retained range changed gets a
+// NEW file name (the <b>-<e> range — entries are immutable per
+// sequence), so a crash anywhere mid-save leaves the previous
+// checkpoint's files — and therefore the previous recoverable state —
+// fully intact. Files the committed manifest no longer references are
+// garbage-collected after the commit rename.
 //
 // SaveShard persists the searchable state plus the translog; anything
 // buffered but not refreshed is recovered by replaying the translog
 // tail on open (exactly the crash-recovery contract of Section 3.3).
 Status SaveShard(const ShardStore& store, const std::string& dir);
 
+// What recovery did — per layer, what was replayed vs. discarded.
+// Populated by OpenShard (aggregated per cluster by RecoverCluster).
+struct RecoveryReport {
+  uint64_t segments_loaded = 0;
+  // Translog tail ops re-applied to the write buffer.
+  uint64_t ops_replayed = 0;
+  // Translog ops already covered by segments (idempotent overlap,
+  // e.g. a crash between checkpoint and translog truncation).
+  uint64_t ops_skipped = 0;
+  // Ops lost to a torn translog tail: the file ended mid-record (a
+  // partial write the crash left behind), so the tail from the first
+  // unparseable record on is truncated, with a warning — never
+  // loaded as garbage and never a hard failure.
+  uint64_t ops_discarded = 0;
+  bool torn_tail = false;
+
+  void Add(const RecoveryReport& other) {
+    segments_loaded += other.segments_loaded;
+    ops_replayed += other.ops_replayed;
+    ops_skipped += other.ops_skipped;
+    ops_discarded += other.ops_discarded;
+    torn_tail = torn_tail || other.torn_tail;
+  }
+
+  std::string ToString() const;
+};
+
 // Opens a shard saved by SaveShard. The returned store is query- and
 // write-ready; un-refreshed ops from the translog tail have been
-// re-applied (call Refresh() to make them searchable).
+// re-applied (call Refresh() to make them searchable). When `report`
+// is non-null it receives the replayed/discarded accounting above.
 Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
                                               ShardStore::Options options,
-                                              const std::string& dir);
+                                              const std::string& dir,
+                                              RecoveryReport* report = nullptr);
 
 }  // namespace esdb
 

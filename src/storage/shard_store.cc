@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace esdb {
 
 ShardStore::ShardStore(const IndexSpec* spec, Options options)
@@ -19,6 +21,11 @@ void ShardStore::PublishSegments(ShardView next) {
 
 Result<uint64_t> ShardStore::Apply(const WriteOp& op) {
   MutexLock lock(&write_mu_);
+  // Crash point: the write dies before it reaches the translog — it
+  // is rejected (never acknowledged), so recovery must not surface it.
+  if (ESDB_FAIL_POINT(failsite::kTranslogAppend)) {
+    return Status::Unavailable("failpoint: translog/append");
+  }
   // Durability first: acknowledged writes are always in the translog.
   const uint64_t seq = translog_.Append(op);
   translog_bytes_.store(translog_.SizeBytes(), std::memory_order_relaxed);
@@ -130,6 +137,11 @@ bool ShardStore::RefreshLocked() {
 
 void ShardStore::Flush() {
   MutexLock lock(&write_mu_);
+  // Crash point: the checkpoint happened but the process dies before
+  // the translog truncation. The retained tail then overlaps the
+  // segments; recovery must replay it idempotently (ops at seq <
+  // refreshed_seq are skipped on load).
+  if (ESDB_FAIL_POINT(failsite::kTranslogTruncate)) return;
   translog_.TruncateBefore(refreshed_seq_.load(std::memory_order_relaxed));
   translog_bytes_.store(translog_.SizeBytes(), std::memory_order_relaxed);
 }

@@ -1,0 +1,741 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_persistence.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "consensus/network.h"
+#include "replication/replication.h"
+#include "storage/persistence.h"
+
+namespace esdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Every registered fail-point site must have a crash/fault scenario in
+// this file. MatrixCoversEverySite cross-checks this list against
+// FailPoints::AllSites(): adding a site to the registry without adding
+// it (and a scenario TEST) here fails the build's test run.
+constexpr const char* kMatrixSites[] = {
+    failsite::kTranslogAppend,      // CrashMatrix.TranslogAppend
+    failsite::kTranslogTruncate,    // CrashMatrix.TranslogTruncate
+    failsite::kSaveSegment,         // CrashMatrix.SaveSegment
+    failsite::kSaveTranslog,        // CrashMatrix.SaveTranslog
+    failsite::kSaveManifest,        // CrashMatrix.SaveManifest*
+    failsite::kTornTail,            // CrashMatrix.TornTail*
+    failsite::kLoadSegment,         // CrashMatrix.LoadSegment
+    failsite::kReplicationCopySegment,  // CrashMatrix.ReplicationCopySegment
+    failsite::kReplicationCatchup,  // CrashMatrix.ReplicationCatchup
+    failsite::kNetDrop,             // CrashMatrix.NetDrop
+    failsite::kNetDelay,            // CrashMatrix.NetDelay
+};
+
+IndexSpec TestSpec() {
+  IndexSpec spec;
+  spec.composite_indexes = {{"tenant_id", "created_time"}};
+  return spec;
+}
+
+WriteOp Insert(int64_t record, int64_t time, int64_t status = 0) {
+  WriteOp op;
+  op.type = OpType::kInsert;
+  op.doc.Set(kFieldTenantId, Value(int64_t(1)));
+  op.doc.Set(kFieldRecordId, Value(record));
+  op.doc.Set(kFieldCreatedTime, Value(time));
+  op.doc.Set("status", Value(status));
+  return op;
+}
+
+WriteOp Delete(int64_t record, int64_t time) {
+  WriteOp op;
+  op.type = OpType::kDelete;
+  op.doc.Set(kFieldTenantId, Value(int64_t(1)));
+  op.doc.Set(kFieldRecordId, Value(record));
+  op.doc.Set(kFieldCreatedTime, Value(time));
+  return op;
+}
+
+void ExpectSameLiveSet(const ShardStore& a, const ShardStore& b,
+                       int64_t max_record) {
+  EXPECT_EQ(a.num_live_docs(), b.num_live_docs());
+  for (int64_t record = 0; record <= max_record; ++record) {
+    auto da = a.GetByRecordId(record);
+    auto db = b.GetByRecordId(record);
+    ASSERT_EQ(da.ok(), db.ok()) << "record " << record;
+    if (da.ok()) {
+      EXPECT_EQ(*da, *db) << "record " << record;
+    }
+  }
+}
+
+// Base fixture: temp dir + registry hygiene. Tests here run in every
+// build configuration, including ESDB_FAILPOINTS=OFF.
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::DisarmAll();
+    dir_ = fs::temp_directory_path() /
+           ("esdb_crash_" + std::to_string(::testing::UnitTest::GetInstance()
+                                               ->random_seed()) +
+            "_" + std::to_string(counter_++));
+  }
+  void TearDown() override {
+    FailPoints::DisarmAll();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  ShardStore::Options Manual() {
+    ShardStore::Options options;
+    options.refresh_doc_count = 0;
+    return options;
+  }
+
+  fs::path dir_;
+  static int counter_;
+};
+
+int RecoveryTest::counter_ = 0;
+
+// Tests that arm fail points: skip themselves in compiled-out builds.
+class CrashMatrix : public RecoveryTest {
+ protected:
+  void SetUp() override {
+    RecoveryTest::SetUp();
+    if (!FailPoints::CompiledIn()) {
+      GTEST_SKIP() << "fail points compiled out (ESDB_FAILPOINTS=OFF)";
+    }
+  }
+};
+
+TEST_F(RecoveryTest, MatrixCoversEverySite) {
+  std::vector<std::string> registered = FailPoints::AllSites();
+  std::vector<std::string> covered(std::begin(kMatrixSites),
+                                   std::end(kMatrixSites));
+  std::sort(registered.begin(), registered.end());
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(registered, covered)
+      << "every registered fail-point site needs a scenario in "
+         "crash_recovery_test.cc (and vice versa)";
+}
+
+// translog/append: the append to the durability log errors (disk
+// full). The op must be rejected atomically — no partial state, and
+// the shard keeps accepting writes afterwards.
+TEST_F(CrashMatrix, TranslogAppend) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, Manual());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+
+  FailPoints::Arm(failsite::kTranslogAppend, FailPoints::Once());
+  auto failed = store.Apply(Insert(100, 100));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  // Nothing of the rejected op leaked into log or buffer.
+  EXPECT_EQ(store.translog().num_entries(), 10u);
+  EXPECT_FALSE(store.GetByRecordId(100).ok());
+
+  ASSERT_TRUE(store.Apply(Insert(11, 11)).ok());
+  ASSERT_TRUE(SaveShard(store, dir_.string()).ok());
+  auto opened = OpenShard(&spec, Manual(), dir_.string());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  (*opened)->Refresh();
+  store.Refresh();
+  ExpectSameLiveSet(store, **opened, 120);
+}
+
+// translog/truncate: the crash hits between checkpointing segments and
+// truncating the log (Flush). The retained log overlaps the segments;
+// recovery must skip the overlap instead of double-applying it.
+TEST_F(CrashMatrix, TranslogTruncate) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, Manual());
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  store.Refresh();
+
+  FailPoints::Arm(failsite::kTranslogTruncate, FailPoints::Once());
+  store.Flush();  // "crashes" before truncating
+  EXPECT_EQ(store.translog().num_entries(), 20u);  // overlap retained
+
+  ASSERT_TRUE(SaveShard(store, dir_.string()).ok());
+  RecoveryReport report;
+  auto opened = OpenShard(&spec, Manual(), dir_.string(), &report);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(report.ops_skipped, 20u);  // idempotent overlap, not replayed
+  EXPECT_EQ(report.ops_replayed, 0u);
+  (*opened)->Refresh();
+  ExpectSameLiveSet(store, **opened, 25);
+
+  // A later, healthy Flush truncates as usual.
+  store.Flush();
+  EXPECT_EQ(store.translog().num_entries(), 0u);
+}
+
+// For the three save-path crash points the oracle is identical: a
+// checkpoint that did not reach its MANIFEST commit changes nothing —
+// recovery lands exactly on the previous checkpoint.
+void RunFailedCheckpointScenario(const char* site, const fs::path& dir) {
+  IndexSpec spec = TestSpec();
+  ShardStore::Options manual;
+  manual.refresh_doc_count = 0;
+  ShardStore store(&spec, manual);
+  // Checkpoint A: 20 refreshed docs + 5 buffered tail ops.
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  store.Refresh();
+  for (int64_t i = 20; i < 25; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  ASSERT_TRUE(SaveShard(store, dir.string()).ok());
+
+  // More work that checkpoint B will fail to persist.
+  for (int64_t i = 25; i < 35; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  ASSERT_TRUE(store.Apply(Delete(3, 3)).ok());
+  store.Refresh();
+
+  FailPoints::Arm(site, FailPoints::Once());
+  auto failed = SaveShard(store, dir.string());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(FailPoints::Triggers(site), 1u) << site;
+
+  // Recovery sees checkpoint A, byte for byte: 25 docs, record 3
+  // alive, records 25.. absent.
+  RecoveryReport report;
+  auto opened = OpenShard(&spec, manual, dir.string(), &report);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_FALSE(report.torn_tail);
+  (*opened)->Refresh();
+  EXPECT_EQ((*opened)->num_live_docs(), 25u);
+  EXPECT_TRUE((*opened)->GetByRecordId(3).ok());
+  EXPECT_FALSE((*opened)->GetByRecordId(25).ok());
+
+  // Retrying the checkpoint (the fail point auto-disarmed) persists
+  // everything; recovery now matches the live store.
+  ASSERT_TRUE(SaveShard(store, dir.string()).ok());
+  auto reopened = OpenShard(&spec, manual, dir.string());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  (*reopened)->Refresh();
+  store.Refresh();
+  ExpectSameLiveSet(store, **reopened, 40);
+}
+
+TEST_F(CrashMatrix, SaveSegment) {
+  RunFailedCheckpointScenario(failsite::kSaveSegment, dir_);
+}
+
+TEST_F(CrashMatrix, SaveTranslog) {
+  RunFailedCheckpointScenario(failsite::kSaveTranslog, dir_);
+}
+
+TEST_F(CrashMatrix, SaveManifest) {
+  RunFailedCheckpointScenario(failsite::kSaveManifest, dir_);
+}
+
+// Regression for the manifest/translog pairing hole: a Flush between
+// two checkpoints truncates the in-memory log, and the crash lands
+// after the new translog file is on disk but before the MANIFEST
+// commit. The committed manifest must keep referencing the OLD
+// translog file (they are versioned by range) — pairing the old
+// manifest with the newer, shorter log would silently lose the ops in
+// between.
+TEST_F(CrashMatrix, SaveManifestAfterFlushKeepsOldTranslog) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, Manual());
+  // Checkpoint A: 10 refreshed docs + 5 tail ops in the log.
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  store.Refresh();
+  for (int64_t i = 10; i < 15; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  ASSERT_TRUE(SaveShard(store, dir_.string()).ok());
+
+  // Refresh + Flush: the tail ops move into segments and the log is
+  // truncated — the next checkpoint's translog file is (nearly) empty.
+  store.Refresh();
+  store.Flush();
+  FailPoints::Arm(failsite::kSaveManifest, FailPoints::Once());
+  ASSERT_FALSE(SaveShard(store, dir_.string()).ok());
+
+  // Checkpoint A still recovers whole: the 5 tail ops replay from A's
+  // translog file even though a newer (empty) translog file exists.
+  RecoveryReport report;
+  auto opened = OpenShard(&spec, Manual(), dir_.string(), &report);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(report.ops_replayed, 5u);
+  (*opened)->Refresh();
+  EXPECT_EQ((*opened)->num_live_docs(), 15u);
+  for (int64_t i = 0; i < 15; ++i) {
+    EXPECT_TRUE((*opened)->GetByRecordId(i).ok()) << i;
+  }
+}
+
+// persist/torn-tail: the translog write "succeeds" but the device tore
+// the final record (fsync lie). Recovery must truncate at the tear —
+// prefix-consistent, warned, never garbage — and re-recovery from the
+// same files must be byte-identical.
+TEST_F(CrashMatrix, TornTail) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, Manual());
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  store.Refresh();
+  for (int64_t i = 20; i < 25; ++i) {  // tail: buffered only
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+
+  FailPoints::Arm(failsite::kTornTail, FailPoints::Once(/*arg=*/3));
+  ASSERT_TRUE(SaveShard(store, dir_.string()).ok());  // reports success!
+
+  RecoveryReport report;
+  auto opened = OpenShard(&spec, Manual(), dir_.string(), &report);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.ops_discarded, 1u);  // a 3-byte tear eats one record
+  EXPECT_EQ(report.ops_replayed, 4u);
+  EXPECT_EQ(report.ops_skipped, 20u);
+  (*opened)->Refresh();
+  // Prefix-consistent: ops 0..23 recovered, op 24 (the torn record)
+  // gone, nothing invented.
+  EXPECT_EQ((*opened)->num_live_docs(), 24u);
+  EXPECT_TRUE((*opened)->GetByRecordId(23).ok());
+  EXPECT_FALSE((*opened)->GetByRecordId(24).ok());
+
+  // Idempotent re-recovery: same report, same state.
+  RecoveryReport again;
+  auto reopened = OpenShard(&spec, Manual(), dir_.string(), &again);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(again.ops_discarded, report.ops_discarded);
+  EXPECT_EQ(again.ops_replayed, report.ops_replayed);
+  (*reopened)->Refresh();
+  ExpectSameLiveSet(**opened, **reopened, 30);
+}
+
+// Torn tail without fail points: damage the file the way a real torn
+// sector would, by truncating it on disk. This is the regression test
+// that holds even in ESDB_FAILPOINTS=OFF builds.
+TEST_F(RecoveryTest, TornTailOnDiskTruncation) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, Manual());
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  ASSERT_TRUE(SaveShard(store, dir_.string()).ok());
+
+  // Tear bytes off the end of the translog file.
+  fs::path log_path;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".log") log_path = entry.path();
+  }
+  ASSERT_FALSE(log_path.empty());
+  const uintmax_t size = fs::file_size(log_path);
+  ASSERT_GT(size, 5u);
+  fs::resize_file(log_path, size - 5);
+
+  RecoveryReport report;
+  auto opened = OpenShard(&spec, Manual(), dir_.string(), &report);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.ops_discarded, 1u);
+  EXPECT_EQ(report.ops_replayed, 7u);
+  (*opened)->Refresh();
+  EXPECT_EQ((*opened)->num_live_docs(), 7u);
+  EXPECT_FALSE((*opened)->GetByRecordId(7).ok());
+}
+
+// persist/load-segment: a segment read fails during recovery (bad
+// sector). Recovery fails cleanly — no partial store — and a retry
+// against the intact files succeeds completely.
+TEST_F(CrashMatrix, LoadSegment) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, Manual());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  store.Refresh();
+  for (int64_t i = 10; i < 20; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  store.Refresh();  // two segments
+  ASSERT_TRUE(SaveShard(store, dir_.string()).ok());
+
+  FailPoints::Arm(failsite::kLoadSegment, FailPoints::Once());
+  auto failed = OpenShard(&spec, Manual(), dir_.string());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+
+  auto opened = OpenShard(&spec, Manual(), dir_.string());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  (*opened)->Refresh();
+  EXPECT_EQ((*opened)->num_live_docs(), 20u);
+}
+
+// replication/copy-segment: the copy stream dies mid-round. The
+// replica lags but is never corrupted; the next round re-diffs and
+// converges.
+TEST_F(CrashMatrix, ReplicationCopySegment) {
+  IndexSpec spec = TestSpec();
+  ShardStore::Options manual = Manual();
+  ReplicatedShard shard(&spec, manual, ReplicationMode::kPhysical);
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(shard.Apply(Insert(i, i)).ok());
+  }
+  ASSERT_TRUE(shard.Refresh().ok());
+  ExpectSameLiveSet(*shard.primary(), *shard.replica(), 20);
+
+  for (int64_t i = 20; i < 40; ++i) {
+    ASSERT_TRUE(shard.Apply(Insert(i, i)).ok());
+  }
+  FailPoints::Arm(failsite::kReplicationCopySegment, FailPoints::Once());
+  auto failed = shard.Refresh();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  // The replica fell behind but holds a consistent older state.
+  EXPECT_LT(shard.replica()->num_live_docs(),
+            shard.primary()->num_live_docs());
+
+  ASSERT_TRUE(shard.Refresh().ok());  // heals
+  ExpectSameLiveSet(*shard.primary(), *shard.replica(), 45);
+}
+
+// replication/catchup: the whole catch-up round is unreachable. A
+// later Refresh() converges, and a failover after the heal loses
+// nothing.
+TEST_F(CrashMatrix, ReplicationCatchup) {
+  IndexSpec spec = TestSpec();
+  ReplicatedShard shard(&spec, Manual(), ReplicationMode::kPhysical);
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(shard.Apply(Insert(i, i)).ok());
+  }
+  FailPoints::Arm(failsite::kReplicationCatchup, FailPoints::Once());
+  auto failed = shard.Refresh();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+
+  ASSERT_TRUE(shard.Refresh().ok());
+  ExpectSameLiveSet(*shard.primary(), *shard.replica(), 35);
+
+  auto promoted = std::move(shard).Failover();
+  ASSERT_TRUE(promoted.ok());
+  (*promoted)->Refresh();
+  EXPECT_EQ((*promoted)->num_live_docs(), 30u);
+}
+
+// consensus/net-drop: deterministic message loss injected below
+// SimNetwork's own probabilistic drops.
+TEST_F(CrashMatrix, NetDrop) {
+  VirtualClock clock;
+  SimNetwork net(&clock, SimNetwork::Options{});
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::EveryN(1));
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.Send(m);
+  clock.Advance(kMicrosPerSecond);
+  EXPECT_TRUE(net.Receive(2).empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+
+  FailPoints::Disarm(failsite::kNetDrop);
+  net.Send(m);
+  clock.Advance(kMicrosPerSecond);
+  EXPECT_EQ(net.Receive(2).size(), 1u);
+}
+
+// consensus/net-delay: injected extra latency (arg = micros).
+TEST_F(CrashMatrix, NetDelay) {
+  VirtualClock clock;
+  SimNetwork::Options options;
+  options.latency = 1 * kMicrosPerMilli;
+  SimNetwork net(&clock, options);
+  FailPoints::Arm(failsite::kNetDelay,
+                  FailPoints::Once(/*arg=*/5 * kMicrosPerMilli));
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.Send(m);
+  clock.Advance(1 * kMicrosPerMilli);
+  EXPECT_TRUE(net.Receive(2).empty());  // still delayed
+  clock.Advance(5 * kMicrosPerMilli);
+  EXPECT_EQ(net.Receive(2).size(), 1u);
+}
+
+// Cluster-level recovery entry point: RecoverCluster reports what was
+// replayed and discarded, per shard and in total.
+TEST_F(RecoveryTest, RecoverClusterReportsReplayedOps) {
+  Esdb::Options options;
+  options.num_shards = 4;
+  options.store.refresh_doc_count = 0;
+  Esdb db(options);
+  for (int64_t i = 0; i < 40; ++i) {
+    Document doc;
+    doc.Set(kFieldTenantId, Value(int64_t(1 + i % 3)));
+    doc.Set(kFieldRecordId, Value(i));
+    doc.Set(kFieldCreatedTime, Value(i));
+    ASSERT_TRUE(db.Insert(std::move(doc)).ok());
+  }
+  db.RefreshAll();
+  for (int64_t i = 40; i < 52; ++i) {  // tail: buffered only
+    Document doc;
+    doc.Set(kFieldTenantId, Value(int64_t(1 + i % 3)));
+    doc.Set(kFieldRecordId, Value(i));
+    doc.Set(kFieldCreatedTime, Value(i));
+    ASSERT_TRUE(db.Insert(std::move(doc)).ok());
+  }
+  ASSERT_TRUE(SaveCluster(db, dir_.string()).ok());
+
+  Esdb::Options reopened_options;
+  reopened_options.num_shards = 4;
+  reopened_options.store.refresh_doc_count = 0;
+  ClusterRecoveryReport report;
+  auto recovered = RecoverCluster(reopened_options, dir_.string(), &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(report.shards.size(), 4u);
+  EXPECT_EQ(report.total.ops_replayed, 12u);
+  EXPECT_EQ(report.total.ops_skipped, 40u);
+  EXPECT_EQ(report.total.ops_discarded, 0u);
+  EXPECT_FALSE(report.total.torn_tail);
+  EXPECT_FALSE(report.ToString().empty());
+  (*recovered)->RefreshAll();
+  EXPECT_EQ((*recovered)->TotalDocs(), 52u);
+}
+
+// Cluster recovery across torn shard translogs: every shard's tail is
+// torn; the cluster report aggregates the damage and the recovered
+// cluster holds exactly the surviving prefix on every shard.
+TEST_F(CrashMatrix, RecoverClusterAggregatesTornTails) {
+  Esdb::Options options;
+  options.num_shards = 4;
+  options.store.refresh_doc_count = 0;
+  Esdb db(options);
+  uint64_t written = 0;
+  for (int64_t i = 0; i < 48; ++i, ++written) {
+    Document doc;
+    doc.Set(kFieldTenantId, Value(int64_t(1 + i % 3)));
+    doc.Set(kFieldRecordId, Value(i));
+    doc.Set(kFieldCreatedTime, Value(i));
+    ASSERT_TRUE(db.Insert(std::move(doc)).ok());
+  }
+  // Tear the tail of every shard's translog during the save.
+  FailPoints::Arm(failsite::kTornTail, FailPoints::EveryN(1, /*arg=*/2));
+  ASSERT_TRUE(SaveCluster(db, dir_.string()).ok());
+  FailPoints::Disarm(failsite::kTornTail);
+
+  Esdb::Options reopened_options;
+  reopened_options.num_shards = 4;
+  reopened_options.store.refresh_doc_count = 0;
+  ClusterRecoveryReport report;
+  auto recovered = RecoverCluster(reopened_options, dir_.string(), &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(report.total.torn_tail);
+  // A 2-byte tear eats exactly the final record of each non-empty log.
+  uint64_t torn_shards = 0;
+  for (const RecoveryReport& shard : report.shards) {
+    if (shard.torn_tail) {
+      ++torn_shards;
+      EXPECT_EQ(shard.ops_discarded, 1u);
+    }
+  }
+  EXPECT_GT(torn_shards, 0u);
+  EXPECT_EQ(report.total.ops_discarded, torn_shards);
+  (*recovered)->RefreshAll();
+  EXPECT_EQ((*recovered)->TotalDocs(), written - torn_shards);
+}
+
+// A site armed kCrash really does take the process down at the site —
+// the mode the child-process harnesses rely on.
+TEST_F(CrashMatrix, CrashModeDiesInsideSave) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, Manual());
+  ASSERT_TRUE(store.Apply(Insert(1, 1)).ok());
+  store.Refresh();
+  FailPoints::Arm(failsite::kSaveManifest, FailPoints::CrashHere());
+  EXPECT_DEATH_IF_SUPPORTED((void)SaveShard(store, dir_.string()),
+                            "fail point");
+  FailPoints::Disarm(failsite::kSaveManifest);
+}
+
+// ---------------------------------------------------------------------
+// Randomized recovery fuzzer: a random DML workload interleaved with
+// refresh/flush/merge and checkpoint attempts, each checkpoint armed
+// with a randomly chosen crash point (or a torn tail, or nothing).
+// Oracle: recovery must land exactly on the reference state obtained
+// by replaying the surviving op prefix — no invented docs, no lost
+// committed ops — and re-recovery must be idempotent. The iteration
+// seed is printed on failure; ESDB_FUZZ_ITERS overrides the count.
+// ---------------------------------------------------------------------
+
+int FuzzIterations() {
+  const char* env = std::getenv("ESDB_FUZZ_ITERS");
+  if (env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 200;
+}
+
+TEST_F(CrashMatrix, RandomizedRecoveryFuzzer) {
+  IndexSpec spec = TestSpec();
+  const int iterations = FuzzIterations();
+  for (int iter = 0; iter < iterations; ++iter) {
+    const uint64_t seed = 0x5eedbeef + uint64_t(iter) * 1000003;
+    SCOPED_TRACE("fuzzer seed " + std::to_string(seed) + " (iteration " +
+                 std::to_string(iter) + ")");
+    Rng rng(seed);
+    const fs::path dir = dir_ / ("iter-" + std::to_string(iter));
+
+    ShardStore store(&spec, Manual());
+    std::vector<WriteOp> ops;  // every op the store accepted, in order
+    struct Committed {
+      size_t op_count = 0;        // translog end_seq at the commit
+      uint64_t refreshed_seq = 0; // segment coverage at the commit
+      bool torn = false;          // the commit's translog tail was torn
+    };
+    std::optional<Committed> committed;
+    int64_t sentinel_record = 1000;
+
+    const int steps = 20 + int(rng.Uniform(40));
+    for (int step = 0; step < steps; ++step) {
+      // DML: mostly upserts, some deletes, over a small record domain
+      // so ops collide and tombstones matter.
+      const int64_t record = int64_t(rng.Uniform(25));
+      if (rng.Bernoulli(0.1)) {
+        // A deterministic translog-append failure: the op must vanish
+        // without a trace.
+        FailPoints::Arm(failsite::kTranslogAppend, FailPoints::Once());
+        WriteOp doomed = Insert(record, step, -1);
+        ASSERT_FALSE(store.Apply(doomed).ok());
+      }
+      WriteOp op = rng.Bernoulli(0.2) ? Delete(record, step)
+                                      : Insert(record, step, int64_t(step));
+      ASSERT_TRUE(store.Apply(op).ok());
+      ops.push_back(op);
+
+      if (rng.Bernoulli(0.25)) store.Refresh();
+      if (rng.Bernoulli(0.1)) store.MaybeMerge();
+      if (rng.Bernoulli(0.1)) {
+        if (rng.Bernoulli(0.3)) {
+          // Crash before the truncate: the log keeps its overlap.
+          FailPoints::Arm(failsite::kTranslogTruncate, FailPoints::Once());
+        }
+        store.Flush();
+      }
+
+      if (rng.Bernoulli(0.25)) {
+        // Checkpoint attempt under a randomly chosen fault.
+        const uint64_t fault = rng.Uniform(6);
+        bool torn = false;
+        switch (fault) {
+          case 0:
+            FailPoints::Arm(failsite::kSaveSegment, FailPoints::Once());
+            break;
+          case 1:
+            FailPoints::Arm(failsite::kSaveTranslog, FailPoints::Once());
+            break;
+          case 2:
+            FailPoints::Arm(failsite::kSaveManifest, FailPoints::Once());
+            break;
+          case 3:
+            // Torn tail. Precede it with a sentinel insert of a fresh
+            // record so the record under the tear has unambiguous
+            // prefix semantics (see DESIGN.md).
+            torn = true;
+            {
+              WriteOp sentinel = Insert(sentinel_record++, step, step);
+              ASSERT_TRUE(store.Apply(sentinel).ok());
+              ops.push_back(sentinel);
+            }
+            FailPoints::Arm(failsite::kTornTail,
+                            FailPoints::Once(1 + rng.Uniform(4)));
+            break;
+          default:
+            break;  // healthy checkpoint
+        }
+        const Status saved = SaveShard(store, dir.string());
+        FailPoints::DisarmAll();
+        if (saved.ok()) {
+          committed = Committed{ops.size(), store.refreshed_seq(), torn};
+        }
+      }
+    }
+    FailPoints::DisarmAll();
+
+    // Final crash: recover from whatever the directory holds.
+    if (!committed.has_value()) {
+      EXPECT_FALSE(OpenShard(&spec, Manual(), dir.string()).ok());
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+      continue;
+    }
+
+    // Sometimes the first recovery attempt hits a segment-read fault;
+    // the retry must then succeed from the intact files.
+    if (rng.Bernoulli(0.2)) {
+      FailPoints::Arm(failsite::kLoadSegment, FailPoints::Once());
+      auto attempt = OpenShard(&spec, Manual(), dir.string());
+      FailPoints::DisarmAll();
+      if (!attempt.ok()) {
+        EXPECT_EQ(attempt.status().code(), StatusCode::kUnavailable);
+      }
+    }
+
+    RecoveryReport report;
+    auto opened = OpenShard(&spec, Manual(), dir.string(), &report);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+
+    if (!committed->torn) {
+      EXPECT_FALSE(report.torn_tail);
+      EXPECT_EQ(report.ops_discarded, 0u);
+    } else {
+      EXPECT_TRUE(report.torn_tail);
+      EXPECT_EQ(report.ops_discarded, 1u);  // the sentinel record
+    }
+    // The durable prefix: everything up to the commit, minus ops the
+    // tear discarded, but never below what segments already cover.
+    const size_t effective =
+        std::max<size_t>(committed->op_count - report.ops_discarded,
+                         committed->refreshed_seq);
+
+    ShardStore reference(&spec, Manual());
+    for (size_t i = 0; i < effective; ++i) {
+      ASSERT_TRUE(reference.Apply(ops[i]).ok());
+    }
+    reference.Refresh();
+    (*opened)->Refresh();
+    ExpectSameLiveSet(reference, **opened, sentinel_record);
+
+    // Idempotent re-recovery: identical report, identical state.
+    RecoveryReport again;
+    auto reopened = OpenShard(&spec, Manual(), dir.string(), &again);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(again.segments_loaded, report.segments_loaded);
+    EXPECT_EQ(again.ops_replayed, report.ops_replayed);
+    EXPECT_EQ(again.ops_skipped, report.ops_skipped);
+    EXPECT_EQ(again.ops_discarded, report.ops_discarded);
+    EXPECT_EQ(again.torn_tail, report.torn_tail);
+    (*reopened)->Refresh();
+    ExpectSameLiveSet(**opened, **reopened, sentinel_record);
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    if (::testing::Test::HasFailure()) break;  // keep the seed visible
+  }
+}
+
+}  // namespace
+}  // namespace esdb

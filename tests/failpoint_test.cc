@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/failpoint.h"
+
+namespace esdb {
+namespace {
+
+// The registry is process-wide state; every test starts and ends
+// clean so order and sharding cannot matter.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FailPoints::CompiledIn()) {
+      GTEST_SKIP() << "fail points compiled out (ESDB_FAILPOINTS=OFF)";
+    }
+    FailPoints::DisarmAll();
+    FailPoints::ResetCounters();
+  }
+  void TearDown() override {
+    FailPoints::DisarmAll();
+    FailPoints::ResetCounters();
+  }
+};
+
+TEST_F(FailPointTest, DisabledSiteNeverFires) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(ESDB_FAIL_POINT(failsite::kSaveManifest));
+  }
+  // The disabled fast path is deliberately unobservable: no armed
+  // evaluation is counted, because none took the registry lock.
+  EXPECT_EQ(FailPoints::Evaluations(failsite::kSaveManifest), 0u);
+  EXPECT_EQ(FailPoints::Triggers(failsite::kSaveManifest), 0u);
+}
+
+TEST_F(FailPointTest, OnceFiresExactlyOnceAndAutoDisarms) {
+  FailPoints::Arm(failsite::kSaveManifest, FailPoints::Once());
+  EXPECT_TRUE(FailPoints::IsArmed(failsite::kSaveManifest));
+  EXPECT_TRUE(ESDB_FAIL_POINT(failsite::kSaveManifest));
+  EXPECT_FALSE(FailPoints::IsArmed(failsite::kSaveManifest));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(ESDB_FAIL_POINT(failsite::kSaveManifest));
+  }
+  EXPECT_EQ(FailPoints::Triggers(failsite::kSaveManifest), 1u);
+}
+
+TEST_F(FailPointTest, ArmingOneSiteDoesNotFireAnother) {
+  FailPoints::Arm(failsite::kSaveManifest, FailPoints::Once());
+  EXPECT_FALSE(ESDB_FAIL_POINT(failsite::kSaveSegment));
+  EXPECT_TRUE(ESDB_FAIL_POINT(failsite::kSaveManifest));
+  EXPECT_EQ(FailPoints::Triggers(failsite::kSaveSegment), 0u);
+}
+
+TEST_F(FailPointTest, EveryNFiresPeriodically) {
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::EveryN(3));
+  int fired = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (ESDB_FAIL_POINT(failsite::kNetDrop)) ++fired;
+  }
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(FailPoints::Evaluations(failsite::kNetDrop), 12u);
+  EXPECT_EQ(FailPoints::Triggers(failsite::kNetDrop), 4u);
+}
+
+TEST_F(FailPointTest, ProbabilityIsDeterministicBySeed) {
+  auto run = [](uint64_t seed) {
+    FailPoints::Arm(failsite::kNetDrop,
+                    FailPoints::WithProbability(0.5, seed));
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(ESDB_FAIL_POINT(failsite::kNetDrop));
+    }
+    FailPoints::Disarm(failsite::kNetDrop);
+    return pattern;
+  };
+  const auto a = run(9), b = run(9), c = run(10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 flake odds: different seed, same 64 draws
+  const int fired = int(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 10);
+  EXPECT_LT(fired, 54);
+}
+
+TEST_F(FailPointTest, ProbabilityZeroAndOneAreExact) {
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::WithProbability(0.0, 1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ESDB_FAIL_POINT(failsite::kNetDrop));
+  }
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::WithProbability(1.0, 1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ESDB_FAIL_POINT(failsite::kNetDrop));
+  }
+}
+
+TEST_F(FailPointTest, ArgCarriesThePayload) {
+  FailPoints::Arm(failsite::kTornTail, FailPoints::Once(/*arg=*/7));
+  EXPECT_EQ(FailPoints::Arg(failsite::kTornTail), 7u);
+  EXPECT_EQ(FailPoints::Arg(failsite::kSaveManifest), 0u);  // unarmed
+}
+
+TEST_F(FailPointTest, ArgSurvivesFailOnceTrigger) {
+  // The site reads Arg right after ShouldFail fires — by then a
+  // fail-once policy has already auto-disarmed, so the last trigger's
+  // arg must still be visible.
+  FailPoints::Arm(failsite::kTornTail, FailPoints::Once(/*arg=*/5));
+  EXPECT_TRUE(ESDB_FAIL_POINT(failsite::kTornTail));
+  EXPECT_FALSE(FailPoints::IsArmed(failsite::kTornTail));
+  EXPECT_EQ(FailPoints::Arg(failsite::kTornTail), 5u);
+}
+
+TEST_F(FailPointTest, RearmReplacesPolicy) {
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::EveryN(1000));
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::EveryN(1));
+  EXPECT_TRUE(ESDB_FAIL_POINT(failsite::kNetDrop));
+}
+
+TEST_F(FailPointTest, ScopedFailPointDisarmsOnExit) {
+  {
+    ScopedFailPoint fp(failsite::kSaveSegment, FailPoints::EveryN(1));
+    EXPECT_TRUE(ESDB_FAIL_POINT(failsite::kSaveSegment));
+  }
+  EXPECT_FALSE(FailPoints::IsArmed(failsite::kSaveSegment));
+  EXPECT_FALSE(ESDB_FAIL_POINT(failsite::kSaveSegment));
+}
+
+TEST_F(FailPointTest, DisarmAllClearsEverything) {
+  FailPoints::Arm(failsite::kSaveSegment, FailPoints::EveryN(1));
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::EveryN(1));
+  FailPoints::DisarmAll();
+  EXPECT_FALSE(FailPoints::IsArmed(failsite::kSaveSegment));
+  EXPECT_FALSE(FailPoints::IsArmed(failsite::kNetDrop));
+  EXPECT_FALSE(ESDB_FAIL_POINT(failsite::kSaveSegment));
+}
+
+TEST_F(FailPointTest, CountersSurviveDisarmAndReset) {
+  FailPoints::Arm(failsite::kNetDelay, FailPoints::EveryN(1));
+  EXPECT_TRUE(ESDB_FAIL_POINT(failsite::kNetDelay));
+  FailPoints::Disarm(failsite::kNetDelay);
+  EXPECT_EQ(FailPoints::Triggers(failsite::kNetDelay), 1u);
+  FailPoints::ResetCounters();
+  EXPECT_EQ(FailPoints::Triggers(failsite::kNetDelay), 0u);
+  EXPECT_EQ(FailPoints::Evaluations(failsite::kNetDelay), 0u);
+}
+
+TEST_F(FailPointTest, AllSitesListsEveryNamedConstant) {
+  const std::vector<std::string> sites = FailPoints::AllSites();
+  const char* expected[] = {
+      failsite::kTranslogAppend,         failsite::kTranslogTruncate,
+      failsite::kSaveSegment,            failsite::kSaveTranslog,
+      failsite::kSaveManifest,           failsite::kTornTail,
+      failsite::kLoadSegment,            failsite::kReplicationCopySegment,
+      failsite::kReplicationCatchup,     failsite::kNetDrop,
+      failsite::kNetDelay,
+  };
+  EXPECT_EQ(sites.size(), std::size(expected));
+  for (const char* site : expected) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << site;
+  }
+}
+
+TEST_F(FailPointTest, CrashModeAbortsTheProcess) {
+  FailPoints::Arm(failsite::kSaveManifest, FailPoints::CrashHere());
+  EXPECT_DEATH_IF_SUPPORTED(
+      (void)ESDB_FAIL_POINT(failsite::kSaveManifest), "fail point");
+  FailPoints::Disarm(failsite::kSaveManifest);
+}
+
+}  // namespace
+}  // namespace esdb

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "consensus/protocol.h"
+#include "replication/replication.h"
+
+namespace esdb {
+namespace {
+
+constexpr Micros kT = 60 * kMicrosPerSecond;  // consensus interval T
+constexpr Micros kLatency = 1 * kMicrosPerMilli;
+
+IndexSpec TestSpec() {
+  IndexSpec spec;
+  spec.composite_indexes = {{"tenant_id", "created_time"}};
+  return spec;
+}
+
+WriteOp Insert(int64_t record, int64_t time, int64_t status = 0) {
+  WriteOp op;
+  op.type = OpType::kInsert;
+  op.doc.Set(kFieldTenantId, Value(int64_t(1)));
+  op.doc.Set(kFieldRecordId, Value(record));
+  op.doc.Set(kFieldCreatedTime, Value(time));
+  op.doc.Set("status", Value(status));
+  return op;
+}
+
+ShardStore::Options ManualRefresh() {
+  ShardStore::Options options;
+  options.refresh_doc_count = 0;
+  return options;
+}
+
+// Master + N participants on a simulated network driven by a shared
+// virtual clock (same shape as the consensus_test harness).
+class Harness {
+ public:
+  explicit Harness(uint32_t num_participants) {
+    SimNetwork::Options net;
+    net.latency = kLatency;
+    network = std::make_unique<SimNetwork>(&clock, net);
+    std::vector<NodeId> ids;
+    for (uint32_t i = 0; i < num_participants; ++i) {
+      ids.push_back(i + 1);
+      participants.push_back(std::make_unique<ConsensusParticipant>(
+          i + 1, network.get(), &clock));
+    }
+    ConsensusMaster::Options options;
+    options.interval = kT;
+    master = std::make_unique<ConsensusMaster>(0, network.get(), &clock, ids,
+                                               options);
+  }
+
+  void RunFor(Micros duration, Micros step = kLatency) {
+    const Micros end = clock.Now() + duration;
+    while (clock.Now() < end) {
+      clock.Advance(step);
+      master->Step();
+      for (auto& p : participants) p->Step();
+    }
+  }
+
+  VirtualClock clock;
+  std::unique_ptr<SimNetwork> network;
+  std::unique_ptr<ConsensusMaster> master;
+  std::vector<std::unique_ptr<ConsensusParticipant>> participants;
+};
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FailPoints::CompiledIn()) {
+      GTEST_SKIP() << "fail points compiled out (ESDB_FAILPOINTS=OFF)";
+    }
+    FailPoints::DisarmAll();
+  }
+  void TearDown() override { FailPoints::DisarmAll(); }
+};
+
+// Fail-point blackout: every message drops — the network equivalent of
+// a full partition. Unanimity makes the safe call: the round aborts at
+// T/2, no participant applies anything, and after the heal the next
+// round commits everywhere.
+TEST_F(PartitionTest, ConsensusBlackoutAbortsThenHealsAndCommits) {
+  Harness h(3);
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::EveryN(1));
+  const uint64_t doomed = h.master->ProposeRule(/*tenant=*/7, /*offset=*/8);
+  h.RunFor(kT);
+  ASSERT_TRUE(h.master->GetRoundState(doomed).has_value());
+  EXPECT_EQ(*h.master->GetRoundState(doomed),
+            ConsensusMaster::RoundState::kAborted);
+  for (const auto& p : h.participants) {
+    EXPECT_EQ(p->rules().MaxOffset(7), 1u);  // nothing leaked through
+    EXPECT_EQ(p->pending_rounds(), 0u);
+  }
+  EXPECT_GT(h.network->messages_dropped(), 0u);
+
+  FailPoints::Disarm(failsite::kNetDrop);  // heal
+  const uint64_t healthy = h.master->ProposeRule(7, 8);
+  h.RunFor(10 * kLatency);
+  EXPECT_EQ(*h.master->GetRoundState(healthy),
+            ConsensusMaster::RoundState::kCommitted);
+  for (const auto& p : h.participants) {
+    EXPECT_EQ(p->rules().MaxOffset(7), 8u);
+  }
+}
+
+// Lossy link: a deterministic every-3rd-message drop schedule runs
+// under a burst of proposals. Whatever the outcome of each round,
+// safety must hold — a committed round is never half-applied, and
+// after the link heals RequestSync reconverges every participant onto
+// the master's committed list.
+TEST_F(PartitionTest, LossyLinkNeverDivergesAndSyncReconverges) {
+  Harness h(3);
+  FailPoints::Arm(failsite::kNetDrop, FailPoints::EveryN(3));
+  for (int i = 0; i < 8; ++i) {
+    h.master->ProposeRule(TenantId(1 + i % 4), 1u << (1 + i % 4));
+    h.RunFor(kT + 10 * kLatency);  // each round resolves (commit/abort)
+  }
+  EXPECT_GT(h.network->messages_dropped(), 0u);
+  EXPECT_GT(h.master->rounds_committed() + h.master->rounds_aborted(), 0u);
+
+  FailPoints::Disarm(failsite::kNetDrop);  // heal
+  for (auto& p : h.participants) {
+    p->RequestSync(/*master=*/0);
+  }
+  h.RunFor(10 * kLatency);
+  for (const auto& p : h.participants) {
+    EXPECT_EQ(p->rules(), h.master->committed_rules());
+  }
+}
+
+// Replica partition during physical replication: every segment copy
+// fails while the "link" is down, writes keep flowing on the primary,
+// and the replica diverges. After the heal a single replication round
+// reconverges segment counts and live sets exactly.
+TEST_F(PartitionTest, ReplicaPartitionDivergesThenReconverges) {
+  IndexSpec spec = TestSpec();
+  ReplicatedShard shard(&spec, ManualRefresh(), ReplicationMode::kPhysical);
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(shard.Apply(Insert(i, i)).ok());
+  }
+  ASSERT_TRUE(shard.Refresh().ok());
+  ASSERT_EQ(shard.replica()->num_live_docs(), 20u);
+
+  // Partition: every copy attempt fails until healed.
+  FailPoints::Arm(failsite::kReplicationCopySegment, FailPoints::EveryN(1));
+  for (int round = 0; round < 3; ++round) {
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(shard.Apply(Insert(100 + round * 10 + i, i)).ok());
+    }
+    EXPECT_FALSE(shard.Refresh().ok());  // round dies at the copy
+  }
+  // Diverged: the primary moved on, the replica's segments did not.
+  EXPECT_EQ(shard.primary()->num_live_docs(), 50u);
+  EXPECT_EQ(shard.replica()->num_live_docs(), 20u);
+  EXPECT_GT(shard.replica_lag_rounds(), 0u);
+
+  FailPoints::Disarm(failsite::kReplicationCopySegment);  // heal
+  ASSERT_TRUE(shard.Refresh().ok());
+  EXPECT_EQ(shard.replica()->num_segments(),
+            shard.primary()->num_segments());
+  EXPECT_EQ(shard.replica()->num_live_docs(), 50u);
+  for (int64_t record = 0; record < 130; ++record) {
+    auto a = shard.primary()->GetByRecordId(record);
+    auto b = shard.replica()->GetByRecordId(record);
+    ASSERT_EQ(a.ok(), b.ok()) << "record " << record;
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b);
+    }
+  }
+}
+
+// A replica that failed over right after the heal loses nothing: the
+// synchronized translog bridges whatever segment copies the partition
+// suppressed.
+TEST_F(PartitionTest, FailoverAfterPartitionLosesNothing) {
+  IndexSpec spec = TestSpec();
+  ReplicatedShard shard(&spec, ManualRefresh(), ReplicationMode::kPhysical);
+  for (int64_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(shard.Apply(Insert(i, i)).ok());
+  }
+  ASSERT_TRUE(shard.Refresh().ok());
+  // Partitioned rounds: segments stop flowing, the translog does not.
+  FailPoints::Arm(failsite::kReplicationCopySegment, FailPoints::EveryN(1));
+  for (int64_t i = 25; i < 40; ++i) {
+    ASSERT_TRUE(shard.Apply(Insert(i, i)).ok());
+  }
+  EXPECT_FALSE(shard.Refresh().ok());
+  FailPoints::Disarm(failsite::kReplicationCopySegment);
+
+  // Primary dies before any healed replication round runs.
+  auto promoted = std::move(shard).Failover();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  (*promoted)->Refresh();
+  EXPECT_EQ((*promoted)->num_live_docs(), 40u);
+  for (int64_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE((*promoted)->GetByRecordId(i).ok()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace esdb

@@ -229,6 +229,51 @@ TEST(ClusterSimTest, HotspotIsolationProtectsColdTenants) {
   EXPECT_GT(isolated.metrics().completed, blocked.metrics().completed);
 }
 
+TEST(ClusterSimTest, SimWorkersAreByteIdenticalToSerial) {
+  // Sim workers (Options::sim_threads): node ticks run as tasks on a
+  // thread pool, fill private scratch, and merge serially in node
+  // order. Same merge statements in the same order means the parallel
+  // run must equal the serial run EXACTLY — including float-addition
+  // order — across every metric, not just approximately.
+  for (RoutingKind routing : {RoutingKind::kHash, RoutingKind::kDynamic}) {
+    ClusterSim::Options serial_options = FastOptions(routing);
+    serial_options.sim_threads = 0;
+    ClusterSim::Options pooled_options = FastOptions(routing);
+    pooled_options.sim_threads = 3;
+
+    ClusterSim serial(serial_options);
+    ClusterSim pooled(pooled_options);
+    serial.Run(4 * kMicrosPerSecond);
+    pooled.Run(4 * kMicrosPerSecond);
+
+    const auto& a = serial.metrics();
+    const auto& b = pooled.metrics();
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.delay.count(), b.delay.count());
+    EXPECT_EQ(a.delay.sum(), b.delay.sum());  // exact: same fp order
+    EXPECT_EQ(a.delay.min(), b.delay.min());
+    EXPECT_EQ(a.delay.max(), b.delay.max());
+    EXPECT_EQ(a.max_delay, b.max_delay);
+    EXPECT_EQ(a.node_busy_seconds, b.node_busy_seconds);
+    EXPECT_EQ(a.node_completed, b.node_completed);
+    EXPECT_EQ(a.shard_completed, b.shard_completed);
+    EXPECT_EQ(a.shard_docs, b.shard_docs);
+    EXPECT_EQ(a.measured_time, b.measured_time);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (size_t i = 0; i < a.timeline.size(); ++i) {
+      EXPECT_EQ(a.timeline[i].time, b.timeline[i].time);
+      EXPECT_EQ(a.timeline[i].throughput, b.timeline[i].throughput);
+      EXPECT_EQ(a.timeline[i].avg_delay, b.timeline[i].avg_delay);
+      EXPECT_EQ(a.timeline[i].max_delay, b.timeline[i].max_delay);
+      EXPECT_EQ(a.timeline[i].cpu, b.timeline[i].cpu);
+      EXPECT_EQ(a.timeline[i].backlog, b.timeline[i].backlog);
+    }
+    EXPECT_EQ(serial.backlog(), pooled.backlog());
+    EXPECT_EQ(serial.rules_committed(), pooled.rules_committed());
+  }
+}
+
 TEST(ClusterSimTest, HeldHotWritesEventuallyDeliver) {
   // Drive a burst past the hot worker's queue limit, then stop the
   // load: the held client-side batches must drain to zero.
