@@ -37,6 +37,7 @@ bool ExtractTenant(const Expr& e, TenantId* out) {
 
 Esdb::Esdb(Options options)
     : options_(std::move(options)),
+      batch_execution_(options_.batch_execution),
       balancer_(options_.balancer),
       filter_cache_(options_.filter_cache) {
   switch (options_.routing) {
@@ -303,6 +304,10 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
 
   const size_t fan_out = target_shards.size();
   FilterCache* cache = options_.use_filter_cache ? &filter_cache_ : nullptr;
+  // Engine choice is sampled once per query so a concurrent
+  // SetBatchExecution cannot split one query across engines.
+  ExecOptions exec_opts;
+  exec_opts.batch_execution = batch_execution();
 
   // Adaptive parallelism: a tenant-scoped query resolving to one or
   // two shards runs inline in the calling thread even when a pool is
@@ -345,7 +350,7 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
       auto refs = ExecuteQueryPhase(query, *plan, *snapshots[ordinal],
                                     uint32_t(ordinal), &shard_stats[ordinal],
                                     &shard_matched[ordinal], cache,
-                                    target_shards[ordinal]);
+                                    target_shards[ordinal], exec_opts);
       if (refs.ok()) {
         shard_refs[ordinal] = std::move(*refs);
       } else {
@@ -379,7 +384,8 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
     }
     QueryResult result;
     result.total_matched = total_matched;
-    auto fetched = ExecuteFetchPhase(query, snapshots, all_refs, &exec_stats);
+    auto fetched =
+        ExecuteFetchPhase(query, snapshots, all_refs, &exec_stats, exec_opts);
     publish_stats();
     if (!fetched.ok()) return fetched.status();
     result.rows = std::move(*fetched);
@@ -394,7 +400,7 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
   RunPerOrdinal(pool.get(), fan_out, [&](size_t ordinal) {
     auto r = ExecuteOnShard(query, *plan, *snapshots[ordinal],
                             &shard_stats[ordinal], cache,
-                            target_shards[ordinal]);
+                            target_shards[ordinal], exec_opts);
     if (r.ok()) {
       shard_results[ordinal] = std::move(*r);
     } else {

@@ -59,6 +59,11 @@ class Esdb {
     // keys from all shards, merge globally, fetch only the winners.
     // Aggregates and group-bys always run single-phase.
     bool two_phase_queries = true;
+    // Vectorized batch execution (src/query/batch/): doc-value
+    // filtering, aggregation and sort-key resolution run batch-at-a-
+    // time over the frozen typed columns instead of row-at-a-time.
+    // Results are byte-identical to the row engine; off by default.
+    bool batch_execution = false;
     // Per-segment filter cache for repeated (cacheable) plans.
     bool use_filter_cache = true;
     FilterCache::Options filter_cache;
@@ -145,6 +150,16 @@ class Esdb {
   void SetMaintenanceThreads(uint32_t n);
   uint32_t maintenance_threads() const { return options_.maintenance_threads; }
 
+  // Switches the execution engine (row vs vectorized batch). Safe to
+  // toggle while queries are in flight: each query samples the flag
+  // once at entry, and both engines produce identical results.
+  void SetBatchExecution(bool on) {
+    batch_execution_.store(on, std::memory_order_relaxed);
+  }
+  bool batch_execution() const {
+    return batch_execution_.load(std::memory_order_relaxed);
+  }
+
   // --- Balancing ------------------------------------------------------
 
   // One balancing cycle (Algorithm 1 runtime phase): drains the
@@ -187,6 +202,7 @@ class Esdb {
   const ShardStore* Primary(ShardId id) const;
 
   Options options_;
+  std::atomic<bool> batch_execution_;
   std::unique_ptr<RoutingPolicy> routing_;
   DynamicSecondaryHashing* dynamic_ = nullptr;  // owned by routing_
   // Either plain stores or replicated shards, by options.

@@ -1,0 +1,52 @@
+#include "query/batch/aggregate.h"
+
+#include "query/executor.h"
+
+namespace esdb {
+namespace batch {
+
+BatchAggregator::BatchAggregator(const Query& query, const Segment& segment)
+    : query_(query) {
+  if (!query.group_by.empty()) {
+    group_source_ = SlotSource::Resolve(segment, query.group_by);
+  }
+  if (query.agg != AggFunc::kCount) {
+    agg_source_ = SlotSource::Resolve(segment, query.agg_column);
+  }
+}
+
+namespace {
+
+// min/max fold on a slot without materializing it unless it wins.
+void FoldMinMax(const TypedSlot& slot, std::optional<Value>* min,
+                std::optional<Value>* max) {
+  if (!*min || CompareSlotValue(slot, **min) < 0) *min = SlotToValue(slot);
+  if (!*max || CompareSlotValue(slot, **max) > 0) *max = SlotToValue(slot);
+}
+
+}  // namespace
+
+void BatchAggregator::Accumulate(DocId id, QueryResult* result) const {
+  if (!query_.group_by.empty()) {
+    const Value key = SlotToValue(group_source_.Read(id));
+    GroupStats& group = result->groups[key];
+    ++group.count;
+    if (query_.agg != AggFunc::kCount) {
+      const TypedSlot v = agg_source_.Read(id);
+      if (!v.is_nothing()) {
+        if (v.is_numeric()) group.sum += v.NumericValue();
+        FoldMinMax(v, &group.min, &group.max);
+      }
+    }
+    return;
+  }
+  ++result->agg_count;
+  if (query_.agg == AggFunc::kCount) return;
+  const TypedSlot v = agg_source_.Read(id);
+  if (v.is_nothing()) return;
+  if (v.is_numeric()) result->agg_sum += v.NumericValue();
+  FoldMinMax(v, &result->agg_min, &result->agg_max);
+}
+
+}  // namespace batch
+}  // namespace esdb

@@ -1,0 +1,38 @@
+#ifndef ESDB_QUERY_BATCH_AGGREGATE_H_
+#define ESDB_QUERY_BATCH_AGGREGATE_H_
+
+#include "query/ast.h"
+#include "query/batch/filter.h"
+#include "storage/segment.h"
+
+namespace esdb {
+
+struct QueryResult;  // query/executor.h
+
+namespace batch {
+
+// Aggregation over batch candidates with per-segment hoisted column
+// sources: the group-by key and aggregate input are read as slots
+// (no Value construction for ints/doubles until a group key or a new
+// min/max actually has to be stored). Accumulation order and double
+// summation order are identical to the row engine's Accumulate —
+// that, plus std::map's insert-order independence, is what keeps
+// GROUP BY results byte-identical.
+class BatchAggregator {
+ public:
+  BatchAggregator(const Query& query, const Segment& segment);
+
+  // Folds one surviving doc into `result`; docs must be fed in the
+  // same candidate order the row engine uses.
+  void Accumulate(DocId id, QueryResult* result) const;
+
+ private:
+  const Query& query_;
+  SlotSource group_source_;  // valid when query has GROUP BY
+  SlotSource agg_source_;    // valid when agg != kCount
+};
+
+}  // namespace batch
+}  // namespace esdb
+
+#endif  // ESDB_QUERY_BATCH_AGGREGATE_H_

@@ -1,0 +1,142 @@
+#include "query/batch/slot.h"
+
+#include "common/strings.h"
+#include "query/ast.h"
+#include "storage/analyzer.h"
+
+namespace esdb {
+namespace batch {
+
+namespace {
+
+// Same rank lattice as Value::TypeRank.
+int Rank(SlotTag tag) {
+  switch (tag) {
+    case SlotTag::kNothing:
+      return 0;
+    case SlotTag::kBool:
+      return 1;
+    case SlotTag::kInt:
+    case SlotTag::kDouble:
+      return 2;
+    case SlotTag::kString:
+      return 3;
+  }
+  return 4;
+}
+
+int ValueRank(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return 0;
+    case Value::Type::kBool:
+      return 1;
+    case Value::Type::kInt:
+    case Value::Type::kDouble:
+      return 2;
+    case Value::Type::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+Value SlotToValue(const TypedSlot& slot) {
+  switch (slot.tag) {
+    case SlotTag::kNothing:
+      return Value::Null();
+    case SlotTag::kBool:
+      return Value(slot.as_bool());
+    case SlotTag::kInt:
+      return Value(slot.as_int());
+    case SlotTag::kDouble:
+      return Value(slot.as_double());
+    case SlotTag::kString:
+      return Value(slot.as_string());
+  }
+  return Value::Null();
+}
+
+int CompareSlotValue(const TypedSlot& slot, const Value& other) {
+  const int ra = Rank(slot.tag);
+  const int rb = ValueRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (slot.tag) {
+    case SlotTag::kNothing:
+      return 0;
+    case SlotTag::kBool: {
+      const int a = slot.as_bool() ? 1 : 0;
+      const int b = other.as_bool() ? 1 : 0;
+      return a - b;
+    }
+    case SlotTag::kInt:
+    case SlotTag::kDouble: {
+      if (slot.tag == SlotTag::kInt && other.is_int()) {
+        const int64_t a = slot.as_int();
+        const int64_t b = other.as_int();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = slot.NumericValue();
+      const double b = other.NumericValue();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case SlotTag::kString:
+      return slot.as_string().compare(other.as_string());
+  }
+  return 0;
+}
+
+bool EvalPredSlot(const Predicate& pred, const TypedSlot& slot) {
+  switch (pred.op) {
+    case PredOp::kEq:
+      return !slot.is_nothing() && CompareSlotValue(slot, pred.args[0]) == 0;
+    case PredOp::kNe:
+      return !slot.is_nothing() && CompareSlotValue(slot, pred.args[0]) != 0;
+    case PredOp::kLt:
+      return !slot.is_nothing() && CompareSlotValue(slot, pred.args[0]) < 0;
+    case PredOp::kLe:
+      return !slot.is_nothing() && CompareSlotValue(slot, pred.args[0]) <= 0;
+    case PredOp::kGt:
+      return !slot.is_nothing() && CompareSlotValue(slot, pred.args[0]) > 0;
+    case PredOp::kGe:
+      return !slot.is_nothing() && CompareSlotValue(slot, pred.args[0]) >= 0;
+    case PredOp::kBetween:
+      return !slot.is_nothing() && CompareSlotValue(slot, pred.args[0]) >= 0 &&
+             CompareSlotValue(slot, pred.args[1]) <= 0;
+    case PredOp::kIn:
+      if (slot.is_nothing()) return false;
+      for (const Value& a : pred.args) {
+        if (CompareSlotValue(slot, a) == 0) return true;
+      }
+      return false;
+    case PredOp::kLike:
+      return slot.tag == SlotTag::kString && pred.args[0].is_string() &&
+             LikeMatch(slot.as_string(), pred.args[0].as_string());
+    case PredOp::kMatch: {
+      if (slot.tag != SlotTag::kString || !pred.args[0].is_string()) {
+        return false;
+      }
+      const std::vector<std::string> doc_tokens = Tokenize(slot.as_string());
+      for (const std::string& q : Tokenize(pred.args[0].as_string())) {
+        bool found = false;
+        for (const std::string& t : doc_tokens) {
+          if (t == q) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+    case PredOp::kIsNull:
+      return slot.is_nothing();
+    case PredOp::kIsNotNull:
+      return !slot.is_nothing();
+  }
+  return false;
+}
+
+}  // namespace batch
+}  // namespace esdb

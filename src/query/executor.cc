@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "query/batch/aggregate.h"
+#include "query/batch/filter.h"
 #include "storage/analyzer.h"
 
 namespace esdb {
@@ -11,16 +13,16 @@ Value ResolveFieldValue(const Segment& segment, DocId id,
                         const std::string& field) {
   const DocValues::Column* col = segment.doc_values().Find(field);
   if (col != nullptr) return col->Get(id);
-  // Virtual sub-attribute column: "attributes.<key>".
+  // Virtual sub-attribute column "attributes.<key>", answered from the
+  // segment's decoded sidecar (no per-lookup string parsing).
   const size_t dot = field.find('.');
   if (dot != std::string::npos &&
       field.compare(0, dot, kFieldAttributes) == 0) {
-    const DocValues::Column* attrs =
-        segment.doc_values().Find(kFieldAttributes);
-    if (attrs != nullptr && attrs->Get(id).is_string()) {
-      const auto parsed = ParseAttributes(attrs->Get(id).as_string());
-      auto it = parsed.find(field.substr(dot + 1));
-      if (it != parsed.end()) return Value(it->second);
+    const AttributeSidecar* sidecar = segment.attribute_sidecar();
+    if (sidecar != nullptr) {
+      const std::string* v =
+          sidecar->GetByName(id, std::string_view(field).substr(dot + 1));
+      if (v != nullptr) return Value(*v);
     }
   }
   return Value::Null();
@@ -28,24 +30,35 @@ Value ResolveFieldValue(const Segment& segment, DocId id,
 
 namespace {
 
-bool PassesFilters(const Segment& segment, DocId id,
-                   const std::vector<FilterPred>& filters) {
-  for (const FilterPred& f : filters) {
-    const Value v = ResolveFieldValue(segment, id, f.pred.column);
-    const bool hit = f.pred.Eval(v);
-    if (hit == f.negated) return false;
+// Row-engine filter pass with per-filter field resolution hoisted out
+// of the per-doc loop (one column/key-id lookup per filter, not one
+// per (doc, filter) pair).
+bool PassesFilters(DocId id, const std::vector<FilterPred>& filters,
+                   const std::vector<batch::SlotSource>& sources) {
+  for (size_t i = 0; i < filters.size(); ++i) {
+    const Value v = batch::SlotToValue(sources[i].Read(id));
+    const bool hit = filters[i].pred.Eval(v);
+    if (hit == filters[i].negated) return false;
   }
   return true;
 }
 
 PostingList ApplyFilters(const Segment& segment, PostingList candidates,
                          const std::vector<FilterPred>& filters,
-                         ExecStats* stats) {
+                         ExecStats* stats, const ExecOptions& opts) {
   if (filters.empty()) return candidates;
+  if (opts.batch_execution) {
+    return batch::FilterPostings(segment, candidates, filters, stats);
+  }
+  std::vector<batch::SlotSource> sources;
+  sources.reserve(filters.size());
+  for (const FilterPred& f : filters) {
+    sources.push_back(batch::SlotSource::Resolve(segment, f.pred.column));
+  }
   PostingList out;
   for (DocId id : candidates.ids()) {
     ++stats->docs_filtered;
-    if (PassesFilters(segment, id, filters)) out.Append(id);
+    if (PassesFilters(id, filters, sources)) out.Append(id);
   }
   return out;
 }
@@ -53,7 +66,7 @@ PostingList ApplyFilters(const Segment& segment, PostingList candidates,
 }  // namespace
 
 Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
-                             ExecStats* stats) {
+                             ExecStats* stats, const ExecOptions& opts) {
   const Segment& segment = *view;
   switch (plan.kind) {
     case PlanNode::Kind::kEmpty:
@@ -64,7 +77,8 @@ Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
       // live set shrinks as later epochs add tombstones).
       PostingList live = view.LiveDocs();
       stats->postings_considered += live.size();
-      return ApplyFilters(segment, std::move(live), plan.filters, stats);
+      return ApplyFilters(segment, std::move(live), plan.filters, stats,
+                          opts);
     }
     case PlanNode::Kind::kTermLookup: {
       std::vector<const PostingList*> lists;
@@ -96,14 +110,16 @@ Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
     }
     case PlanNode::Kind::kDocValueFilter: {
       ESDB_ASSIGN_OR_RETURN(PostingList child,
-                            EvalPlan(*plan.children[0], view, stats));
-      return ApplyFilters(segment, std::move(child), plan.filters, stats);
+                            EvalPlan(*plan.children[0], view, stats, opts));
+      return ApplyFilters(segment, std::move(child), plan.filters, stats,
+                          opts);
     }
     case PlanNode::Kind::kIntersect: {
       std::vector<PostingList> lists;
       lists.reserve(plan.children.size());
       for (const auto& c : plan.children) {
-        ESDB_ASSIGN_OR_RETURN(PostingList child, EvalPlan(*c, view, stats));
+        ESDB_ASSIGN_OR_RETURN(PostingList child,
+                              EvalPlan(*c, view, stats, opts));
         if (child.empty()) return PostingList();
         lists.push_back(std::move(child));
       }
@@ -113,12 +129,20 @@ Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
       return PostingList::IntersectAll(std::move(ptrs));
     }
     case PlanNode::Kind::kUnion: {
-      PostingList acc;
+      // All children collected first, then one k-way UnionAll merge —
+      // the pairwise Union(acc, child) loop this replaces re-merged
+      // the accumulator per child (quadratic in total postings).
+      std::vector<PostingList> lists;
+      lists.reserve(plan.children.size());
       for (const auto& c : plan.children) {
-        ESDB_ASSIGN_OR_RETURN(PostingList child, EvalPlan(*c, view, stats));
-        acc = PostingList::Union(acc, child);
+        ESDB_ASSIGN_OR_RETURN(PostingList child,
+                              EvalPlan(*c, view, stats, opts));
+        if (!child.empty()) lists.push_back(std::move(child));
       }
-      return acc;
+      std::vector<const PostingList*> ptrs;
+      ptrs.reserve(lists.size());
+      for (const PostingList& l : lists) ptrs.push_back(&l);
+      return PostingList::UnionAll(std::move(ptrs));
     }
   }
   return Status::Internal("unknown plan node");
@@ -271,22 +295,25 @@ void ProjectRows(const Query& query, std::vector<Document>* rows) {
 Result<PostingList> EvalPlanCached(const PlanNode& plan,
                                    const SegmentView& view, ExecStats* stats,
                                    FilterCache* cache, uint64_t cache_domain,
-                                   const std::string& fingerprint) {
+                                   const std::string& fingerprint,
+                                   const ExecOptions& opts) {
   if (cache == nullptr || fingerprint.empty()) {
-    return EvalPlan(plan, view, stats);
+    return EvalPlan(plan, view, stats, opts);
   }
   PostingList cached;
   if (cache->Get(cache_domain, view->id(), fingerprint, &cached)) {
     return cached;
   }
-  ESDB_ASSIGN_OR_RETURN(PostingList candidates, EvalPlan(plan, view, stats));
+  ESDB_ASSIGN_OR_RETURN(PostingList candidates,
+                        EvalPlan(plan, view, stats, opts));
   cache->Put(cache_domain, view->id(), fingerprint, candidates);
   return candidates;
 }
 
 Result<QueryResult> ExecuteOnShard(
     const Query& query, const PlanNode& plan, const ShardView& snapshot,
-    ExecStats* stats, FilterCache* cache, uint64_t cache_domain) {
+    ExecStats* stats, FilterCache* cache, uint64_t cache_domain,
+    const ExecOptions& opts) {
   const std::string fingerprint =
       (cache != nullptr && IsCacheable(plan)) ? PlanFingerprint(plan)
                                               : std::string();
@@ -299,18 +326,27 @@ Result<QueryResult> ExecuteOnShard(
 
   for (const SegmentView& view : snapshot) {
     ++stats->segments_visited;
-    ESDB_ASSIGN_OR_RETURN(
-        PostingList candidates,
-        EvalPlanCached(plan, view, stats, cache, cache_domain, fingerprint));
+    ESDB_ASSIGN_OR_RETURN(PostingList candidates,
+                          EvalPlanCached(plan, view, stats, cache,
+                                         cache_domain, fingerprint, opts));
+    // Batch mode hoists the group-by / aggregate column resolution to
+    // once per segment; the row path redoes it per doc.
+    std::optional<batch::BatchAggregator> batch_agg;
+    if (aggregating && opts.batch_execution) batch_agg.emplace(query, *view);
     for (DocId id : candidates.ids()) {
       if (view.IsDeleted(id)) continue;
       ++result.total_matched;
       if (aggregating) {
-        Accumulate(query, *view, id, &result);
+        if (batch_agg.has_value()) {
+          batch_agg->Accumulate(id, &result);
+        } else {
+          Accumulate(query, *view, id, &result);
+        }
         continue;
       }
       ESDB_ASSIGN_OR_RETURN(Document doc, view->GetDocument(id));
       ++stats->rows_materialized;
+      if (opts.batch_execution) ++stats->rows_late_materialized;
       if (scoring) {
         doc.Set(kFieldScore,
                 Value(ScoreDocument(*view, doc, query.where.get())));
@@ -341,7 +377,7 @@ Result<QueryResult> ExecuteOnShard(
 Result<std::vector<RowRef>> ExecuteQueryPhase(
     const Query& query, const PlanNode& plan, const ShardView& snapshot,
     uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
-    FilterCache* cache, uint64_t cache_domain) {
+    FilterCache* cache, uint64_t cache_domain, const ExecOptions& opts) {
   if (query.agg != AggFunc::kNone || !query.group_by.empty()) {
     return Status::InvalidArgument(
         "query phase only applies to row queries");
@@ -359,9 +395,18 @@ Result<std::vector<RowRef>> ExecuteQueryPhase(
        ++segment_ordinal) {
     const SegmentView& view = snapshot[segment_ordinal];
     ++stats->segments_visited;
-    ESDB_ASSIGN_OR_RETURN(
-        PostingList candidates,
-        EvalPlanCached(plan, view, stats, cache, cache_domain, fingerprint));
+    ESDB_ASSIGN_OR_RETURN(PostingList candidates,
+                          EvalPlanCached(plan, view, stats, cache,
+                                         cache_domain, fingerprint, opts));
+    // Batch mode resolves each ORDER BY column to a slot source once
+    // per segment instead of once per (doc, column).
+    std::vector<batch::SlotSource> order_sources;
+    if (opts.batch_execution) {
+      order_sources.reserve(query.order_by.size());
+      for (const OrderBy& ob : query.order_by) {
+        order_sources.push_back(batch::SlotSource::Resolve(*view, ob.column));
+      }
+    }
     for (DocId id : candidates.ids()) {
       if (view.IsDeleted(id)) continue;
       ++(*total_matched);
@@ -371,10 +416,14 @@ Result<std::vector<RowRef>> ExecuteQueryPhase(
       ref.doc = id;
       // Sort keys from doc values only — the whole point of the query
       // phase is to avoid decoding stored documents for losers.
-      for (const OrderBy& ob : query.order_by) {
+      for (size_t k = 0; k < query.order_by.size(); ++k) {
+        const OrderBy& ob = query.order_by[k];
         if (ob.column == kFieldScore && scoring) {
           ref.sort_keys.emplace_back(
               ScoreFromDocValues(*view, id, query.where.get()));
+        } else if (!order_sources.empty()) {
+          ref.sort_keys.push_back(
+              batch::SlotToValue(order_sources[k].Read(id)));
         } else {
           ref.sort_keys.push_back(ResolveFieldValue(*view, id, ob.column));
         }
@@ -406,7 +455,8 @@ void SortRowRefs(const Query& query, std::vector<RowRef>* refs) {
 
 Result<std::vector<Document>> ExecuteFetchPhase(
     const Query& query, const std::vector<SegmentSnapshot>& snapshots,
-    const std::vector<RowRef>& refs, ExecStats* stats) {
+    const std::vector<RowRef>& refs, ExecStats* stats,
+    const ExecOptions& opts) {
   const bool scoring = NeedsScoring(query);
   std::vector<Document> rows;
   rows.reserve(refs.size());
@@ -416,6 +466,7 @@ Result<std::vector<Document>> ExecuteFetchPhase(
     const Segment& segment = *view;
     ESDB_ASSIGN_OR_RETURN(Document doc, segment.GetDocument(ref.doc));
     ++stats->rows_materialized;
+    if (opts.batch_execution) ++stats->rows_late_materialized;
     if (scoring) {
       doc.Set(kFieldScore,
               Value(ScoreDocument(segment, doc, query.where.get())));

@@ -50,6 +50,14 @@ struct QueryResult {
   std::map<Value, GroupStats, ValueLess> groups;
 };
 
+// Per-query execution switches, plumbed down from Esdb::Options.
+struct ExecOptions {
+  // Route doc-value filtering, aggregation and sort-key resolution
+  // through the vectorized batch engine (src/query/batch/). Results
+  // are byte-identical to the row engine either way.
+  bool batch_execution = false;
+};
+
 // Execution counters, used by tests and benches to verify access-path
 // choices (e.g. that the optimizer consulted fewer postings).
 struct ExecStats {
@@ -58,11 +66,27 @@ struct ExecStats {
   uint64_t docs_filtered = 0;        // candidates run through doc-value scan
   uint64_t rows_materialized = 0;
 
+  // Batch engine counters (zero under row execution).
+  uint64_t batches_evaluated = 0;       // selection-vector batches run
+  uint64_t batch_rows_passed = 0;       // rows surviving batch filters
+  uint64_t rows_late_materialized = 0;  // docs decoded after batch filtering
+
+  // Fraction of doc-value-scanned candidates that survived filtering;
+  // 0 when nothing was batch-filtered.
+  double Selectivity() const {
+    return docs_filtered > 0
+               ? double(batch_rows_passed) / double(docs_filtered)
+               : 0;
+  }
+
   void Add(const ExecStats& other) {
     segments_visited += other.segments_visited;
     postings_considered += other.postings_considered;
     docs_filtered += other.docs_filtered;
     rows_materialized += other.rows_materialized;
+    batches_evaluated += other.batches_evaluated;
+    batch_rows_passed += other.batch_rows_passed;
+    rows_late_materialized += other.rows_late_materialized;
   }
 };
 
@@ -77,7 +101,8 @@ Value ResolveFieldValue(const Segment& segment, DocId id,
 // (candidates are filtered against the view's overlay afterwards);
 // kFullScan enumerates the view's live docs directly.
 Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
-                             ExecStats* stats);
+                             ExecStats* stats,
+                             const ExecOptions& opts = ExecOptions());
 
 // Runs `query` (with its compiled `plan`) over a pinned shard view:
 // evaluates the plan per segment, drops docs deleted in that epoch's
@@ -90,7 +115,8 @@ Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
 // (segment ids are shard-local, so the cache keys on both).
 Result<QueryResult> ExecuteOnShard(
     const Query& query, const PlanNode& plan, const ShardView& snapshot,
-    ExecStats* stats, FilterCache* cache = nullptr, uint64_t cache_domain = 0);
+    ExecStats* stats, FilterCache* cache = nullptr, uint64_t cache_domain = 0,
+    const ExecOptions& opts = ExecOptions());
 
 // Plan evaluation through the filter cache: consults/populates `cache`
 // when the plan is cacheable; falls back to EvalPlan otherwise.
@@ -99,7 +125,8 @@ Result<QueryResult> ExecuteOnShard(
 Result<PostingList> EvalPlanCached(const PlanNode& plan,
                                    const SegmentView& view, ExecStats* stats,
                                    FilterCache* cache, uint64_t cache_domain,
-                                   const std::string& fingerprint);
+                                   const std::string& fingerprint,
+                                   const ExecOptions& opts = ExecOptions());
 
 // Coordinator-side aggregation (Section 3.2, "query result
 // aggregator"): merges per-shard results — global sort, limit, and
@@ -128,7 +155,8 @@ struct RowRef {
 Result<std::vector<RowRef>> ExecuteQueryPhase(
     const Query& query, const PlanNode& plan, const ShardView& snapshot,
     uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
-    FilterCache* cache = nullptr, uint64_t cache_domain = 0);
+    FilterCache* cache = nullptr, uint64_t cache_domain = 0,
+    const ExecOptions& opts = ExecOptions());
 
 // Orders row refs per the query's ORDER BY (ties keep stable order).
 void SortRowRefs(const Query& query, std::vector<RowRef>* refs);
@@ -139,7 +167,8 @@ void SortRowRefs(const Query& query, std::vector<RowRef>* refs);
 // query phase used.
 Result<std::vector<Document>> ExecuteFetchPhase(
     const Query& query, const std::vector<SegmentSnapshot>& snapshots,
-    const std::vector<RowRef>& refs, ExecStats* stats);
+    const std::vector<RowRef>& refs, ExecStats* stats,
+    const ExecOptions& opts = ExecOptions());
 
 // Applies SELECT-column projection in place (shared by both paths).
 void ProjectRows(const Query& query, std::vector<Document>* rows);

@@ -1,0 +1,49 @@
+#include "storage/attribute_sidecar.h"
+
+#include "document/document.h"
+
+namespace esdb {
+
+std::unique_ptr<AttributeSidecar> AttributeSidecar::Build(
+    const DocValues& doc_values) {
+  auto side = std::unique_ptr<AttributeSidecar>(new AttributeSidecar());
+  const size_t num_docs = doc_values.num_docs();
+  side->offsets_.reserve(num_docs + 1);
+  side->offsets_.push_back(0);
+
+  const DocValues::Column* col = doc_values.Find(kFieldAttributes);
+  std::map<std::string, uint32_t, std::less<>> value_ids;
+  for (size_t id = 0; id < num_docs; ++id) {
+    if (col != nullptr) {
+      const batch::TypedSlot slot = col->Slot(DocId(id));
+      if (slot.tag == batch::SlotTag::kString) {
+        for (const auto& [key, value] : ParseAttributes(slot.as_string())) {
+          auto [kit, kinserted] =
+              side->key_ids_.emplace(key, uint32_t(side->keys_.size()));
+          if (kinserted) side->keys_.push_back(key);
+          auto [vit, vinserted] =
+              value_ids.emplace(value, uint32_t(side->values_.size()));
+          if (vinserted) side->values_.push_back(value);
+          side->pairs_.push_back(Pair{kit->second, vit->second});
+        }
+      }
+    }
+    side->offsets_.push_back(uint32_t(side->pairs_.size()));
+  }
+  return side;
+}
+
+int32_t AttributeSidecar::KeyId(std::string_view key) const {
+  auto it = key_ids_.find(key);
+  return it == key_ids_.end() ? -1 : int32_t(it->second);
+}
+
+size_t AttributeSidecar::ApproximateBytes() const {
+  size_t bytes = offsets_.size() * sizeof(uint32_t) +
+                 pairs_.size() * sizeof(Pair);
+  for (const std::string& k : keys_) bytes += k.size();
+  for (const std::string& v : values_) bytes += v.size();
+  return bytes;
+}
+
+}  // namespace esdb

@@ -1,6 +1,56 @@
 #include "storage/doc_values.h"
 
+#include <cstring>
+
 namespace esdb {
+
+void DocValues::Column::Set(DocId id, Value v) {
+  uint8_t tag = uint8_t(batch::SlotTag::kNothing);
+  uint64_t payload = 0;
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      tag = uint8_t(batch::SlotTag::kBool);
+      payload = v.as_bool() ? 1 : 0;
+      break;
+    case Value::Type::kInt:
+      tag = uint8_t(batch::SlotTag::kInt);
+      payload = uint64_t(v.as_int());
+      break;
+    case Value::Type::kDouble: {
+      tag = uint8_t(batch::SlotTag::kDouble);
+      const double d = v.as_double();
+      std::memcpy(&payload, &d, sizeof(payload));
+      break;
+    }
+    case Value::Type::kString: {
+      tag = uint8_t(batch::SlotTag::kString);
+      strings_.push_back(v.as_string());
+      payload = uint64_t(uintptr_t(&strings_.back()));
+      break;
+    }
+  }
+  // Overwrites and explicit nulls disable the uniform fast path
+  // conservatively (uniform = every doc set exactly once, same tag).
+  if (tags_[id] != uint8_t(batch::SlotTag::kNothing)) mixed_ = true;
+  if (tag != uint8_t(batch::SlotTag::kNothing)) {
+    if (set_count_ == 0) {
+      first_tag_ = tag;
+    } else if (tag != first_tag_) {
+      mixed_ = true;
+    }
+    ++set_count_;
+  }
+  tags_[id] = tag;
+  payloads_[id] = payload;
+}
+
+size_t DocValues::Column::ApproximateBytes() const {
+  size_t bytes = tags_.size() * (sizeof(uint8_t) + sizeof(uint64_t));
+  for (const std::string& s : strings_) bytes += s.size();
+  return bytes;
+}
 
 DocValues::Column* DocValues::GetOrCreate(const std::string& field) {
   auto it = columns_.find(field);
@@ -18,11 +68,7 @@ const DocValues::Column* DocValues::Find(const std::string& field) const {
 size_t DocValues::ApproximateBytes() const {
   size_t bytes = 0;
   for (const auto& [name, col] : columns_) {
-    bytes += name.size() + col.size() * sizeof(Value);
-    for (size_t i = 0; i < col.size(); ++i) {
-      const Value& v = col.Get(DocId(i));
-      if (v.is_string()) bytes += v.as_string().size();
-    }
+    bytes += name.size() + col.ApproximateBytes();
   }
   return bytes;
 }

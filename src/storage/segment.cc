@@ -58,6 +58,7 @@ void Segment::RecomputeSize() {
     bytes += name.size() + index.ApproximateBytes();
   }
   bytes += doc_values_->ApproximateBytes();
+  if (attr_sidecar_ != nullptr) bytes += attr_sidecar_->ApproximateBytes();
   size_bytes_ = bytes;
 }
 
@@ -276,6 +277,7 @@ Result<std::unique_ptr<Segment>> Segment::Decode(
   if (tombstones != nullptr) {
     *tombstones = Tombstones::FromBits(std::move(deleted));
   }
+  seg->attr_sidecar_ = AttributeSidecar::Build(*seg->doc_values_);
   seg->RecomputeSize();
   return seg;
 }
@@ -348,6 +350,7 @@ std::unique_ptr<Segment> SegmentBuilder::Build(uint64_t segment_id) && {
                              std::move(index));
   }
 
+  seg->attr_sidecar_ = AttributeSidecar::Build(*seg->doc_values_);
   seg->RecomputeSize();
   return seg;
 }

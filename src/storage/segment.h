@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "document/document.h"
+#include "storage/attribute_sidecar.h"
 #include "storage/doc_values.h"
 #include "storage/index_spec.h"
 #include "storage/inverted_index.h"
@@ -61,6 +62,14 @@ class Segment {
 
   const DocValues& doc_values() const { return *doc_values_; }
 
+  // Decoded "attributes" sub-attribute sidecar, parsed once at
+  // freeze time (never null for built/decoded segments). Lets
+  // `attributes.<key>` predicates resolve without re-parsing the raw
+  // string per doc.
+  const AttributeSidecar* attribute_sidecar() const {
+    return attr_sidecar_.get();
+  }
+
   // Stored document by local id.
   Result<Document> GetDocument(DocId id) const;
 
@@ -98,6 +107,7 @@ class Segment {
   std::map<std::string, InvertedIndex> inverted_;     // field -> index
   std::map<std::string, SortedKeyIndex> composites_;  // name -> index
   std::unique_ptr<DocValues> doc_values_;
+  std::unique_ptr<AttributeSidecar> attr_sidecar_;  // derived, not encoded
   std::unordered_map<int64_t, DocId> record_ids_;
   size_t size_bytes_ = 0;
 };

@@ -1,0 +1,550 @@
+// Parity fuzzer for the vectorized batch executor: every query shape
+// the engine supports, run through BOTH engines over the same pinned
+// snapshot, must produce byte-identical results (rows compared by
+// serialized bytes, aggregates by exact value and type). Randomized
+// but seeded — failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cluster/esdb.h"
+#include "common/random.h"
+#include "query/batch/filter.h"
+#include "query/batch/slot.h"
+#include "query/executor.h"
+#include "query/normalize.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "storage/shard_store.h"
+
+namespace esdb {
+namespace {
+
+IndexSpec FuzzSpec() {
+  IndexSpec spec;
+  spec.text_fields = {"title"};
+  spec.composite_indexes = {{"tenant_id", "created_time"}};
+  spec.scan_fields = {"status", "flag", "group", "amount", "mixed"};
+  spec.indexed_sub_attributes = {"activity"};
+  return spec;
+}
+
+// Deterministic store with the value shapes the slot engine must get
+// right: nulls (columns randomly absent per doc), a mixed-type column
+// (int/double/string in one column), doubles, negative ints, text,
+// and attribute strings. Refreshes every `refresh_every` docs so the
+// snapshot holds several segments.
+std::unique_ptr<ShardStore> BuildFuzzStore(const IndexSpec* spec,
+                                           int num_docs, uint64_t seed,
+                                           int refresh_every = 61) {
+  ShardStore::Options options;
+  options.refresh_doc_count = 0;
+  options.merge.max_segments = 1000;  // keep segments fragmented
+  auto store = std::make_unique<ShardStore>(spec, options);
+  Rng rng(seed);
+  const char* titles[] = {"classic novel", "cotton shirt", "novel lamp",
+                          "steel bottle", "gaming keyboard"};
+  const char* activities[] = {"promo", "none", "festival"};
+  for (int i = 0; i < num_docs; ++i) {
+    WriteOp op;
+    op.type = OpType::kInsert;
+    op.doc.Set(kFieldTenantId, Value(int64_t(1 + rng.Uniform(5))));
+    op.doc.Set(kFieldRecordId, Value(int64_t(i)));
+    op.doc.Set(kFieldCreatedTime, Value(int64_t(rng.Uniform(1000))));
+    if (rng.Bernoulli(0.9)) {
+      op.doc.Set("status", Value(int64_t(rng.Uniform(4))));
+    }
+    op.doc.Set("flag", Value(int64_t(rng.Uniform(2))));
+    op.doc.Set("group", Value(int64_t(rng.Uniform(20)) - 10));
+    if (rng.Bernoulli(0.85)) {
+      op.doc.Set("amount", Value(double(rng.Uniform(1000)) / 10.0));
+    }
+    // One column, three runtime types: defeats every uniform-column
+    // fast path and forces the generic slot loop.
+    const uint32_t mix = rng.Uniform(4);
+    if (mix == 0) {
+      op.doc.Set("mixed", Value(int64_t(rng.Uniform(100))));
+    } else if (mix == 1) {
+      op.doc.Set("mixed", Value(double(rng.Uniform(100)) + 0.5));
+    } else if (mix == 2) {
+      op.doc.Set("mixed", Value("m" + std::to_string(rng.Uniform(5))));
+    }  // mix == 3: absent (null)
+    op.doc.Set("title", Value(std::string(titles[rng.Uniform(5)])));
+    if (rng.Bernoulli(0.8)) {
+      std::string attrs =
+          "activity:" + std::string(activities[rng.Uniform(3)]);
+      if (rng.Bernoulli(0.5)) {
+        attrs += ";attr" + std::to_string(rng.Uniform(4)) + ":v" +
+                 std::to_string(rng.Uniform(6));
+      }
+      op.doc.Set(kFieldAttributes, Value(std::move(attrs)));
+    }
+    EXPECT_TRUE(store->Apply(op).ok());
+    if (i % refresh_every == refresh_every - 1) store->Refresh();
+  }
+  store->Refresh();
+  return store;
+}
+
+Query ParseQuery(const std::string& sql) {
+  auto q = ParseSql(sql);
+  EXPECT_TRUE(q.ok()) << sql << ": " << q.status().ToString();
+  return std::move(q).value();
+}
+
+// Strict byte-level equality: serialized rows, typed aggregate values
+// (Value::operator== is Compare-based and would let an int-1 pass for
+// a double-1.0), identical group maps.
+void ExpectIdenticalResults(const QueryResult& row, const QueryResult& batch,
+                            const std::string& label) {
+  ASSERT_EQ(row.rows.size(), batch.rows.size()) << label;
+  for (size_t i = 0; i < row.rows.size(); ++i) {
+    EXPECT_EQ(row.rows[i].Serialize(), batch.rows[i].Serialize())
+        << label << " row " << i;
+  }
+  EXPECT_EQ(row.total_matched, batch.total_matched) << label;
+  EXPECT_EQ(row.agg_count, batch.agg_count) << label;
+  EXPECT_EQ(row.agg_sum, batch.agg_sum) << label;  // exact, same fold order
+  ASSERT_EQ(row.agg_min.has_value(), batch.agg_min.has_value()) << label;
+  if (row.agg_min.has_value()) {
+    EXPECT_TRUE(row.agg_min->type() == batch.agg_min->type() &&
+                *row.agg_min == *batch.agg_min)
+        << label;
+  }
+  ASSERT_EQ(row.agg_max.has_value(), batch.agg_max.has_value()) << label;
+  if (row.agg_max.has_value()) {
+    EXPECT_TRUE(row.agg_max->type() == batch.agg_max->type() &&
+                *row.agg_max == *batch.agg_max)
+        << label;
+  }
+  ASSERT_EQ(row.groups.size(), batch.groups.size()) << label;
+  auto rit = row.groups.begin();
+  auto bit = batch.groups.begin();
+  for (; rit != row.groups.end(); ++rit, ++bit) {
+    EXPECT_TRUE(rit->first.type() == bit->first.type() &&
+                rit->first == bit->first)
+        << label << " group key";
+    EXPECT_EQ(rit->second.count, bit->second.count) << label;
+    EXPECT_EQ(rit->second.sum, bit->second.sum) << label;
+    ASSERT_EQ(rit->second.min.has_value(), bit->second.min.has_value());
+    if (rit->second.min.has_value()) {
+      EXPECT_TRUE(*rit->second.min == *bit->second.min) << label;
+    }
+    ASSERT_EQ(rit->second.max.has_value(), bit->second.max.has_value());
+    if (rit->second.max.has_value()) {
+      EXPECT_TRUE(*rit->second.max == *bit->second.max) << label;
+    }
+  }
+}
+
+// Runs one query through both engines over the SAME snapshot, under
+// both planner configurations, and demands identical candidates
+// (per-segment posting lists), identical single-phase results, and
+// identical two-phase row refs.
+void ExpectEngineParity(const ShardStore& store, const IndexSpec& spec,
+                        const std::string& sql) {
+  const Query query = ParseQuery(sql);
+  const SegmentSnapshot snapshot = store.Snapshot();
+  ExecOptions row_opts;
+  ExecOptions batch_opts;
+  batch_opts.batch_execution = true;
+
+  PlannerOptions rbo;
+  PlannerOptions baseline;
+  baseline.use_composite_index = false;
+  baseline.use_scan_list = false;
+  for (const PlannerOptions& planner : {rbo, baseline}) {
+    std::unique_ptr<Expr> normalized;
+    if (query.where != nullptr) {
+      normalized = NormalizeForPlanning(query.where->Clone());
+    }
+    const auto plan = PlanWhere(normalized.get(), spec, planner);
+
+    // Plan-level parity: the filtered candidate lists themselves.
+    for (const SegmentView& view : *snapshot) {
+      ExecStats s1, s2;
+      auto row_list = EvalPlan(*plan, view, &s1, row_opts);
+      auto batch_list = EvalPlan(*plan, view, &s2, batch_opts);
+      ASSERT_TRUE(row_list.ok() && batch_list.ok()) << sql;
+      EXPECT_TRUE(*row_list == *batch_list) << sql;
+      EXPECT_EQ(s1.docs_filtered, s2.docs_filtered) << sql;
+    }
+
+    // Single-phase execution parity.
+    ExecStats row_stats, batch_stats;
+    auto row_result =
+        ExecuteOnShard(query, *plan, *snapshot, &row_stats, nullptr, 0,
+                       row_opts);
+    auto batch_result =
+        ExecuteOnShard(query, *plan, *snapshot, &batch_stats, nullptr, 0,
+                       batch_opts);
+    ASSERT_TRUE(row_result.ok()) << sql << ": "
+                                 << row_result.status().ToString();
+    ASSERT_TRUE(batch_result.ok()) << sql << ": "
+                                   << batch_result.status().ToString();
+    ExpectIdenticalResults(*row_result, *batch_result, sql);
+
+    // Two-phase query-phase parity (row queries only).
+    if (query.agg == AggFunc::kNone && query.group_by.empty()) {
+      ExecStats qs1, qs2;
+      uint64_t m1 = 0, m2 = 0;
+      auto refs1 = ExecuteQueryPhase(query, *plan, *snapshot, 0, &qs1, &m1,
+                                     nullptr, 0, row_opts);
+      auto refs2 = ExecuteQueryPhase(query, *plan, *snapshot, 0, &qs2, &m2,
+                                     nullptr, 0, batch_opts);
+      ASSERT_TRUE(refs1.ok() && refs2.ok()) << sql;
+      EXPECT_EQ(m1, m2) << sql;
+      ASSERT_EQ(refs1->size(), refs2->size()) << sql;
+      for (size_t i = 0; i < refs1->size(); ++i) {
+        const RowRef& a = (*refs1)[i];
+        const RowRef& b = (*refs2)[i];
+        EXPECT_EQ(a.segment_ordinal, b.segment_ordinal) << sql;
+        EXPECT_EQ(a.doc, b.doc) << sql;
+        ASSERT_EQ(a.sort_keys.size(), b.sort_keys.size()) << sql;
+        for (size_t k = 0; k < a.sort_keys.size(); ++k) {
+          EXPECT_TRUE(a.sort_keys[k].type() == b.sort_keys[k].type() &&
+                      a.sort_keys[k] == b.sort_keys[k])
+              << sql << " sort key " << k;
+        }
+      }
+    }
+  }
+}
+
+class BatchExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = FuzzSpec();
+    store_ = BuildFuzzStore(&spec_, 700, 4242);
+  }
+
+  IndexSpec spec_;
+  std::unique_ptr<ShardStore> store_;
+};
+
+TEST_F(BatchExecutorTest, FixedQueryShapes) {
+  const char* sqls[] = {
+      // Composite + residual filters (the paper's workload shape).
+      "SELECT * FROM t WHERE tenant_id = 1 AND created_time BETWEEN 100 AND "
+      "700 AND status = 2 AND amount >= 30.5",
+      // Pure scan paths: int range, double range, IN set, negation.
+      "SELECT * FROM t WHERE status >= 1 AND status < 3",
+      "SELECT * FROM t WHERE amount > 42.5 AND amount <= 77.0",
+      "SELECT * FROM t WHERE group IN (-3, 0, 4, 7)",
+      "SELECT * FROM t WHERE status != 2 AND flag = 1",
+      "SELECT * FROM t WHERE NOT (status = 1 OR group > 5)",
+      // Int column vs double literal and vice versa (cross-type
+      // compare must stay exact).
+      "SELECT * FROM t WHERE group >= -2.5",
+      "SELECT * FROM t WHERE amount = 50",
+      "SELECT * FROM t WHERE created_time BETWEEN 100 AND 900.5",
+      // Mixed-type column: generic slot path.
+      "SELECT * FROM t WHERE mixed > 10",
+      "SELECT * FROM t WHERE mixed = 'm2'",
+      "SELECT * FROM t WHERE mixed IS NULL",
+      "SELECT * FROM t WHERE mixed IS NOT NULL",
+      // Nulls / missing columns.
+      "SELECT * FROM t WHERE status IS NULL",
+      "SELECT * FROM t WHERE amount IS NOT NULL AND amount < 20",
+      "SELECT * FROM t WHERE no_such_column = 5",
+      "SELECT * FROM t WHERE no_such_column IS NULL",
+      // Sub-attributes, indexed and scanned.
+      "SELECT * FROM t WHERE attributes.activity = 'promo'",
+      "SELECT * FROM t WHERE attributes.attr2 = 'v3'",
+      "SELECT * FROM t WHERE attributes.attr1 IS NOT NULL AND flag = 0",
+      // Text: MATCH and LIKE.
+      "SELECT * FROM t WHERE MATCH(title, 'novel')",
+      "SELECT * FROM t WHERE title LIKE '%cotton%'",
+      // Union / intersect plan shapes.
+      "SELECT * FROM t WHERE status = 1 OR group = 3 OR flag = 0",
+      "SELECT * FROM t WHERE (status = 1 OR status = 3) AND (flag = 1 OR "
+      "group < 0)",
+      // Aggregates and GROUP BY.
+      "SELECT COUNT(*) FROM t WHERE status = 1",
+      "SELECT SUM(amount) FROM t WHERE tenant_id = 2",
+      "SELECT MIN(mixed) FROM t",
+      "SELECT MAX(mixed) FROM t WHERE flag = 1",
+      "SELECT COUNT(*) FROM t GROUP BY status",
+      "SELECT SUM(amount) FROM t GROUP BY status",
+      "SELECT AVG(amount) FROM t WHERE created_time > 300 GROUP BY mixed",
+      // ORDER BY / LIMIT through sort-key resolution.
+      "SELECT * FROM t WHERE status = 2 ORDER BY created_time DESC LIMIT 10",
+      "SELECT * FROM t WHERE flag = 1 ORDER BY amount LIMIT 7",
+  };
+  for (const char* sql : sqls) ExpectEngineParity(*store_, spec_, sql);
+}
+
+// Seeded random query generator: composite ranges, every scalar
+// operator, sub-attributes, unions, aggregates, sorts.
+TEST_F(BatchExecutorTest, RandomizedParityFuzz) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::string sql = "SELECT ";
+    const bool grouped = rng.Bernoulli(0.2);
+    const bool agg = grouped || rng.Bernoulli(0.15);
+    if (agg) {
+      const char* funcs[] = {"COUNT(*)", "SUM(amount)", "MIN(amount)",
+                             "MAX(mixed)", "AVG(amount)"};
+      sql += funcs[rng.Uniform(5)];
+    } else {
+      sql += "*";
+    }
+    sql += " FROM t WHERE ";
+    std::vector<std::string> preds;
+    if (rng.Bernoulli(0.7)) {
+      preds.push_back("tenant_id = " + std::to_string(1 + rng.Uniform(5)));
+    }
+    if (rng.Bernoulli(0.5)) {
+      const int64_t lo = int64_t(rng.Uniform(800));
+      preds.push_back("created_time BETWEEN " + std::to_string(lo) + " AND " +
+                      std::to_string(lo + int64_t(rng.Uniform(400))));
+    }
+    const int extra = 1 + int(rng.Uniform(3));
+    for (int i = 0; i < extra; ++i) {
+      const uint32_t pick = rng.Uniform(10);
+      switch (pick) {
+        case 0:
+          preds.push_back("status = " + std::to_string(rng.Uniform(5)));
+          break;
+        case 1:
+          preds.push_back("status >= " + std::to_string(rng.Uniform(4)));
+          break;
+        case 2:
+          preds.push_back("group < " +
+                          std::to_string(int64_t(rng.Uniform(20)) - 10));
+          break;
+        case 3: {
+          const double a = double(rng.Uniform(1000)) / 10.0;
+          preds.push_back("amount " +
+                          std::string(rng.Bernoulli(0.5) ? ">=" : "<") + " " +
+                          std::to_string(a));
+          break;
+        }
+        case 4:
+          preds.push_back("group IN (" +
+                          std::to_string(int64_t(rng.Uniform(20)) - 10) +
+                          ", " +
+                          std::to_string(int64_t(rng.Uniform(20)) - 10) +
+                          ")");
+          break;
+        case 5:
+          preds.push_back("flag != " + std::to_string(rng.Uniform(2)));
+          break;
+        case 6:
+          preds.push_back("mixed " +
+                          std::string(rng.Bernoulli(0.5) ? ">" : "<=") + " " +
+                          std::to_string(rng.Uniform(100)));
+          break;
+        case 7:
+          preds.push_back("attributes.attr" + std::to_string(rng.Uniform(4)) +
+                          " = 'v" + std::to_string(rng.Uniform(6)) + "'");
+          break;
+        case 8:
+          preds.push_back(std::string(rng.Bernoulli(0.5) ? "amount" : "mixed") +
+                          (rng.Bernoulli(0.5) ? " IS NULL" : " IS NOT NULL"));
+          break;
+        default:
+          preds.push_back("NOT (status = " + std::to_string(rng.Uniform(4)) +
+                          " OR flag = " + std::to_string(rng.Uniform(2)) +
+                          ")");
+          break;
+      }
+    }
+    if (preds.empty()) preds.push_back("status >= 0");
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (i > 0) sql += rng.Bernoulli(0.8) ? " AND " : " OR ";
+      sql += preds[i];
+    }
+    if (grouped) {
+      sql += " GROUP BY ";
+      sql += rng.Bernoulli(0.5) ? "status" : "mixed";
+    } else if (!agg && rng.Bernoulli(0.4)) {
+      sql += " ORDER BY created_time DESC LIMIT ";
+      sql += std::to_string(1 + rng.Uniform(30));
+    }
+    ExpectEngineParity(*store_, spec_, sql);
+  }
+}
+
+// Tombstone overlays arriving mid-stream: parity must hold on a
+// snapshot whose candidate batches are riddled with deleted docs, and
+// an older pinned snapshot must keep its frozen live set.
+TEST_F(BatchExecutorTest, ParityAcrossTombstoneOverlays) {
+  const SegmentSnapshot before = store_->Snapshot();
+  Rng rng(99);
+  int deleted = 0;
+  for (int i = 0; i < 700; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      WriteOp op;
+      op.type = OpType::kDelete;
+      op.doc.Set(kFieldRecordId, Value(int64_t(i)));
+      if (store_->Apply(op).ok()) ++deleted;
+    }
+  }
+  ASSERT_GT(deleted, 100);
+  const char* sqls[] = {
+      "SELECT * FROM t WHERE status >= 1",
+      "SELECT * FROM t WHERE tenant_id = 3 AND created_time BETWEEN 0 AND "
+      "900 AND amount > 10",
+      "SELECT COUNT(*) FROM t GROUP BY status",
+      "SELECT SUM(amount) FROM t WHERE flag = 1",
+  };
+  for (const char* sql : sqls) ExpectEngineParity(*store_, spec_, sql);
+
+  // The old snapshot still sees every doc, on both engines.
+  const Query q = ParseQuery("SELECT COUNT(*) FROM t");
+  const auto plan = PlanWhere(nullptr, spec_, PlannerOptions{});
+  for (const bool batch : {false, true}) {
+    ExecOptions opts;
+    opts.batch_execution = batch;
+    ExecStats stats;
+    auto result = ExecuteOnShard(q, *plan, *before, &stats, nullptr, 0, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->agg_count, 700u);
+  }
+}
+
+// End-to-end through the cluster layer: SetBatchExecution(true) must
+// not change a single byte of any result. Filter cache off so the
+// batch run cannot reuse row-computed candidate lists.
+TEST(BatchExecutorClusterTest, EndToEndParity) {
+  Esdb::Options options;
+  options.num_shards = 4;
+  options.routing = RoutingKind::kHash;
+  options.use_filter_cache = false;
+  options.store.refresh_doc_count = 0;
+  Esdb db(options);
+  Rng rng(777);
+  for (int i = 0; i < 400; ++i) {
+    Document doc;
+    doc.Set(kFieldTenantId, Value(int64_t(1 + rng.Uniform(20))));
+    doc.Set(kFieldRecordId, Value(int64_t(i)));
+    doc.Set(kFieldCreatedTime, Value(int64_t(rng.Uniform(1000))));
+    doc.Set("status", Value(int64_t(rng.Uniform(4))));
+    doc.Set("amount", Value(double(rng.Uniform(500)) / 5.0));
+    ASSERT_TRUE(db.Insert(std::move(doc)).ok());
+  }
+  db.RefreshAll();
+  const char* sqls[] = {
+      "SELECT * FROM t WHERE tenant_id = 3 AND created_time BETWEEN 100 AND "
+      "800 ORDER BY created_time DESC LIMIT 20",
+      "SELECT * FROM t WHERE status = 2 AND amount >= 40.0",
+      "SELECT COUNT(*) FROM t WHERE amount < 55.5",
+      "SELECT SUM(amount) FROM t GROUP BY status",
+  };
+  for (const char* sql : sqls) {
+    db.SetBatchExecution(false);
+    auto row = db.ExecuteSql(sql);
+    ASSERT_TRUE(row.ok()) << sql;
+    db.SetBatchExecution(true);
+    auto batch = db.ExecuteSql(sql);
+    ASSERT_TRUE(batch.ok()) << sql;
+    ExpectIdenticalResults(*row, *batch, sql);
+    // Batch counters actually moved (the engine really ran).
+    const ExecStats stats = db.last_stats();
+    if (stats.docs_filtered > 0) {
+      EXPECT_GT(stats.batches_evaluated, 0u) << sql;
+    }
+  }
+}
+
+// The slot mirror itself: CompareSlotValue and EvalPredSlot must
+// agree with Value::Compare / Predicate::Eval on random value pairs,
+// including Nothing vs null and cross-type ranks.
+TEST(SlotMirrorTest, AgreesWithValueSemantics) {
+  Rng rng(31337);
+  std::deque<std::string> pool;  // stable addresses for string slots
+  const auto random_value = [&]() -> Value {
+    switch (rng.Uniform(5)) {
+      case 0:
+        return Value::Null();
+      case 1:
+        return Value(rng.Bernoulli(0.5));
+      case 2:
+        return Value(int64_t(rng.Uniform(200)) - 100);
+      case 3:
+        return Value(double(int64_t(rng.Uniform(200)) - 100) / 3.0);
+      default:
+        return Value("s" + std::to_string(rng.Uniform(8)));
+    }
+  };
+  const auto to_slot = [&pool](const Value& v) -> batch::TypedSlot {
+    using batch::SlotTag;
+    using batch::TypedSlot;
+    if (v.is_null()) return TypedSlot::Nothing();
+    if (v.is_bool()) return TypedSlot{SlotTag::kBool, v.as_bool() ? 1u : 0u};
+    if (v.is_int()) return TypedSlot{SlotTag::kInt, uint64_t(v.as_int())};
+    if (v.is_double()) {
+      uint64_t bits;
+      const double d = v.as_double();
+      std::memcpy(&bits, &d, sizeof(bits));
+      return TypedSlot{SlotTag::kDouble, bits};
+    }
+    pool.push_back(v.as_string());
+    return TypedSlot{SlotTag::kString, uint64_t(uintptr_t(&pool.back()))};
+  };
+  const auto sign = [](int c) { return c < 0 ? -1 : (c > 0 ? 1 : 0); };
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Value a = random_value();
+    const Value b = random_value();
+    const batch::TypedSlot slot = to_slot(a);
+    EXPECT_EQ(sign(batch::CompareSlotValue(slot, b)), sign(a.Compare(b)))
+        << a.ToString() << " vs " << b.ToString();
+    EXPECT_TRUE(batch::SlotToValue(slot) == a);
+    EXPECT_EQ(batch::SlotToValue(slot).type(), a.type());
+
+    Predicate pred;
+    pred.column = "c";
+    const PredOp ops[] = {PredOp::kEq, PredOp::kNe,      PredOp::kLt,
+                          PredOp::kLe, PredOp::kGt,      PredOp::kGe,
+                          PredOp::kBetween, PredOp::kIn, PredOp::kLike,
+                          PredOp::kMatch,   PredOp::kIsNull,
+                          PredOp::kIsNotNull};
+    pred.op = ops[rng.Uniform(12)];
+    pred.args.push_back(b);
+    if (pred.op == PredOp::kBetween || rng.Bernoulli(0.3)) {
+      pred.args.push_back(random_value());
+    }
+    if (pred.op == PredOp::kLike || pred.op == PredOp::kMatch) {
+      pred.args[0] = Value("s" + std::to_string(rng.Uniform(8)));
+    }
+    EXPECT_EQ(batch::EvalPredSlot(pred, slot), pred.Eval(a))
+        << pred.ToString() << " on " << a.ToString();
+  }
+}
+
+// The attribute sidecar must answer exactly like parsing the raw
+// attributes string per doc.
+TEST_F(BatchExecutorTest, SidecarMatchesStringParsing) {
+  const SegmentSnapshot snapshot = store_->Snapshot();
+  for (const SegmentView& view : *snapshot) {
+    const AttributeSidecar* sidecar = view->attribute_sidecar();
+    ASSERT_NE(sidecar, nullptr);
+    for (DocId id = 0; id < DocId(view->num_docs()); ++id) {
+      auto doc = view->GetDocument(id);
+      ASSERT_TRUE(doc.ok());
+      const Value& raw = doc->Get(kFieldAttributes);
+      const auto parsed =
+          raw.is_string() ? ParseAttributes(raw.as_string())
+                          : std::map<std::string, std::string>{};
+      for (const char* key : {"activity", "attr0", "attr1", "attr2", "attr3",
+                              "nope"}) {
+        const std::string* got = sidecar->GetByName(id, key);
+        const auto it = parsed.find(key);
+        if (it == parsed.end()) {
+          EXPECT_EQ(got, nullptr) << "doc " << id << " key " << key;
+        } else {
+          ASSERT_NE(got, nullptr) << "doc " << id << " key " << key;
+          EXPECT_EQ(*got, it->second);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esdb
