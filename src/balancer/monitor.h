@@ -1,9 +1,12 @@
 #ifndef ESDB_BALANCER_MONITOR_H_
 #define ESDB_BALANCER_MONITOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/mutex.h"
 #include "routing/rule_list.h"
@@ -39,10 +42,82 @@ class WorkloadMonitor {
     return out;
   }
 
+  // Non-draining snapshot of the current window. The tiering cycle
+  // reads tenant heat through this — it must never consume the window
+  // the balancer's Drain() is accumulating.
+  std::map<TenantId, uint64_t> Peek() const {
+    MutexLock lock(&mu_);
+    return std::map<TenantId, uint64_t>(window_.begin(), window_.end());
+  }
+
  private:
   mutable Mutex mu_;
   std::unordered_map<TenantId, uint64_t> window_ GUARDED_BY(mu_);
   uint64_t total_ GUARDED_BY(mu_) = 0;
+};
+
+// Hot/cold tier admission signal (the storage-side sibling of the
+// rule-splitting monitor above): per-shard decayed activity counters
+// fed by the write and query paths, classified once per tiering cycle.
+// A shard goes cold when its decayed activity falls below
+// cold_threshold and comes back the moment activity returns (the
+// counters are read every cycle, so a burst against a cold shard
+// flips it hot at the next classification — eviction is lazy, the
+// actual tier rewrite happens at the shard's next merge).
+//
+// Decay instead of reset: a shard that alternates quiet and busy
+// windows keeps enough credit to stay hot, while a shard quiet for
+// several consecutive cycles decays through the threshold. This
+// damping is what prevents tier flapping — and the compression /
+// re-inflation churn it would cause — for tenants right at the edge.
+class TierAdmission {
+ public:
+  struct Options {
+    // Decayed writes+queries per cycle below which a shard is cold.
+    uint64_t cold_threshold = 4;
+    // Multiplied into every counter after classification (x1000,
+    // integer arithmetic: 500 = halve each cycle).
+    uint64_t decay_permille = 500;
+  };
+
+  TierAdmission(uint32_t num_shards, Options options)
+      : options_(options),
+        activity_(std::make_unique<std::atomic<uint64_t>[]>(num_shards)),
+        num_shards_(num_shards) {
+    for (uint32_t i = 0; i < num_shards; ++i) activity_[i] = 0;
+  }
+  explicit TierAdmission(uint32_t num_shards)
+      : TierAdmission(num_shards, Options{}) {}
+
+  // Hot paths (relaxed: counters are heuristics, not invariants).
+  void RecordWrite(uint32_t shard, uint64_t n = 1) {
+    activity_[shard].fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordQuery(uint32_t shard) {
+    activity_[shard].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t activity(uint32_t shard) const {
+    return activity_[shard].load(std::memory_order_relaxed);
+  }
+
+  // One admission cycle: returns, per shard, whether it should be
+  // cold, then decays every counter.
+  std::vector<bool> ClassifyAndDecay() {
+    std::vector<bool> cold(num_shards_);
+    for (uint32_t i = 0; i < num_shards_; ++i) {
+      const uint64_t a = activity_[i].load(std::memory_order_relaxed);
+      cold[i] = a < options_.cold_threshold;
+      activity_[i].store(a * options_.decay_permille / 1000,
+                         std::memory_order_relaxed);
+    }
+    return cold;
+  }
+
+ private:
+  const Options options_;
+  std::unique_ptr<std::atomic<uint64_t>[]> activity_;
+  const uint32_t num_shards_;
 };
 
 }  // namespace esdb

@@ -7,6 +7,7 @@
 #include "query/dsl.h"
 #include "query/normalize.h"
 #include "query/parser.h"
+#include "storage/block_cache.h"
 
 namespace esdb {
 
@@ -55,6 +56,18 @@ Esdb::Esdb(Options options)
       routing_ = std::move(dynamic);
       break;
     }
+  }
+  if (options_.tiering.enabled) {
+    BlockCache::Options cache_options;
+    cache_options.capacity_bytes = options_.tiering.block_cache_bytes;
+    block_cache_ = std::make_shared<BlockCache>(cache_options);
+    tier_admission_ = std::make_unique<TierAdmission>(
+        options_.num_shards, options_.tiering.admission);
+    // Every store (primary AND replica) shares the one cache; the
+    // stores constructed below copy these options.
+    options_.store.tier.enabled = true;
+    options_.store.tier.spill_dir = options_.tiering.spill_dir;
+    options_.store.tier.cache = block_cache_;
   }
   if (options_.with_replicas) {
     replicated_.reserve(options_.num_shards);
@@ -126,6 +139,7 @@ Status Esdb::Apply(const WriteOp& op) {
   const RouteKey key{op.tenant_id(), op.record_id(), op.created_time()};
   const ShardId shard = routing_->RouteWrite(key);
   monitor_.RecordWrite(key.tenant);
+  if (tier_admission_ != nullptr) tier_admission_->RecordWrite(shard);
   if (options_.with_replicas) {
     auto seq = replicated_[shard]->Apply(op);
     return seq.ok() ? Status::OK() : seq.status();
@@ -284,6 +298,9 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
     target_shards.resize(options_.num_shards);
     for (uint32_t i = 0; i < options_.num_shards; ++i) target_shards[i] = i;
   }
+  if (tier_admission_ != nullptr) {
+    for (ShardId s : target_shards) tier_admission_->RecordQuery(s);
+  }
   // Executor counters accumulate locally and publish under the stats
   // mutex on every exit, keeping concurrent client queries race-free.
   ExecStats exec_stats;
@@ -431,6 +448,38 @@ size_t Esdb::RunBalanceCycle(Micros effective_time) {
   return proposals.size();
 }
 
+size_t Esdb::RunTieringCycle() {
+  if (tier_admission_ == nullptr) return 0;
+  const std::vector<bool> cold = tier_admission_->ClassifyAndDecay();
+  size_t num_cold = 0;
+  // Transitions ride the merge pass, one task per shard (same fan-out
+  // discipline as RefreshAll); the classification flip itself is just
+  // an atomic store, visible to the shard's next merge either way.
+  std::shared_ptr<ThreadPool> pool;
+  {
+    MutexLock lock(&pool_mu_);
+    pool = maintenance_pool_;
+  }
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    if (cold[i]) ++num_cold;
+    Primary(ShardId(i))->SetTierCold(cold[i]);
+  }
+  RunPerOrdinal(pool.get(), options_.num_shards,
+                [&](size_t i) { Primary(ShardId(i))->MaybeMerge(); });
+  return num_cold;
+}
+
+ShardSizeBreakdown Esdb::SizeBreakdownTotal() const {
+  ShardSizeBreakdown total;
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    const ShardSizeBreakdown b = Primary(ShardId(i))->SizeBreakdown();
+    total.resident_bytes += b.resident_bytes;
+    total.translog_bytes += b.translog_bytes;
+    total.cold_bytes += b.cold_bytes;
+  }
+  return total;
+}
+
 size_t Esdb::InitializeRulesFromStorage(Micros effective_time) {
   if (dynamic_ == nullptr) return 0;
   // Storage proportion per tenant, summed across shards: refreshed
@@ -439,7 +488,10 @@ size_t Esdb::InitializeRulesFromStorage(Micros effective_time) {
   std::map<TenantId, uint64_t> storage;
   for (uint32_t i = 0; i < options_.num_shards; ++i) {
     const SegmentSnapshot snapshot = Primary(ShardId(i))->Snapshot();
-    for (const SegmentView& view : *snapshot) {
+    for (const SegmentView& raw : *snapshot) {
+      auto pinned = raw.Pinned();
+      if (!pinned.ok()) continue;  // unreadable cold segment: skip
+      const SegmentView& view = *pinned;
       const DocValues::Column* col = view->doc_values().Find(kFieldTenantId);
       if (col == nullptr) continue;
       const PostingList live = view.LiveDocs();

@@ -78,6 +78,21 @@ class Esdb {
     // shard on an N-thread pool. Safe concurrently with queries:
     // each shard publishes its new segment epoch atomically.
     uint32_t maintenance_threads = 0;
+    // Hot/cold tiered storage (storage/cold_segment.h). When enabled,
+    // every shard store shares one block cache, the write and query
+    // paths feed per-shard activity counters, and RunTieringCycle()
+    // classifies shards hot/cold — cold shards block-compress their
+    // segments at the next merge and serve queries through the cache.
+    struct TieringOptions {
+      bool enabled = false;
+      // Directory for spilled cold files; "" keeps compressed
+      // payloads in RAM (still a large footprint win).
+      std::string spill_dir;
+      // Shared decompressed-block cache budget across all shards.
+      size_t block_cache_bytes = 64u << 20;
+      TierAdmission::Options admission;
+    };
+    TieringOptions tiering;
   };
 
   explicit Esdb(Options options);
@@ -173,6 +188,24 @@ class Esdb {
   // Initialization phase: seeds rules from current per-tenant storage.
   size_t InitializeRulesFromStorage(Micros effective_time);
 
+  // --- Tiering --------------------------------------------------------
+
+  // One tiering admission/eviction cycle: classifies every shard from
+  // its decayed write+query activity, flips each store's tier target,
+  // and runs the merge pass that performs the actual transitions
+  // (demotion compresses, promotion re-inflates). Returns the number
+  // of shards now targeted cold. No-op (returns 0) unless
+  // options.tiering.enabled.
+  size_t RunTieringCycle();
+
+  // Cluster-wide memory accounting: sums every shard's breakdown.
+  // resident_bytes is the RAM the searchable state actually holds —
+  // the figure tiering exists to shrink.
+  ShardSizeBreakdown SizeBreakdownTotal() const;
+
+  BlockCache* block_cache() { return block_cache_.get(); }
+  TierAdmission* tier_admission() { return tier_admission_.get(); }
+
   // --- Introspection ----------------------------------------------------
 
   const RoutingPolicy& routing() const { return *routing_; }
@@ -211,6 +244,11 @@ class Esdb {
   WorkloadMonitor monitor_;
   LoadBalancer balancer_;
   FilterCache filter_cache_;
+  // Tiering control plane; both null unless options.tiering.enabled.
+  // The cache is shared_ptr because every ShardStore (and the cold
+  // segments it creates) co-owns it.
+  std::shared_ptr<BlockCache> block_cache_;
+  std::unique_ptr<TierAdmission> tier_admission_;
   // Pools are swapped under pool_mu_ and pinned (shared_ptr copy) by
   // each operation that uses them, so a concurrent Set*Threads can
   // never destroy a pool out from under an in-flight fan-out. Null

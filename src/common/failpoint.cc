@@ -142,6 +142,9 @@ std::vector<std::string> FailPoints::AllSites() {
       failsite::kSaveManifest,
       failsite::kTornTail,
       failsite::kLoadSegment,
+      failsite::kColdCompress,
+      failsite::kColdWrite,
+      failsite::kColdLoad,
       failsite::kReplicationCopySegment,
       failsite::kReplicationCatchup,
       failsite::kNetDrop,

@@ -57,6 +57,11 @@ inline constexpr const char* kSaveTranslog = "persist/save-translog";
 inline constexpr const char* kSaveManifest = "persist/save-manifest";
 inline constexpr const char* kTornTail = "persist/torn-tail";
 inline constexpr const char* kLoadSegment = "persist/load-segment";
+// Cold tier: compression, cold-file write, payload load
+// (storage/cold_segment.cc and the persistence cold paths).
+inline constexpr const char* kColdCompress = "tier/cold-compress";
+inline constexpr const char* kColdWrite = "tier/cold-write";
+inline constexpr const char* kColdLoad = "tier/cold-load";
 // Replication: segment copy and catch-up rounds.
 inline constexpr const char* kReplicationCopySegment =
     "replication/copy-segment";

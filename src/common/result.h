@@ -55,10 +55,16 @@ class Result {
 }  // namespace esdb
 
 // Assigns the value of a Result expression to `lhs`, or returns its
-// status from the current function.
-#define ESDB_ASSIGN_OR_RETURN(lhs, rexpr)            \
-  auto _esdb_result_tmp = (rexpr);                   \
-  if (!_esdb_result_tmp.ok()) return _esdb_result_tmp.status(); \
-  lhs = std::move(_esdb_result_tmp).value();
+// status from the current function. The temporary's name is
+// uniquified with __COUNTER__ so multiple uses may share one scope.
+#define ESDB_RESULT_CONCAT_INNER(x, y) x##y
+#define ESDB_RESULT_CONCAT(x, y) ESDB_RESULT_CONCAT_INNER(x, y)
+#define ESDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+#define ESDB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ESDB_ASSIGN_OR_RETURN_IMPL(             \
+      ESDB_RESULT_CONCAT(_esdb_result_tmp_, __COUNTER__), lhs, rexpr)
 
 #endif  // ESDB_COMMON_RESULT_H_

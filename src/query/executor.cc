@@ -301,12 +301,12 @@ Result<PostingList> EvalPlanCached(const PlanNode& plan,
     return EvalPlan(plan, view, stats, opts);
   }
   PostingList cached;
-  if (cache->Get(cache_domain, view->id(), fingerprint, &cached)) {
+  if (cache->Get(cache_domain, view.id(), fingerprint, &cached)) {
     return cached;
   }
   ESDB_ASSIGN_OR_RETURN(PostingList candidates,
                         EvalPlan(plan, view, stats, opts));
-  cache->Put(cache_domain, view->id(), fingerprint, candidates);
+  cache->Put(cache_domain, view.id(), fingerprint, candidates);
   return candidates;
 }
 
@@ -324,8 +324,14 @@ Result<QueryResult> ExecuteOnShard(
   const bool can_early_stop =
       !aggregating && query.order_by.empty() && query.limit >= 0;
 
-  for (const SegmentView& view : snapshot) {
+  for (const SegmentView& raw : snapshot) {
     ++stats->segments_visited;
+    // One pin per segment per query: a cold segment's decoded index
+    // part is materialized through the block cache here (first touch
+    // decompresses; later queries hit) and stays alive for the whole
+    // scan. Stored docs stay compressed — GetDocument below inflates
+    // one row block at a time.
+    ESDB_ASSIGN_OR_RETURN(const SegmentView view, raw.Pinned());
     ESDB_ASSIGN_OR_RETURN(PostingList candidates,
                           EvalPlanCached(plan, view, stats, cache,
                                          cache_domain, fingerprint, opts));
@@ -344,7 +350,7 @@ Result<QueryResult> ExecuteOnShard(
         }
         continue;
       }
-      ESDB_ASSIGN_OR_RETURN(Document doc, view->GetDocument(id));
+      ESDB_ASSIGN_OR_RETURN(Document doc, view.GetDocument(id));
       ++stats->rows_materialized;
       if (opts.batch_execution) ++stats->rows_late_materialized;
       if (scoring) {
@@ -393,7 +399,9 @@ Result<std::vector<RowRef>> ExecuteQueryPhase(
   std::vector<RowRef> refs;
   for (uint32_t segment_ordinal = 0; segment_ordinal < snapshot.size();
        ++segment_ordinal) {
-    const SegmentView& view = snapshot[segment_ordinal];
+    // Same one-pin-per-segment discipline as ExecuteOnShard.
+    ESDB_ASSIGN_OR_RETURN(const SegmentView view,
+                          snapshot[segment_ordinal].Pinned());
     ++stats->segments_visited;
     ESDB_ASSIGN_OR_RETURN(PostingList candidates,
                           EvalPlanCached(plan, view, stats, cache,
@@ -461,15 +469,18 @@ Result<std::vector<Document>> ExecuteFetchPhase(
   std::vector<Document> rows;
   rows.reserve(refs.size());
   for (const RowRef& ref : refs) {
-    const SegmentView& view =
-        (*snapshots[ref.shard_ordinal])[ref.segment_ordinal];
-    const Segment& segment = *view;
-    ESDB_ASSIGN_OR_RETURN(Document doc, segment.GetDocument(ref.doc));
+    // Winners-only materialization: fetch pins the segment and reads
+    // exactly the winning docs (for a cold segment: one row-block
+    // decompression per winner, usually cache-adjacent).
+    ESDB_ASSIGN_OR_RETURN(
+        const SegmentView view,
+        (*snapshots[ref.shard_ordinal])[ref.segment_ordinal].Pinned());
+    ESDB_ASSIGN_OR_RETURN(Document doc, view.GetDocument(ref.doc));
     ++stats->rows_materialized;
     if (opts.batch_execution) ++stats->rows_late_materialized;
     if (scoring) {
       doc.Set(kFieldScore,
-              Value(ScoreDocument(segment, doc, query.where.get())));
+              Value(ScoreDocument(*view, doc, query.where.get())));
     }
     rows.push_back(std::move(doc));
   }

@@ -20,14 +20,14 @@ Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
   std::vector<uint64_t> primary_ids;
   primary_ids.reserve(primary_snapshot->size());
   for (const SegmentView& view : *primary_snapshot) {
-    primary_ids.push_back(view->id());
+    primary_ids.push_back(view.id());
   }
 
   // Step 3-4: replica computes the segment diff.
   const SegmentSnapshot replica_snapshot = replica->Snapshot();
   std::vector<uint64_t> replica_ids;
   for (const SegmentView& view : *replica_snapshot) {
-    replica_ids.push_back(view->id());
+    replica_ids.push_back(view.id());
   }
 
   // Step 5: copy missing segments as encoded files; decoding performs
@@ -36,11 +36,11 @@ Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
   // cheaply by comparing overlay counts.
   for (const SegmentView& view : *primary_snapshot) {
     bool need_copy =
-        std::find(replica_ids.begin(), replica_ids.end(), view->id()) ==
+        std::find(replica_ids.begin(), replica_ids.end(), view.id()) ==
         replica_ids.end();
     if (!need_copy) {
       for (const SegmentView& rview : *replica_snapshot) {
-        if (rview->id() == view->id() &&
+        if (rview.id() == view.id() &&
             rview.num_deleted() != view.num_deleted()) {
           need_copy = true;
           break;
@@ -57,8 +57,10 @@ Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
       return Status::Unavailable("failpoint: replication/copy-segment");
     }
     // The segment file folds the pinned overlay into its delete
-    // bitmap; the replica decodes it back out as its own overlay.
-    const std::string bytes = view->Encode(view.tombstones.get());
+    // bitmap; the replica decodes it back out as its own overlay. A
+    // cold primary segment is inflated for the copy (EncodeFull) —
+    // replicas always hold hot state so failover serves at full speed.
+    ESDB_ASSIGN_OR_RETURN(const std::string bytes, view.EncodeFull());
     std::shared_ptr<const Tombstones> tombstones;
     ESDB_ASSIGN_OR_RETURN(std::unique_ptr<Segment> copy,
                           Segment::Decode(bytes, &tombstones));
@@ -132,11 +134,11 @@ Status ReplicatedShard::Refresh() {
   {
     const SegmentSnapshot primary_segments = primary_->Snapshot();
     if (!primary_segments->empty()) {
-      const uint64_t newest = primary_segments->back()->id();
+      const uint64_t newest = primary_segments->back().id();
       bool replica_has = false;
       const SegmentSnapshot replica_segments = replica_->Snapshot();
       for (const SegmentView& view : *replica_segments) {
-        if (view->id() == newest) {
+        if (view.id() == newest) {
           replica_has = true;
           break;
         }

@@ -1,0 +1,76 @@
+#include "storage/block_cache.h"
+
+#include <atomic>
+
+namespace esdb {
+
+Result<BlockCache::Block> BlockCache::Pin(uint64_t owner, uint32_t block,
+                                          const Loader& loader) {
+  const Key key{owner, block};
+  {
+    MutexLock lock(&mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.block;
+    }
+    ++stats_.misses;
+  }
+  // Load outside the lock: decompression/decoding must not serialize
+  // unrelated readers. Concurrent misses on the same key may race the
+  // load; first insert wins and the loser adopts the winner's block.
+  ESDB_ASSIGN_OR_RETURN(Block loaded, loader());
+  MutexLock lock(&mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.block;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{loaded, lru_.begin()});
+  stats_.charged_bytes += loaded.charge;
+  stats_.entries = map_.size();
+  EvictIfNeededLocked();
+  return loaded;
+}
+
+void BlockCache::EvictIfNeededLocked() {
+  if (options_.capacity_bytes == 0) return;
+  while (stats_.charged_bytes > options_.capacity_bytes && lru_.size() > 1) {
+    const Key victim = lru_.back();
+    auto it = map_.find(victim);
+    stats_.charged_bytes -= it->second.block.charge;
+    map_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = map_.size();
+}
+
+void BlockCache::EraseOwner(uint64_t owner) {
+  MutexLock lock(&mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->owner != owner) {
+      ++it;
+      continue;
+    }
+    auto entry = map_.find(*it);
+    stats_.charged_bytes -= entry->second.block.charge;
+    map_.erase(entry);
+    it = lru_.erase(it);
+  }
+  stats_.entries = map_.size();
+}
+
+uint64_t BlockCache::NewOwnerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace esdb

@@ -1,0 +1,117 @@
+#ifndef ESDB_STORAGE_BLOCK_CACHE_H_
+#define ESDB_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/result.h"
+
+namespace esdb {
+
+// Pinned-block LRU cache for the cold segment tier: the only resident
+// bytes a cold segment owns beyond its metadata are the entries this
+// cache currently holds for it. Entries are type-erased shared
+// pointers so the same cache serves decompressed stored-doc byte
+// blocks AND decoded index-part Segment objects; an entry's charged
+// weight is supplied by its loader (decompressed/decoded size, not
+// the on-disk compressed size — the cache bounds RAM, not I/O).
+//
+// Pinning: Pin() returns a shared_ptr. Eviction only drops the
+// cache's own reference, so a reader holding a pin keeps its block
+// alive and consistent for the whole query even if the entry is
+// evicted and re-loaded underneath it (immutable content — a reload
+// yields identical bytes).
+//
+// Keying: (owner, block). Owners are process-unique ids handed out by
+// NewOwnerId(); a ColdSegment takes one at construction and calls
+// EraseOwner in its destructor so a dead segment's entries never
+// linger (and a recycled heap address can never alias a live key).
+//
+// Concurrency: one esdb::Mutex guards the map + LRU list. Loaders run
+// OUTSIDE the lock (decompression must not serialize unrelated
+// readers); two threads missing on the same key may both load, and
+// the second insert simply wins — harmless for immutable content.
+class BlockCache {
+ public:
+  struct Options {
+    // Charged-byte capacity. 0 = unbounded (tests).
+    size_t capacity_bytes = 64ull << 20;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t charged_bytes = 0;  // resident right now
+    size_t entries = 0;
+  };
+
+  struct Block {
+    std::shared_ptr<const void> data;
+    size_t charge = 0;  // decompressed/decoded bytes
+  };
+  using Loader = std::function<Result<Block>()>;
+
+  explicit BlockCache(Options options) : options_(options) {}
+  BlockCache() : BlockCache(Options{}) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  // Returns the cached block for (owner, block), running `loader` on
+  // miss and inserting its result. The returned pointer is always
+  // safe to use until dropped, evicted or not.
+  Result<Block> Pin(uint64_t owner, uint32_t block, const Loader& loader);
+
+  // Typed convenience over Pin (T must be the loader's actual type).
+  template <typename T>
+  Result<std::shared_ptr<const T>> PinAs(uint64_t owner, uint32_t block,
+                                         const Loader& loader) {
+    ESDB_ASSIGN_OR_RETURN(Block b, Pin(owner, block, loader));
+    return std::static_pointer_cast<const T>(b.data);
+  }
+
+  // Drops every entry of `owner` (cold segment destruction / tier
+  // promotion).
+  void EraseOwner(uint64_t owner);
+
+  // Process-unique owner id (never reused).
+  static uint64_t NewOwnerId();
+
+  Stats stats() const;
+  size_t capacity_bytes() const { return options_.capacity_bytes; }
+
+ private:
+  struct Key {
+    uint64_t owner;
+    uint32_t block;
+    bool operator==(const Key& o) const {
+      return owner == o.owner && block == o.block;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.owner * 1000003 + k.block);
+    }
+  };
+  struct Entry {
+    Block block;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void EvictIfNeededLocked() REQUIRES(mu_);
+
+  const Options options_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> map_ GUARDED_BY(mu_);
+  std::list<Key> lru_ GUARDED_BY(mu_);  // front = most recent
+  Stats stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_BLOCK_CACHE_H_

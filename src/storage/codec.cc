@@ -1,0 +1,120 @@
+#include "storage/codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/varint.h"
+
+namespace esdb {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = size_t(1) << kHashBits;
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Hash32(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::string CompressBlock(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  const char* base = input.data();
+  const size_t n = input.size();
+
+  // Last position each 4-byte hash was seen at (+1; 0 = never).
+  std::vector<uint32_t> table(kHashSize, 0);
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  while (pos + kMinMatch <= n) {
+    const uint32_t h = Hash32(Load32(base + pos));
+    const uint32_t candidate = table[h];
+    table[h] = uint32_t(pos + 1);
+    if (candidate != 0) {
+      const size_t match_pos = candidate - 1;
+      if (Load32(base + match_pos) == Load32(base + pos)) {
+        // Extend the match as far as it goes.
+        size_t len = kMinMatch;
+        while (pos + len < n && base[match_pos + len] == base[pos + len]) {
+          ++len;
+        }
+        // Emit pending literals, then the match token.
+        PutVarint64(&out, pos - literal_start);
+        out.append(base + literal_start, pos - literal_start);
+        PutVarint64(&out, len);
+        PutVarint64(&out, pos - match_pos);
+        // Seed the table inside the match so later data can reference
+        // it (sparse stride keeps compression O(n)).
+        const size_t end = pos + len;
+        for (size_t p = pos + 1; p + kMinMatch <= end; p += 3) {
+          table[Hash32(Load32(base + p))] = uint32_t(p + 1);
+        }
+        pos = end;
+        literal_start = end;
+        continue;
+      }
+    }
+    ++pos;
+  }
+  // Trailing literals close the block (no match token after them).
+  PutVarint64(&out, n - literal_start);
+  out.append(base + literal_start, n - literal_start);
+  return out;
+}
+
+Result<std::string> DecompressBlock(std::string_view compressed,
+                                    size_t raw_size) {
+  std::string out;
+  out.reserve(raw_size);
+  size_t pos = 0;
+  while (pos < compressed.size() || out.size() < raw_size) {
+    uint64_t literal_len = 0;
+    if (!GetVarint64(compressed, &pos, &literal_len)) {
+      return Status::Corruption("codec: truncated literal length");
+    }
+    if (literal_len > compressed.size() - pos ||
+        literal_len > raw_size - out.size()) {
+      return Status::Corruption("codec: literal run out of bounds");
+    }
+    out.append(compressed.data() + pos, literal_len);
+    pos += literal_len;
+    if (out.size() == raw_size) {
+      // The final token carries literals only.
+      if (pos != compressed.size()) {
+        return Status::Corruption("codec: trailing bytes after block");
+      }
+      break;
+    }
+    uint64_t match_len = 0, offset = 0;
+    if (!GetVarint64(compressed, &pos, &match_len) ||
+        !GetVarint64(compressed, &pos, &offset)) {
+      return Status::Corruption("codec: truncated match token");
+    }
+    if (match_len < kMinMatch || offset == 0 || offset > out.size() ||
+        match_len > raw_size - out.size()) {
+      return Status::Corruption("codec: match token out of bounds");
+    }
+    // Byte-at-a-time copy: matches may self-overlap (offset < len
+    // encodes a run), so memcpy would be wrong.
+    size_t from = out.size() - offset;
+    for (uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status::Corruption("codec: block shorter than framed size");
+  }
+  return out;
+}
+
+}  // namespace esdb

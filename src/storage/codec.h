@@ -1,0 +1,43 @@
+#ifndef ESDB_STORAGE_CODEC_H_
+#define ESDB_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace esdb {
+
+// Self-contained byte-oriented block codec for the cold segment tier
+// (storage/cold_segment.h): LZ77 with a small hash table over 4-byte
+// sequences, greedy matching, varint-framed tokens. No entropy stage —
+// the goal is the 2-5x ratio that repeated field names, sorted-key
+// runs and interned strings in segment encodings give almost for
+// free, at memcpy-class decompression speed (the cold read path
+// decompresses a block per cache miss, so decode speed bounds cold
+// query latency). Deliberately dependency-free: the container bakes
+// in no zlib/lz4 we are allowed to assume.
+//
+// Format: a sequence of tokens until the input is consumed.
+//   varint literal_len, literal bytes,
+//   then — unless the block ends here — varint match_len (>= 4)
+//   and varint match_offset (1 .. position).
+// A block is self-terminating given its compressed size; the caller
+// frames blocks with (raw_len, compressed_len) pairs (see
+// cold_segment.cc) and passes raw_len as the exact output bound.
+
+// Compresses `input` (any size; callers split into ~64 KiB blocks so
+// the LRU cache granularity stays small). Never fails; incompressible
+// input grows by at most a few bytes per 2^15 literals.
+std::string CompressBlock(std::string_view input);
+
+// Decompresses a CompressBlock output. `raw_size` must be the exact
+// original size (framing carries it); mismatch or malformed input
+// returns Corruption, never reads or writes out of bounds.
+Result<std::string> DecompressBlock(std::string_view compressed,
+                                    size_t raw_size);
+
+}  // namespace esdb
+
+#endif  // ESDB_STORAGE_CODEC_H_

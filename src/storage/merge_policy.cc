@@ -26,12 +26,18 @@ std::vector<size_t> MergePolicy::PickMerge(
     // Under the cap: merge only because GC is due. Pair a lone GC
     // candidate with the smallest other segment so the round also
     // compacts; a single-input "merge" is still legal (it rewrites
-    // the segment without its dead docs).
+    // the segment without its dead docs). The companion is bounded by
+    // gc_companion_max_ratio x the candidate's size: GC of a tiny
+    // segment must never drag the shard's largest segment into a
+    // rewrite it gets nothing from.
     std::vector<size_t> picked = gc;
-    if (picked.size() < 2 && segment_sizes.size() > 1) {
+    if (picked.size() < 2 && segment_sizes.size() > 1 &&
+        options_.gc_companion_max_ratio > 0) {
+      const size_t cap = size_t(double(segment_sizes[picked[0]]) *
+                                options_.gc_companion_max_ratio);
       size_t best = SIZE_MAX;
       for (size_t i = 0; i < segment_sizes.size(); ++i) {
-        if (i == picked[0]) continue;
+        if (i == picked[0] || segment_sizes[i] > cap) continue;
         if (best == SIZE_MAX || segment_sizes[i] < segment_sizes[best]) {
           best = i;
         }

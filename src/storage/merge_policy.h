@@ -22,6 +22,13 @@ class MergePolicy {
     // merging is what GCs tombstone overlays back into compact
     // segments, so heavily-deleted segments must not linger.
     double gc_deleted_fraction = 0.5;
+    // Under-cap GC rounds pair a lone GC candidate with a companion
+    // segment so the round also compacts — but only a companion at
+    // most this many times the candidate's size. Unbounded pairing
+    // rewrote a shard's largest segment to reclaim a few tombstones
+    // in a tiny one (quadratic write amplification as the big segment
+    // re-merged on every GC round). 0 disables companions entirely.
+    double gc_companion_max_ratio = 4.0;
   };
 
   explicit MergePolicy(Options options) : options_(options) {}

@@ -9,6 +9,7 @@
 
 #include "common/failpoint.h"
 #include "common/varint.h"
+#include "storage/cold_segment.h"
 
 namespace esdb {
 
@@ -16,11 +17,37 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr char kManifestMagic[] = "ESDBSHARD2";
+// v3 adds the per-segment tier flag and inline overlay bitmaps for
+// cold entries. v2 manifests (all-hot) are still readable.
+constexpr char kManifestMagic[] = "ESDBSHARD3";
+constexpr char kManifestMagicV2[] = "ESDBSHARD2";
 
 std::string SegmentFileName(uint64_t id, uint64_t num_deleted) {
   return "seg-" + std::to_string(id) + "-" + std::to_string(num_deleted) +
          ".seg";
+}
+
+// Cold files are immutable per id: the payload never changes after
+// demotion (deletes live in the manifest's overlay bitmap), so no
+// <nd> suffix is needed and an existing file is never rewritten.
+std::string ColdFileName(uint64_t id) {
+  return "cold-" + std::to_string(id) + ".cold";
+}
+
+// Packs a tombstone overlay (possibly null) into num_docs bits.
+std::string PackOverlayBits(const Tombstones* tombstones, size_t num_docs) {
+  std::string out;
+  out.reserve((num_docs + 7) / 8);
+  for (size_t i = 0; i < num_docs; i += 8) {
+    uint8_t byte = 0;
+    for (size_t b = 0; b < 8 && i + b < num_docs; ++b) {
+      if (tombstones != nullptr && tombstones->Test(DocId(i + b))) {
+        byte |= uint8_t(1u << b);
+      }
+    }
+    out.push_back(char(byte));
+  }
+  return out;
 }
 
 // The translog file is versioned by its sequence range, exactly as
@@ -81,7 +108,8 @@ void CollectGarbage(const fs::path& dir,
       continue;
     }
     if (entry.path().extension() != ".seg" &&
-        entry.path().extension() != ".log") {
+        entry.path().extension() != ".log" &&
+        entry.path().extension() != ".cold") {
       continue;
     }
     if (std::find(live_files.begin(), live_files.end(), name) ==
@@ -118,12 +146,42 @@ Status SaveShard(const ShardStore& store, const std::string& dir) {
   // the committed manifest references untouched until the new
   // manifest commits.
   const SegmentSnapshot snapshot = store.Snapshot();
-  std::vector<std::pair<uint64_t, uint64_t>> segment_ids;  // (id, ndeleted)
+  struct SegmentEntry {
+    uint64_t id = 0;
+    uint64_t num_deleted = 0;
+    bool cold = false;
+    std::string overlay_bits;  // cold only
+  };
+  std::vector<SegmentEntry> segment_ids;
   std::vector<std::string> live_files;
   for (const SegmentView& view : *snapshot) {
     const uint64_t num_deleted = view.num_deleted();
-    segment_ids.emplace_back(view->id(), num_deleted);
-    const std::string name = SegmentFileName(view->id(), num_deleted);
+    if (view.is_cold()) {
+      // Cold segment: copy the immutable compressed file into the
+      // checkpoint dir (RAM-resident payloads are materialized here);
+      // the overlay rides in the manifest so post-demotion deletes
+      // never force a cold-file rewrite.
+      const std::string name = ColdFileName(view.id());
+      live_files.push_back(name);
+      const fs::path path = fs::path(dir) / name;
+      if (!fs::exists(path)) {
+        // Crash point: the process dies writing a cold file
+        // mid-checkpoint; the previous checkpoint stays recoverable.
+        if (ESDB_FAIL_POINT(failsite::kColdWrite)) {
+          return Status::Internal("failpoint: tier/cold-write");
+        }
+        ESDB_ASSIGN_OR_RETURN(const std::string bytes,
+                              view.cold->FileBytes());
+        ESDB_RETURN_IF_ERROR(WriteFileAtomic(path, bytes));
+      }
+      segment_ids.push_back(
+          SegmentEntry{view.id(), num_deleted, true,
+                       PackOverlayBits(view.tombstones.get(),
+                                       view.num_docs())});
+      continue;
+    }
+    segment_ids.push_back(SegmentEntry{view.id(), num_deleted, false, ""});
+    const std::string name = SegmentFileName(view.id(), num_deleted);
     live_files.push_back(name);
     const fs::path path = fs::path(dir) / name;
     if (fs::exists(path)) continue;  // immutable content, already saved
@@ -182,9 +240,11 @@ Status SaveShard(const ShardStore& store, const std::string& dir) {
   PutVarint64(&manifest, log_begin);
   PutVarint64(&manifest, log_end);
   PutVarint64(&manifest, segment_ids.size());
-  for (const auto& [id, num_deleted] : segment_ids) {
-    PutVarint64(&manifest, id);
-    PutVarint64(&manifest, num_deleted);
+  for (const SegmentEntry& entry : segment_ids) {
+    PutVarint64(&manifest, entry.id);
+    PutVarint64(&manifest, entry.num_deleted);
+    PutVarint64(&manifest, entry.cold ? 1 : 0);
+    if (entry.cold) PutLengthPrefixed(&manifest, entry.overlay_bits);
   }
   // Crash point: the process dies after data files but before the
   // manifest commit. Recovery sees the previous checkpoint.
@@ -204,8 +264,13 @@ Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
   ESDB_ASSIGN_OR_RETURN(std::string manifest,
                         ReadFile(fs::path(dir) / "MANIFEST"));
   const size_t magic_len = sizeof(kManifestMagic) - 1;
+  bool v2 = false;
   if (manifest.compare(0, magic_len, kManifestMagic) != 0) {
-    return Status::Corruption("bad shard manifest magic");
+    if (manifest.compare(0, magic_len, kManifestMagicV2) == 0) {
+      v2 = true;  // pre-tiering manifest: every segment is hot
+    } else {
+      return Status::Corruption("bad shard manifest magic");
+    }
   }
   size_t pos = magic_len;
   uint64_t next_segment_id = 0, refreshed_seq = 0, num_segments = 0;
@@ -223,10 +288,32 @@ Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
 
   auto store = std::make_unique<ShardStore>(spec, options);
   for (uint64_t i = 0; i < num_segments; ++i) {
-    uint64_t id = 0, num_deleted = 0;
+    uint64_t id = 0, num_deleted = 0, tier = 0;
     if (!GetVarint64(manifest, &pos, &id) ||
-        !GetVarint64(manifest, &pos, &num_deleted)) {
+        !GetVarint64(manifest, &pos, &num_deleted) ||
+        (!v2 && !GetVarint64(manifest, &pos, &tier))) {
       return Status::Corruption("truncated shard manifest segment list");
+    }
+    if (tier != 0) {
+      // Cold entry: reopen the compressed file lazily (header only —
+      // a recovered long-tail tenant costs no inflation until its
+      // first query) and rehydrate the overlay from the manifest.
+      std::string_view bits;
+      if (!GetLengthPrefixed(manifest, &pos, &bits)) {
+        return Status::Corruption("truncated shard manifest cold overlay");
+      }
+      ESDB_ASSIGN_OR_RETURN(
+          std::shared_ptr<const ColdSegment> cold,
+          ColdSegment::Open((fs::path(dir) / ColdFileName(id)).string(),
+                            options.tier.cache));
+      std::vector<bool> overlay(bits.size() * 8, false);
+      for (size_t b = 0; b < overlay.size(); ++b) {
+        if (uint8_t(bits[b / 8]) & (1u << (b % 8))) overlay[b] = true;
+      }
+      store->InstallColdSegment(std::move(cold),
+                                Tombstones::FromBits(std::move(overlay)));
+      ++local.segments_loaded;
+      continue;
     }
     // Fault point: a segment file read error (bad sector, missing
     // file). Recovery fails cleanly — the caller retries or falls

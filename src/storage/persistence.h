@@ -13,9 +13,16 @@ namespace esdb {
 // On-disk layout of one shard (the worker's "local SSD", Section 3.3):
 //
 //   <dir>/MANIFEST            next segment id, refreshed seq, translog
-//                             range, (segment id, folded tombstones) pairs
-//   <dir>/seg-<id>-<nd>.seg   one encoded segment file each; <nd> is
-//                             the tombstone count folded into the file
+//                             range, per-segment entries (id, folded
+//                             tombstones, tier; cold entries carry the
+//                             tombstone-overlay bitmap inline)
+//   <dir>/seg-<id>-<nd>.seg   one encoded hot segment file each; <nd>
+//                             is the tombstone count folded into the file
+//   <dir>/cold-<id>.cold      one block-compressed cold segment file
+//                             each (storage/cold_segment.h). Cold files
+//                             are immutable per id — post-demotion
+//                             deletes land in the MANIFEST's overlay
+//                             bitmap, never in a file rewrite
 //   <dir>/translog-<b>-<e>.log  retained translog entries [b, e)
 //                             (durability tail), length-prefixed
 //

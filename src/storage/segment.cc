@@ -1,9 +1,12 @@
 #include "storage/segment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "common/varint.h"
 #include "storage/analyzer.h"
+#include "storage/cold_segment.h"
 
 namespace esdb {
 
@@ -37,8 +40,14 @@ const SortedKeyIndex* Segment::CompositeIndex(std::string_view name) const {
 }
 
 Result<Document> Segment::GetDocument(DocId id) const {
-  if (id >= stored_.size()) {
+  if (id >= num_docs_) {
     return Status::InvalidArgument("segment: doc id out of range");
+  }
+  if (!has_stored_docs()) {
+    // Index-only segment (pinned cold index part): document bytes live
+    // in the cold file's row blocks — callers must go through
+    // SegmentView::GetDocument / ColdSegment::ReadDocument.
+    return Status::FailedPrecondition("segment: stored docs not resident");
   }
   return Document::Deserialize(stored_[id]);
 }
@@ -93,21 +102,65 @@ std::shared_ptr<const Tombstones> Tombstones::FromBits(
 
 // --- SegmentView ----------------------------------------------------------
 
+uint64_t SegmentView::id() const {
+  return cold != nullptr ? cold->id() : segment->id();
+}
+
+size_t SegmentView::num_docs() const {
+  return cold != nullptr ? cold->num_docs() : segment->num_docs();
+}
+
+Result<SegmentView> SegmentView::Pinned() const {
+  if (segment != nullptr) return *this;  // hot, or already pinned
+  ESDB_ASSIGN_OR_RETURN(std::shared_ptr<const Segment> pinned,
+                        cold->PinIndex());
+  SegmentView out = *this;
+  out.segment = std::move(pinned);
+  return out;
+}
+
+Result<Document> SegmentView::GetDocument(DocId id) const {
+  if (cold != nullptr) return cold->ReadDocument(id);
+  return segment->GetDocument(id);
+}
+
 PostingList SegmentView::LiveDocs() const {
   PostingList out;
-  const uint32_t n = uint32_t(segment->num_docs());
+  const uint32_t n = uint32_t(num_docs());
   for (DocId id = 0; id < n; ++id) {
     if (!IsDeleted(id)) out.Append(id);
   }
   return out;
 }
 
+size_t SegmentView::SizeBytes() const {
+  const size_t overlay = tombstones != nullptr ? tombstones->SizeBytes() : 0;
+  if (cold != nullptr) return cold->total_raw_bytes() + overlay;
+  return segment->SizeBytes() + overlay;
+}
+
 size_t SegmentView::LiveSizeBytes() const {
-  const size_t total = segment->num_docs();
+  const size_t total = num_docs();
   if (total == 0) return 0;
   const size_t bytes = SizeBytes();
   return bytes / total * num_live_docs() +
          bytes % total * num_live_docs() / total;
+}
+
+size_t SegmentView::ResidentBytes() const {
+  const size_t overlay = tombstones != nullptr ? tombstones->SizeBytes() : 0;
+  if (cold != nullptr) return cold->ResidentBytes() + overlay;
+  return segment->SizeBytes() + overlay;
+}
+
+size_t SegmentView::ColdBytes() const {
+  return cold != nullptr ? cold->DiskBytes() : 0;
+}
+
+Result<std::string> SegmentView::EncodeFull() const {
+  if (cold == nullptr) return segment->Encode(tombstones.get());
+  ESDB_ASSIGN_OR_RETURN(std::unique_ptr<Segment> full, cold->LoadFull());
+  return full->Encode(tombstones.get());
 }
 
 // --- Segment file format ------------------------------------------------
@@ -123,39 +176,50 @@ size_t SegmentView::LiveSizeBytes() const {
 //   deleted bitmap: num_docs bits, padded to bytes (the caller-
 //   supplied tombstone overlay; zeros when none)
 
+void Segment::EncodeIndexSectionsTo(std::string* out) const {
+  PutVarint64(out, inverted_.size());
+  for (const auto& [field, index] : inverted_) {
+    PutLengthPrefixed(out, field);
+    PutVarint64(out, index.num_terms());
+    for (const auto& [term, postings] : index.terms()) {
+      PutLengthPrefixed(out, term);
+      postings.EncodeTo(out);
+    }
+  }
+
+  PutVarint64(out, composites_.size());
+  for (const auto& [name, index] : composites_) {
+    (void)name;  // name derives from the index's column list
+    index.EncodeTo(out);
+  }
+
+  PutVarint64(out, doc_values_->columns().size());
+  for (const auto& [name, col] : doc_values_->columns()) {
+    PutLengthPrefixed(out, name);
+    for (DocId i = 0; i < num_docs_; ++i) col.Get(i).EncodeTo(out);
+  }
+
+  // record_ids_ is a hash map; emit entries in sorted record order so
+  // the encoding is deterministic — encode(decode(x)) must be
+  // byte-identical to x for checkpoint dedup and the cold tier's
+  // re-inflation tests.
+  std::vector<std::pair<int64_t, DocId>> records(record_ids_.begin(),
+                                                 record_ids_.end());
+  std::sort(records.begin(), records.end());
+  PutVarint64(out, records.size());
+  for (const auto& [record, doc] : records) {
+    PutVarint64(out, (uint64_t(record) << 1) ^ uint64_t(record >> 63));
+    PutVarint64(out, doc);
+  }
+}
+
 std::string Segment::Encode(const Tombstones* tombstones) const {
   std::string out;
   PutVarint64(&out, id_);
   PutVarint64(&out, num_docs_);
   for (const std::string& s : stored_) PutLengthPrefixed(&out, s);
 
-  PutVarint64(&out, inverted_.size());
-  for (const auto& [field, index] : inverted_) {
-    PutLengthPrefixed(&out, field);
-    PutVarint64(&out, index.num_terms());
-    for (const auto& [term, postings] : index.terms()) {
-      PutLengthPrefixed(&out, term);
-      postings.EncodeTo(&out);
-    }
-  }
-
-  PutVarint64(&out, composites_.size());
-  for (const auto& [name, index] : composites_) {
-    (void)name;  // name derives from the index's column list
-    index.EncodeTo(&out);
-  }
-
-  PutVarint64(&out, doc_values_->columns().size());
-  for (const auto& [name, col] : doc_values_->columns()) {
-    PutLengthPrefixed(&out, name);
-    for (DocId i = 0; i < num_docs_; ++i) col.Get(i).EncodeTo(&out);
-  }
-
-  PutVarint64(&out, record_ids_.size());
-  for (const auto& [record, doc] : record_ids_) {
-    PutVarint64(&out, (uint64_t(record) << 1) ^ uint64_t(record >> 63));
-    PutVarint64(&out, doc);
-  }
+  EncodeIndexSectionsTo(&out);
 
   for (uint32_t i = 0; i < num_docs_; i += 8) {
     uint8_t byte = 0;
@@ -195,6 +259,33 @@ Result<std::unique_ptr<Segment>> Segment::Decode(
     seg->stored_.emplace_back(doc);
   }
 
+  ESDB_RETURN_IF_ERROR(seg->DecodeIndexSections(data, &pos));
+
+  std::vector<bool> deleted(num_docs, false);
+  for (uint64_t i = 0; i < num_docs; i += 8) {
+    if (pos >= data.size()) {
+      return Status::Corruption("segment: truncated delete bitmap");
+    }
+    const uint8_t byte = uint8_t(data[pos++]);
+    for (uint64_t b = 0; b < 8 && i + b < num_docs; ++b) {
+      if (byte & (1u << b)) deleted[i + b] = true;
+    }
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("segment: trailing bytes");
+  }
+  if (tombstones != nullptr) {
+    *tombstones = Tombstones::FromBits(std::move(deleted));
+  }
+  seg->attr_sidecar_ = AttributeSidecar::Build(*seg->doc_values_);
+  seg->RecomputeSize();
+  return seg;
+}
+
+Status Segment::DecodeIndexSections(std::string_view data, size_t* posp) {
+  size_t& pos = *posp;
+  const uint64_t num_docs = num_docs_;
+
   uint64_t nfields = 0;
   if (!GetVarint64(data, &pos, &nfields)) {
     return Status::Corruption("segment: truncated inverted count");
@@ -206,7 +297,7 @@ Result<std::unique_ptr<Segment>> Segment::Decode(
         !GetVarint64(data, &pos, &nterms)) {
       return Status::Corruption("segment: truncated inverted field");
     }
-    InvertedIndex& index = seg->inverted_[std::string(field)];
+    InvertedIndex& index = inverted_[std::string(field)];
     for (uint64_t t = 0; t < nterms; ++t) {
       std::string_view term;
       if (!GetLengthPrefixed(data, &pos, &term)) {
@@ -226,20 +317,20 @@ Result<std::unique_ptr<Segment>> Segment::Decode(
     SortedKeyIndex index({});
     ESDB_RETURN_IF_ERROR(SortedKeyIndex::DecodeFrom(data, &pos, &index));
     std::string name = IndexSpec::CompositeName(index.columns());
-    seg->composites_.emplace(std::move(name), std::move(index));
+    composites_.emplace(std::move(name), std::move(index));
   }
 
   uint64_t ncols = 0;
   if (!GetVarint64(data, &pos, &ncols)) {
     return Status::Corruption("segment: truncated doc-values count");
   }
-  seg->doc_values_ = std::make_unique<DocValues>(num_docs);
+  doc_values_ = std::make_unique<DocValues>(num_docs);
   for (uint64_t c = 0; c < ncols; ++c) {
     std::string_view name;
     if (!GetLengthPrefixed(data, &pos, &name)) {
       return Status::Corruption("segment: truncated column name");
     }
-    DocValues::Column* col = seg->doc_values_->GetOrCreate(std::string(name));
+    DocValues::Column* col = doc_values_->GetOrCreate(std::string(name));
     for (uint64_t i = 0; i < num_docs; ++i) {
       Value v;
       if (!Value::DecodeFrom(data, &pos, &v)) {
@@ -258,24 +349,36 @@ Result<std::unique_ptr<Segment>> Segment::Decode(
     if (!GetVarint64(data, &pos, &zz) || !GetVarint64(data, &pos, &doc)) {
       return Status::Corruption("segment: truncated record-id entry");
     }
-    seg->record_ids_[int64_t((zz >> 1) ^ (~(zz & 1) + 1))] = DocId(doc);
+    record_ids_[int64_t((zz >> 1) ^ (~(zz & 1) + 1))] = DocId(doc);
   }
+  return Status::OK();
+}
 
-  std::vector<bool> deleted(num_docs, false);
-  for (uint64_t i = 0; i < num_docs; i += 8) {
-    if (pos >= data.size()) {
-      return Status::Corruption("segment: truncated delete bitmap");
-    }
-    const uint8_t byte = uint8_t(data[pos++]);
-    for (uint64_t b = 0; b < 8 && i + b < num_docs; ++b) {
-      if (byte & (1u << b)) deleted[i + b] = true;
-    }
+// Index-part format: the segment file minus stored docs and delete
+// bitmap —
+//   varint id, varint num_docs, then the shared index sections.
+
+std::string Segment::EncodeIndexPart() const {
+  std::string out;
+  PutVarint64(&out, id_);
+  PutVarint64(&out, num_docs_);
+  EncodeIndexSectionsTo(&out);
+  return out;
+}
+
+Result<std::unique_ptr<Segment>> Segment::DecodeIndexPart(
+    std::string_view data) {
+  auto seg = std::unique_ptr<Segment>(new Segment());
+  size_t pos = 0;
+  uint64_t id = 0, num_docs = 0;
+  if (!GetVarint64(data, &pos, &id) || !GetVarint64(data, &pos, &num_docs)) {
+    return Status::Corruption("segment: truncated index-part header");
   }
+  seg->id_ = id;
+  seg->num_docs_ = uint32_t(num_docs);
+  ESDB_RETURN_IF_ERROR(seg->DecodeIndexSections(data, &pos));
   if (pos != data.size()) {
-    return Status::Corruption("segment: trailing bytes");
-  }
-  if (tombstones != nullptr) {
-    *tombstones = Tombstones::FromBits(std::move(deleted));
+    return Status::Corruption("segment: trailing index-part bytes");
   }
   seg->attr_sidecar_ = AttributeSidecar::Build(*seg->doc_values_);
   seg->RecomputeSize();

@@ -20,6 +20,7 @@
 namespace esdb {
 
 class Tombstones;
+class ColdSegment;
 
 // Immutable index unit, the analog of a Lucene segment file: stored
 // documents, per-field inverted indexes, composite sorted-key indexes
@@ -95,11 +96,37 @@ class Segment {
       std::string_view data,
       std::shared_ptr<const Tombstones>* tombstones = nullptr);
 
+  // --- Cold tier (storage/cold_segment.h) -----------------------------
+
+  // True when stored documents are resident. The pinned index part of
+  // a cold segment (DecodeIndexPart output) serves every executor read
+  // path EXCEPT GetDocument — cold document reads go through
+  // ColdSegment::ReadDocument, which decompresses only the row block
+  // holding the doc.
+  bool has_stored_docs() const { return stored_.size() == num_docs_; }
+  const std::vector<std::string>& stored_docs() const { return stored_; }
+
+  // Index-part round trip: everything Encode writes EXCEPT the stored
+  // documents and the delete bitmap. Stored docs live in separately
+  // compressed row blocks of the cold file (so a cold query never
+  // re-inflates them wholesale); tombstones live in the manifest's
+  // per-segment overlay. Section encodings are shared with Encode.
+  std::string EncodeIndexPart() const;
+  static Result<std::unique_ptr<Segment>> DecodeIndexPart(
+      std::string_view data);
+
  private:
   friend class SegmentBuilder;
+  friend class ColdSegment;  // LoadFull() re-attaches stored docs
   Segment() = default;
 
   void RecomputeSize();
+
+  // Shared section encodings between Encode and EncodeIndexPart:
+  // inverted indexes, composites, doc values, record ids (everything
+  // between the stored docs and the delete bitmap, in file order).
+  void EncodeIndexSectionsTo(std::string* out) const;
+  Status DecodeIndexSections(std::string_view data, size_t* pos);
 
   uint64_t id_ = 0;
   uint32_t num_docs_ = 0;
@@ -146,12 +173,42 @@ class Tombstones {
 // deleted). Deletedness is resolved against the overlay the reader
 // pinned, so a query observes a frozen set of deletes for its whole
 // run even while DML publishes newer epochs.
+//
+// Tiering: a view is either HOT (`segment` set, `cold` null — the
+// whole segment resident in RAM, exactly the pre-tiering layout) or
+// COLD (`cold` set — only compressed payload plus metadata held; see
+// storage/cold_segment.h). Readers that need the Segment interface
+// call Pinned() first, which for a cold view materializes the decoded
+// index part through the block cache and returns a view whose
+// `segment` points at it (stored docs stay compressed; document reads
+// dispatch through GetDocument below). Metadata accessors (id,
+// num_docs, sizes, deletedness) never touch the payload.
 struct SegmentView {
   std::shared_ptr<const Segment> segment;
   std::shared_ptr<const Tombstones> tombstones;
+  std::shared_ptr<const ColdSegment> cold;
 
+  // Direct Segment access: valid for hot or pinned views only.
   const Segment* operator->() const { return segment.get(); }
   const Segment& operator*() const { return *segment; }
+
+  bool is_cold() const { return cold != nullptr; }
+
+  // Tier-agnostic metadata (no payload touch for cold views).
+  uint64_t id() const;
+  size_t num_docs() const;
+
+  // Returns a view whose `segment` is usable: hot views return a copy
+  // of themselves; cold views pin the decoded index part through the
+  // block cache (decompressing it on first touch). The pin lives as
+  // long as the returned view — executors pin once per segment per
+  // query, so eviction never invalidates an in-flight scan.
+  Result<SegmentView> Pinned() const;
+
+  // Stored-document read across tiers: hot reads the resident doc,
+  // cold decompresses only the row block holding it (late
+  // materialization — a cold query never re-inflates the segment).
+  Result<Document> GetDocument(DocId id) const;
 
   bool IsDeleted(DocId id) const {
     return tombstones != nullptr && tombstones->Test(id);
@@ -159,21 +216,34 @@ struct SegmentView {
   size_t num_deleted() const {
     return tombstones != nullptr ? tombstones->count() : 0;
   }
-  size_t num_live_docs() const { return segment->num_docs() - num_deleted(); }
+  size_t num_live_docs() const { return num_docs() - num_deleted(); }
 
   // All live doc ids of this epoch as a posting list.
   PostingList LiveDocs() const;
 
-  // Raw footprint: index data plus the overlay bitmap.
-  size_t SizeBytes() const {
-    return segment->SizeBytes() +
-           (tombstones != nullptr ? tombstones->SizeBytes() : 0);
-  }
+  // Logical footprint: UNCOMPRESSED index+doc data plus the overlay
+  // bitmap, independent of tier (a demotion does not change what the
+  // merge policy or replication cost model sees).
+  size_t SizeBytes() const;
   // Footprint scaled to the live fraction — the shard-size signal the
   // balancer and replication layer consume. A segment that is half
   // tombstones weighs half: stale bytes must not skew LoadBalancer
   // decisions or replication cost accounting.
   size_t LiveSizeBytes() const;
+
+  // RAM actually held by this view right now: full footprint for hot
+  // views; metadata + (if not spilled to disk) the compressed payload
+  // for cold views. Block-cache residency is accounted by the cache
+  // itself, not per view.
+  size_t ResidentBytes() const;
+  // Compressed bytes parked on disk (0 for hot or RAM-compressed
+  // views).
+  size_t ColdBytes() const;
+
+  // Full segment-file encoding (Encode + the overlay folded into the
+  // delete bitmap) across tiers; cold views inflate the whole segment
+  // for it. Replication and checkpointing use this, queries never do.
+  Result<std::string> EncodeFull() const;
 };
 
 // One epoch of a shard's searchable state: the ordered segment list

@@ -3,13 +3,16 @@
 #include <algorithm>
 
 #include "common/failpoint.h"
+#include "storage/block_cache.h"
+#include "storage/cold_segment.h"
 
 namespace esdb {
 
 ShardStore::ShardStore(const IndexSpec* spec, Options options)
     : spec_(spec),
       options_(options),
-      segments_(std::make_shared<const ShardView>()) {}
+      segments_(std::make_shared<const ShardView>()),
+      store_uid_(BlockCache::NewOwnerId()) {}
 
 void ShardStore::PublishSegments(ShardView next) {
   // Allocate the new epoch before taking the publication lock so the
@@ -46,7 +49,7 @@ Status ShardStore::ApplyInternal(const WriteOp& op) {
       if (!op.doc.Has(kFieldRecordId)) {
         return Status::InvalidArgument("write requires record_id");
       }
-      DeleteExisting(op.record_id());
+      ESDB_RETURN_IF_ERROR(DeleteExisting(op.record_id()));
       size_t pending = 0;
       {
         MutexLock buf(&buffer_mu_);
@@ -63,13 +66,12 @@ Status ShardStore::ApplyInternal(const WriteOp& op) {
       return Status::OK();
     }
     case OpType::kDelete:
-      DeleteExisting(op.record_id());
-      return Status::OK();
+      return DeleteExisting(op.record_id());
   }
   return Status::Internal("unknown op type");
 }
 
-void ShardStore::DeleteExisting(int64_t record_id) {
+Status ShardStore::DeleteExisting(int64_t record_id) {
   {
     MutexLock buf(&buffer_mu_);
     auto it = buffer_by_record_.find(record_id);
@@ -79,7 +81,7 @@ void ShardStore::DeleteExisting(int64_t record_id) {
       buffered_count_.fetch_sub(1, std::memory_order_relaxed);
       // A record lives in the buffer only when its prior segment copy
       // (if any) was already tombstoned, so we can stop here.
-      return;
+      return Status::OK();
     }
   }
   // Newest segment first: at most one live copy exists. The delete is
@@ -87,19 +89,22 @@ void ShardStore::DeleteExisting(int64_t record_id) {
   // set, rebuild the (pointer-sized) view vector, and publish it as
   // the next epoch. In-flight readers keep their pinned epoch and see
   // the doc until they re-snapshot — exactly the frozen-deletes
-  // semantics queries rely on.
+  // semantics queries rely on. Cold segments keep their record-id
+  // index in the pinned index part, so a delete against a cold shard
+  // costs one cache pin, never a full re-inflation.
   const SegmentSnapshot snap = Snapshot();
   for (size_t i = snap->size(); i-- > 0;) {
-    const SegmentView& view = (*snap)[i];
+    ESDB_ASSIGN_OR_RETURN(const SegmentView view, (*snap)[i].Pinned());
     const int64_t local = view->FindByRecordId(record_id);
     if (local >= 0 && !view.IsDeleted(DocId(local))) {
       ShardView next = *snap;
       next[i].tombstones = Tombstones::WithDeleted(
-          view.tombstones.get(), uint32_t(view->num_docs()), DocId(local));
+          view.tombstones.get(), uint32_t(view.num_docs()), DocId(local));
       PublishSegments(std::move(next));
-      return;
+      return Status::OK();
     }
   }
+  return Status::OK();
 }
 
 bool ShardStore::Refresh() {
@@ -160,29 +165,60 @@ bool ShardStore::MaybeMergeLocked() {
   for (const SegmentView& view : *snap) {
     sizes.push_back(view.SizeBytes());
     deleted_fractions.push_back(
-        view->num_docs() == 0
+        view.num_docs() == 0
             ? 0.0
-            : double(view.num_deleted()) / double(view->num_docs()));
+            : double(view.num_deleted()) / double(view.num_docs()));
   }
   const std::vector<size_t> picked =
       MergePolicy(options_.merge).PickMerge(sizes, deleted_fractions);
-  if (picked.empty()) return false;
+  if (!picked.empty()) return RewriteSegmentsLocked(picked);
 
+  // No ordinary merge due — use the round for tier transitions:
+  // rewrite segments whose tier disagrees with the shard's current
+  // classification (demotion compresses, promotion re-inflates).
+  // Bounded by max_merge_inputs per round, like any merge.
+  if (!options_.tier.enabled) return false;
+  const bool want_cold = tier_cold_.load(std::memory_order_relaxed);
+  std::vector<size_t> mismatched;
+  for (size_t i = 0; i < snap->size(); ++i) {
+    if ((*snap)[i].is_cold() != want_cold) mismatched.push_back(i);
+  }
+  if (mismatched.empty()) return false;
+  if (mismatched.size() > options_.merge.max_merge_inputs) {
+    mismatched.resize(options_.merge.max_merge_inputs);
+  }
+  return RewriteSegmentsLocked(mismatched);
+}
+
+bool ShardStore::RewriteSegmentsLocked(const std::vector<size_t>& picked) {
+  const SegmentSnapshot snap = Snapshot();
   // Only live docs are re-added: the merge folds each input's
   // tombstone overlay into the merged segment, which therefore
-  // carries no overlay of its own.
+  // carries no overlay of its own. Inputs are read tier-agnostically
+  // (a cold input streams documents block by block through the
+  // cache). Any cold read or demotion failure aborts the round with
+  // the epoch untouched — merge failure never loses data.
   SegmentBuilder builder(spec_);
   for (size_t pos : picked) {
-    const SegmentView& view = (*snap)[pos];
+    auto pinned = (*snap)[pos].Pinned();
+    if (!pinned.ok()) return false;
+    const SegmentView& view = *pinned;
     const PostingList live = view.LiveDocs();
     for (DocId id : live.ids()) {
-      auto doc = view->GetDocument(id);
+      auto doc = view.GetDocument(id);
       if (doc.ok()) builder.Add(*doc);
     }
   }
   merged_docs_total_ += builder.num_docs();
-  std::shared_ptr<const Segment> merged =
+  std::unique_ptr<Segment> merged =
       std::move(builder).Build(next_segment_id_++);
+  const bool empty = merged->num_docs() == 0;
+  SegmentView wrapped;
+  if (!empty) {
+    auto in_tier = WrapInTierLocked(std::move(merged));
+    if (!in_tier.ok()) return false;
+    wrapped = std::move(*in_tier);
+  }
 
   ShardView remaining;
   remaining.reserve(snap->size() - picked.size() + 1);
@@ -194,22 +230,53 @@ bool ShardStore::MaybeMergeLocked() {
     }
     remaining.push_back((*snap)[i]);
   }
-  if (merged->num_docs() > 0) {
-    remaining.push_back(SegmentView{std::move(merged), nullptr});
-  }
+  if (!empty) remaining.push_back(std::move(wrapped));
   PublishSegments(std::move(remaining));
   return true;
 }
 
+Result<SegmentView> ShardStore::WrapInTierLocked(
+    std::unique_ptr<Segment> segment) {
+  std::shared_ptr<const Segment> seg(std::move(segment));
+  if (!options_.tier.enabled ||
+      !tier_cold_.load(std::memory_order_relaxed)) {
+    return SegmentView{std::move(seg), nullptr, nullptr};
+  }
+  std::string spill_path;
+  if (!options_.tier.spill_dir.empty()) {
+    spill_path = options_.tier.spill_dir + "/cold-" +
+                 std::to_string(store_uid_) + "-" +
+                 std::to_string(seg->id()) + ".cold";
+  }
+  ESDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ColdSegment> cold,
+      ColdSegment::FromSegment(*seg, spill_path, options_.tier.cache));
+  return SegmentView{nullptr, nullptr, std::move(cold)};
+}
+
 Result<Document> ShardStore::GetByRecordId(int64_t record_id) const {
-  const SegmentSnapshot snap = Snapshot();
-  for (auto view = snap->rbegin(); view != snap->rend(); ++view) {
-    const int64_t local = (*view)->FindByRecordId(record_id);
-    if (local >= 0 && !view->IsDeleted(DocId(local))) {
-      return (*view)->GetDocument(DocId(local));
+  // Buffer first, newest wins: an applied-but-unrefreshed
+  // insert/update must be returned and an unrefreshed delete must
+  // hide the older segment copy (buffer_by_record_ only holds live
+  // entries — DeleteExisting erases on delete, and any prior segment
+  // copy of a buffered record is already tombstoned). Without this,
+  // point lookups silently time-travel to the pre-refresh state.
+  {
+    MutexLock buf(&buffer_mu_);
+    auto it = buffer_by_record_.find(record_id);
+    if (it != buffer_by_record_.end()) {
+      return buffer_[it->second].doc;
     }
   }
-  return Status::NotFound("record not found (or not yet refreshed)");
+  const SegmentSnapshot snap = Snapshot();
+  for (size_t i = snap->size(); i-- > 0;) {
+    ESDB_ASSIGN_OR_RETURN(const SegmentView view, (*snap)[i].Pinned());
+    const int64_t local = view->FindByRecordId(record_id);
+    if (local >= 0 && !view.IsDeleted(DocId(local))) {
+      return view.GetDocument(DocId(local));
+    }
+  }
+  return Status::NotFound("record not found");
 }
 
 size_t ShardStore::num_live_docs() const {
@@ -224,6 +291,22 @@ size_t ShardStore::SizeBytes() const {
   const SegmentSnapshot snap = Snapshot();
   for (const SegmentView& view : *snap) bytes += view.LiveSizeBytes();
   return bytes;
+}
+
+ShardSizeBreakdown ShardStore::SizeBreakdown() const {
+  ShardSizeBreakdown out;
+  out.translog_bytes = translog_bytes_.load(std::memory_order_relaxed);
+  const SegmentSnapshot snap = Snapshot();
+  for (const SegmentView& view : *snap) {
+    out.resident_bytes += view.ResidentBytes();
+    out.cold_bytes += view.ColdBytes();
+  }
+  return out;
+}
+
+size_t ShardStore::ResidentBytes() const {
+  const ShardSizeBreakdown b = SizeBreakdown();
+  return b.resident_bytes + b.translog_bytes;
 }
 
 std::map<int64_t, uint64_t> ShardStore::BufferedTenantCounts() const {
@@ -257,7 +340,7 @@ void ShardStore::InstallSegment(
   MutexLock lock(&write_mu_);
   ShardView next = *Snapshot();
   for (SegmentView& existing : next) {
-    if (existing->id() == segment->id()) {
+    if (existing.id() == segment->id()) {
       existing = SegmentView{std::move(segment), std::move(tombstones)};
       PublishSegments(std::move(next));
       return;
@@ -266,9 +349,33 @@ void ShardStore::InstallSegment(
   next.push_back(SegmentView{std::move(segment), std::move(tombstones)});
   std::sort(next.begin(), next.end(),
             [](const SegmentView& a, const SegmentView& b) {
-              return a->id() < b->id();
+              return a.id() < b.id();
             });
-  next_segment_id_ = std::max(next_segment_id_, next.back()->id() + 1);
+  next_segment_id_ = std::max(next_segment_id_, next.back().id() + 1);
+  PublishSegments(std::move(next));
+}
+
+void ShardStore::InstallColdSegment(
+    std::shared_ptr<const ColdSegment> cold,
+    std::shared_ptr<const Tombstones> tombstones) {
+  MutexLock lock(&write_mu_);
+  ShardView next = *Snapshot();
+  const uint64_t id = cold->id();
+  SegmentView view{nullptr, std::move(tombstones), std::move(cold)};
+  bool replaced = false;
+  for (SegmentView& existing : next) {
+    if (existing.id() == id) {
+      existing = std::move(view);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) next.push_back(std::move(view));
+  std::sort(next.begin(), next.end(),
+            [](const SegmentView& a, const SegmentView& b) {
+              return a.id() < b.id();
+            });
+  next_segment_id_ = std::max(next_segment_id_, next.back().id() + 1);
   PublishSegments(std::move(next));
 }
 
@@ -279,7 +386,7 @@ void ShardStore::RetainSegments(const std::vector<uint64_t>& live_ids) {
                             [&](const SegmentView& view) {
                               return std::find(live_ids.begin(),
                                                live_ids.end(),
-                                               view->id()) == live_ids.end();
+                                               view.id()) == live_ids.end();
                             }),
              next.end());
   PublishSegments(std::move(next));

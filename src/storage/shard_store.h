@@ -18,6 +18,23 @@
 
 namespace esdb {
 
+class BlockCache;
+
+// Per-shard byte accounting split by where the bytes actually live:
+// RAM the shard holds right now (segments + cold-segment metadata +
+// in-RAM compressed payloads), the translog, and compressed cold
+// bytes parked on disk. total() is the logical shard weight; callers
+// that size RAM budgets (tenant packing, eviction) read
+// resident_bytes, callers that size disks read cold_bytes. The old
+// single-number SizeBytes() conflated these — a spilled shard looked
+// as expensive as a resident one.
+struct ShardSizeBreakdown {
+  size_t resident_bytes = 0;  // RAM: segments, overlays, cold metadata
+  size_t translog_bytes = 0;  // RAM: unflushed translog
+  size_t cold_bytes = 0;      // disk: compressed cold files
+  size_t total() const { return resident_bytes + translog_bytes + cold_bytes; }
+};
+
 // Storage engine for one shard: an in-memory write buffer, a set of
 // immutable segments, and a translog. Mirrors the Elasticsearch write
 // path (Section 3.3):
@@ -45,10 +62,30 @@ namespace esdb {
 // readers proceed concurrently with its writer.
 class ShardStore {
  public:
+  // Hot/cold tier wiring. With `enabled` false (default) the store
+  // behaves exactly as before: every segment fully resident. With it
+  // on, merges become the tier-transition point — merge output for a
+  // cold-classified shard is demoted through ColdSegment::FromSegment
+  // (compressed; spilled to `spill_dir` when set, parked compressed in
+  // RAM otherwise) and promoted back by the next merge after the
+  // shard turns hot.
+  struct TierOptions {
+    bool enabled = false;
+    // Directory for spilled cold files ("" = keep compressed payload
+    // in RAM). Files are named cold-<store-uid>-<segment-id>.cold so
+    // many shards can share one directory; they are deleted when the
+    // last snapshot referencing them dies.
+    std::string spill_dir;
+    // Shared pinned-block LRU for decompressed cold reads (null =
+    // uncached: every cold read decompresses).
+    std::shared_ptr<BlockCache> cache;
+  };
+
   struct Options {
     // Auto-refresh once the buffer holds this many docs (0 = manual).
     size_t refresh_doc_count = 4096;
     MergePolicy::Options merge;
+    TierOptions tier;
   };
 
   ShardStore(const IndexSpec* spec, Options options);
@@ -82,7 +119,24 @@ class ShardStore {
   // Merging folds each input segment's tombstone overlay into the
   // merged segment (only live docs are re-added), so the overlay is
   // the transient delete representation and merges are the GC.
+  // Under tiering, merges are also the tier-transition point: when no
+  // ordinary merge is due, segments whose tier disagrees with the
+  // shard's classification are rewritten into the right tier.
   bool MaybeMerge();
+
+  // --- Tiering ----------------------------------------------------------
+
+  // Admission/eviction signal from the tenant monitor: classifies
+  // this shard's *target* tier. Takes effect at the next merge
+  // (MaybeMerge rewrites mismatched segments); queries on a cold
+  // shard promote blocks through the cache immediately, without
+  // waiting for reclassification. No-op unless tiering is enabled.
+  void SetTierCold(bool cold) {
+    tier_cold_.store(cold, std::memory_order_relaxed);
+  }
+  bool tier_cold() const {
+    return tier_cold_.load(std::memory_order_relaxed);
+  }
 
   // --- Read path --------------------------------------------------------
 
@@ -96,8 +150,13 @@ class ShardStore {
     return segments_;
   }
 
-  // Latest live version of a record across segments (not the buffer:
-  // near-real-time semantics).
+  // Latest live version of a record: the write buffer first (a
+  // writer's own un-refreshed insert/update/delete is visible —
+  // read-your-writes), then segments newest-first. Search stays
+  // near-real-time (only refreshed docs are query-visible); this
+  // point-lookup path is the stronger one because recovery
+  // verification and id-based fetches must see every applied op, not
+  // just refreshed ones.
   Result<Document> GetByRecordId(int64_t record_id) const;
 
   // --- Stats ------------------------------------------------------------
@@ -108,10 +167,18 @@ class ShardStore {
   }
   // Shard-size signal for the balancer and replication layer:
   // translog bytes (tracked atomically — no lock) plus the
-  // live-fraction-scaled footprint of each segment, so tombstoned
-  // docs stop counting toward a shard's weight as soon as the delete
-  // is published (not only after the merge GCs it).
+  // live-fraction-scaled LOGICAL footprint of each segment, so
+  // tombstoned docs stop counting toward a shard's weight as soon as
+  // the delete is published (not only after the merge GCs it).
+  // Tier-independent: equals SizeBreakdown().total() modulo the
+  // live-fraction scaling of resident segments.
   size_t SizeBytes() const;
+  // Where the bytes live (RAM vs translog vs cold disk) — see
+  // ShardSizeBreakdown. resident + translog + cold, unscaled.
+  ShardSizeBreakdown SizeBreakdown() const;
+  // Convenience: SizeBreakdown().resident_bytes + translog (the RAM
+  // the shard pins regardless of query activity).
+  size_t ResidentBytes() const;
   // Writer-context only: the translog is mutated under the writer
   // mutex, so only maintenance/persistence callers — externally
   // serialized against this shard's writers — may walk it. The
@@ -154,6 +221,12 @@ class ShardStore {
   void InstallSegment(std::shared_ptr<const Segment> segment,
                       std::shared_ptr<const Tombstones> tombstones = nullptr);
 
+  // Installs a cold-tier segment handle (checkpoint recovery: the
+  // manifest carries the cold file name and the tombstone overlay;
+  // the payload stays compressed until first query).
+  void InstallColdSegment(std::shared_ptr<const ColdSegment> cold,
+                          std::shared_ptr<const Tombstones> tombstones);
+
   // Drops segments absent from `live_ids` (mirror of the primary's
   // snapshot after a replication round).
   void RetainSegments(const std::vector<uint64_t>& live_ids);
@@ -175,10 +248,21 @@ class ShardStore {
 
   Status ApplyInternal(const WriteOp& op) REQUIRES(write_mu_);
   // Removes any live prior version of record_id (buffer + segments).
-  // Segment hits publish a copy-on-write tombstone epoch.
-  void DeleteExisting(int64_t record_id) REQUIRES(write_mu_);
+  // Segment hits publish a copy-on-write tombstone epoch. Can fail
+  // only when a cold segment's record-id index cannot be pinned.
+  Status DeleteExisting(int64_t record_id) REQUIRES(write_mu_);
   bool RefreshLocked() REQUIRES(write_mu_);
   bool MaybeMergeLocked() REQUIRES(write_mu_);
+  // Rewrites `inputs` (indexes into the current view) into one
+  // segment in the shard's target tier; folds tombstones. Returns
+  // false (and leaves the epoch untouched) if a cold pin or the
+  // demotion fails.
+  bool RewriteSegmentsLocked(const std::vector<size_t>& inputs)
+      REQUIRES(write_mu_);
+  // Wraps a freshly built segment in the target tier: hot passthrough
+  // or ColdSegment demotion. Null segment pointer on demotion failure.
+  Result<SegmentView> WrapInTierLocked(std::unique_ptr<Segment> segment)
+      REQUIRES(write_mu_);
   // Publishes the next epoch (pointer swap under epoch_mu_).
   void PublishSegments(ShardView next) REQUIRES(write_mu_);
 
@@ -218,6 +302,12 @@ class ShardStore {
   // Translog seqs below this are in segments.
   std::atomic<uint64_t> refreshed_seq_{0};
   uint64_t merged_docs_total_ GUARDED_BY(write_mu_) = 0;
+  // Target tier from the monitor (relaxed: a stale read only delays a
+  // transition by one merge round).
+  std::atomic<bool> tier_cold_{false};
+  // Process-unique uid disambiguating spill file names when many
+  // shards share one spill_dir.
+  const uint64_t store_uid_;
 };
 
 }  // namespace esdb

@@ -12,6 +12,7 @@
 #include "common/random.h"
 #include "consensus/network.h"
 #include "replication/replication.h"
+#include "storage/block_cache.h"
 #include "storage/persistence.h"
 
 namespace esdb {
@@ -31,6 +32,9 @@ constexpr const char* kMatrixSites[] = {
     failsite::kSaveManifest,        // CrashMatrix.SaveManifest*
     failsite::kTornTail,            // CrashMatrix.TornTail*
     failsite::kLoadSegment,         // CrashMatrix.LoadSegment
+    failsite::kColdCompress,        // CrashMatrix.ColdCompress
+    failsite::kColdWrite,           // CrashMatrix.ColdWrite
+    failsite::kColdLoad,            // CrashMatrix.ColdLoad
     failsite::kReplicationCopySegment,  // CrashMatrix.ReplicationCopySegment
     failsite::kReplicationCatchup,  // CrashMatrix.ReplicationCatchup
     failsite::kNetDrop,             // CrashMatrix.NetDrop
@@ -386,6 +390,115 @@ TEST_F(CrashMatrix, LoadSegment) {
   EXPECT_EQ((*opened)->num_live_docs(), 20u);
 }
 
+ShardStore::Options TieredOptions(const fs::path& spill_dir) {
+  ShardStore::Options options;
+  options.refresh_doc_count = 0;
+  options.tier.enabled = true;
+  options.tier.spill_dir = spill_dir.string();
+  options.tier.cache = std::make_shared<BlockCache>();
+  std::error_code ec;
+  fs::create_directories(spill_dir, ec);
+  return options;
+}
+
+// tier/cold-compress: the demotion's compression stage fails mid-
+// merge. The tier transition aborts atomically — the shard keeps its
+// hot segments and every doc — and the next merge retries cleanly.
+TEST_F(CrashMatrix, ColdCompress) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, TieredOptions(dir_ / "spill"));
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  store.Refresh();
+  store.SetTierCold(true);
+
+  FailPoints::Arm(failsite::kColdCompress, FailPoints::Once());
+  EXPECT_FALSE(store.MaybeMerge());
+  EXPECT_EQ(FailPoints::Triggers(failsite::kColdCompress), 1u);
+  // Nothing demoted, nothing lost.
+  ASSERT_FALSE(store.Snapshot()->empty());
+  EXPECT_FALSE((*store.Snapshot())[0].is_cold());
+  EXPECT_EQ(store.num_live_docs(), 30u);
+
+  // Retry (the fail point auto-disarmed) demotes with all docs.
+  EXPECT_TRUE(store.MaybeMerge());
+  EXPECT_TRUE((*store.Snapshot())[0].is_cold());
+  EXPECT_EQ(store.num_live_docs(), 30u);
+  EXPECT_TRUE(store.GetByRecordId(7).ok());
+}
+
+// tier/cold-write: the spill write fails — first during demotion
+// (the transition aborts, segments stay hot), then during a
+// checkpoint's cold-file copy (the checkpoint aborts before its
+// manifest commit; the previous checkpoint stays recoverable).
+TEST_F(CrashMatrix, ColdWrite) {
+  IndexSpec spec = TestSpec();
+  const ShardStore::Options options = TieredOptions(dir_ / "spill");
+  ShardStore store(&spec, options);
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+  }
+  store.Refresh();
+  store.SetTierCold(true);
+
+  FailPoints::Arm(failsite::kColdWrite, FailPoints::Once());
+  EXPECT_FALSE(store.MaybeMerge());
+  EXPECT_FALSE((*store.Snapshot())[0].is_cold());
+  EXPECT_EQ(store.num_live_docs(), 30u);
+  EXPECT_TRUE(store.MaybeMerge());  // retry demotes
+  ASSERT_TRUE((*store.Snapshot())[0].is_cold());
+
+  // Checkpoint the cold shard under a cold-file write failure.
+  const fs::path ckpt = dir_ / "ckpt";
+  FailPoints::Arm(failsite::kColdWrite, FailPoints::Once());
+  ASSERT_FALSE(SaveShard(store, ckpt.string()).ok());
+  EXPECT_FALSE(OpenShard(&spec, options, ckpt.string()).ok());  // no commit
+
+  // Retry persists; recovery returns the cold shard whole.
+  ASSERT_TRUE(SaveShard(store, ckpt.string()).ok());
+  auto opened = OpenShard(&spec, options, ckpt.string());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->num_live_docs(), 30u);
+  EXPECT_TRUE((*(*opened)->Snapshot())[0].is_cold());
+}
+
+// tier/cold-load: a cold-file read fails — during recovery (OpenShard
+// fails cleanly, the retry succeeds from the intact file) and on the
+// cold query path (the read errors, the retry decompresses fine).
+TEST_F(CrashMatrix, ColdLoad) {
+  IndexSpec spec = TestSpec();
+  const ShardStore::Options options = TieredOptions(dir_ / "spill");
+  const fs::path ckpt = dir_ / "ckpt";
+  {
+    ShardStore store(&spec, options);
+    for (int64_t i = 0; i < 30; ++i) {
+      ASSERT_TRUE(store.Apply(Insert(i, i)).ok());
+    }
+    store.Refresh();
+    store.SetTierCold(true);
+    ASSERT_TRUE(store.MaybeMerge());
+    ASSERT_TRUE(SaveShard(store, ckpt.string()).ok());
+  }
+
+  FailPoints::Arm(failsite::kColdLoad, FailPoints::Once());
+  auto failed = OpenShard(&spec, options, ckpt.string());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+
+  auto opened = OpenShard(&spec, options, ckpt.string());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->num_live_docs(), 30u);
+
+  // Cold read fault: the point read surfaces the error, never
+  // garbage; the retry reads through the cache as usual.
+  FailPoints::Arm(failsite::kColdLoad, FailPoints::Once());
+  EXPECT_FALSE((*opened)->GetByRecordId(5).ok());
+  auto doc = (*opened)->GetByRecordId(5);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->record_id(), 5);
+}
+
 // replication/copy-segment: the copy stream dies mid-round. The
 // replica lags but is never corrupted; the next round re-diffs and
 // converges.
@@ -599,7 +712,15 @@ TEST_F(CrashMatrix, RandomizedRecoveryFuzzer) {
     Rng rng(seed);
     const fs::path dir = dir_ / ("iter-" + std::to_string(iter));
 
-    ShardStore store(&spec, Manual());
+    // Half the iterations run the shard tiered: random hot/cold
+    // reclassification and tier-transition merges interleave with the
+    // DML, checkpoints cover cold files, and the recovery oracle
+    // (an always-hot reference replay) must still match exactly.
+    const bool tiered = rng.Bernoulli(0.5);
+    const ShardStore::Options store_options =
+        tiered ? TieredOptions(dir_ / ("spill-" + std::to_string(iter)))
+               : Manual();
+    ShardStore store(&spec, store_options);
     std::vector<WriteOp> ops;  // every op the store accepted, in order
     struct Committed {
       size_t op_count = 0;        // translog end_seq at the commit
@@ -628,6 +749,20 @@ TEST_F(CrashMatrix, RandomizedRecoveryFuzzer) {
 
       if (rng.Bernoulli(0.25)) store.Refresh();
       if (rng.Bernoulli(0.1)) store.MaybeMerge();
+      if (tiered && rng.Bernoulli(0.2)) {
+        store.SetTierCold(rng.Bernoulli(0.6));
+        if (rng.Bernoulli(0.4)) {
+          // The tier transition itself faults: the merge must abort
+          // atomically, losing nothing (verified by the oracle).
+          FailPoints::Arm(rng.Bernoulli(0.5) ? failsite::kColdCompress
+                                             : failsite::kColdWrite,
+                          FailPoints::Once());
+          store.MaybeMerge();
+          FailPoints::DisarmAll();
+        } else {
+          store.MaybeMerge();
+        }
+      }
       if (rng.Bernoulli(0.1)) {
         if (rng.Bernoulli(0.3)) {
           // Crash before the truncate: the log keeps its overlap.
@@ -638,7 +773,7 @@ TEST_F(CrashMatrix, RandomizedRecoveryFuzzer) {
 
       if (rng.Bernoulli(0.25)) {
         // Checkpoint attempt under a randomly chosen fault.
-        const uint64_t fault = rng.Uniform(6);
+        const uint64_t fault = rng.Uniform(7);
         bool torn = false;
         switch (fault) {
           case 0:
@@ -649,6 +784,12 @@ TEST_F(CrashMatrix, RandomizedRecoveryFuzzer) {
             break;
           case 2:
             FailPoints::Arm(failsite::kSaveManifest, FailPoints::Once());
+            break;
+          case 6:
+            // Cold-file copy failure. Only fires when the checkpoint
+            // actually writes a cold file; a hot shard's save simply
+            // succeeds with the site still armed (disarmed below).
+            FailPoints::Arm(failsite::kColdWrite, FailPoints::Once());
             break;
           case 3:
             // Torn tail. Precede it with a sentinel insert of a fresh
@@ -683,11 +824,14 @@ TEST_F(CrashMatrix, RandomizedRecoveryFuzzer) {
       continue;
     }
 
-    // Sometimes the first recovery attempt hits a segment-read fault;
-    // the retry must then succeed from the intact files.
+    // Sometimes the first recovery attempt hits a segment-read fault
+    // (hot or cold path); the retry must then succeed from the intact
+    // files.
     if (rng.Bernoulli(0.2)) {
-      FailPoints::Arm(failsite::kLoadSegment, FailPoints::Once());
-      auto attempt = OpenShard(&spec, Manual(), dir.string());
+      FailPoints::Arm(tiered && rng.Bernoulli(0.5) ? failsite::kColdLoad
+                                                   : failsite::kLoadSegment,
+                      FailPoints::Once());
+      auto attempt = OpenShard(&spec, store_options, dir.string());
       FailPoints::DisarmAll();
       if (!attempt.ok()) {
         EXPECT_EQ(attempt.status().code(), StatusCode::kUnavailable);
@@ -695,7 +839,7 @@ TEST_F(CrashMatrix, RandomizedRecoveryFuzzer) {
     }
 
     RecoveryReport report;
-    auto opened = OpenShard(&spec, Manual(), dir.string(), &report);
+    auto opened = OpenShard(&spec, store_options, dir.string(), &report);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
 
     if (!committed->torn) {
@@ -721,7 +865,7 @@ TEST_F(CrashMatrix, RandomizedRecoveryFuzzer) {
 
     // Idempotent re-recovery: identical report, identical state.
     RecoveryReport again;
-    auto reopened = OpenShard(&spec, Manual(), dir.string(), &again);
+    auto reopened = OpenShard(&spec, store_options, dir.string(), &again);
     ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
     EXPECT_EQ(again.segments_loaded, report.segments_loaded);
     EXPECT_EQ(again.ops_replayed, report.ops_replayed);

@@ -151,7 +151,8 @@ TEST_F(FailPointTest, AllSitesListsEveryNamedConstant) {
       failsite::kSaveManifest,           failsite::kTornTail,
       failsite::kLoadSegment,            failsite::kReplicationCopySegment,
       failsite::kReplicationCatchup,     failsite::kNetDrop,
-      failsite::kNetDelay,
+      failsite::kNetDelay,               failsite::kColdCompress,
+      failsite::kColdWrite,              failsite::kColdLoad,
   };
   EXPECT_EQ(sites.size(), std::size(expected));
   for (const char* site : expected) {

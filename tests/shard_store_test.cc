@@ -71,14 +71,46 @@ TEST(ShardStoreTest, NearRealTimeVisibility) {
   IndexSpec spec = TestSpec();
   ShardStore store(&spec, ManualRefresh());
   ASSERT_TRUE(store.Apply(Insert(1, 100, 1000)).ok());
-  // Not yet refreshed: invisible to search and point reads.
+  // Not yet refreshed: invisible to search, but point reads are
+  // read-your-writes (they consult the write buffer first).
   EXPECT_EQ(store.num_live_docs(), 0u);
-  EXPECT_FALSE(store.GetByRecordId(100).ok());
+  EXPECT_TRUE(store.GetByRecordId(100).ok());
   EXPECT_EQ(store.buffered_docs(), 1u);
 
   EXPECT_TRUE(store.Refresh());
   EXPECT_EQ(store.num_live_docs(), 1u);
   EXPECT_TRUE(store.GetByRecordId(100).ok());
+}
+
+// Regression: GetByRecordId used to read only the published segment
+// epoch, so an un-refreshed insert was invisible, an un-refreshed
+// update returned the STALE segment copy, and an un-refreshed delete
+// resurrected the deleted document. The point-read path must consult
+// the write buffer (newest wins) before any segment.
+TEST(ShardStoreTest, GetByRecordIdReadsYourWrites) {
+  IndexSpec spec = TestSpec();
+  ShardStore store(&spec, ManualRefresh());
+
+  // Insert before any refresh: visible immediately.
+  ASSERT_TRUE(store.Apply(Insert(1, 100, 1000, /*status=*/1)).ok());
+  auto doc = store.GetByRecordId(100);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("status").as_int(), 1);
+
+  // Update buffered on top of a refreshed copy: buffer wins.
+  EXPECT_TRUE(store.Refresh());
+  ASSERT_TRUE(store.Apply(Insert(1, 100, 1000, /*status=*/2)).ok());
+  doc = store.GetByRecordId(100);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("status").as_int(), 2);
+
+  // Buffered delete of a refreshed document: gone immediately, not
+  // resurrected from the segment.
+  EXPECT_TRUE(store.Refresh());
+  ASSERT_TRUE(store.Apply(Delete(1, 100, 1000)).ok());
+  EXPECT_FALSE(store.GetByRecordId(100).ok());
+  store.Refresh();
+  EXPECT_FALSE(store.GetByRecordId(100).ok());
 }
 
 TEST(ShardStoreTest, UpsertReplacesAcrossRefresh) {
@@ -267,6 +299,41 @@ TEST(MergePolicyTest, RespectsMaxInputs) {
   MergePolicy policy(MergePolicy::Options{2, 3});
   const auto picked = policy.PickMerge({1, 2, 3, 4, 5, 6, 7, 8});
   EXPECT_EQ(picked.size(), 3u);
+}
+
+// Regression: the under-cap GC path used to pair a lone GC candidate
+// with the smallest OTHER segment unconditionally — when the only
+// other segments were huge, GC of a tiny segment dragged the shard's
+// largest segment into a rewrite on every round (quadratic write
+// amplification). The companion must be bounded by
+// gc_companion_max_ratio x the candidate's size.
+TEST(MergePolicyTest, GcCompanionBoundedBySizeRatio) {
+  MergePolicy policy(MergePolicy::Options{8, 8, 0.5, 4.0});
+
+  // Candidate at index 1 (size 10, 60% deleted). The only other
+  // segments are 100x its size: no companion qualifies, so the GC
+  // round rewrites just the candidate.
+  auto picked = policy.PickMerge({1000, 10, 2000}, {0.0, 0.6, 0.0});
+  EXPECT_EQ(picked, (std::vector<size_t>{1}));
+
+  // A companion within 4x the candidate's size does get folded in —
+  // and it is the smallest qualifying one.
+  picked = policy.PickMerge({1000, 10, 35, 40}, {0.0, 0.6, 0.0, 0.0});
+  EXPECT_EQ(picked, (std::vector<size_t>{1, 2}));
+
+  // Ratio 0 disables companions entirely.
+  MergePolicy solo(MergePolicy::Options{8, 8, 0.5, 0.0});
+  picked = solo.PickMerge({10, 12, 14}, {0.6, 0.0, 0.0});
+  EXPECT_EQ(picked, (std::vector<size_t>{0}));
+}
+
+// Two GC candidates merge together without pulling in extra
+// companions; over-cap rounds still fold due-GC segments in.
+TEST(MergePolicyTest, GcCandidatesMergeTogether) {
+  MergePolicy policy(MergePolicy::Options{8, 8, 0.5, 4.0});
+  const auto picked =
+      policy.PickMerge({1000, 10, 20, 3000}, {0.0, 0.7, 0.9, 0.0});
+  EXPECT_EQ(picked, (std::vector<size_t>{1, 2}));
 }
 
 }  // namespace
