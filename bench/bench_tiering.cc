@@ -339,7 +339,8 @@ int main(int argc, char** argv) {
                  hot_size.resident_bytes, cold_size.resident_bytes,
                  cache_stats.charged_bytes, cold_size.cold_bytes,
                  footprint_ratio, hot_latency, cold_first_latency,
-                 cold_warm_latency, hot_qps_ratio, gate_failures);
+                 cold_warm_latency, latency_ratio, tiered_hot_latency,
+                 gate_failures);
     std::fclose(json);
   }
 

@@ -20,7 +20,7 @@ namespace esdb {
 //
 // Replicas are not persisted — on restore they rebuild from the
 // primaries, the same path a failed replica takes (Section 5.2).
-Status SaveCluster(const Esdb& db, const std::string& dir);
+[[nodiscard]] Status SaveCluster(const Esdb& db, const std::string& dir);
 
 // What cluster recovery did, shard by shard: segments loaded,
 // translog ops replayed vs. skipped (idempotent overlap) vs.
@@ -39,12 +39,12 @@ struct ClusterRecoveryReport {
 // Restores the committed rule list when the routing policy is dynamic.
 // When `report` is non-null it receives the per-shard replayed/
 // discarded accounting.
-Result<std::unique_ptr<Esdb>> RecoverCluster(Esdb::Options options,
+[[nodiscard]] Result<std::unique_ptr<Esdb>> RecoverCluster(Esdb::Options options,
                                              const std::string& dir,
                                              ClusterRecoveryReport* report);
 
 // RecoverCluster without the report.
-Result<std::unique_ptr<Esdb>> OpenCluster(Esdb::Options options,
+[[nodiscard]] Result<std::unique_ptr<Esdb>> OpenCluster(Esdb::Options options,
                                           const std::string& dir);
 
 }  // namespace esdb

@@ -86,7 +86,7 @@ Status DistributedEsdb::AddNode(NodeId node) {
   // only its failure domain changes.
   for (const ShardAllocator::Move& move : *moves) {
     if (move.is_replica) {
-      shards_[move.shard]->ResetReplica();
+      ESDB_RETURN_IF_ERROR(shards_[move.shard]->ResetReplica());
       ++replicas_rebuilt_;
     }
   }
@@ -98,7 +98,7 @@ Status DistributedEsdb::RemoveNode(NodeId node) {
   if (!moves.ok()) return moves.status();
   for (const ShardAllocator::Move& move : *moves) {
     if (move.is_replica) {
-      shards_[move.shard]->ResetReplica();
+      ESDB_RETURN_IF_ERROR(shards_[move.shard]->ResetReplica());
       ++replicas_rebuilt_;
     }
   }
@@ -134,7 +134,7 @@ Status DistributedEsdb::FailNode(NodeId node) {
   }
   // Replicas on the dead node: rebuild from the (healthy) primary.
   for (ShardId shard : lost_replicas) {
-    shards_[shard]->ResetReplica();
+    ESDB_RETURN_IF_ERROR(shards_[shard]->ResetReplica());
     ++replicas_rebuilt_;
   }
   RefreshAll();  // repopulate all rebuilt replicas

@@ -1,6 +1,7 @@
 #ifndef ESDB_CLUSTER_DISTRIBUTED_H_
 #define ESDB_CLUSTER_DISTRIBUTED_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -56,12 +57,12 @@ class DistributedEsdb {
   // Registers a node. Once two nodes exist, shards are allocated; later
   // joins trigger rebalancing moves (replicas rebuilt at their new
   // node; primaries hand over in place).
-  Status AddNode(NodeId node);
+  [[nodiscard]] Status AddNode(NodeId node);
   // Graceful departure: shards move off first.
-  Status RemoveNode(NodeId node);
+  [[nodiscard]] Status RemoveNode(NodeId node);
   // Crash: primaries on the node fail over to their replicas; replicas
   // on the node are rebuilt elsewhere. The node leaves the cluster.
-  Status FailNode(NodeId node);
+  [[nodiscard]] Status FailNode(NodeId node);
 
   size_t num_nodes() const { return allocator_.num_nodes(); }
   bool ready() const { return allocator_.allocated(); }
@@ -74,8 +75,8 @@ class DistributedEsdb {
 
   // --- Data path ---------------------------------------------------------
 
-  Status Apply(const WriteOp& op);
-  Status Insert(Document doc);
+  [[nodiscard]] Status Apply(const WriteOp& op);
+  [[nodiscard]] Status Insert(Document doc);
   void RefreshAll();
 
   // Resizes the refresh/replication pool (0 = serial). Same swap
@@ -85,7 +86,7 @@ class DistributedEsdb {
   void SetMaintenanceThreads(uint32_t n);
   uint32_t maintenance_threads() const { return options_.maintenance_threads; }
 
-  Result<QueryResult> ExecuteSql(std::string_view sql);
+  [[nodiscard]] Result<QueryResult> ExecuteSql(std::string_view sql);
 
   // --- Introspection -------------------------------------------------------
 
@@ -97,18 +98,24 @@ class DistributedEsdb {
   uint64_t replicas_rebuilt() const { return replicas_rebuilt_; }
 
  private:
-  Status CheckReady() const;
+  [[nodiscard]] Status CheckReady() const;
 
-  Options options_;
-  ShardAllocator allocator_;
-  std::unique_ptr<RoutingPolicy> routing_;
-  DynamicSecondaryHashing* dynamic_ = nullptr;
-  std::vector<std::unique_ptr<ReplicatedShard>> shards_;  // by shard id
+  // Cluster topology is fixed by the constructor; membership
+  // operations (AddNode/RemoveNode/FailNode) mutate allocator state
+  // and are serialized by the caller, like ShardStore's single-writer
+  // contract. pool_mu_ guards only the maintenance pool.
+  Options options_;        // lint:unguarded(fixed at construction)
+  ShardAllocator allocator_;  // lint:unguarded(membership ops are externally serialized)
+  std::unique_ptr<RoutingPolicy> routing_;  // lint:unguarded(fixed at construction)
+  DynamicSecondaryHashing* dynamic_ = nullptr;  // lint:unguarded(fixed at construction; owned by routing_)
+  std::vector<std::unique_ptr<ReplicatedShard>> shards_;  // by shard id  lint:unguarded(vector shape fixed at construction; elements are internally synchronized)
   // Null when serial; swapped under pool_mu_ and pinned by RefreshAll.
   mutable Mutex pool_mu_;
   std::shared_ptr<ThreadPool> maintenance_pool_ GUARDED_BY(pool_mu_);
-  uint64_t failovers_ = 0;
-  uint64_t replicas_rebuilt_ = 0;
+  // Atomic: bumped on the (serialized) failover path but read by
+  // stats accessors from any thread.
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> replicas_rebuilt_{0};
 };
 
 }  // namespace esdb

@@ -101,16 +101,16 @@ class Esdb {
 
   // Routes and applies one write op. The document must carry
   // tenant_id, record_id and created_time.
-  Status Apply(const WriteOp& op);
+  [[nodiscard]] Status Apply(const WriteOp& op);
 
-  Status Insert(Document doc) {
+  [[nodiscard]] Status Insert(Document doc) {
     return Apply(WriteOp{OpType::kInsert, std::move(doc)});
   }
-  Status Update(Document doc) {
+  [[nodiscard]] Status Update(Document doc) {
     return Apply(WriteOp{OpType::kUpdate, std::move(doc)});
   }
   // Deletes by routing key (tenant + record + original creation time).
-  Status Delete(TenantId tenant, RecordId record, Micros created_time);
+  [[nodiscard]] Status Delete(TenantId tenant, RecordId record, Micros created_time);
 
   // Makes all buffered writes searchable.
   void RefreshAll();
@@ -121,20 +121,20 @@ class Esdb {
   // the shards the routing policy names for the query's tenant(s) and
   // aggregates. Queries without a tenant_id equality predicate fan out
   // to all shards.
-  Result<QueryResult> ExecuteSql(std::string_view sql);
-  Result<QueryResult> Execute(const Query& query);
+  [[nodiscard]] Result<QueryResult> ExecuteSql(std::string_view sql);
+  [[nodiscard]] Result<QueryResult> Execute(const Query& query);
 
   // Same, with an explicit planner configuration (used by the
   // optimizer on/off experiments; Figure 17).
-  Result<QueryResult> ExecuteSqlWithPlanner(std::string_view sql,
+  [[nodiscard]] Result<QueryResult> ExecuteSqlWithPlanner(std::string_view sql,
                                             const PlannerOptions& planner);
-  Result<QueryResult> ExecuteWithPlanner(const Query& query,
+  [[nodiscard]] Result<QueryResult> ExecuteWithPlanner(const Query& query,
                                          const PlannerOptions& planner);
 
   // EXPLAIN: the full front-end trace of a SELECT — parsed form,
   // normalized WHERE (Xdriver4ES CNF + predicate merge), the ES-DSL
   // document, target shard fan-out, and the physical plan.
-  Result<std::string> ExplainSql(std::string_view sql);
+  [[nodiscard]] Result<std::string> ExplainSql(std::string_view sql);
 
   // SQL DML: UPDATE ... SET ... WHERE / DELETE FROM ... WHERE.
   // Selects the affected rows through the query path, then routes one
@@ -142,8 +142,8 @@ class Esdb {
   // the record's original shard). Returns the number of affected
   // rows. Near-real-time caveat: only refreshed rows are visible to
   // the WHERE selection.
-  Result<uint64_t> ExecuteDmlSql(std::string_view sql);
-  Result<uint64_t> ExecuteDml(const DmlStatement& statement);
+  [[nodiscard]] Result<uint64_t> ExecuteDmlSql(std::string_view sql);
+  [[nodiscard]] Result<uint64_t> ExecuteDml(const DmlStatement& statement);
 
   // Number of shard subqueries the last Execute performed (Figure 16's
   // cost driver) and its executor counters. Mutex-guarded so
@@ -222,7 +222,7 @@ class Esdb {
 
   // Replaces a shard's store (cluster-checkpoint restore). Only valid
   // for clusters built without replicas.
-  Status InstallShard(ShardId id, std::unique_ptr<ShardStore> store);
+  [[nodiscard]] Status InstallShard(ShardId id, std::unique_ptr<ShardStore> store);
 
   // Per-shard live doc counts (shard-size distribution, Figure 13d).
   std::vector<size_t> ShardDocCounts() const;
@@ -234,21 +234,26 @@ class Esdb {
   ShardStore* Primary(ShardId id);
   const ShardStore* Primary(ShardId id) const;
 
-  Options options_;
+  // The cluster skeleton below is fixed at construction; the only
+  // post-construction writes are the admin entry points (Set*Threads
+  // touches the thread-count fields of options_, InstallShard rebinds
+  // one shards_ slot), which callers serialize. pool_mu_/stats_mu_
+  // guard only what they annotate.
+  Options options_;  // lint:unguarded(thread-count fields mutated only by serialized admin Set*Threads)
   std::atomic<bool> batch_execution_;
-  std::unique_ptr<RoutingPolicy> routing_;
-  DynamicSecondaryHashing* dynamic_ = nullptr;  // owned by routing_
+  std::unique_ptr<RoutingPolicy> routing_;  // lint:unguarded(fixed at construction)
+  DynamicSecondaryHashing* dynamic_ = nullptr;  // owned by routing_  lint:unguarded(fixed at construction)
   // Either plain stores or replicated shards, by options.
-  std::vector<std::unique_ptr<ShardStore>> shards_;
-  std::vector<std::unique_ptr<ReplicatedShard>> replicated_;
-  WorkloadMonitor monitor_;
-  LoadBalancer balancer_;
-  FilterCache filter_cache_;
+  std::vector<std::unique_ptr<ShardStore>> shards_;  // lint:unguarded(shape fixed at construction; InstallShard is externally serialized)
+  std::vector<std::unique_ptr<ReplicatedShard>> replicated_;  // lint:unguarded(shape fixed at construction; elements internally synchronized)
+  WorkloadMonitor monitor_;  // lint:unguarded(internally synchronized)
+  LoadBalancer balancer_;  // lint:unguarded(driven only from the serialized maintenance path)
+  FilterCache filter_cache_;  // lint:unguarded(internally synchronized, striped)
   // Tiering control plane; both null unless options.tiering.enabled.
   // The cache is shared_ptr because every ShardStore (and the cold
   // segments it creates) co-owns it.
-  std::shared_ptr<BlockCache> block_cache_;
-  std::unique_ptr<TierAdmission> tier_admission_;
+  std::shared_ptr<BlockCache> block_cache_;  // lint:unguarded(pointer fixed at construction; cache internally synchronized)
+  std::unique_ptr<TierAdmission> tier_admission_;  // lint:unguarded(pointer fixed at construction)
   // Pools are swapped under pool_mu_ and pinned (shared_ptr copy) by
   // each operation that uses them, so a concurrent Set*Threads can
   // never destroy a pool out from under an in-flight fan-out. Null

@@ -42,12 +42,12 @@ class ShardAllocator {
   // allocation; later joins steal load from the busiest nodes.
   // Returns the moves performed (empty for the very first node, which
   // cannot host replicas alone).
-  Result<std::vector<Move>> AddNode(NodeId node);
+  [[nodiscard]] Result<std::vector<Move>> AddNode(NodeId node);
 
   // Removes a node; its shards move to the least-loaded survivors.
   // Fails when fewer than two nodes would remain (replicas need a
   // second node).
-  Result<std::vector<Move>> RemoveNode(NodeId node);
+  [[nodiscard]] Result<std::vector<Move>> RemoveNode(NodeId node);
 
   // Current placement of a shard. Only valid once >= 2 nodes exist.
   const Assignment& Of(ShardId shard) const { return assignments_[shard]; }

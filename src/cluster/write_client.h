@@ -31,13 +31,13 @@ class WriteClient {
   WriteClient(Esdb* db, Options options) : db_(db), options_(options) {}
 
   // Buffers an op; auto-flushes its queue at batch_size.
-  Status Enqueue(WriteOp op);
+  [[nodiscard]] Status Enqueue(WriteOp op);
 
   // Drains both queues.
-  Status Flush();
+  [[nodiscard]] Status Flush();
   // Drains one queue (hotspot isolation lets callers keep the normal
   // queue moving while the hot queue is stalled).
-  Status FlushQueue(QueueKind kind);
+  [[nodiscard]] Status FlushQueue(QueueKind kind);
 
   size_t pending(QueueKind kind) const {
     return kind == QueueKind::kHot ? hot_.size() : normal_.size();

@@ -11,8 +11,12 @@ namespace esdb {
 
 // Result<T> holds either a value of type T or a non-OK Status.
 // Modeled on absl::StatusOr / arrow::Result.
+//
+// [[nodiscard]] at class scope: discarding a Result discards both the
+// value and the error; every call site must consume it (or void it
+// with a justifying comment).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error status keeps call
   // sites readable (`return doc;` / `return Status::NotFound(...)`).
@@ -21,8 +25,8 @@ class Result {
     assert(!status_.ok() && "Result constructed from OK status without value");
   }
 
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     assert(ok());
@@ -43,7 +47,7 @@ class Result {
   T* operator->() { return &value(); }
 
   // Returns the contained value or `fallback` when in the error state.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
 

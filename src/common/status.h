@@ -28,50 +28,56 @@ const char* StatusCodeName(StatusCode code);
 
 // Value-semantic status object; the standard error-reporting channel in
 // this codebase (exceptions are not used). Cheap to copy in the OK case.
-class Status {
+//
+// The class itself is [[nodiscard]]: any call that returns a Status by
+// value must be checked (or explicitly voided with a justifying
+// comment). A silently dropped error from a translog append or a
+// cold-segment load is exactly the bug class the recovery fuzzer can
+// only find probabilistically — the compiler finds it always.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Aborted(std::string msg) {
+  [[nodiscard]] static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
-  static Status TimedOut(std::string msg) {
+  [[nodiscard]] static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   // "Ok" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

@@ -86,7 +86,7 @@ class ThreadPool {
   CondVar cv_;
   std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // lint:unguarded(filled in the constructor, joined in the destructor; never touched concurrently)
 };
 
 // Runs fn(ordinal) for every ordinal in [0, n): serially in the

@@ -49,7 +49,7 @@ class Document {
 
   // Binary round-trip used by the translog and segment stored fields.
   std::string Serialize() const;
-  static Result<Document> Deserialize(std::string_view data);
+  [[nodiscard]] static Result<Document> Deserialize(std::string_view data);
 
   bool operator==(const Document& other) const {
     return fields_ == other.fields_;

@@ -14,7 +14,7 @@ namespace esdb {
 // This is the external interchange format; the engine-internal format
 // is Document::Serialize().
 std::string ToJson(const Document& doc);
-Result<Document> FromJson(std::string_view json);
+[[nodiscard]] Result<Document> FromJson(std::string_view json);
 
 // Escapes a string per JSON rules (quotes, backslash, control chars).
 std::string JsonEscape(std::string_view s);

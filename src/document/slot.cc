@@ -1,0 +1,21 @@
+#include "document/slot.h"
+
+namespace esdb {
+
+Value SlotToValue(const TypedSlot& slot) {
+  switch (slot.tag) {
+    case SlotTag::kNothing:
+      return Value::Null();
+    case SlotTag::kBool:
+      return Value(slot.as_bool());
+    case SlotTag::kInt:
+      return Value(slot.as_int());
+    case SlotTag::kDouble:
+      return Value(slot.as_double());
+    case SlotTag::kString:
+      return Value(slot.as_string());
+  }
+  return Value::Null();
+}
+
+}  // namespace esdb

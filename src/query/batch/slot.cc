@@ -42,22 +42,6 @@ int ValueRank(const Value& v) {
 
 }  // namespace
 
-Value SlotToValue(const TypedSlot& slot) {
-  switch (slot.tag) {
-    case SlotTag::kNothing:
-      return Value::Null();
-    case SlotTag::kBool:
-      return Value(slot.as_bool());
-    case SlotTag::kInt:
-      return Value(slot.as_int());
-    case SlotTag::kDouble:
-      return Value(slot.as_double());
-    case SlotTag::kString:
-      return Value(slot.as_string());
-  }
-  return Value::Null();
-}
-
 int CompareSlotValue(const TypedSlot& slot, const Value& other) {
   const int ra = Rank(slot.tag);
   const int rb = ValueRank(other);

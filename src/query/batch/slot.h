@@ -1,10 +1,7 @@
 #ifndef ESDB_QUERY_BATCH_SLOT_H_
 #define ESDB_QUERY_BATCH_SLOT_H_
 
-#include <cstdint>
-#include <cstring>
-#include <string>
-
+#include "document/slot.h"
 #include "document/value.h"
 
 namespace esdb {
@@ -13,55 +10,14 @@ struct Predicate;  // query/ast.h
 
 namespace batch {
 
-// Type tag of a slot value (1 byte). kNothing stands for null AND
-// missing — the batch engine signals "no value" with it instead of
-// branching into exception/optional paths (the SBE "Nothing" idea).
-// Tag values are stable: DocValues::Column stores them in its
-// contiguous tag array.
-enum class SlotTag : uint8_t {
-  kNothing = 0,
-  kBool = 1,
-  kInt = 2,
-  kDouble = 3,
-  kString = 4,
-};
-
-// A value as the vectorized executor sees it: 1-byte tag + 8-byte
-// payload. Shallow values (bool/int64/double) live in the payload
-// itself; strings are a pointer to the column's interned string pool
-// (valid as long as the segment is pinned — segments are immutable
-// and epoch-published, so a slot never outlives its storage). Slots
-// are trivially copyable; gathering a batch of them is a plain
-// array walk with zero allocation.
-struct TypedSlot {
-  SlotTag tag = SlotTag::kNothing;
-  uint64_t payload = 0;
-
-  bool is_nothing() const { return tag == SlotTag::kNothing; }
-  bool as_bool() const { return payload != 0; }
-  int64_t as_int() const { return int64_t(payload); }
-  double as_double() const {
-    double d;
-    std::memcpy(&d, &payload, sizeof(d));
-    return d;
-  }
-  const std::string& as_string() const {
-    return *reinterpret_cast<const std::string*>(uintptr_t(payload));
-  }
-  bool is_numeric() const {
-    return tag == SlotTag::kInt || tag == SlotTag::kDouble;
-  }
-  // Numeric coercion, mirroring Value::NumericValue.
-  double NumericValue() const {
-    return tag == SlotTag::kInt ? double(as_int()) : as_double();
-  }
-
-  static TypedSlot Nothing() { return TypedSlot{}; }
-};
-
-// Materializes a slot as a Value (string slots copy out of the pool).
-// Used only at batch boundaries: group-by keys, aggregate min/max.
-Value SlotToValue(const TypedSlot& slot);
+// The slot vocabulary (SlotTag, TypedSlot, SlotToValue) lives in
+// document/slot.h so the storage layer can store slots natively
+// without including upward into query/. Re-exported here under the
+// engine's namespace; the operations below depend on the query AST
+// and therefore stay at this layer.
+using ::esdb::SlotTag;
+using ::esdb::SlotToValue;
+using ::esdb::TypedSlot;
 
 // Total ordering of a slot against a Value, identical to
 // Value::Compare on the materialized slot (null < bool < numeric <

@@ -40,11 +40,11 @@ std::string QueryToDsl(const Query& query);
 // Parses an ES-DSL document into a Query (table defaults to "_all"
 // since the DSL addresses an index via the request path, not the
 // body).
-Result<Query> ParseDsl(std::string_view dsl);
+[[nodiscard]] Result<Query> ParseDsl(std::string_view dsl);
 
 // Xdriver4ES's translation entry point: SQL text -> normalized ES-DSL
 // (parse, CNF conversion, predicate merge, render).
-Result<std::string> SqlToDsl(std::string_view sql);
+[[nodiscard]] Result<std::string> SqlToDsl(std::string_view sql);
 
 }  // namespace esdb
 

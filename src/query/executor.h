@@ -100,7 +100,7 @@ Value ResolveFieldValue(const Segment& segment, DocId id,
 // candidate doc ids. Index-driven nodes do not consult tombstones
 // (candidates are filtered against the view's overlay afterwards);
 // kFullScan enumerates the view's live docs directly.
-Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
+[[nodiscard]] Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
                              ExecStats* stats,
                              const ExecOptions& opts = ExecOptions());
 
@@ -113,7 +113,7 @@ Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
 // `cache`, cacheable plans reuse per-segment candidate lists (filter
 // cache). `cache_domain` identifies the shard the snapshot belongs to
 // (segment ids are shard-local, so the cache keys on both).
-Result<QueryResult> ExecuteOnShard(
+[[nodiscard]] Result<QueryResult> ExecuteOnShard(
     const Query& query, const PlanNode& plan, const ShardView& snapshot,
     ExecStats* stats, FilterCache* cache = nullptr, uint64_t cache_domain = 0,
     const ExecOptions& opts = ExecOptions());
@@ -122,7 +122,7 @@ Result<QueryResult> ExecuteOnShard(
 // when the plan is cacheable; falls back to EvalPlan otherwise.
 // `fingerprint` must be PlanFingerprint(plan) (computed once per
 // query, not per segment).
-Result<PostingList> EvalPlanCached(const PlanNode& plan,
+[[nodiscard]] Result<PostingList> EvalPlanCached(const PlanNode& plan,
                                    const SegmentView& view, ExecStats* stats,
                                    FilterCache* cache, uint64_t cache_domain,
                                    const std::string& fingerprint,
@@ -152,7 +152,7 @@ struct RowRef {
 // Query phase on one shard: candidate row refs, top-(offset+limit)
 // locally when sorted. `total_matched` accumulates the full match
 // count. Only valid for row queries (no aggregate/group-by).
-Result<std::vector<RowRef>> ExecuteQueryPhase(
+[[nodiscard]] Result<std::vector<RowRef>> ExecuteQueryPhase(
     const Query& query, const PlanNode& plan, const ShardView& snapshot,
     uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
     FilterCache* cache = nullptr, uint64_t cache_domain = 0,
@@ -165,7 +165,7 @@ void SortRowRefs(const Query& query, std::vector<RowRef>* refs);
 // trimmed) from their segments, attaching _score when the query asks
 // for it. `snapshots[shard_ordinal]` must be the same snapshot the
 // query phase used.
-Result<std::vector<Document>> ExecuteFetchPhase(
+[[nodiscard]] Result<std::vector<Document>> ExecuteFetchPhase(
     const Query& query, const std::vector<SegmentSnapshot>& snapshots,
     const std::vector<RowRef>& refs, ExecStats* stats,
     const ExecOptions& opts = ExecOptions());

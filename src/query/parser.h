@@ -32,12 +32,12 @@ namespace esdb {
 //
 // String literals that look like "YYYY-MM-DD HH:MM:SS" are converted
 // to integer microsecond timestamps (see query/datetime.h).
-Result<Query> ParseSql(std::string_view sql);
+[[nodiscard]] Result<Query> ParseSql(std::string_view sql);
 
 // DML statements:
 //   UPDATE ident SET ident = literal {, ident = literal} [WHERE expr]
 //   DELETE FROM ident [WHERE expr]
-Result<DmlStatement> ParseDml(std::string_view sql);
+[[nodiscard]] Result<DmlStatement> ParseDml(std::string_view sql);
 
 // True when `sql` starts with UPDATE or DELETE (case-insensitive) —
 // use to dispatch between ParseSql and ParseDml.

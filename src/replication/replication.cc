@@ -91,17 +91,21 @@ ReplicatedShard::ReplicatedShard(const IndexSpec* spec,
   replica_ = std::make_unique<ShardStore>(spec, options);
 }
 
-void ReplicatedShard::ResetReplica() {
+Status ReplicatedShard::ResetReplica() {
   MutexLock lock(&mu_);
   replica_ = std::make_unique<ShardStore>(spec_, options_);
   replica_log_ = Translog();
   // Everything the primary holds must flow again: segments via the
-  // next replication round, buffered ops via the translog tail.
+  // next replication round, buffered ops via the translog tail. An
+  // unreadable tail op is an error, not a skip: the op is not in any
+  // replicated segment yet, so dropping it here would lose the write
+  // on the next failover.
   for (uint64_t seq = primary_->refreshed_seq();
        seq < primary_->translog().end_seq(); ++seq) {
-    auto op = primary_->translog().Get(seq);
-    if (op.ok()) replica_log_.Append(*op);
+    ESDB_ASSIGN_OR_RETURN(WriteOp op, primary_->translog().Get(seq));
+    replica_log_.Append(op);
   }
+  return Status::OK();
 }
 
 Result<uint64_t> ReplicatedShard::Apply(const WriteOp& op) {

@@ -43,7 +43,7 @@ struct ReplicationStats {
 // snapshot the primary's segments, diff against the replica, copy the
 // missing segment files (encode/decode, no re-indexing), and drop
 // replica segments the primary deleted.
-Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
+[[nodiscard]] Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
                                         ShardStore* replica);
 
 // Primary shard + one replica under a chosen replication mode. The
@@ -65,8 +65,11 @@ class ReplicatedShard {
 
   // Discards the replica (its node failed) and starts an empty one;
   // the next Refresh() re-copies every segment. Writes between now
-  // and then accumulate in the new replica translog as usual.
-  void ResetReplica();
+  // and then accumulate in the new replica translog as usual. Fails
+  // (replica left empty but consistent) if the primary's translog
+  // tail cannot be read back — a silently skipped op here would be
+  // missing from the replica forever, surfacing only at failover.
+  [[nodiscard]] Status ResetReplica();
 
   ReplicationMode mode() const { return mode_; }
   ShardStore* primary() { return primary_.get(); }
@@ -79,18 +82,18 @@ class ReplicatedShard {
   // against Refresh() on mu_, so a maintenance-pool refresh round and
   // a client write on the same shard never race on the replication
   // bookkeeping.
-  Result<uint64_t> Apply(const WriteOp& op);
+  [[nodiscard]] Result<uint64_t> Apply(const WriteOp& op);
 
   // Refresh primary (buffer -> segment). Physical mode then runs one
   // quick-incremental replication round; a merge on the primary
   // triggers pre-replication of the merged segment before the next
   // regular round would pick it up.
-  Status Refresh();
+  [[nodiscard]] Status Refresh();
 
   // Promotes the replica to primary after a primary failure: replays
   // the replica translog tail not yet covered by replicated segments.
   // Returns the promoted store (the old primary is discarded).
-  Result<std::unique_ptr<ShardStore>> Failover() &&;
+  [[nodiscard]] Result<std::unique_ptr<ShardStore>> Failover() &&;
 
   // Copy-out under mu_: safe to read while a maintenance-pool
   // Refresh() is adding to the counters.
@@ -108,8 +111,8 @@ class ReplicatedShard {
 
  private:
   const IndexSpec* spec_;
-  ShardStore::Options options_;
-  ReplicationMode mode_;
+  ShardStore::Options options_;  // lint:unguarded(set in the constructor, read-only afterwards)
+  ReplicationMode mode_;  // lint:unguarded(set in the constructor, read-only afterwards)
   // Single writer per replicated shard: Apply/Refresh/ResetReplica/
   // Failover serialize here, and the replication bookkeeping below is
   // guarded by it. mu_ is held while calling into the primary's and
@@ -120,8 +123,8 @@ class ReplicatedShard {
   // operations (ResetReplica / Failover), which the cluster layer
   // serializes externally; the accessors above hand the raw pointers
   // out, so guarding them here would be a fiction.
-  std::unique_ptr<ShardStore> primary_;
-  std::unique_ptr<ShardStore> replica_;
+  std::unique_ptr<ShardStore> primary_;  // lint:unguarded(rebound only by externally serialized membership ops — see above)
+  std::unique_ptr<ShardStore> replica_;  // lint:unguarded(rebound only by externally serialized membership ops — see above)
   // Replica-side translog (real-time sync).
   Translog replica_log_ GUARDED_BY(mu_);
   // Logical mode: ops executed on the replica.

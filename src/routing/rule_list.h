@@ -65,7 +65,7 @@ class RuleList {
 
   // Wire format used by the consensus layer and the rule generator.
   std::string Encode() const;
-  static Result<RuleList> Decode(std::string_view data);
+  [[nodiscard]] static Result<RuleList> Decode(std::string_view data);
 
   bool operator==(const RuleList& other) const { return rules_ == other.rules_; }
 

@@ -15,8 +15,8 @@ std::unique_ptr<AttributeSidecar> AttributeSidecar::Build(
   std::map<std::string, uint32_t, std::less<>> value_ids;
   for (size_t id = 0; id < num_docs; ++id) {
     if (col != nullptr) {
-      const batch::TypedSlot slot = col->Slot(DocId(id));
-      if (slot.tag == batch::SlotTag::kString) {
+      const TypedSlot slot = col->Slot(DocId(id));
+      if (slot.tag == SlotTag::kString) {
         for (const auto& [key, value] : ParseAttributes(slot.as_string())) {
           auto [kit, kinserted] =
               side->key_ids_.emplace(key, uint32_t(side->keys_.size()));

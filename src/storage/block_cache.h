@@ -65,11 +65,11 @@ class BlockCache {
   // Returns the cached block for (owner, block), running `loader` on
   // miss and inserting its result. The returned pointer is always
   // safe to use until dropped, evicted or not.
-  Result<Block> Pin(uint64_t owner, uint32_t block, const Loader& loader);
+  [[nodiscard]] Result<Block> Pin(uint64_t owner, uint32_t block, const Loader& loader);
 
   // Typed convenience over Pin (T must be the loader's actual type).
   template <typename T>
-  Result<std::shared_ptr<const T>> PinAs(uint64_t owner, uint32_t block,
+  [[nodiscard]] Result<std::shared_ptr<const T>> PinAs(uint64_t owner, uint32_t block,
                                          const Loader& loader) {
     ESDB_ASSIGN_OR_RETURN(Block b, Pin(owner, block, loader));
     return std::static_pointer_cast<const T>(b.data);

@@ -35,7 +35,7 @@ std::string CompressBlock(std::string_view input);
 // Decompresses a CompressBlock output. `raw_size` must be the exact
 // original size (framing carries it); mismatch or malformed input
 // returns Corruption, never reads or writes out of bounds.
-Result<std::string> DecompressBlock(std::string_view compressed,
+[[nodiscard]] Result<std::string> DecompressBlock(std::string_view compressed,
                                     size_t raw_size);
 
 }  // namespace esdb

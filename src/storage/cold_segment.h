@@ -62,7 +62,7 @@ class ColdSegment {
   // `cache` may be null (reads then decompress uncached).
   // Fail points: failsite::kColdCompress before compression,
   // failsite::kColdWrite before the spill write.
-  static Result<std::shared_ptr<const ColdSegment>> FromSegment(
+  [[nodiscard]] static Result<std::shared_ptr<const ColdSegment>> FromSegment(
       const Segment& segment, const std::string& spill_path,
       std::shared_ptr<BlockCache> cache);
 
@@ -71,7 +71,7 @@ class ColdSegment {
   // outlive the handle — the handle does NOT take ownership of it
   // (persistence GC manages checkpoint files by manifest liveness).
   // Fail point: failsite::kColdLoad.
-  static Result<std::shared_ptr<const ColdSegment>> Open(
+  [[nodiscard]] static Result<std::shared_ptr<const ColdSegment>> Open(
       const std::string& path, std::shared_ptr<BlockCache> cache);
 
   ~ColdSegment();
@@ -98,21 +98,21 @@ class ColdSegment {
   // The decoded index-only Segment, through the cache (block 0; charge
   // = decoded size). First touch decompresses + decodes; subsequent
   // pins are a map hit. Fail point: failsite::kColdLoad.
-  Result<std::shared_ptr<const Segment>> PinIndex() const;
+  [[nodiscard]] Result<std::shared_ptr<const Segment>> PinIndex() const;
 
   // One stored document, decompressing only its row block (cached as
   // block 1 + block_index). Fail point: failsite::kColdLoad.
-  Result<Document> ReadDocument(DocId doc) const;
+  [[nodiscard]] Result<Document> ReadDocument(DocId doc) const;
 
   // Fully inflates the segment — index part AND all stored docs — for
   // tier promotion, merges and replication. Bypasses the cache (the
   // result is a one-shot owning Segment, not shared state).
-  Result<std::unique_ptr<Segment>> LoadFull() const;
+  [[nodiscard]] Result<std::unique_ptr<Segment>> LoadFull() const;
 
   // The complete cold-file image (header + payload), for
   // checkpointing a RAM-resident cold segment or copying a spilled
   // one into a checkpoint directory.
-  Result<std::string> FileBytes() const;
+  [[nodiscard]] Result<std::string> FileBytes() const;
 
  private:
   // Per-block directory entry; payload offsets derive from the
@@ -125,13 +125,13 @@ class ColdSegment {
 
   ColdSegment() = default;
 
-  static Result<std::shared_ptr<ColdSegment>> Parse(std::string header_view,
+  [[nodiscard]] static Result<std::shared_ptr<ColdSegment>> Parse(std::string header_view,
                                                     const std::string& path);
 
   // Raw payload bytes [offset, offset+len) from RAM or the spill file.
-  Result<std::string> ReadPayload(uint64_t offset, size_t len) const;
-  Result<std::string> InflateIndexRaw() const;
-  Result<std::shared_ptr<const std::string>> PinDocBlock(
+  [[nodiscard]] Result<std::string> ReadPayload(uint64_t offset, size_t len) const;
+  [[nodiscard]] Result<std::string> InflateIndexRaw() const;
+  [[nodiscard]] Result<std::shared_ptr<const std::string>> PinDocBlock(
       uint32_t block_index) const;
 
   uint64_t id_ = 0;

@@ -5,27 +5,27 @@
 namespace esdb {
 
 void DocValues::Column::Set(DocId id, Value v) {
-  uint8_t tag = uint8_t(batch::SlotTag::kNothing);
+  uint8_t tag = uint8_t(SlotTag::kNothing);
   uint64_t payload = 0;
   switch (v.type()) {
     case Value::Type::kNull:
       break;
     case Value::Type::kBool:
-      tag = uint8_t(batch::SlotTag::kBool);
+      tag = uint8_t(SlotTag::kBool);
       payload = v.as_bool() ? 1 : 0;
       break;
     case Value::Type::kInt:
-      tag = uint8_t(batch::SlotTag::kInt);
+      tag = uint8_t(SlotTag::kInt);
       payload = uint64_t(v.as_int());
       break;
     case Value::Type::kDouble: {
-      tag = uint8_t(batch::SlotTag::kDouble);
+      tag = uint8_t(SlotTag::kDouble);
       const double d = v.as_double();
       std::memcpy(&payload, &d, sizeof(payload));
       break;
     }
     case Value::Type::kString: {
-      tag = uint8_t(batch::SlotTag::kString);
+      tag = uint8_t(SlotTag::kString);
       strings_.push_back(v.as_string());
       payload = uint64_t(uintptr_t(&strings_.back()));
       break;
@@ -33,8 +33,8 @@ void DocValues::Column::Set(DocId id, Value v) {
   }
   // Overwrites and explicit nulls disable the uniform fast path
   // conservatively (uniform = every doc set exactly once, same tag).
-  if (tags_[id] != uint8_t(batch::SlotTag::kNothing)) mixed_ = true;
-  if (tag != uint8_t(batch::SlotTag::kNothing)) {
+  if (tags_[id] != uint8_t(SlotTag::kNothing)) mixed_ = true;
+  if (tag != uint8_t(SlotTag::kNothing)) {
     if (set_count_ == 0) {
       first_tag_ = tag;
     } else if (tag != first_tag_) {

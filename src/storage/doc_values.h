@@ -7,8 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "document/slot.h"
 #include "document/value.h"
-#include "query/batch/slot.h"
 #include "storage/posting.h"
 
 namespace esdb {
@@ -32,7 +32,7 @@ class DocValues {
   class Column {
    public:
     explicit Column(size_t num_docs)
-        : tags_(num_docs, uint8_t(batch::SlotTag::kNothing)),
+        : tags_(num_docs, uint8_t(SlotTag::kNothing)),
           payloads_(num_docs, 0) {}
 
     // Build-time only (SegmentBuilder::Build / Segment::Decode); a
@@ -41,12 +41,12 @@ class DocValues {
 
     // Materializes the value (string slots copy out of the pool).
     Value Get(DocId id) const {
-      return batch::SlotToValue(Slot(id));
+      return SlotToValue(Slot(id));
     }
 
     // Zero-copy tagged view; the hot-path accessor.
-    batch::TypedSlot Slot(DocId id) const {
-      return batch::TypedSlot{batch::SlotTag(tags_[id]), payloads_[id]};
+    TypedSlot Slot(DocId id) const {
+      return TypedSlot{SlotTag(tags_[id]), payloads_[id]};
     }
 
     size_t size() const { return tags_.size(); }
@@ -65,10 +65,10 @@ class DocValues {
     // The single tag shared by EVERY doc of the column (no nulls, no
     // missing, no overwrites during build), or kNothing when mixed —
     // the gate for the batch engine's typed fast paths.
-    batch::SlotTag uniform_tag() const {
+    SlotTag uniform_tag() const {
       return (!mixed_ && set_count_ == tags_.size() && !tags_.empty())
-                 ? batch::SlotTag(first_tag_)
-                 : batch::SlotTag::kNothing;
+                 ? SlotTag(first_tag_)
+                 : SlotTag::kNothing;
     }
 
     size_t ApproximateBytes() const;
@@ -81,7 +81,7 @@ class DocValues {
     std::deque<std::string> strings_;
     // Uniformity tracking (see uniform_tag()).
     size_t set_count_ = 0;
-    uint8_t first_tag_ = uint8_t(batch::SlotTag::kNothing);
+    uint8_t first_tag_ = uint8_t(SlotTag::kNothing);
     bool mixed_ = false;
   };
 

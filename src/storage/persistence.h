@@ -41,7 +41,7 @@ namespace esdb {
 // SaveShard persists the searchable state plus the translog; anything
 // buffered but not refreshed is recovered by replaying the translog
 // tail on open (exactly the crash-recovery contract of Section 3.3).
-Status SaveShard(const ShardStore& store, const std::string& dir);
+[[nodiscard]] Status SaveShard(const ShardStore& store, const std::string& dir);
 
 // What recovery did — per layer, what was replayed vs. discarded.
 // Populated by OpenShard (aggregated per cluster by RecoverCluster).
@@ -74,7 +74,7 @@ struct RecoveryReport {
 // write-ready; un-refreshed ops from the translog tail have been
 // re-applied (call Refresh() to make them searchable). When `report`
 // is non-null it receives the replayed/discarded accounting above.
-Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
+[[nodiscard]] Result<std::unique_ptr<ShardStore>> OpenShard(const IndexSpec* spec,
                                               ShardStore::Options options,
                                               const std::string& dir,
                                               RecoveryReport* report = nullptr);

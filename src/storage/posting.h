@@ -42,7 +42,7 @@ class PostingList {
 
   // Delta-varint encoding.
   void EncodeTo(std::string* out) const;
-  static Status DecodeFrom(std::string_view data, size_t* pos,
+  [[nodiscard]] static Status DecodeFrom(std::string_view data, size_t* pos,
                            PostingList* out);
 
   bool operator==(const PostingList& other) const {

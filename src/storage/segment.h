@@ -72,7 +72,7 @@ class Segment {
   }
 
   // Stored document by local id.
-  Result<Document> GetDocument(DocId id) const;
+  [[nodiscard]] Result<Document> GetDocument(DocId id) const;
 
   // Local id of the (unique) doc with this record id, or -1.
   int64_t FindByRecordId(int64_t record_id) const;
@@ -92,7 +92,7 @@ class Segment {
   // file's tombstones through `tombstones` (set to null when the
   // bitmap is empty); callers that pass nullptr drop them.
   std::string Encode(const Tombstones* tombstones = nullptr) const;
-  static Result<std::unique_ptr<Segment>> Decode(
+  [[nodiscard]] static Result<std::unique_ptr<Segment>> Decode(
       std::string_view data,
       std::shared_ptr<const Tombstones>* tombstones = nullptr);
 
@@ -112,7 +112,7 @@ class Segment {
   // re-inflates them wholesale); tombstones live in the manifest's
   // per-segment overlay. Section encodings are shared with Encode.
   std::string EncodeIndexPart() const;
-  static Result<std::unique_ptr<Segment>> DecodeIndexPart(
+  [[nodiscard]] static Result<std::unique_ptr<Segment>> DecodeIndexPart(
       std::string_view data);
 
  private:
@@ -126,7 +126,7 @@ class Segment {
   // inverted indexes, composites, doc values, record ids (everything
   // between the stored docs and the delete bitmap, in file order).
   void EncodeIndexSectionsTo(std::string* out) const;
-  Status DecodeIndexSections(std::string_view data, size_t* pos);
+  [[nodiscard]] Status DecodeIndexSections(std::string_view data, size_t* pos);
 
   uint64_t id_ = 0;
   uint32_t num_docs_ = 0;
@@ -203,12 +203,12 @@ struct SegmentView {
   // block cache (decompressing it on first touch). The pin lives as
   // long as the returned view — executors pin once per segment per
   // query, so eviction never invalidates an in-flight scan.
-  Result<SegmentView> Pinned() const;
+  [[nodiscard]] Result<SegmentView> Pinned() const;
 
   // Stored-document read across tiers: hot reads the resident doc,
   // cold decompresses only the row block holding it (late
   // materialization — a cold query never re-inflates the segment).
-  Result<Document> GetDocument(DocId id) const;
+  [[nodiscard]] Result<Document> GetDocument(DocId id) const;
 
   bool IsDeleted(DocId id) const {
     return tombstones != nullptr && tombstones->Test(id);
@@ -243,7 +243,7 @@ struct SegmentView {
   // Full segment-file encoding (Encode + the overlay folded into the
   // delete bitmap) across tiers; cold views inflate the whole segment
   // for it. Replication and checkpointing use this, queries never do.
-  Result<std::string> EncodeFull() const;
+  [[nodiscard]] Result<std::string> EncodeFull() const;
 };
 
 // One epoch of a shard's searchable state: the ordered segment list

@@ -135,7 +135,7 @@ bool ShardStore::RefreshLocked() {
   next.push_back(SegmentView{
       std::shared_ptr<const Segment>(
           std::move(builder).Build(next_segment_id_++)),
-      nullptr});
+      nullptr, nullptr});
   PublishSegments(std::move(next));
   return true;
 }
@@ -206,7 +206,11 @@ bool ShardStore::RewriteSegmentsLocked(const std::vector<size_t>& picked) {
     const PostingList live = view.LiveDocs();
     for (DocId id : live.ids()) {
       auto doc = view.GetDocument(id);
-      if (doc.ok()) builder.Add(*doc);
+      // A failed read (cold block unavailable, corrupt payload) aborts
+      // the whole round: the merged segment REPLACES its inputs, so
+      // skipping the doc would silently drop it from the shard.
+      if (!doc.ok()) return false;
+      builder.Add(*doc);
     }
   }
   merged_docs_total_ += builder.num_docs();
@@ -341,12 +345,12 @@ void ShardStore::InstallSegment(
   ShardView next = *Snapshot();
   for (SegmentView& existing : next) {
     if (existing.id() == segment->id()) {
-      existing = SegmentView{std::move(segment), std::move(tombstones)};
+      existing = SegmentView{std::move(segment), std::move(tombstones), nullptr};
       PublishSegments(std::move(next));
       return;
     }
   }
-  next.push_back(SegmentView{std::move(segment), std::move(tombstones)});
+  next.push_back(SegmentView{std::move(segment), std::move(tombstones), nullptr});
   std::sort(next.begin(), next.end(),
             [](const SegmentView& a, const SegmentView& b) {
               return a.id() < b.id();

@@ -100,12 +100,12 @@ class ShardStore {
   // Applies a write op: INSERT/UPDATE upsert by record_id, DELETE
   // removes by record_id. Returns the translog sequence number.
   // Safe to call while queries are in flight on this shard.
-  Result<uint64_t> Apply(const WriteOp& op);
+  [[nodiscard]] Result<uint64_t> Apply(const WriteOp& op);
 
   // Re-applies an op during recovery or replica catch-up: identical to
   // Apply but does not append to the local translog (the caller is
   // replaying it).
-  Status ApplyNoLog(const WriteOp& op);
+  [[nodiscard]] Status ApplyNoLog(const WriteOp& op);
 
   // Makes buffered writes searchable. Returns true if a segment was
   // produced (no-op on an empty buffer).
@@ -157,7 +157,7 @@ class ShardStore {
   // point-lookup path is the stronger one because recovery
   // verification and id-based fetches must see every applied op, not
   // just refreshed ones.
-  Result<Document> GetByRecordId(int64_t record_id) const;
+  [[nodiscard]] Result<Document> GetByRecordId(int64_t record_id) const;
 
   // --- Stats ------------------------------------------------------------
 
@@ -209,7 +209,7 @@ class ShardStore {
   // --- Recovery & replication hooks --------------------------------------
 
   // Rebuilds a store by replaying `log` (crash recovery, Section 3.3).
-  static Result<std::unique_ptr<ShardStore>> Recover(const IndexSpec* spec,
+  [[nodiscard]] static Result<std::unique_ptr<ShardStore>> Recover(const IndexSpec* spec,
                                                      const Translog& log,
                                                      Options options);
 
@@ -246,11 +246,11 @@ class ShardStore {
     bool deleted = false;
   };
 
-  Status ApplyInternal(const WriteOp& op) REQUIRES(write_mu_);
+  [[nodiscard]] Status ApplyInternal(const WriteOp& op) REQUIRES(write_mu_);
   // Removes any live prior version of record_id (buffer + segments).
   // Segment hits publish a copy-on-write tombstone epoch. Can fail
   // only when a cold segment's record-id index cannot be pinned.
-  Status DeleteExisting(int64_t record_id) REQUIRES(write_mu_);
+  [[nodiscard]] Status DeleteExisting(int64_t record_id) REQUIRES(write_mu_);
   bool RefreshLocked() REQUIRES(write_mu_);
   bool MaybeMergeLocked() REQUIRES(write_mu_);
   // Rewrites `inputs` (indexes into the current view) into one
@@ -261,13 +261,13 @@ class ShardStore {
       REQUIRES(write_mu_);
   // Wraps a freshly built segment in the target tier: hot passthrough
   // or ColdSegment demotion. Null segment pointer on demotion failure.
-  Result<SegmentView> WrapInTierLocked(std::unique_ptr<Segment> segment)
+  [[nodiscard]] Result<SegmentView> WrapInTierLocked(std::unique_ptr<Segment> segment)
       REQUIRES(write_mu_);
   // Publishes the next epoch (pointer swap under epoch_mu_).
   void PublishSegments(ShardView next) REQUIRES(write_mu_);
 
   const IndexSpec* spec_;
-  Options options_;
+  Options options_;  // lint:unguarded(fixed at construction; the mutable tier target lives in tier_cold_, an atomic)
   // Serializes all mutators of this shard (the single-writer-per-
   // shard invariant); never held by readers.
   mutable Mutex write_mu_;

@@ -51,7 +51,7 @@ class SortedKeyIndex {
   // Serialized form with common-prefix compression (per entry: shared
   // prefix length with the previous key, suffix, doc id).
   void EncodeTo(std::string* out) const;
-  static Status DecodeFrom(std::string_view data, size_t* pos,
+  [[nodiscard]] static Status DecodeFrom(std::string_view data, size_t* pos,
                            SortedKeyIndex* out);
 
   size_t ApproximateBytes() const;

@@ -26,7 +26,7 @@ struct WriteOp {
   Micros created_time() const { return doc.created_time(); }
 
   std::string Encode() const;
-  static Result<WriteOp> Decode(std::string_view data);
+  [[nodiscard]] static Result<WriteOp> Decode(std::string_view data);
 };
 
 // Durability log (Elasticsearch's Translog, Section 3.3): every write
@@ -45,7 +45,7 @@ class Translog {
   uint64_t end_seq() const { return begin_seq_ + entries_.size(); }
 
   // Decoded op at `seq`; seq must be in [begin_seq, end_seq).
-  Result<WriteOp> Get(uint64_t seq) const;
+  [[nodiscard]] Result<WriteOp> Get(uint64_t seq) const;
 
   // Drops entries below `seq` (called after a flush checkpoint).
   void TruncateBefore(uint64_t seq);

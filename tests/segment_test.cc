@@ -123,7 +123,7 @@ TEST_F(SegmentTest, TombstoneOverlayAndLiveDocs) {
   // The segment itself is immutable; deletes live in a copy-on-write
   // overlay carried by the view.
   SegmentView view{std::shared_ptr<const Segment>(std::move(segment_)),
-                   nullptr};
+                   nullptr, nullptr};
   EXPECT_EQ(view.num_deleted(), 0u);
   const auto base = view.tombstones;
   view.tombstones =

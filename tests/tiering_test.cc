@@ -7,6 +7,7 @@
 
 #include "balancer/monitor.h"
 #include "cluster/esdb.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "storage/block_cache.h"
 #include "storage/codec.h"
@@ -84,7 +85,7 @@ int TieringTest::counter_ = 0;
 // --- Codec ------------------------------------------------------------
 
 TEST(CodecTest, RoundTripBasics) {
-  for (const std::string input :
+  for (const std::string& input :
        {std::string(""), std::string("a"), std::string("abcd"),
         std::string(1000, 'x'),
         std::string("the quick brown fox jumps over the lazy dog "
@@ -140,7 +141,9 @@ TEST(CodecTest, CorruptionIsAnErrorNeverACrash) {
     std::string bad = comp;
     bad[i] = char(bad[i] ^ 0x5b);
     auto r = DecompressBlock(bad, input.size());
-    if (r.ok()) EXPECT_EQ(r->size(), input.size());
+    if (r.ok()) {
+      EXPECT_EQ(r->size(), input.size());
+    }
   }
   // Garbage.
   EXPECT_FALSE(DecompressBlock("\xff\xff\xff\xff\xff", 100).ok());
@@ -320,6 +323,44 @@ TEST_F(TieringTest, PromotionRestoresHotSegments) {
     if (e.path().extension() == ".cold") ++cold_files;
   }
   EXPECT_EQ(cold_files, 0u);
+}
+
+// Regression (found by the PR-8 ignored-Status sweep): a failed cold
+// read mid-merge must abort the round with the epoch untouched —
+// never publish a merged segment missing the unreadable documents.
+// Before the fix, RewriteSegmentsLocked skipped any doc whose
+// GetDocument failed, so one transient tier/cold-load error during a
+// promotion merge silently dropped documents from the shard.
+TEST_F(TieringTest, FailedColdReadAbortsMergeWithoutDataLoss) {
+  if (!FailPoints::CompiledIn()) GTEST_SKIP() << "fail points compiled out";
+  IndexSpec spec = TestSpec();
+  auto cache = std::make_shared<BlockCache>();
+  ShardStore store(&spec, TierOptions(cache));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store.Apply(Insert(1, i, 1000 + i)).ok());
+  }
+  store.Refresh();
+  store.SetTierCold(true);
+  ASSERT_TRUE(store.MaybeMerge());
+  ASSERT_TRUE((*store.Snapshot())[0].is_cold());
+
+  // Warm the index block so the promotion merge's Pinned() is served
+  // from cache and the armed failure lands on a doc-block read.
+  ASSERT_TRUE((*store.Snapshot())[0].Pinned().ok());
+
+  store.SetTierCold(false);
+  {
+    ScopedFailPoint fp(failsite::kColdLoad, FailPoints::Once());
+    EXPECT_FALSE(store.MaybeMerge());  // the round aborts...
+  }
+  EXPECT_EQ(store.num_live_docs(), 200u);  // ...and loses nothing
+
+  // Next round (fault cleared) promotes with every document intact.
+  EXPECT_TRUE(store.MaybeMerge());
+  EXPECT_EQ(store.num_live_docs(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(store.GetByRecordId(i).ok()) << "record " << i;
+  }
 }
 
 // Satellite 3: the breakdown's components are exact and sum to

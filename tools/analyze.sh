@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Clang Static Analyzer sweep over src/ (the `static-analyzer` CI
+# job). Replays every src/ translation unit through `clang++
+# --analyze` using the flags recorded in the compile database, then
+# fails on any finding not matched by tools/analyzer_suppressions.txt.
+#
+#   tools/analyze.sh <build-dir-with-compile_commands.json>
+#
+# Suppressions: one substring per line, matched against the full
+# "file:line:col: warning: message [checker]" finding line. '#' lines
+# and blanks are ignored. Suppress by checker tag or by file:line —
+# and leave a comment saying why, like .clang-tidy does.
+set -u -o pipefail
+
+BUILD_DIR=${1:?usage: tools/analyze.sh <build-dir>}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+SUPPRESSIONS="$ROOT/tools/analyzer_suppressions.txt"
+DB="$BUILD_DIR/compile_commands.json"
+
+if [ ! -f "$DB" ]; then
+  echo "analyze.sh: $DB not found (configure with" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+CLANG=${CLANG:-clang++}
+if ! command -v "$CLANG" >/dev/null; then
+  echo "analyze.sh: $CLANG not found" >&2
+  exit 2
+fi
+
+# Every src/ TU, by its entry in the compile database. The database is
+# one JSON object per TU with a "file" key; src-only keeps the run
+# focused on shipped code (tests get their scrutiny from the suites
+# themselves, the sanitizers, and WILL_FAIL lint fixtures).
+mapfile -t FILES < <(grep -o '"file": *"[^"]*"' "$DB" \
+  | sed 's/.*"file": *"//; s/"$//' | grep '/src/.*\.cc$' | sort -u)
+if [ ${#FILES[@]} -eq 0 ]; then
+  echo "analyze.sh: no src/ TUs in $DB" >&2
+  exit 2
+fi
+
+FINDINGS=$(mktemp)
+trap 'rm -f "$FINDINGS"' EXIT
+for f in "${FILES[@]}"; do
+  # --analyze writes findings to stderr as ordinary diagnostics; the
+  # default checker set (core, cplusplus, deadcode, unix, security) is
+  # exactly the contract documented in DESIGN.md §11.
+  "$CLANG" --analyze -Xclang -analyzer-output=text \
+    -std=c++20 -I "$ROOT/src" -c "$f" -o /dev/null 2>>"$FINDINGS" || true
+done
+
+# Keep only finding headlines (not the step-by-step path notes), then
+# drop suppressed ones.
+grep "warning:" "$FINDINGS" | sort -u > "$FINDINGS.warn" || true
+ACTIVE="$FINDINGS.warn"
+if [ -s "$SUPPRESSIONS" ]; then
+  PATTERNS=$(grep -v '^\s*#' "$SUPPRESSIONS" | grep -v '^\s*$' || true)
+  if [ -n "$PATTERNS" ]; then
+    grep -F -v -f <(printf '%s\n' "$PATTERNS") "$ACTIVE" > "$FINDINGS.act" \
+      || true
+    ACTIVE="$FINDINGS.act"
+  fi
+fi
+
+COUNT=$(wc -l < "$ACTIVE")
+if [ "$COUNT" -gt 0 ]; then
+  echo "clang static analyzer: $COUNT unsuppressed finding(s):"
+  cat "$ACTIVE"
+  exit 1
+fi
+echo "clang static analyzer: ${#FILES[@]} TU(s), no unsuppressed findings"

@@ -1,0 +1,3 @@
+struct Executor {
+  int id = 0;
+};

@@ -1,0 +1,7 @@
+// Upward include: storage (layer 1) reaching into query (layer 2).
+// Expected diagnostic: layer-dag.
+#include "query/executor.h"
+
+struct Store {
+  int id = 0;
+};

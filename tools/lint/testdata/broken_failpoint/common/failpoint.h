@@ -1,0 +1,8 @@
+// Registry with one declared-and-registered site (kGood) and one
+// declared-but-unregistered site (kOrphan). Expected diagnostics:
+// failpoint-registry — the unregistered use of kOrphan plus the
+// registry imbalance itself.
+namespace failsite {
+inline constexpr const char* kGood = "demo/good";
+inline constexpr const char* kOrphan = "demo/orphan";
+}  // namespace failsite

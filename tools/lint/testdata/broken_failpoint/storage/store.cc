@@ -1,0 +1,8 @@
+#include "common/failpoint.h"
+
+#define ESDB_FAIL_POINT(site) (void)(site)
+
+void Touch() {
+  ESDB_FAIL_POINT(failsite::kGood);
+  ESDB_FAIL_POINT(failsite::kOrphan);
+}

@@ -1,0 +1,13 @@
+// A three-lock cycle spread across two classes: a_mu_ -> b_mu_ ->
+// c_mu_ -> a_mu_. Expected diagnostic: lock-order.
+#define ACQUIRED_AFTER(...)
+#define GUARDED_BY(x)
+
+class Mutex {};
+
+class Left {
+ private:
+  Mutex a_mu_ ACQUIRED_AFTER(c_mu_);
+  Mutex b_mu_ ACQUIRED_AFTER(a_mu_);
+  Mutex c_mu_ ACQUIRED_AFTER(b_mu_);
+};

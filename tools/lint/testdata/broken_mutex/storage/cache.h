@@ -1,0 +1,11 @@
+// Raw primitive outside common/mutex.h. Expected diagnostics:
+// raw-primitive for the include and for std::mutex / std::lock_guard.
+#include <mutex>
+
+class Cache {
+ public:
+  void Put() { std::lock_guard<std::mutex> lock(mu_); }
+
+ private:
+  std::mutex mu_;
+};

@@ -1,0 +1,12 @@
+// A mutex-owning class with an unannotated, unwaived mutable member.
+// Expected diagnostic: guarded-member on `rows_`.
+#define GUARDED_BY(x)
+
+class Mutex {};
+
+class Table {
+ private:
+  Mutex mu_;
+  int epoch_ GUARDED_BY(mu_) = 0;
+  int rows_ = 0;
+};

@@ -1,0 +1,8 @@
+#include "common/failpoint.h"
+
+const char** AllSites() {
+  static const char* sites[] = {
+      failsite::kDemoSite,
+  };
+  return sites;
+}

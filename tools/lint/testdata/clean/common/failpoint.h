@@ -1,0 +1,5 @@
+// Minimal fail-point registry satisfying the failpoint-registry
+// check: one declared constant, registered and used.
+namespace failsite {
+inline constexpr const char* kDemoSite = "demo/site";
+}  // namespace failsite

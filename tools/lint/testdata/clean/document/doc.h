@@ -1,0 +1,5 @@
+#include "common/failpoint.h"
+
+struct Doc {
+  int id = 0;
+};

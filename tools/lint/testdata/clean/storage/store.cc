@@ -1,0 +1,7 @@
+#include "storage/store.h"
+
+#include "common/failpoint.h"
+
+#define ESDB_FAIL_POINT(site) (void)(site)
+
+void Store::Use() { ESDB_FAIL_POINT(failsite::kDemoSite); }

@@ -1,0 +1,16 @@
+#include "common/mutex.h"
+#include "document/doc.h"
+
+// A mutex-owning class with every member either annotated, exempt, or
+// explicitly waived — and an acyclic two-lock order.
+class Store {
+ public:
+  void Use();
+
+ private:
+  Mutex write_mu_;
+  Mutex epoch_mu_ ACQUIRED_AFTER(write_mu_);
+  int epoch_ GUARDED_BY(epoch_mu_) = 0;
+  const int capacity_ = 4;
+  int scratch_ = 0;  // lint:unguarded(single-threaded scratch space)
+};
