@@ -1,109 +1,283 @@
-// Figure 17: average (a) and quantile (b) query latencies of the top
-// 100 tenants with and without ESDB's rule-based query optimizer, on
-// the real engine. Paper shape: the optimizer improves the average
-// latency 2.41x overall and up to 5.08x for the largest tenant, with
-// p99 under 200ms. The mechanism (verified by the executor counters):
-// composite-index scans plus doc-value sequential scans touch far
-// fewer posting entries than Lucene's one-index-per-predicate plan.
+// Figure 17: query latency of the top tenants with and without ESDB's
+// query optimizer, on the real engine — grown into a plan-choice
+// sweep over three planner configurations:
+//
+//   baseline  no composite index, no scan list, no cost model
+//             (Lucene-style one-index-per-predicate)
+//   rules     the rule-based planner (composite + scan list)
+//   costed    rules plus the statistics-driven transform pass
+//             (query/cost.h): LIMIT/ORDER-BY pushdown, stats-only
+//             aggregates, selectivity-based demotion
+//
+// and three query classes: (a) the paper's multi-filter tenant
+// queries, (b) ORDER BY created_time LIMIT k, (c) MIN/MAX/COUNT
+// aggregates. Every query runs under every configuration and the
+// results must be identical — any mismatch fails the run (exit 1).
+// Counter gates verify the mechanism, not just the wall clock:
+// pushdown must skip index entries (>= 5x fewer postings than the
+// rules plan on the top tenant) and aggregates must report stats-only
+// answers.
+//
+// Usage: bench_fig17_optimizer [--quick]
+// Results additionally land in BENCH_fig17_optimizer.json.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "cluster/esdb.h"
-#include "common/histogram.h"
 #include "workload/generator.h"
 
 using namespace esdb;  // NOLINT
 
 namespace {
 
-constexpr uint32_t kShards = 16;
-constexpr uint64_t kTenants = 2000;
-constexpr int kDocs = 120000;
-constexpr int kQueriesPerTenant = 10;
-constexpr int kTopTenants = 100;
+struct BenchConfig {
+  bool quick = false;
+  uint32_t shards = 16;
+  uint64_t tenants = 2000;
+  int docs = 120000;
+  int top_tenants = 100;
+  int filtered_per_tenant = 10;
+  int topk_per_tenant = 6;
+  int agg_per_tenant = 6;
+};
+
+constexpr int kNumPlanners = 3;
+constexpr int kNumClasses = 3;
+const char* kPlannerNames[kNumPlanners] = {"baseline", "rules", "costed"};
+const char* kClassNames[kNumClasses] = {"filtered", "topk", "agg"};
+
+struct Cell {
+  double seconds = 0;
+  uint64_t queries = 0;
+  uint64_t postings = 0;
+  uint64_t pushdown_skips = 0;
+  uint64_t stats_only = 0;
+};
+
+int gate_failures = 0;
+void Gate(bool ok, const char* what) {
+  std::printf("  gate %-46s %s\n", what, ok ? "PASS" : "FAIL");
+  if (!ok) ++gate_failures;
+}
+
+bool SameResult(const QueryResult& a, const QueryResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    if (!(a.rows[i] == b.rows[i])) return false;
+  }
+  if (a.agg_count != b.agg_count || a.agg_sum != b.agg_sum) return false;
+  if (a.agg_min.has_value() != b.agg_min.has_value() ||
+      (a.agg_min && !(*a.agg_min == *b.agg_min))) {
+    return false;
+  }
+  if (a.agg_max.has_value() != b.agg_max.has_value() ||
+      (a.agg_max && !(*a.agg_max == *b.agg_max))) {
+    return false;
+  }
+  // An early-terminating plan reports a lower bound and says so; an
+  // exact claim must agree exactly.
+  if (a.total_matched_exact && b.total_matched_exact &&
+      a.total_matched != b.total_matched) {
+    return false;
+  }
+  return true;
+}
 
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
-      "Figure 17: query latency with/without the query optimizer");
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) cfg.quick = true;
+  }
+  if (cfg.quick) {
+    cfg.docs = 20000;
+    cfg.tenants = 500;
+    cfg.top_tenants = 20;
+    cfg.filtered_per_tenant = 4;
+    cfg.topk_per_tenant = 3;
+    cfg.agg_per_tenant = 3;
+  }
+
+  bench::PrintHeader(std::string(
+      "Figure 17: plan-choice sweep with/without the query optimizer") +
+      (cfg.quick ? " (quick)" : ""));
 
   Esdb::Options options;
-  options.num_shards = kShards;
+  options.num_shards = cfg.shards;
   options.routing = RoutingKind::kHash;  // isolate optimizer effects
   options.store.refresh_doc_count = 8192;
   Esdb db(std::move(options));
 
   WorkloadGenerator::Options wopts;
-  wopts.num_tenants = kTenants;
+  wopts.num_tenants = cfg.tenants;
   wopts.theta = 1.0;
   wopts.seed = 171717;
   WorkloadGenerator generator(wopts);
-  for (int i = 0; i < kDocs; ++i) {
+  for (int i = 0; i < cfg.docs; ++i) {
     (void)db.Insert(generator.NextDocument(Micros(i) * kMicrosPerMilli));
   }
   db.RefreshAll();
+  const Micros now = Micros(cfg.docs) * kMicrosPerMilli;
 
-  struct Config {
-    const char* name;
-    PlannerOptions planner;
-  };
-  Config configs[2];
-  configs[0].name = "optimizer_off";
-  configs[0].planner.use_composite_index = false;
-  configs[0].planner.use_scan_list = false;
-  configs[1].name = "optimizer_on";
+  PlannerOptions planners[kNumPlanners];
+  planners[0].use_composite_index = false;
+  planners[0].use_scan_list = false;
+  planners[0].use_cost_model = false;
+  planners[1].use_cost_model = false;
+  // planners[2]: everything on (the defaults).
 
-  double mean_latency[2] = {0, 0};
-  for (int c = 0; c < 2; ++c) {
-    Histogram latency;
-    std::vector<double> per_tenant_ms(kTopTenants);
-    uint64_t postings = 0;
-
-    QueryGenerator::Options qopts;
-    qopts.time_window = Micros(kDocs) * kMicrosPerMilli / 4;
-    qopts.seed = 99;  // same query set for both configs
-    QueryGenerator queries(qopts);
-
-    Esdb::Options* mutable_opts = nullptr;
-    (void)mutable_opts;
-    for (int rank = 1; rank <= kTopTenants; ++rank) {
-      double tenant_seconds = 0;
-      for (int q = 0; q < kQueriesPerTenant; ++q) {
-        const std::string sql =
-            queries.NextSql(TenantId(rank), Micros(kDocs) * kMicrosPerMilli);
-        auto parsed_at = bench::Stopwatch();
-        auto result = db.ExecuteSqlWithPlanner(sql, configs[c].planner);
-        const double seconds = parsed_at.ElapsedSeconds();
-        if (!result.ok()) {
-          std::fprintf(stderr, "query failed: %s\n",
-                       result.status().ToString().c_str());
-          return 1;
-        }
-        tenant_seconds += seconds;
-        latency.Record(seconds);
-        postings += db.last_stats().postings_considered;
-      }
-      per_tenant_ms[rank - 1] =
-          tenant_seconds * 1000.0 / kQueriesPerTenant;
+  // The per-tenant query sets, fixed up front so every planner sees
+  // the same SQL in the same order.
+  QueryGenerator::Options qopts;
+  qopts.time_window = Micros(cfg.docs) * kMicrosPerMilli / 4;
+  qopts.seed = 99;
+  QueryGenerator filtered_queries(qopts);
+  std::vector<std::vector<std::string>> sql_by_class(kNumClasses);
+  std::vector<int> tenant_of_query[kNumClasses];
+  for (int rank = 1; rank <= cfg.top_tenants; ++rank) {
+    const TenantId tenant = TenantId(rank);
+    for (int q = 0; q < cfg.filtered_per_tenant; ++q) {
+      sql_by_class[0].push_back(filtered_queries.NextSql(tenant, now));
+      tenant_of_query[0].push_back(rank);
     }
-
-    mean_latency[c] = latency.Mean();
-    std::printf("\n[%s]\n", configs[c].name);
-    std::printf("avg latency: %.3f ms   p50 %.3f  p90 %.3f  p99 %.3f ms\n",
-                latency.Mean() * 1000, latency.Quantile(0.5) * 1000,
-                latency.Quantile(0.9) * 1000, latency.Quantile(0.99) * 1000);
-    std::printf("posting entries touched: %llu\n",
-                static_cast<unsigned long long>(postings));
-    std::printf("%-12s %-16s\n", "tenant_rank", "avg_latency_ms");
-    for (int rank : {1, 2, 5, 10, 20, 50, 100}) {
-      std::printf("%-12d %-16.3f\n", rank, per_tenant_ms[rank - 1]);
+    for (int q = 0; q < cfg.topk_per_tenant; ++q) {
+      std::string sql = "SELECT * FROM transaction_logs WHERE tenant_id = " +
+                        std::to_string(rank) + " ORDER BY created_time" +
+                        (q % 2 == 1 ? " DESC" : "") + " LIMIT 10" +
+                        (q % 3 == 2 ? " OFFSET 5" : "");
+      sql_by_class[1].push_back(std::move(sql));
+      tenant_of_query[1].push_back(rank);
+    }
+    for (int q = 0; q < cfg.agg_per_tenant; ++q) {
+      const char* agg = q % 3 == 0   ? "MIN(created_time)"
+                        : q % 3 == 1 ? "MAX(created_time)"
+                                     : "COUNT(*)";
+      sql_by_class[2].push_back(std::string("SELECT ") + agg +
+                                " FROM transaction_logs WHERE tenant_id = " +
+                                std::to_string(rank));
+      tenant_of_query[2].push_back(rank);
     }
   }
-  std::printf("\noptimizer speedup (avg): %.2fx (paper: 2.41x avg, 5.08x "
-              "for the largest tenant)\n",
-              mean_latency[0] / mean_latency[1]);
+
+  Cell cells[kNumClasses][kNumPlanners];
+  uint64_t top_tenant_postings[kNumPlanners] = {0, 0, 0};  // topk class
+  uint64_t identity_failures = 0;
+
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    for (size_t qi = 0; qi < sql_by_class[cls].size(); ++qi) {
+      const std::string& sql = sql_by_class[cls][qi];
+      QueryResult reference;
+      for (int p = 0; p < kNumPlanners; ++p) {
+        auto watch = bench::Stopwatch();
+        auto result = db.ExecuteSqlWithPlanner(sql, planners[p]);
+        const double seconds = watch.ElapsedSeconds();
+        if (!result.ok()) {
+          std::fprintf(stderr, "query failed under %s: %s\n  %s\n",
+                       kPlannerNames[p], result.status().ToString().c_str(),
+                       sql.c_str());
+          return 1;
+        }
+        const ExecStats stats = db.last_stats();
+        Cell& cell = cells[cls][p];
+        cell.seconds += seconds;
+        ++cell.queries;
+        cell.postings += stats.postings_considered;
+        cell.pushdown_skips += stats.rows_skipped_by_pushdown;
+        cell.stats_only += stats.stats_only_answers;
+        if (cls == 1 && tenant_of_query[cls][qi] == 1) {
+          top_tenant_postings[p] += stats.postings_considered;
+        }
+        if (p == 0) {
+          reference = std::move(*result);
+        } else if (!SameResult(reference, *result)) {
+          ++identity_failures;
+          std::fprintf(stderr, "RESULT MISMATCH (%s vs baseline):\n  %s\n",
+                       kPlannerNames[p], sql.c_str());
+        }
+      }
+    }
+  }
+
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    std::printf("\n[%s]\n", kClassNames[cls]);
+    std::printf("%-10s %-12s %-14s %-14s %-12s\n", "planner", "avg_ms",
+                "postings", "pushdown_skip", "stats_only");
+    for (int p = 0; p < kNumPlanners; ++p) {
+      const Cell& c = cells[cls][p];
+      std::printf("%-10s %-12.3f %-14llu %-14llu %-12llu\n", kPlannerNames[p],
+                  c.queries ? c.seconds * 1000.0 / double(c.queries) : 0.0,
+                  (unsigned long long)c.postings,
+                  (unsigned long long)c.pushdown_skips,
+                  (unsigned long long)c.stats_only);
+    }
+  }
+
+  const double rules_topk_ms = cells[1][1].seconds;
+  const double costed_topk_ms = cells[1][2].seconds;
+  std::printf("\nspeedups (rules -> costed): topk %.2fx, agg %.2fx; "
+              "(baseline -> costed): filtered %.2fx\n",
+              costed_topk_ms > 0 ? rules_topk_ms / costed_topk_ms : 0.0,
+              cells[2][2].seconds > 0
+                  ? cells[2][1].seconds / cells[2][2].seconds
+                  : 0.0,
+              cells[0][2].seconds > 0
+                  ? cells[0][0].seconds / cells[0][2].seconds
+                  : 0.0);
+
+  std::printf("\ngates:\n");
+  Gate(identity_failures == 0, "identical results across all planners");
+  Gate(cells[1][2].pushdown_skips > 0, "topk: pushdown skipped index entries");
+  Gate(top_tenant_postings[2] > 0 &&
+           top_tenant_postings[1] >= 5 * top_tenant_postings[2],
+       "topk: >= 5x fewer postings than rules (top tenant)");
+  Gate(cells[2][2].stats_only > 0, "agg: stats-only answers reported");
+  Gate(cells[2][1].pushdown_skips == 0 && cells[2][1].stats_only == 0 &&
+           cells[1][1].pushdown_skips == 0,
+       "cost-off planners report zero cost-model counters");
+
+  FILE* json = std::fopen("BENCH_fig17_optimizer.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"quick\": %s,\n  \"docs\": %d,\n",
+                 cfg.quick ? "true" : "false", cfg.docs);
+    std::fprintf(json, "  \"top_tenants\": %d,\n", cfg.top_tenants);
+    std::fprintf(json, "  \"classes\": {\n");
+    for (int cls = 0; cls < kNumClasses; ++cls) {
+      std::fprintf(json, "    \"%s\": {\n", kClassNames[cls]);
+      for (int p = 0; p < kNumPlanners; ++p) {
+        const Cell& c = cells[cls][p];
+        std::fprintf(
+            json,
+            "      \"%s\": {\"avg_ms\": %.4f, \"postings\": %llu, "
+            "\"pushdown_skips\": %llu, \"stats_only\": %llu}%s\n",
+            kPlannerNames[p],
+            c.queries ? c.seconds * 1000.0 / double(c.queries) : 0.0,
+            (unsigned long long)c.postings,
+            (unsigned long long)c.pushdown_skips,
+            (unsigned long long)c.stats_only, p + 1 < kNumPlanners ? "," : "");
+      }
+      std::fprintf(json, "    }%s\n", cls + 1 < kNumClasses ? "," : "");
+    }
+    std::fprintf(json, "  },\n");
+    std::fprintf(json,
+                 "  \"top_tenant_topk_postings\": {\"baseline\": %llu, "
+                 "\"rules\": %llu, \"costed\": %llu},\n",
+                 (unsigned long long)top_tenant_postings[0],
+                 (unsigned long long)top_tenant_postings[1],
+                 (unsigned long long)top_tenant_postings[2]);
+    std::fprintf(json, "  \"identity_failures\": %llu,\n",
+                 (unsigned long long)identity_failures);
+    std::fprintf(json, "  \"gate_failures\": %d\n}\n", gate_failures);
+    std::fclose(json);
+  }
+
+  if (gate_failures > 0) {
+    std::fprintf(stderr, "\n%d gate(s) FAILED\n", gate_failures);
+    return 1;
+  }
   return 0;
 }

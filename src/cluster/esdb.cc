@@ -4,6 +4,7 @@
 #include <functional>
 #include <future>
 
+#include "query/cost.h"
 #include "query/dsl.h"
 #include "query/normalize.h"
 #include "query/parser.h"
@@ -201,19 +202,49 @@ Result<std::string> Esdb::ExplainSql(std::string_view sql) {
   }
 
   TenantId tenant = 0;
+  std::vector<ShardId> target_shards;
   if (query.where != nullptr && ExtractTenant(*query.where, &tenant)) {
-    const auto shards = routing_->RouteRead(tenant);
+    target_shards = routing_->RouteRead(tenant);
     out += "fan-out:    tenant " + std::to_string(tenant) + " -> " +
-           std::to_string(shards.size()) + " shard(s), starting at shard " +
-           std::to_string(shards.front()) + "\n";
+           std::to_string(target_shards.size()) +
+           " shard(s), starting at shard " +
+           std::to_string(target_shards.front()) + "\n";
   } else {
+    target_shards.resize(options_.num_shards);
+    for (uint32_t i = 0; i < options_.num_shards; ++i) target_shards[i] = i;
     out += "fan-out:    broadcast to all " +
            std::to_string(options_.num_shards) + " shards\n";
   }
 
-  const std::unique_ptr<PlanNode> plan =
+  std::unique_ptr<PlanNode> plan =
       PlanWhere(normalized.get(), options_.spec, options_.planner);
+  CostDecision decision;
+  bool costed = false;
+  if (options_.planner.use_cost_model) {
+    // Same stats the query itself would plan against: the pinned
+    // snapshots of every target shard.
+    std::vector<SegmentSnapshot> snapshots;
+    snapshots.reserve(target_shards.size());
+    for (ShardId shard : target_shards) {
+      snapshots.push_back(Primary(shard)->Snapshot());
+    }
+    const StatsView stats = StatsView::Collect(snapshots);
+    decision = ApplyCostTransforms(query, options_.spec, stats, &plan);
+    costed = true;
+  }
   out += "plan:\n" + plan->ToString(1) + "\n";
+  if (costed) {
+    out += "transform:  " + decision.transform + "\n";
+    // Estimated vs actual cardinality — EXPLAIN here runs the query
+    // (reads only) so misestimates are visible at a glance. A '+'
+    // marks an early-terminated count (actual is a lower bound).
+    ESDB_ASSIGN_OR_RETURN(QueryResult result,
+                          ExecuteWithPlanner(query, options_.planner));
+    out += "cardinality: est=" +
+           std::to_string(int64_t(decision.estimated_rows + 0.5)) +
+           " actual=" + std::to_string(result.total_matched) +
+           (result.total_matched_exact ? "" : "+") + "\n";
+  }
   return out;
 }
 
@@ -316,7 +347,7 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
   if (query.where != nullptr) {
     normalized = NormalizeForPlanning(query.where->Clone());
   }
-  const std::unique_ptr<PlanNode> plan =
+  std::unique_ptr<PlanNode> plan =
       PlanWhere(normalized.get(), options_.spec, planner);
 
   const size_t fan_out = target_shards.size();
@@ -355,6 +386,16 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
     snapshots.push_back(Primary(shard)->Snapshot());
   }
 
+  // Cost-based transform pass (query/cost.h): rewrites the rule-based
+  // plan against the pinned snapshots' column sketches. Runs after the
+  // snapshots are taken so the statistics describe exactly the data
+  // the query will read.
+  if (planner.use_cost_model) {
+    const StatsView stats_view = StatsView::Collect(snapshots);
+    ApplyCostTransforms(query, options_.spec, stats_view, &plan);
+    ++exec_stats.plans_costed;
+  }
+
   // Two-phase path for row queries: the coordinator merges row ids +
   // sort keys and fetches raw documents only for the global winners.
   if (options_.two_phase_queries && query.agg == AggFunc::kNone &&
@@ -363,11 +404,14 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
     std::vector<Status> statuses(fan_out, Status::OK());
     std::vector<ExecStats> shard_stats(fan_out);
     std::vector<uint64_t> shard_matched(fan_out, 0);
+    std::vector<uint8_t> shard_exact(fan_out, 1);
     RunPerOrdinal(pool.get(), fan_out, [&](size_t ordinal) {
+      bool exact = true;
       auto refs = ExecuteQueryPhase(query, *plan, *snapshots[ordinal],
                                     uint32_t(ordinal), &shard_stats[ordinal],
-                                    &shard_matched[ordinal], cache,
+                                    &shard_matched[ordinal], &exact, cache,
                                     target_shards[ordinal], exec_opts);
+      shard_exact[ordinal] = exact ? 1 : 0;
       if (refs.ok()) {
         shard_refs[ordinal] = std::move(*refs);
       } else {
@@ -375,6 +419,7 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
       }
     });
     uint64_t total_matched = 0;
+    bool total_matched_exact = true;
     size_t total_refs = 0;
     for (size_t ordinal = 0; ordinal < fan_out; ++ordinal) {
       if (!statuses[ordinal].ok()) {
@@ -383,6 +428,7 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
       }
       exec_stats.Add(shard_stats[ordinal]);
       total_matched += shard_matched[ordinal];
+      total_matched_exact = total_matched_exact && shard_exact[ordinal] != 0;
       total_refs += shard_refs[ordinal].size();
     }
     std::vector<RowRef> all_refs;
@@ -401,6 +447,7 @@ Result<QueryResult> Esdb::ExecuteWithPlanner(const Query& query,
     }
     QueryResult result;
     result.total_matched = total_matched;
+    result.total_matched_exact = total_matched_exact;
     auto fetched =
         ExecuteFetchPhase(query, snapshots, all_refs, &exec_stats, exec_opts);
     publish_stats();

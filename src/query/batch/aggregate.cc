@@ -44,8 +44,27 @@ void BatchAggregator::Accumulate(DocId id, QueryResult* result) const {
   if (query_.agg == AggFunc::kCount) return;
   const TypedSlot v = agg_source_.Read(id);
   if (v.is_nothing()) return;
-  if (v.is_numeric()) result->agg_sum += v.NumericValue();
-  FoldMinMax(v, &result->agg_min, &result->agg_max);
+  // Mirrors the row engine's Accumulate: only the requested
+  // aggregate's accumulator is filled, so stats-only plans (which
+  // cannot reconstruct the incidental fields) stay indistinguishable.
+  switch (query_.agg) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (v.is_numeric()) result->agg_sum += v.NumericValue();
+      break;
+    case AggFunc::kMin:
+      if (!result->agg_min || CompareSlotValue(v, *result->agg_min) < 0) {
+        result->agg_min = SlotToValue(v);
+      }
+      break;
+    case AggFunc::kMax:
+      if (!result->agg_max || CompareSlotValue(v, *result->agg_max) > 0) {
+        result->agg_max = SlotToValue(v);
+      }
+      break;
+    default:
+      break;
+  }
 }
 
 }  // namespace batch

@@ -63,6 +63,65 @@ PostingList ApplyFilters(const Segment& segment, PostingList candidates,
   return out;
 }
 
+// ORDER-BY/LIMIT pushdown (kIndexTopK): walk the composite index in
+// key order (reversed for DESC) and stop once `topk_cap` live,
+// filter-passing matches are in hand — plus every entry tied with the
+// cap-th match on the ORDER-BY column, so the candidate set is a
+// superset of the stable-sort winners for any ORDER BY that leads
+// with that column. Candidates return in doc-id order so downstream
+// iteration and stable sorts behave exactly like the unpushed plan.
+Result<PostingList> EvalIndexTopK(const PlanNode& plan, const SegmentView& view,
+                                  ExecStats* stats) {
+  const Segment& segment = *view;
+  const SortedKeyIndex* index = segment.CompositeIndex(plan.index_name);
+  if (index == nullptr) {
+    return Status::FailedPrecondition("composite index not found: " +
+                                      plan.index_name);
+  }
+  const size_t range_total =
+      index->CountRange(plan.key_range.lo, plan.key_range.hi);
+  if (plan.topk_cap <= 0) {
+    stats->rows_skipped_by_pushdown += range_total;
+    return PostingList();
+  }
+  std::vector<batch::SlotSource> sources;
+  sources.reserve(plan.filters.size());
+  for (const FilterPred& f : plan.filters) {
+    sources.push_back(batch::SlotSource::Resolve(segment, f.pred.column));
+  }
+  // The ORDER-BY column is the one right after the equality prefix;
+  // its encoded bytes end at this many column terminators.
+  const size_t ncols = size_t(plan.eq_prefix_len) + 1;
+  std::vector<DocId> ids;
+  int64_t matches = 0;
+  std::string boundary;
+  bool bounded = false;
+  const size_t visited = index->VisitRange(
+      plan.key_range.lo, plan.key_range.hi, plan.topk_reverse,
+      [&](std::string_view key, DocId id) {
+        const std::string_view prefix =
+            key.substr(0, ColumnPrefixEnd(key, ncols));
+        if (bounded && prefix != boundary) return false;
+        // Tombstone-aware early termination: deleted entries are
+        // visited but never consume the cap.
+        if (view.IsDeleted(id)) return true;
+        if (!plan.filters.empty()) {
+          ++stats->docs_filtered;
+          if (!PassesFilters(id, plan.filters, sources)) return true;
+        }
+        ids.push_back(id);
+        if (!bounded && ++matches >= plan.topk_cap) {
+          bounded = true;
+          boundary.assign(prefix.data(), prefix.size());
+        }
+        return true;
+      });
+  stats->postings_considered += visited;
+  stats->rows_skipped_by_pushdown += range_total - visited;
+  std::sort(ids.begin(), ids.end());
+  return PostingList(std::move(ids));
+}
+
 }  // namespace
 
 Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
@@ -144,6 +203,15 @@ Result<PostingList> EvalPlan(const PlanNode& plan, const SegmentView& view,
       for (const PostingList& l : lists) ptrs.push_back(&l);
       return PostingList::UnionAll(std::move(ptrs));
     }
+    case PlanNode::Kind::kIndexTopK:
+      // Already tombstone- and filter-resolved; callers re-checking
+      // IsDeleted on the result is a harmless no-op.
+      return EvalIndexTopK(plan, view, stats);
+    case PlanNode::Kind::kStatsOnly:
+      // Reaching plan evaluation means the stats fast path did not
+      // apply to this segment (tombstones present, or a row query);
+      // fall back to the wrapped scan plan, which is always correct.
+      return EvalPlan(*plan.children[0], view, stats, opts);
   }
   return Status::Internal("unknown plan node");
 }
@@ -271,9 +339,28 @@ void Accumulate(const Query& query, const Segment& segment, DocId id,
   if (query.agg == AggFunc::kCount) return;
   const Value v = ResolveFieldValue(segment, id, query.agg_column);
   if (v.is_null()) return;
-  if (v.is_numeric()) result->agg_sum += v.NumericValue();
-  if (!result->agg_min || v.Compare(*result->agg_min) < 0) result->agg_min = v;
-  if (!result->agg_max || v.Compare(*result->agg_max) > 0) result->agg_max = v;
+  // Only the requested aggregate's accumulator is filled: a stats-only
+  // answer (TryStatsOnly) can reproduce the requested extremum from
+  // index bounds but not the incidental ones, and results must be
+  // indistinguishable across plans.
+  switch (query.agg) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (v.is_numeric()) result->agg_sum += v.NumericValue();
+      break;
+    case AggFunc::kMin:
+      if (!result->agg_min || v.Compare(*result->agg_min) < 0) {
+        result->agg_min = v;
+      }
+      break;
+    case AggFunc::kMax:
+      if (!result->agg_max || v.Compare(*result->agg_max) > 0) {
+        result->agg_max = v;
+      }
+      break;
+    default:
+      break;
+  }
 }
 
 Document Project(const Query& query, Document doc) {
@@ -283,6 +370,137 @@ Document Project(const Query& query, Document doc) {
     out.Set(col, doc.Get(col));
   }
   return out;
+}
+
+// Stable bounded ORDER BY sort: with keep >= 0 and fewer winners than
+// rows this is std::partial_sort over row indices (original index as
+// the final tie-break reproduces std::stable_sort's tie order) —
+// O(n log keep) instead of a full sort when offset+limit is tiny.
+void SortRowsStableBounded(const Query& query, std::vector<Document>* rows,
+                           int64_t keep) {
+  if (keep >= 0 && int64_t(rows->size()) > keep) {
+    std::vector<uint32_t> idx(rows->size());
+    for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::partial_sort(idx.begin(), idx.begin() + long(keep), idx.end(),
+                      [&](uint32_t a, uint32_t b) {
+                        const Document& da = (*rows)[a];
+                        const Document& db = (*rows)[b];
+                        if (DocumentLess(da, db, query.order_by)) return true;
+                        if (DocumentLess(db, da, query.order_by)) return false;
+                        return a < b;
+                      });
+    std::vector<Document> out;
+    out.reserve(size_t(keep));
+    for (int64_t i = 0; i < keep; ++i) {
+      out.push_back(std::move((*rows)[idx[size_t(i)]]));
+    }
+    *rows = std::move(out);
+    return;
+  }
+  std::stable_sort(rows->begin(), rows->end(),
+                   [&](const Document& a, const Document& b) {
+                     return DocumentLess(a, b, query.order_by);
+                   });
+}
+
+// Answers an aggregate for one segment from its stats / index bounds
+// (kStatsOnly fast path). Returns false when the segment must fall
+// back to the wrapped scan plan: any tombstone invalidates the
+// precomputed counts, and index-bound MIN/MAX needs the composite
+// index present. Merging follows Accumulate()'s exact rules (strict
+// Compare, segment order) so answers are byte-identical to scanning.
+[[nodiscard]] Result<bool> TryStatsOnly(const Query& query,
+                                        const PlanNode& plan,
+                                        const SegmentView& view,
+                                        QueryResult* result,
+                                        ExecStats* stats) {
+  if (view.num_deleted() != 0) return false;
+  const Segment& segment = *view;
+  if (plan.index_name.empty()) {
+    // Whole-segment variant (unfiltered COUNT/MIN/MAX).
+    const uint64_t n = segment.num_docs();
+    if (query.agg != AggFunc::kCount) {
+      const ColumnStats* cs = segment.column_stats();
+      if (cs == nullptr) return false;
+      const ColumnSketch* sk = cs->Find(query.agg_column);
+      // A missing sketch means the column is absent (all nulls) in
+      // this segment — scanning would contribute nothing either.
+      if (sk != nullptr && sk->non_null > 0) {
+        // Only the requested extremum, matching Accumulate(); sum is
+        // never stats-answered (cross-segment float addition order).
+        if (query.agg == AggFunc::kMin) {
+          if (!result->agg_min || sk->min.Compare(*result->agg_min) < 0) {
+            result->agg_min = sk->min;
+          }
+        } else if (query.agg == AggFunc::kMax) {
+          if (!result->agg_max || sk->max.Compare(*result->agg_max) > 0) {
+            result->agg_max = sk->max;
+          }
+        } else {
+          return false;  // SUM/AVG are never stats-answerable
+        }
+      }
+    }
+    result->total_matched += n;
+    result->agg_count += n;
+    ++stats->stats_only_answers;
+    return true;
+  }
+  // Index-bound variant: COUNT/MIN/MAX under a pure equality prefix.
+  // The composite index holds one entry per doc (null-padded), so the
+  // range count IS the match count, and the extremum of the column
+  // after the prefix sits at the range edges.
+  const SortedKeyIndex* index = segment.CompositeIndex(plan.index_name);
+  if (index == nullptr) return false;
+  const std::string& lo = plan.key_range.lo;
+  const std::string& hi = plan.key_range.hi;
+  const size_t count = index->CountRange(lo, hi);
+  result->total_matched += count;
+  result->agg_count += count;
+  if (query.agg != AggFunc::kCount && count > 0) {
+    // Non-null sub-range: nulls sort first, so skipping the encoded
+    // null column (plus kAfter, as MakeKeyRange does for inclusive
+    // bounds) lands on the first non-null entry.
+    std::string lo_nonnull = lo;
+    AppendEncodedColumn(&lo_nonnull, Value::Null());
+    lo_nonnull.push_back('\xff');
+    if (index->CountRange(lo_nonnull, hi) > 0) {
+      // Entries sort by (order column, later columns, doc id): every
+      // compare-equal extremum shares one encoded-column run, and the
+      // smallest doc id IN the run is the doc a sequential doc-order
+      // scan would have kept (first occurrence wins ties). Walk the
+      // edge run to find it.
+      const size_t ncols = size_t(plan.eq_prefix_len) + 1;
+      const bool want_max = query.agg == AggFunc::kMax;
+      std::string run;
+      DocId best = 0;
+      bool have = false;
+      index->VisitRange(lo_nonnull, hi, /*reverse=*/want_max,
+                        [&](std::string_view key, DocId id) {
+                          const std::string_view prefix =
+                              key.substr(0, ColumnPrefixEnd(key, ncols));
+                          if (!have) {
+                            run.assign(prefix.data(), prefix.size());
+                            best = id;
+                            have = true;
+                            return true;
+                          }
+                          if (prefix != run) return false;
+                          best = std::min(best, id);
+                          return true;
+                        });
+      const Value v = ResolveFieldValue(segment, best, query.agg_column);
+      if (query.agg == AggFunc::kMin) {
+        if (!result->agg_min || v.Compare(*result->agg_min) < 0) {
+          result->agg_min = v;
+        }
+      } else if (!result->agg_max || v.Compare(*result->agg_max) > 0) {
+        result->agg_max = v;
+      }
+    }
+  }
+  ++stats->stats_only_answers;
+  return true;
 }
 
 }  // namespace
@@ -323,6 +541,10 @@ Result<QueryResult> ExecuteOnShard(
   // Without ORDER BY the shard can stop once LIMIT rows are found.
   const bool can_early_stop =
       !aggregating && query.order_by.empty() && query.limit >= 0;
+  // kStatsOnly applies per segment, and only to ungrouped aggregates.
+  const bool try_stats_only = plan.kind == PlanNode::Kind::kStatsOnly &&
+                              aggregating && query.group_by.empty();
+  const uint64_t pushdown_skips_before = stats->rows_skipped_by_pushdown;
 
   for (const SegmentView& raw : snapshot) {
     ++stats->segments_visited;
@@ -332,6 +554,11 @@ Result<QueryResult> ExecuteOnShard(
     // scan. Stored docs stay compressed — GetDocument below inflates
     // one row block at a time.
     ESDB_ASSIGN_OR_RETURN(const SegmentView view, raw.Pinned());
+    if (try_stats_only) {
+      ESDB_ASSIGN_OR_RETURN(const bool answered,
+                            TryStatsOnly(query, plan, view, &result, stats));
+      if (answered) continue;
+    }
     ESDB_ASSIGN_OR_RETURN(PostingList candidates,
                           EvalPlanCached(plan, view, stats, cache,
                                          cache_domain, fingerprint, opts));
@@ -362,20 +589,19 @@ Result<QueryResult> ExecuteOnShard(
       // correct after the coordinator's merge).
       if (can_early_stop &&
           int64_t(result.rows.size()) >= query.limit + query.offset) {
+        // Stopped before counting the remaining matches.
+        result.total_matched_exact = false;
         return result;
       }
     }
   }
+  if (stats->rows_skipped_by_pushdown != pushdown_skips_before) {
+    result.total_matched_exact = false;
+  }
 
   if (!aggregating && !query.order_by.empty()) {
-    std::sort(result.rows.begin(), result.rows.end(),
-              [&](const Document& a, const Document& b) {
-                return DocumentLess(a, b, query.order_by);
-              });
     const int64_t keep = query.limit >= 0 ? query.limit + query.offset : -1;
-    if (keep >= 0 && int64_t(result.rows.size()) > keep) {
-      result.rows.resize(size_t(keep));
-    }
+    SortRowsStableBounded(query, &result.rows, keep);
   }
   return result;
 }
@@ -383,7 +609,8 @@ Result<QueryResult> ExecuteOnShard(
 Result<std::vector<RowRef>> ExecuteQueryPhase(
     const Query& query, const PlanNode& plan, const ShardView& snapshot,
     uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
-    FilterCache* cache, uint64_t cache_domain, const ExecOptions& opts) {
+    bool* total_matched_exact, FilterCache* cache, uint64_t cache_domain,
+    const ExecOptions& opts) {
   if (query.agg != AggFunc::kNone || !query.group_by.empty()) {
     return Status::InvalidArgument(
         "query phase only applies to row queries");
@@ -395,6 +622,7 @@ Result<std::vector<RowRef>> ExecuteQueryPhase(
   const bool can_early_stop = query.order_by.empty() && query.limit >= 0;
   const int64_t local_cap =
       query.limit >= 0 ? query.limit + query.offset : -1;
+  const uint64_t pushdown_skips_before = stats->rows_skipped_by_pushdown;
 
   std::vector<RowRef> refs;
   for (uint32_t segment_ordinal = 0; segment_ordinal < snapshot.size();
@@ -437,8 +665,15 @@ Result<std::vector<RowRef>> ExecuteQueryPhase(
         }
       }
       refs.push_back(std::move(ref));
-      if (can_early_stop && int64_t(refs.size()) >= local_cap) return refs;
+      if (can_early_stop && int64_t(refs.size()) >= local_cap) {
+        if (total_matched_exact != nullptr) *total_matched_exact = false;
+        return refs;
+      }
     }
+  }
+  if (total_matched_exact != nullptr &&
+      stats->rows_skipped_by_pushdown != pushdown_skips_before) {
+    *total_matched_exact = false;
   }
   if (!query.order_by.empty() && local_cap >= 0 &&
       int64_t(refs.size()) > local_cap) {
@@ -492,6 +727,8 @@ QueryResult AggregateResults(const Query& query,
   QueryResult merged;
   for (QueryResult& r : shard_results) {
     merged.total_matched += r.total_matched;
+    merged.total_matched_exact =
+        merged.total_matched_exact && r.total_matched_exact;
     merged.agg_count += r.agg_count;
     merged.agg_sum += r.agg_sum;
     if (r.agg_min && (!merged.agg_min ||
@@ -508,10 +745,9 @@ QueryResult AggregateResults(const Query& query,
   if (query.agg != AggFunc::kNone) return merged;
 
   if (!query.order_by.empty()) {
-    std::sort(merged.rows.begin(), merged.rows.end(),
-              [&](const Document& a, const Document& b) {
-                return DocumentLess(a, b, query.order_by);
-              });
+    const int64_t keep =
+        query.limit >= 0 ? query.limit + query.offset : -1;
+    SortRowsStableBounded(query, &merged.rows, keep);
   }
   if (query.offset > 0) {
     const size_t skip =

@@ -39,6 +39,11 @@ struct GroupStats {
 struct QueryResult {
   std::vector<Document> rows;
   uint64_t total_matched = 0;
+  // False when an early-terminating path (LIMIT early stop, ORDER-BY
+  // pushdown) stopped before counting every match — total_matched is
+  // then a lower bound, not the exact count. AggregateResults ANDs the
+  // per-shard flags so callers aren't lied to.
+  bool total_matched_exact = true;
 
   // Aggregates (valid when the query had an AggFunc).
   uint64_t agg_count = 0;
@@ -71,6 +76,13 @@ struct ExecStats {
   uint64_t batch_rows_passed = 0;       // rows surviving batch filters
   uint64_t rows_late_materialized = 0;  // docs decoded after batch filtering
 
+  // Cost-model counters (zero when use_cost_model is off).
+  uint64_t plans_costed = 0;             // queries run through the cost pass
+  uint64_t rows_skipped_by_pushdown = 0;  // index entries never visited
+                                          // thanks to kIndexTopK early stop
+  uint64_t stats_only_answers = 0;  // segments answered from stats/index
+                                    // bounds without touching postings
+
   // Fraction of doc-value-scanned candidates that survived filtering;
   // 0 when nothing was batch-filtered.
   double Selectivity() const {
@@ -87,6 +99,9 @@ struct ExecStats {
     batches_evaluated += other.batches_evaluated;
     batch_rows_passed += other.batch_rows_passed;
     rows_late_materialized += other.rows_late_materialized;
+    plans_costed += other.plans_costed;
+    rows_skipped_by_pushdown += other.rows_skipped_by_pushdown;
+    stats_only_answers += other.stats_only_answers;
   }
 };
 
@@ -151,12 +166,14 @@ struct RowRef {
 
 // Query phase on one shard: candidate row refs, top-(offset+limit)
 // locally when sorted. `total_matched` accumulates the full match
-// count. Only valid for row queries (no aggregate/group-by).
+// count; `total_matched_exact` (optional) is cleared when an
+// early-terminating path made that count a lower bound. Only valid
+// for row queries (no aggregate/group-by).
 [[nodiscard]] Result<std::vector<RowRef>> ExecuteQueryPhase(
     const Query& query, const PlanNode& plan, const ShardView& snapshot,
     uint32_t shard_ordinal, ExecStats* stats, uint64_t* total_matched,
-    FilterCache* cache = nullptr, uint64_t cache_domain = 0,
-    const ExecOptions& opts = ExecOptions());
+    bool* total_matched_exact = nullptr, FilterCache* cache = nullptr,
+    uint64_t cache_domain = 0, const ExecOptions& opts = ExecOptions());
 
 // Orders row refs per the query's ORDER BY (ties keep stable order).
 void SortRowRefs(const Query& query, std::vector<RowRef>* refs);

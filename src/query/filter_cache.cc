@@ -78,16 +78,55 @@ void FilterCache::Clear() {
 
 namespace {
 
-void FingerprintNode(const PlanNode& plan, std::string* out) {
-  out->push_back(char('A' + int(plan.kind)));
-  PutLengthPrefixed(out, plan.field);
-  PutVarint64(out, plan.terms.size());
-  for (const std::string& term : plan.terms) PutLengthPrefixed(out, term);
-  PutLengthPrefixed(out, plan.lo_term);
-  PutLengthPrefixed(out, plan.hi_term);
+void FingerprintKeyRange(const PlanNode& plan, std::string* out) {
   PutLengthPrefixed(out, plan.index_name);
   PutLengthPrefixed(out, plan.key_range.lo);
   PutLengthPrefixed(out, plan.key_range.hi);
+}
+
+// Per-kind field emission — every Kind must have a case here (the
+// esdb_lint plan-node-sync check enforces this three-way with
+// EvalPlan and PlanNode::ToString). Filters and children are common
+// to all kinds and emitted by the caller.
+void FingerprintFields(const PlanNode& plan, std::string* out) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kEmpty:
+    case PlanNode::Kind::kFullScan:
+    case PlanNode::Kind::kDocValueFilter:
+    case PlanNode::Kind::kIntersect:
+    case PlanNode::Kind::kUnion:
+      break;  // no kind-specific fields beyond filters/children
+    case PlanNode::Kind::kTermLookup:
+      PutLengthPrefixed(out, plan.field);
+      PutVarint64(out, plan.terms.size());
+      for (const std::string& term : plan.terms) {
+        PutLengthPrefixed(out, term);
+      }
+      break;
+    case PlanNode::Kind::kTermRange:
+      PutLengthPrefixed(out, plan.field);
+      PutLengthPrefixed(out, plan.lo_term);
+      PutLengthPrefixed(out, plan.hi_term);
+      break;
+    case PlanNode::Kind::kCompositeScan:
+      FingerprintKeyRange(plan, out);
+      break;
+    case PlanNode::Kind::kIndexTopK:
+      FingerprintKeyRange(plan, out);
+      PutVarint64(out, uint64_t(plan.topk_cap));
+      out->push_back(plan.topk_reverse ? 'v' : '^');
+      PutVarint64(out, uint64_t(plan.eq_prefix_len));
+      break;
+    case PlanNode::Kind::kStatsOnly:
+      FingerprintKeyRange(plan, out);
+      PutVarint64(out, uint64_t(plan.eq_prefix_len));
+      break;
+  }
+}
+
+void FingerprintNode(const PlanNode& plan, std::string* out) {
+  out->push_back(char('A' + int(plan.kind)));
+  FingerprintFields(plan, out);
   PutVarint64(out, plan.filters.size());
   for (const FilterPred& f : plan.filters) {
     out->push_back(f.negated ? '!' : '.');
@@ -113,7 +152,14 @@ std::string PlanFingerprint(const PlanNode& plan) {
 }
 
 bool IsCacheable(const PlanNode& plan) {
-  if (plan.kind == PlanNode::Kind::kFullScan) return false;
+  // FullScan candidates shrink as tombstones accrue; kIndexTopK and
+  // kStatsOnly resolve tombstones inside evaluation. All three are
+  // epoch-dependent, so their candidate lists must not be reused.
+  if (plan.kind == PlanNode::Kind::kFullScan ||
+      plan.kind == PlanNode::Kind::kIndexTopK ||
+      plan.kind == PlanNode::Kind::kStatsOnly) {
+    return false;
+  }
   for (const auto& child : plan.children) {
     if (!IsCacheable(*child)) return false;
   }

@@ -96,6 +96,7 @@ std::unique_ptr<PlanNode> PlanPredicateLeaf(const Predicate& p,
       auto node = PlanNode::Make(PlanNode::Kind::kTermLookup);
       node->field = p.column;
       for (const Value& v : p.args) node->terms.push_back(v.EncodeSortable());
+      node->residual_equiv.push_back(FilterPred{p, /*negated=*/false});
       return node;
     }
     case PredOp::kLt:
@@ -106,6 +107,7 @@ std::unique_ptr<PlanNode> PlanPredicateLeaf(const Predicate& p,
       auto node = PlanNode::Make(PlanNode::Kind::kTermRange);
       node->field = p.column;
       TermBounds(p, &node->lo_term, &node->hi_term);
+      node->residual_equiv.push_back(FilterPred{p, /*negated=*/false});
       return node;
     }
     default:
@@ -193,6 +195,8 @@ size_t TryCompositeIndex(const IndexSpec& spec,
     }
   }
   scan->key_range = MakeKeyRange(best_eq, lo, lo_inc, hi, hi_inc);
+  scan->eq_prefix_len = int(best_eq.size());
+  scan->key_range_eq_only = best_range == nullptr;
   *node = std::move(scan);
   *consumed = std::move(best_consumed);
   return best_score;

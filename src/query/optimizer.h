@@ -18,6 +18,11 @@ struct PlannerOptions {
   bool use_composite_index = true;
   // Serve scan-list columns by doc-value sequential scan.
   bool use_scan_list = true;
+  // Run the statistics-driven transform pass (query/cost.h) over the
+  // rule-based plan: LIMIT/ORDER-BY pushdown, stats-only aggregates,
+  // selectivity-based access-path choice. Purely a physical rewrite —
+  // results are identical with it off.
+  bool use_cost_model = true;
 };
 
 // Rule-based optimizer. Given a (normalized) WHERE expression, ranks

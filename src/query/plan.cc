@@ -44,6 +44,21 @@ std::string PlanNode::ToString(int indent) const {
     case Kind::kUnion:
       out += "Union";
       break;
+    case Kind::kIndexTopK: {
+      out += "IndexTopK " + index_name + " (cap=" + std::to_string(topk_cap) +
+             (topk_reverse ? " desc" : " asc") + ")";
+      for (size_t i = 0; i < filters.size(); ++i) {
+        out += i == 0 ? " [" : ", ";
+        if (filters[i].negated) out += "NOT ";
+        out += filters[i].pred.ToString();
+      }
+      if (!filters.empty()) out += "]";
+      break;
+    }
+    case Kind::kStatsOnly:
+      out += "StatsOnly";
+      if (!index_name.empty()) out += " via " + index_name;
+      break;
   }
   if (!filters.empty() && kind == Kind::kFullScan) {
     out += " filtered";

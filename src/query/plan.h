@@ -30,6 +30,13 @@ struct PlanNode {
     kDocValueFilter,  // child[0] filtered by `filters`
     kIntersect,       // AND of children
     kUnion,           // OR of children
+    kIndexTopK,       // cost transform: ORDER-BY/LIMIT pushdown into the
+                      // composite index — walk `key_range` in key order,
+                      // stop after `topk_cap` live matches (plus ties on
+                      // the ORDER-BY column)
+    kStatsOnly,       // cost transform: answer COUNT/MIN/MAX from segment
+                      // stats / index bounds; child[0] is the per-segment
+                      // fallback plan (tombstoned or stat-less segments)
   };
 
   Kind kind = Kind::kEmpty;
@@ -40,12 +47,30 @@ struct PlanNode {
   std::string lo_term;             // encoded, inclusive
   std::string hi_term;             // encoded, exclusive
 
-  // kCompositeScan.
+  // kCompositeScan / kIndexTopK / kStatsOnly.
   std::string index_name;
   KeyRange key_range;
+  // Number of leading equality columns folded into key_range, set by
+  // the rule planner; the cost pass needs it to locate the ORDER-BY /
+  // aggregate column inside composite keys.
+  int eq_prefix_len = 0;
+  // True when key_range is exactly the equality prefix (no trailing
+  // range predicate) — the shape index-bound MIN/MAX requires.
+  bool key_range_eq_only = false;
 
-  // kDocValueFilter (also applied on kFullScan).
+  // kIndexTopK.
+  int64_t topk_cap = -1;      // offset + limit; -1 = unbounded (invalid)
+  bool topk_reverse = false;  // ORDER BY ... DESC
+
+  // kDocValueFilter (also applied on kFullScan and kIndexTopK).
   std::vector<FilterPred> filters;
+
+  // Predicate equivalent of a single-predicate index leaf (kTermLookup
+  // / kTermRange), recorded by the rule planner so the cost pass can
+  // demote an unselective leaf to a doc-value filter without decoding
+  // index terms back into Values. Derived data: not executed, not
+  // fingerprinted.
+  std::vector<FilterPred> residual_equiv;
 
   std::vector<std::unique_ptr<PlanNode>> children;
 

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "document/document.h"
 #include "storage/attribute_sidecar.h"
+#include "storage/column_stats.h"
 #include "storage/doc_values.h"
 #include "storage/index_spec.h"
 #include "storage/inverted_index.h"
@@ -70,6 +71,12 @@ class Segment {
   const AttributeSidecar* attribute_sidecar() const {
     return attr_sidecar_.get();
   }
+
+  // Per-column sketches computed at freeze time (never null for
+  // built/decoded segments). Serialized as an optional trailer of the
+  // segment / index-part encodings; files written before the trailer
+  // existed rebuild them from doc values at decode time.
+  const ColumnStats* column_stats() const { return column_stats_.get(); }
 
   // Stored document by local id.
   [[nodiscard]] Result<Document> GetDocument(DocId id) const;
@@ -135,6 +142,7 @@ class Segment {
   std::map<std::string, SortedKeyIndex> composites_;  // name -> index
   std::unique_ptr<DocValues> doc_values_;
   std::unique_ptr<AttributeSidecar> attr_sidecar_;  // derived, not encoded
+  std::unique_ptr<ColumnStats> column_stats_;       // optional trailer
   std::unordered_map<int64_t, DocId> record_ids_;
   size_t size_bytes_ = 0;
 };

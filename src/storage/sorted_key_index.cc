@@ -86,6 +86,44 @@ PostingList SortedKeyIndex::ScanPrefix(std::string_view prefix) const {
   return ScanRange(prefix, hi);
 }
 
+size_t SortedKeyIndex::CountRange(std::string_view lo,
+                                  std::string_view hi) const {
+  assert(sealed_);
+  auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), lo,
+      [](const Entry& e, std::string_view bound) { return e.key < bound; });
+  auto end = std::lower_bound(
+      begin, entries_.end(), hi,
+      [](const Entry& e, std::string_view bound) { return e.key < bound; });
+  return size_t(end - begin);
+}
+
+size_t SortedKeyIndex::VisitRange(
+    std::string_view lo, std::string_view hi, bool reverse,
+    const std::function<bool(std::string_view key, DocId id)>& fn) const {
+  assert(sealed_);
+  auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), lo,
+      [](const Entry& e, std::string_view bound) { return e.key < bound; });
+  auto end = std::lower_bound(
+      begin, entries_.end(), hi,
+      [](const Entry& e, std::string_view bound) { return e.key < bound; });
+  size_t visited = 0;
+  if (!reverse) {
+    for (auto it = begin; it != end; ++it) {
+      ++visited;
+      if (!fn(it->key, it->id)) break;
+    }
+  } else {
+    for (auto it = end; it != begin;) {
+      --it;
+      ++visited;
+      if (!fn(it->key, it->id)) break;
+    }
+  }
+  return visited;
+}
+
 void SortedKeyIndex::EncodeTo(std::string* out) const {
   assert(sealed_);
   PutVarint64(out, columns_.size());
@@ -180,6 +218,28 @@ KeyRange MakeKeyRange(const std::vector<Value>& equality_prefix,
     out.hi.push_back(kAfter);
   }
   return out;
+}
+
+size_t ColumnPrefixEnd(std::string_view key, size_t num_columns) {
+  size_t pos = 0;
+  for (size_t col = 0; col < num_columns; ++col) {
+    while (pos < key.size()) {
+      if (key[pos] != kTerm0) {
+        ++pos;
+        continue;
+      }
+      // 0x00 is either an escape (followed by 0xFF) or a terminator
+      // (followed by 0x01); a well-formed key never ends on a bare
+      // 0x00.
+      if (pos + 1 < key.size() && key[pos + 1] == kTerm1) {
+        pos += 2;
+        break;
+      }
+      pos += 2;  // escaped content byte
+    }
+    if (pos >= key.size()) return key.size();
+  }
+  return pos;
 }
 
 }  // namespace esdb

@@ -1,6 +1,7 @@
 #ifndef ESDB_STORAGE_SORTED_KEY_INDEX_H_
 #define ESDB_STORAGE_SORTED_KEY_INDEX_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +49,18 @@ class SortedKeyIndex {
   // columns). Requires sealed().
   PostingList ScanPrefix(std::string_view prefix) const;
 
+  // Number of entries with key in [lo, hi). Requires sealed().
+  size_t CountRange(std::string_view lo, std::string_view hi) const;
+
+  // Visits the (key, id) entries in [lo, hi) in ascending key order
+  // (descending when `reverse`), i.e. the index's sort order rather
+  // than ScanRange's doc-id order — the LIMIT/ORDER-BY pushdown path.
+  // Stops when `fn` returns false. Returns the number of entries
+  // visited. Requires sealed().
+  size_t VisitRange(std::string_view lo, std::string_view hi, bool reverse,
+                    const std::function<bool(std::string_view key, DocId id)>&
+                        fn) const;
+
   // Serialized form with common-prefix compression (per entry: shared
   // prefix length with the previous key, suffix, doc id).
   void EncodeTo(std::string* out) const;
@@ -81,6 +94,13 @@ struct KeyRange {
 KeyRange MakeKeyRange(const std::vector<Value>& equality_prefix,
                       const Value* range_lo, bool lo_inclusive,
                       const Value* range_hi, bool hi_inclusive);
+
+// Byte offset just past the first `num_columns` encoded columns of
+// `key` (i.e. past their 0x00 0x01 terminators, skipping 0x00 0xFF
+// escapes). Returns key.size() when the key has fewer columns. Used by
+// the pushdown path to compare ORDER-BY column prefixes of composite
+// keys without decoding values.
+size_t ColumnPrefixEnd(std::string_view key, size_t num_columns);
 
 }  // namespace esdb
 

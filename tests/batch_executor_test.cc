@@ -192,9 +192,9 @@ void ExpectEngineParity(const ShardStore& store, const IndexSpec& spec,
       ExecStats qs1, qs2;
       uint64_t m1 = 0, m2 = 0;
       auto refs1 = ExecuteQueryPhase(query, *plan, *snapshot, 0, &qs1, &m1,
-                                     nullptr, 0, row_opts);
+                                     nullptr, nullptr, 0, row_opts);
       auto refs2 = ExecuteQueryPhase(query, *plan, *snapshot, 0, &qs2, &m2,
-                                     nullptr, 0, batch_opts);
+                                     nullptr, nullptr, 0, batch_opts);
       ASSERT_TRUE(refs1.ok() && refs2.ok()) << sql;
       EXPECT_EQ(m1, m2) << sql;
       ASSERT_EQ(refs1->size(), refs2->size()) << sql;

@@ -380,6 +380,103 @@ TEST(GuardedMember, NestedClassMembersAttributeToInnerClass) {
   EXPECT_TRUE(CheckGuardedMembers(files).empty());
 }
 
+// --- plan-node-sync ---------------------------------------------------
+
+namespace plan_sync {
+
+const char kPlanH[] =
+    "struct PlanNode {\n"
+    "  enum class Kind {\n"
+    "    kEmpty,\n"
+    "    kFullScan,\n"
+    "  };\n"
+    "  Kind kind = Kind::kEmpty;\n"
+    "};\n";
+
+const char kExecutorFull[] =
+    "unsigned EvalPlan(const PlanNode& plan) {\n"
+    "  switch (plan.kind) {\n"
+    "    case PlanNode::Kind::kEmpty: return 0;\n"
+    "    case PlanNode::Kind::kFullScan: return 1;\n"
+    "  }\n"
+    "  return 0;\n"
+    "}\n";
+
+const char kFingerprintFull[] =
+    "void FingerprintFields(const PlanNode& plan, std::string* out) {\n"
+    "  if (plan.kind == PlanNode::Kind::kEmpty) out->push_back('0');\n"
+    "  if (plan.kind == PlanNode::Kind::kFullScan) out->push_back('1');\n"
+    "}\n";
+
+const char kToStringFull[] =
+    "std::string PlanNode::ToString(int indent) const {\n"
+    "  switch (kind) {\n"
+    "    case Kind::kEmpty: return \"Empty\";\n"
+    "    case Kind::kFullScan: return \"FullScan\";\n"
+    "  }\n"
+    "  return \"\";\n"
+    "}\n";
+
+}  // namespace plan_sync
+
+TEST(PlanNodeSync, CompleteTreeIsClean) {
+  const std::vector<SourceFile> files = {
+      {"query/plan.h", plan_sync::kPlanH},
+      {"query/executor.cc", plan_sync::kExecutorFull},
+      {"query/filter_cache.cc", plan_sync::kFingerprintFull},
+      {"query/plan.cc", plan_sync::kToStringFull},
+  };
+  const std::vector<Finding> findings = CheckPlanNodeSync(files);
+  EXPECT_TRUE(findings.empty()) << ToText(findings);
+}
+
+TEST(PlanNodeSync, MissingExecutorCaseIsReported) {
+  const std::vector<SourceFile> files = {
+      {"query/plan.h", plan_sync::kPlanH},
+      {"query/executor.cc",
+       "unsigned EvalPlan(const PlanNode& plan) {\n"
+       "  if (plan.kind == PlanNode::Kind::kEmpty) return 0;\n"
+       "  return 1;\n"  // kFullScan silently folded into the default
+       "}\n"},
+      {"query/filter_cache.cc", plan_sync::kFingerprintFull},
+      {"query/plan.cc", plan_sync::kToStringFull},
+  };
+  const std::vector<Finding> findings = CheckPlanNodeSync(files);
+  ASSERT_EQ(findings.size(), 1u) << ToText(findings);
+  EXPECT_EQ(findings[0].check, "plan-node-sync");
+  EXPECT_EQ(findings[0].file, "query/executor.cc");
+  EXPECT_NE(findings[0].message.find("kFullScan"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("EvalPlan"), std::string::npos);
+}
+
+TEST(PlanNodeSync, CallSitesDoNotSatisfyTheCheck) {
+  // A mention of Kind::kFullScan outside EvalPlan's body (here, in a
+  // helper) must not count as the dispatch handling the kind.
+  const std::vector<SourceFile> files = {
+      {"query/plan.h", plan_sync::kPlanH},
+      {"query/executor.cc",
+       "bool IsScan(const PlanNode& p) {\n"
+       "  return p.kind == PlanNode::Kind::kFullScan;\n"
+       "}\n"
+       "unsigned EvalPlan(const PlanNode& plan) {\n"
+       "  if (plan.kind == PlanNode::Kind::kEmpty) return 0;\n"
+       "  return 1;\n"
+       "}\n"},
+      {"query/filter_cache.cc", plan_sync::kFingerprintFull},
+      {"query/plan.cc", plan_sync::kToStringFull},
+  };
+  const std::vector<Finding> findings = CheckPlanNodeSync(files);
+  ASSERT_EQ(findings.size(), 1u) << ToText(findings);
+  EXPECT_NE(findings[0].message.find("kFullScan"), std::string::npos);
+}
+
+TEST(PlanNodeSync, TreesWithoutThePlanHeaderAreSkipped) {
+  const std::vector<SourceFile> files = {
+      {"storage/segment.cc", "int x;\n"},
+  };
+  EXPECT_TRUE(CheckPlanNodeSync(files).empty());
+}
+
 // --- output formats ---------------------------------------------------
 
 TEST(Output, JsonIsWellFormedAndEscaped) {
@@ -422,6 +519,7 @@ TEST(Fixtures, BrokenTreesProduceTheExpectedDiagnostic) {
       {"broken_failpoint", "failpoint-registry"},
       {"broken_mutex", "raw-primitive"},
       {"broken_unguarded", "guarded-member"},
+      {"broken_plan_sync", "plan-node-sync"},
   };
   for (const auto& c : kCases) {
     const std::vector<Finding> findings =

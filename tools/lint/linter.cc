@@ -790,12 +790,184 @@ std::vector<Finding> CheckGuardedMembers(const std::vector<SourceFile>& files) {
   return findings;
 }
 
+// --- check: plan-node-sync -------------------------------------------
+
+namespace {
+
+// Index of the '}' matching the '{' at `open`, or npos.
+size_t MatchBrace(const std::string& s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '{') {
+      ++depth;
+    } else if (s[i] == '}' && --depth == 0) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// Brace-matched bodies of every *definition* of function `name` in
+// stripped source: the token, a paren-matched argument list, then
+// (optionally after `const`) an opening brace. Declarations and call
+// sites — where the argument list is followed by ';', ',' or ')' —
+// are skipped. Returns (name_position, body) pairs.
+std::vector<std::pair<size_t, std::string>> FunctionBodies(
+    const std::string& stripped, const std::string& name) {
+  std::vector<std::pair<size_t, std::string>> bodies;
+  for (size_t pos = FindToken(stripped, name); pos != std::string::npos;
+       pos = FindToken(stripped, name, pos + 1)) {
+    size_t p = pos + name.size();
+    while (p < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[p]))) {
+      ++p;
+    }
+    if (p >= stripped.size() || stripped[p] != '(') continue;
+    int depth = 0;
+    size_t close = std::string::npos;
+    for (size_t i = p; i < stripped.size(); ++i) {
+      if (stripped[i] == '(') {
+        ++depth;
+      } else if (stripped[i] == ')' && --depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string::npos) break;
+    size_t q = close + 1;
+    while (q < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[q]))) {
+      ++q;
+    }
+    if (stripped.compare(q, 5, "const") == 0 &&
+        (q + 5 >= stripped.size() || !IsIdentChar(stripped[q + 5]))) {
+      q += 5;
+      while (q < stripped.size() &&
+             std::isspace(static_cast<unsigned char>(stripped[q]))) {
+        ++q;
+      }
+    }
+    if (q >= stripped.size() || stripped[q] != '{') continue;
+    const size_t end = MatchBrace(stripped, q);
+    if (end == std::string::npos) continue;
+    bodies.emplace_back(pos, stripped.substr(q, end - q + 1));
+  }
+  return bodies;
+}
+
+int LineOf(const std::string& stripped, size_t pos) {
+  return int(std::count(stripped.begin(), stripped.begin() + ptrdiff_t(pos),
+                        '\n')) +
+         1;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckPlanNodeSync(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  const SourceFile* plan_h = nullptr;
+  for (const SourceFile& f : files) {
+    if (f.path == "query/plan.h") plan_h = &f;
+  }
+  // A tree without the plan enum has nothing to keep in sync (unit-test
+  // fixtures for the other checks, partial trees).
+  if (plan_h == nullptr) return findings;
+
+  const std::string stripped_h =
+      StripComments(plan_h->contents, /*strip_strings=*/true);
+  const size_t enum_pos = stripped_h.find("enum class Kind");
+  if (enum_pos == std::string::npos) return findings;
+  const size_t open = stripped_h.find('{', enum_pos);
+  if (open == std::string::npos) return findings;
+  const size_t close = MatchBrace(stripped_h, open);
+  if (close == std::string::npos) return findings;
+
+  // Enumerator names; skip past any `= value` so only declared names
+  // are collected.
+  std::vector<std::string> kinds;
+  const std::string body = stripped_h.substr(open + 1, close - open - 1);
+  for (size_t i = 0; i < body.size();) {
+    if (IsIdentChar(body[i])) {
+      size_t e = i;
+      while (e < body.size() && IsIdentChar(body[e])) ++e;
+      const std::string word = body.substr(i, e - i);
+      if (word.size() > 1 && word[0] == 'k' &&
+          std::isupper(static_cast<unsigned char>(word[1]))) {
+        kinds.push_back(word);
+      }
+      i = e;
+      while (i < body.size() && body[i] != ',') ++i;
+    } else {
+      ++i;
+    }
+  }
+
+  // The three places a new plan-node kind must be wired up. A missing
+  // case in any of them is a silent wrong-answer bug (executor returns
+  // empty, fingerprint collides, EXPLAIN renders nothing), so the sync
+  // is closed at lint time.
+  struct Target {
+    const char* path;
+    const char* function;
+    const char* role;
+  };
+  const Target kTargets[] = {
+      {"query/executor.cc", "EvalPlan", "the executor dispatch"},
+      {"query/filter_cache.cc", "FingerprintFields",
+       "the filter-cache fingerprint"},
+      {"query/plan.cc", "ToString", "the EXPLAIN renderer"},
+  };
+  for (const Target& t : kTargets) {
+    const SourceFile* file = nullptr;
+    for (const SourceFile& f : files) {
+      if (f.path == t.path) file = &f;
+    }
+    if (file == nullptr) {
+      findings.push_back({"plan-node-sync", t.path, 0,
+                          "query/plan.h declares PlanNode::Kind but " +
+                              std::string(t.path) + " (" + t.role +
+                              ") is missing from the tree"});
+      continue;
+    }
+    const std::string stripped =
+        StripComments(file->contents, /*strip_strings=*/true);
+    const auto bodies = FunctionBodies(stripped, t.function);
+    if (bodies.empty()) {
+      findings.push_back({"plan-node-sync", t.path, 0,
+                          std::string(t.function) + "() (" + t.role +
+                              ") has no definition here; the plan-node "
+                              "sync check cannot anchor"});
+      continue;
+    }
+    for (const std::string& kind : kinds) {
+      bool handled = false;
+      for (const auto& [pos, fn_body] : bodies) {
+        if (FindToken(fn_body, "Kind::" + kind) != std::string::npos) {
+          handled = true;
+          break;
+        }
+      }
+      if (!handled) {
+        findings.push_back(
+            {"plan-node-sync", t.path, LineOf(stripped, bodies.front().first),
+             "PlanNode::Kind::" + kind + " is not handled in " + t.function +
+                 "() (" + t.role +
+                 "); every plan-node kind must be covered in the executor "
+                 "dispatch, the fingerprint switch, and the EXPLAIN "
+                 "renderer"});
+      }
+    }
+  }
+  return findings;
+}
+
 // --- driver ----------------------------------------------------------
 
 std::vector<Finding> RunLint(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (auto* check : {CheckLayerDag, CheckRawPrimitives, CheckLockOrder,
-                      CheckFailPointRegistry, CheckGuardedMembers}) {
+                      CheckFailPointRegistry, CheckGuardedMembers,
+                      CheckPlanNodeSync}) {
     std::vector<Finding> f = check(files);
     findings.insert(findings.end(), std::make_move_iterator(f.begin()),
                     std::make_move_iterator(f.end()));

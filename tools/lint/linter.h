@@ -3,7 +3,7 @@
 
 // esdb_lint: project-specific static analysis over src/.
 //
-// Five invariants no off-the-shelf tool knows about this codebase:
+// Six invariants no off-the-shelf tool knows about this codebase:
 //
 //   layer-dag           The include-layer DAG. Layers (low to high):
 //                         0 common
@@ -37,6 +37,17 @@
 //                       member must carry GUARDED_BY/PT_GUARDED_BY or
 //                       an explicit waiver comment on its own line or
 //                       the line above:  // lint:unguarded(reason)
+//   plan-node-sync      Every enumerator of PlanNode::Kind
+//                       (query/plan.h) must appear as a Kind:: token
+//                       inside the body of EvalPlan (query/executor.cc,
+//                       the executor dispatch), FingerprintFields
+//                       (query/filter_cache.cc, the cache fingerprint),
+//                       and PlanNode::ToString (query/plan.cc, the
+//                       EXPLAIN renderer). A kind added to the planner
+//                       but missed in any of the three is a silent
+//                       wrong-answer bug; the three-way sync is closed
+//                       at lint time. Skipped when query/plan.h is not
+//                       among the inputs.
 //
 // The linter is deliberately dependency-free (std only, token/line
 // level, no libclang): it must build and run everywhere the tree
@@ -74,6 +85,7 @@ std::vector<Finding> CheckLockOrder(const std::vector<SourceFile>& files);
 std::vector<Finding> CheckFailPointRegistry(
     const std::vector<SourceFile>& files);
 std::vector<Finding> CheckGuardedMembers(const std::vector<SourceFile>& files);
+std::vector<Finding> CheckPlanNodeSync(const std::vector<SourceFile>& files);
 
 // Replaces comments (and, if `strip_strings`, string/char literals)
 // with spaces, preserving the line structure so findings keep exact

@@ -1,0 +1,15 @@
+#include "query/plan.h"
+
+void FingerprintFields(const PlanNode& plan, std::string* out) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kEmpty:
+      out->push_back('0');
+      break;
+    case PlanNode::Kind::kFullScan:
+      out->push_back('1');
+      break;
+    case PlanNode::Kind::kIntersect:
+      out->push_back('2');
+      break;
+  }
+}

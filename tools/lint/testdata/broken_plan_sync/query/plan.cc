@@ -1,0 +1,17 @@
+#include "query/plan.h"
+
+std::string PlanNode::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case Kind::kEmpty:
+      out += "Empty";
+      break;
+    case Kind::kFullScan:
+      out += "FullScan";
+      break;
+    case Kind::kIntersect:
+      out += "Intersect";
+      break;
+  }
+  return out;
+}

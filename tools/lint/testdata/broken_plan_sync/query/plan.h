@@ -1,0 +1,18 @@
+// Miniature plan tree for the plan-node-sync fixture: three kinds,
+// and query/executor.cc below is missing the kIntersect case.
+#ifndef FIXTURE_QUERY_PLAN_H_
+#define FIXTURE_QUERY_PLAN_H_
+
+#include <string>
+
+struct PlanNode {
+  enum class Kind {
+    kEmpty,
+    kFullScan,
+    kIntersect,
+  };
+  Kind kind = Kind::kEmpty;
+  std::string ToString(int indent) const;
+};
+
+#endif  // FIXTURE_QUERY_PLAN_H_
