@@ -1,0 +1,212 @@
+#ifndef ESDB_BALANCER_SHARD_HEAT_H_
+#define ESDB_BALANCER_SHARD_HEAT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "consensus/network.h"  // NodeId
+#include "routing/rule_list.h"  // ShardId
+
+namespace esdb {
+
+// Per-shard migration telemetry (the migration-side sibling of
+// TierAdmission in balancer/monitor.h): two decayed activity counters
+// per shard — rows written and processing time spent — fed from the
+// write path and drained by the migration planner. Rows approximate
+// the data a migration would have to move; processing time
+// approximates the CPU the shard pins on its node. Both matter: a
+// shard can be small but expensive (heavy per-doc indexing) or large
+// but idle, and the balancer must not move the wrong one.
+//
+// Counters are additive and integer, and decay happens only when the
+// owner calls Decay() — so replaying the same trace with the same
+// decay points yields bit-identical state regardless of how the
+// recordings were batched between those points. The planner's
+// candidate choice is therefore a pure function of the trace, not of
+// tick granularity (tested in tests/shard_heat_test.cc).
+class ShardHeatTracker {
+ public:
+  struct Options {
+    // Multiplied into every counter by Decay() (x1000, integer
+    // arithmetic: 500 = halve per cycle) — same damping rationale as
+    // TierAdmission: survivors of several quiet cycles fade out,
+    // alternating shards keep credit, no flapping at the edge.
+    uint64_t decay_permille = 500;
+    // Score weight of one processing microsecond relative to one row.
+    double processing_weight = 1.0 / 64.0;
+  };
+
+  struct Heat {
+    uint64_t rows = 0;
+    uint64_t processing_micros = 0;
+  };
+
+  ShardHeatTracker(uint32_t num_shards, Options options)
+      : options_(options),
+        rows_(std::make_unique<std::atomic<uint64_t>[]>(num_shards)),
+        processing_(std::make_unique<std::atomic<uint64_t>[]>(num_shards)),
+        num_shards_(num_shards) {
+    for (uint32_t i = 0; i < num_shards; ++i) {
+      rows_[i] = 0;
+      processing_[i] = 0;
+    }
+  }
+  explicit ShardHeatTracker(uint32_t num_shards)
+      : ShardHeatTracker(num_shards, Options{}) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  // Hot paths (relaxed: the counters are planning heuristics, not
+  // invariants — same contract as TierAdmission).
+  void RecordWrite(ShardId shard, uint64_t rows = 1) {
+    rows_[shard].fetch_add(rows, std::memory_order_relaxed);
+  }
+  void RecordProcessing(ShardId shard, uint64_t micros) {
+    processing_[shard].fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  Heat heat(ShardId shard) const {
+    return Heat{rows_[shard].load(std::memory_order_relaxed),
+                processing_[shard].load(std::memory_order_relaxed)};
+  }
+
+  // Combined migration-priority score of a shard.
+  double Score(ShardId shard) const {
+    const Heat h = heat(shard);
+    return double(h.rows) + options_.processing_weight * double(h.processing_micros);
+  }
+
+  // One planning cycle boundary: decays every counter.
+  void Decay() {
+    for (uint32_t i = 0; i < num_shards_; ++i) {
+      const uint64_t r = rows_[i].load(std::memory_order_relaxed);
+      rows_[i].store(r * options_.decay_permille / 1000,
+                     std::memory_order_relaxed);
+      const uint64_t p = processing_[i].load(std::memory_order_relaxed);
+      processing_[i].store(p * options_.decay_permille / 1000,
+                           std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  const Options options_;
+  std::unique_ptr<std::atomic<uint64_t>[]> rows_;
+  std::unique_ptr<std::atomic<uint64_t>[]> processing_;
+  const uint32_t num_shards_;
+};
+
+// One migration the planner wants executed: move `shard`'s primary
+// from `from` to `to`.
+struct MigrationPlan {
+  ShardId shard = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+};
+
+// Decides WHICH shards to migrate (the mechanism lives in
+// cluster/migration.h; the sim models its cost). Pure function of its
+// inputs and fully deterministic: ties break toward the smaller node
+// id / shard id, so two replicas of the same trace propose the same
+// moves — the property the scenario suite's parallel==serial checks
+// lean on.
+class MigrationPlanner {
+ public:
+  struct Options {
+    // Trigger: busiest node's score must exceed this multiple of the
+    // mean alive-node score...
+    double imbalance_ratio = 1.5;
+    // ...and this absolute floor (don't shuffle an idle cluster).
+    double min_node_score = 1.0;
+    // In-flight migration cap (each one costs copy bandwidth on two
+    // nodes; the paper rejects migration-heavy balancing for exactly
+    // this cost, so we ration it).
+    uint32_t max_concurrent = 2;
+  };
+
+  explicit MigrationPlanner(Options options) : options_(options) {}
+  MigrationPlanner() : MigrationPlanner(Options{}) {}
+
+  // `placement[shard]` is the shard's primary node; `alive` lists
+  // candidate nodes; `migrating` are shards already in flight (both
+  // excluded from new plans and counted against max_concurrent).
+  std::vector<MigrationPlan> Decide(const ShardHeatTracker& heat,
+                                    const std::vector<NodeId>& placement,
+                                    const std::vector<NodeId>& alive,
+                                    const std::set<ShardId>& migrating) const {
+    std::vector<MigrationPlan> plans;
+    if (alive.size() < 2 || migrating.size() >= options_.max_concurrent) {
+      return plans;
+    }
+
+    // Node scores = sum of primary-shard scores (doubles accumulated
+    // in shard-id order: deterministic).
+    std::vector<double> load(alive.size(), 0);
+    auto ordinal_of = [&](NodeId node) -> int {
+      for (size_t i = 0; i < alive.size(); ++i) {
+        if (alive[i] == node) return int(i);
+      }
+      return -1;
+    };
+    const uint32_t num_shards = heat.num_shards();
+    for (ShardId shard = 0; shard < num_shards; ++shard) {
+      const int ord = ordinal_of(placement[shard]);
+      if (ord >= 0) load[size_t(ord)] += heat.Score(shard);
+    }
+
+    size_t budget = options_.max_concurrent - migrating.size();
+    std::set<ShardId> taken = migrating;
+    while (budget > 0) {
+      // Busiest and idlest alive nodes (ties -> smaller ordinal).
+      size_t busiest = 0, idlest = 0;
+      for (size_t i = 1; i < load.size(); ++i) {
+        if (load[i] > load[busiest]) busiest = i;
+        if (load[i] < load[idlest]) idlest = i;
+      }
+      double mean = 0;
+      for (const double l : load) mean += l;
+      mean /= double(load.size());
+      if (load[busiest] < options_.min_node_score ||
+          load[busiest] < options_.imbalance_ratio * mean ||
+          busiest == idlest) {
+        break;
+      }
+
+      // Hottest movable shard on the busiest node whose move strictly
+      // shrinks the busiest-vs-idlest spread (moving a shard that IS
+      // the node's whole load to an emptier node is fine; moving one
+      // that would overload the destination is not).
+      ShardId best = num_shards;
+      double best_score = 0;
+      for (ShardId shard = 0; shard < num_shards; ++shard) {
+        if (taken.count(shard) > 0) continue;
+        if (ordinal_of(placement[shard]) != int(busiest)) continue;
+        const double s = heat.Score(shard);
+        if (s <= 0) continue;
+        if (load[idlest] + s >= load[busiest]) continue;  // no improvement
+        if (s > best_score) {
+          best = shard;
+          best_score = s;
+        }
+      }
+      if (best == num_shards) break;
+
+      plans.push_back(
+          MigrationPlan{best, alive[busiest], alive[idlest]});
+      taken.insert(best);
+      load[busiest] -= best_score;
+      load[idlest] += best_score;
+      --budget;
+    }
+    return plans;
+  }
+
+ private:
+  const Options options_;
+};
+
+}  // namespace esdb
+
+#endif  // ESDB_BALANCER_SHARD_HEAT_H_

@@ -1,5 +1,8 @@
 #include "cluster/distributed.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "query/normalize.h"
 #include "query/parser.h"
 
@@ -30,7 +33,10 @@ bool ExtractTenantId(const Expr& e, TenantId* out) {
 }  // namespace
 
 DistributedEsdb::DistributedEsdb(Options options)
-    : options_(std::move(options)), allocator_(options_.num_shards) {
+    : options_(std::move(options)),
+      allocator_(options_.num_shards),
+      heat_(options_.num_shards, options_.heat),
+      planner_(options_.migration_planner) {
   switch (options_.routing) {
     case RoutingKind::kHash:
       routing_ = std::make_unique<HashRouting>(options_.num_shards);
@@ -49,13 +55,22 @@ DistributedEsdb::DistributedEsdb(Options options)
   }
   shards_.reserve(options_.num_shards);
   for (uint32_t i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<ReplicatedShard>(
+    shards_.push_back(std::make_shared<ReplicatedShard>(
         &options_.spec, options_.store, ReplicationMode::kPhysical));
   }
+  migrator_ = std::make_unique<ShardMigrator>(
+      this, &options_.spec, options_.store, options_.num_shards,
+      options_.migration);
   if (options_.maintenance_threads > 0) {
     maintenance_pool_ =
         std::make_shared<ThreadPool>(options_.maintenance_threads);
   }
+}
+
+std::shared_ptr<ReplicatedShard> DistributedEsdb::ShardAt(
+    ShardId shard) const {
+  MutexLock lock(&shards_mu_);
+  return shards_[shard];
 }
 
 void DistributedEsdb::SetMaintenanceThreads(uint32_t n) {
@@ -86,7 +101,7 @@ Status DistributedEsdb::AddNode(NodeId node) {
   // only its failure domain changes.
   for (const ShardAllocator::Move& move : *moves) {
     if (move.is_replica) {
-      ESDB_RETURN_IF_ERROR(shards_[move.shard]->ResetReplica());
+      ESDB_RETURN_IF_ERROR(ShardAt(move.shard)->ResetReplica());
       ++replicas_rebuilt_;
     }
   }
@@ -94,11 +109,20 @@ Status DistributedEsdb::AddNode(NodeId node) {
 }
 
 Status DistributedEsdb::RemoveNode(NodeId node) {
+  // A graceful departure still invalidates any migration touching the
+  // node: a target there would be installed on a ghost, a source there
+  // is about to hand over anyway.
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    if (migrator_->active(shard) && (migrator_->from_node(shard) == node ||
+                                     migrator_->to_node(shard) == node)) {
+      ESDB_RETURN_IF_ERROR(migrator_->Abort(shard));
+    }
+  }
   auto moves = allocator_.RemoveNode(node);
   if (!moves.ok()) return moves.status();
   for (const ShardAllocator::Move& move : *moves) {
     if (move.is_replica) {
-      ESDB_RETURN_IF_ERROR(shards_[move.shard]->ResetReplica());
+      ESDB_RETURN_IF_ERROR(ShardAt(move.shard)->ResetReplica());
       ++replicas_rebuilt_;
     }
   }
@@ -108,6 +132,17 @@ Status DistributedEsdb::RemoveNode(NodeId node) {
 
 Status DistributedEsdb::FailNode(NodeId node) {
   ESDB_RETURN_IF_ERROR(CheckReady());
+  // Migrations touching the dead node die with it: a dead target can
+  // never be cut over to; a dead source just failed over, so the
+  // pinned epoch / pending queue no longer describe the new primary's
+  // op stream. Acknowledged writes are unaffected — the source (or
+  // its replica) has them all.
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    if (migrator_->active(shard) && (migrator_->from_node(shard) == node ||
+                                     migrator_->to_node(shard) == node)) {
+      ESDB_RETURN_IF_ERROR(migrator_->Abort(shard));
+    }
+  }
   // Capture placements before the allocator reassigns them.
   std::vector<ShardId> lost_primaries, lost_replicas;
   for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
@@ -124,17 +159,22 @@ Status DistributedEsdb::FailNode(NodeId node) {
   // replicated segments plus the synchronized translog tail), then
   // wrap it as the new primary with a fresh replica.
   for (ShardId shard : lost_primaries) {
-    auto promoted = std::move(*shards_[shard]).Failover();
+    std::shared_ptr<ReplicatedShard> old = ShardAt(shard);
+    auto promoted = std::move(*old).Failover();
     if (!promoted.ok()) return promoted.status();
-    shards_[shard] = std::make_unique<ReplicatedShard>(
+    auto replacement = std::make_shared<ReplicatedShard>(
         &options_.spec, options_.store, ReplicationMode::kPhysical,
         std::move(*promoted));
+    {
+      MutexLock lock(&shards_mu_);
+      shards_[shard] = std::move(replacement);
+    }
     ++failovers_;
     ++replicas_rebuilt_;
   }
   // Replicas on the dead node: rebuild from the (healthy) primary.
   for (ShardId shard : lost_replicas) {
-    ESDB_RETURN_IF_ERROR(shards_[shard]->ResetReplica());
+    ESDB_RETURN_IF_ERROR(ShardAt(shard)->ResetReplica());
     ++replicas_rebuilt_;
   }
   RefreshAll();  // repopulate all rebuilt replicas
@@ -149,7 +189,17 @@ Status DistributedEsdb::Apply(const WriteOp& op) {
         "write requires tenant_id, record_id and created_time");
   }
   const RouteKey key{op.tenant_id(), op.record_id(), op.created_time()};
-  auto seq = shards_[routing_->RouteWrite(key)]->Apply(op);
+  const ShardId shard = routing_->RouteWrite(key);
+  // Every write funnels through the migrator so an active migration
+  // sees the shard's exact acknowledged op stream (queue or mirror);
+  // for an idle shard this is a plain source apply.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto seq = migrator_->Apply(shard, op);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  heat_.RecordWrite(shard);
+  heat_.RecordProcessing(shard, uint64_t(micros));
   return seq.ok() ? Status::OK() : seq.status();
 }
 
@@ -165,8 +215,8 @@ void DistributedEsdb::RefreshAll() {
     MutexLock lock(&pool_mu_);
     pool = maintenance_pool_;
   }
-  RunPerOrdinal(pool.get(), shards_.size(),
-                [&](size_t i) { (void)shards_[i]->Refresh(); });
+  RunPerOrdinal(pool.get(), options_.num_shards,
+                [&](size_t i) { (void)ShardAt(ShardId(i))->Refresh(); });
 }
 
 Result<QueryResult> DistributedEsdb::ExecuteSql(std::string_view sql) {
@@ -193,20 +243,101 @@ Result<QueryResult> DistributedEsdb::ExecuteSql(std::string_view sql) {
   std::vector<QueryResult> shard_results;
   shard_results.reserve(targets.size());
   for (ShardId shard : targets) {
+    // The shared_ptr copy pins the shard across a concurrent cutover
+    // swap; its snapshot pins the segment epoch as usual.
+    const std::shared_ptr<ReplicatedShard> s = ShardAt(shard);
     ESDB_ASSIGN_OR_RETURN(
         QueryResult r,
-        ExecuteOnShard(query, *plan, *shards_[shard]->primary()->Snapshot(),
-                       &stats));
+        ExecuteOnShard(query, *plan, *s->primary()->Snapshot(), &stats));
     shard_results.push_back(std::move(r));
   }
   return AggregateResults(query, std::move(shard_results));
 }
 
+Status DistributedEsdb::StartMigration(ShardId shard, NodeId to) {
+  ESDB_RETURN_IF_ERROR(CheckReady());
+  if (shard >= options_.num_shards) {
+    return Status::InvalidArgument("unknown shard");
+  }
+  const std::vector<NodeId>& nodes = allocator_.nodes();
+  if (std::find(nodes.begin(), nodes.end(), to) == nodes.end()) {
+    return Status::NotFound("unknown node");
+  }
+  const NodeId from = allocator_.Of(shard).primary;
+  if (from == to) {
+    return Status::InvalidArgument("shard primary already on target node");
+  }
+  return migrator_->Start(shard, from, to);
+}
+
+size_t DistributedEsdb::DriveMigrations() {
+  size_t cutovers = 0;
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    if (!migrator_->active(shard)) continue;
+    // Every successful step makes progress (ships a batch, replays
+    // the delta, arms, or swaps), so this loop terminates; a
+    // transient Unavailable (fault injection, backpressure) leaves
+    // the state machine intact for the next round.
+    while (true) {
+      auto phase = migrator_->Drive(shard);
+      if (!phase.ok()) break;
+      if (*phase == MigrationPhase::kDone) {
+        ++cutovers;
+        break;
+      }
+      if (*phase == MigrationPhase::kAborted) break;
+    }
+  }
+  return cutovers;
+}
+
+size_t DistributedEsdb::MaybeMigrate() {
+  if (!allocator_.allocated()) return 0;
+  std::vector<NodeId> placement(options_.num_shards);
+  std::set<ShardId> migrating;
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    placement[shard] = allocator_.Of(shard).primary;
+    if (migrator_->active(shard)) migrating.insert(shard);
+  }
+  size_t started = 0;
+  for (const MigrationPlan& plan :
+       planner_.Decide(heat_, placement, allocator_.nodes(), migrating)) {
+    if (StartMigration(plan.shard, plan.to).ok()) ++started;
+  }
+  // Window boundary: the decision above saw the full window's heat.
+  heat_.Decay();
+  return started;
+}
+
+std::shared_ptr<ReplicatedShard> DistributedEsdb::MigrationSource(
+    ShardId shard) {
+  return ShardAt(shard);
+}
+
+Status DistributedEsdb::InstallMigrated(ShardId shard, NodeId to,
+                                        std::unique_ptr<ShardStore> target) {
+  // Replica first, routing second: ResetReplica runs a full peer
+  // recovery (segment copy + translog tail), so if it fails nothing
+  // has been published and the migration aborts cleanly; once the
+  // allocator rebind succeeds the swap below cannot fail.
+  auto replacement = std::make_shared<ReplicatedShard>(
+      &options_.spec, options_.store, ReplicationMode::kPhysical,
+      std::move(target));
+  ESDB_RETURN_IF_ERROR(replacement->ResetReplica());
+  ESDB_RETURN_IF_ERROR(allocator_.ReassignPrimary(shard, to));
+  {
+    MutexLock lock(&shards_mu_);
+    shards_[shard] = std::move(replacement);
+  }
+  ++replicas_rebuilt_;
+  return Status::OK();
+}
+
 size_t DistributedEsdb::TotalDocs() const {
   size_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard->primary()->num_live_docs() +
-             shard->primary()->buffered_docs();
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    const std::shared_ptr<ReplicatedShard> s = ShardAt(shard);
+    total += s->primary()->num_live_docs() + s->primary()->buffered_docs();
   }
   return total;
 }
@@ -217,7 +348,7 @@ std::map<NodeId, size_t> DistributedEsdb::DocsByNode() const {
   if (!allocator_.allocated()) return out;
   for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
     out[allocator_.Of(shard).primary] +=
-        shards_[shard]->primary()->num_live_docs();
+        ShardAt(shard)->primary()->num_live_docs();
   }
   return out;
 }

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "balancer/shard_heat.h"
+#include "cluster/migration.h"
 #include "cluster/shard_allocator.h"
 #include "common/mutex.h"
 #include "common/result.h"
@@ -36,7 +38,7 @@ namespace esdb {
 // RefreshAll fans refresh+replication out over an internal pool when
 // maintenance_threads > 0 — one task per shard, preserving the
 // single-writer-per-shard invariant.
-class DistributedEsdb {
+class DistributedEsdb : public MigrationHost {
  public:
   struct Options {
     uint32_t num_shards = 64;
@@ -48,6 +50,10 @@ class DistributedEsdb {
     // Refresh/merge/replication parallelism for RefreshAll (0 =
     // serial, matching the query_threads convention in Esdb).
     uint32_t maintenance_threads = 0;
+    // Live shard migration knobs (tentpole of DESIGN.md §13).
+    ShardHeatTracker::Options heat;
+    MigrationPlanner::Options migration_planner;
+    ShardMigrator::Options migration;
   };
 
   explicit DistributedEsdb(Options options);
@@ -88,6 +94,35 @@ class DistributedEsdb {
 
   [[nodiscard]] Result<QueryResult> ExecuteSql(std::string_view sql);
 
+  // --- Live shard migration ---------------------------------------------
+
+  // Manually begins migrating `shard`'s primary to node `to` (the
+  // balancer path goes through MaybeMigrate). The migration is then
+  // advanced by DriveMigrations().
+  [[nodiscard]] Status StartMigration(ShardId shard, NodeId to);
+
+  // Advances every in-flight migration until it completes, aborts, or
+  // hits a transient (Unavailable) step; cutover counts as a
+  // membership operation and is therefore serialized with
+  // Add/Remove/FailNode by the caller, like every other membership
+  // op. Returns the number of cutovers performed.
+  size_t DriveMigrations();
+
+  // One balancer cycle: decays the heat counters, asks the planner
+  // for moves, and starts them. Returns the number started.
+  size_t MaybeMigrate();
+
+  MigrationPhase MigrationPhaseOf(ShardId shard) const {
+    return migrator_->phase(shard);
+  }
+  ShardMigrator* migrator() { return migrator_.get(); }
+  ShardHeatTracker* heat() { return &heat_; }
+
+  // MigrationHost (called by the migrator with the slot lock held):
+  std::shared_ptr<ReplicatedShard> MigrationSource(ShardId shard) override;
+  [[nodiscard]] Status InstallMigrated(
+      ShardId shard, NodeId to, std::unique_ptr<ShardStore> target) override;
+
   // --- Introspection -------------------------------------------------------
 
   DynamicSecondaryHashing* dynamic_routing() { return dynamic_; }
@@ -99,19 +134,36 @@ class DistributedEsdb {
 
  private:
   [[nodiscard]] Status CheckReady() const;
+  // Copies the shard pointer out under shards_mu_ — the only way the
+  // data path reads the table, so a concurrent cutover/failover swap
+  // can never free a shard mid-query (the copy pins it).
+  std::shared_ptr<ReplicatedShard> ShardAt(ShardId shard) const;
 
   // Cluster topology is fixed by the constructor; membership
-  // operations (AddNode/RemoveNode/FailNode) mutate allocator state
-  // and are serialized by the caller, like ShardStore's single-writer
-  // contract. pool_mu_ guards only the maintenance pool.
+  // operations (AddNode/RemoveNode/FailNode and migration cutover)
+  // mutate allocator state and are serialized by the caller, like
+  // ShardStore's single-writer contract. pool_mu_ guards only the
+  // maintenance pool.
   Options options_;        // lint:unguarded(fixed at construction)
   ShardAllocator allocator_;  // lint:unguarded(membership ops are externally serialized)
   std::unique_ptr<RoutingPolicy> routing_;  // lint:unguarded(fixed at construction)
   DynamicSecondaryHashing* dynamic_ = nullptr;  // lint:unguarded(fixed at construction; owned by routing_)
-  std::vector<std::unique_ptr<ReplicatedShard>> shards_;  // by shard id  lint:unguarded(vector shape fixed at construction; elements are internally synchronized)
+  // Shard table: shape fixed at construction, but elements are
+  // REBOUND by failover and migration cutover while queries/writes
+  // run, so every read copies the shared_ptr under this tiny mutex.
+  // Leaf lock: taken under the migrator's slot lock (InstallMigrated)
+  // and never held while calling into a shard.
+  mutable Mutex shards_mu_;
+  std::vector<std::shared_ptr<ReplicatedShard>> shards_
+      GUARDED_BY(shards_mu_);  // by shard id
   // Null when serial; swapped under pool_mu_ and pinned by RefreshAll.
   mutable Mutex pool_mu_;
   std::shared_ptr<ThreadPool> maintenance_pool_ GUARDED_BY(pool_mu_);
+  // Migration telemetry + machinery. The migrator is behind a
+  // unique_ptr only because it needs `this` as its MigrationHost.
+  ShardHeatTracker heat_;  // lint:unguarded(internally atomic counters)
+  MigrationPlanner planner_;  // lint:unguarded(stateless after construction)
+  std::unique_ptr<ShardMigrator> migrator_;  // lint:unguarded(fixed at construction; internally synchronized)
   // Atomic: bumped on the (serialized) failover path but read by
   // stats accessors from any thread.
   std::atomic<uint64_t> failovers_{0};

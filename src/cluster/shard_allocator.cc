@@ -98,6 +98,25 @@ Result<std::vector<ShardAllocator::Move>> ShardAllocator::AddNode(
   return moves;
 }
 
+Status ShardAllocator::ReassignPrimary(ShardId shard, NodeId to) {
+  if (shard >= num_shards_ || !allocated()) {
+    return Status::InvalidArgument("unknown shard");
+  }
+  if (std::find(nodes_.begin(), nodes_.end(), to) == nodes_.end()) {
+    return Status::NotFound("unknown node");
+  }
+  Assignment& a = assignments_[shard];
+  if (a.primary == to) {
+    return Status::InvalidArgument("shard primary already on target node");
+  }
+  if (a.replica == to) {
+    std::swap(a.primary, a.replica);
+  } else {
+    a.primary = to;
+  }
+  return Status::OK();
+}
+
 void ShardAllocator::Rebalance(std::vector<Move>* moves) {
   // Move single placements from the busiest to the idlest node until
   // the spread is tight. Bounded by total placements.

@@ -49,6 +49,12 @@ class ShardAllocator {
   // second node).
   [[nodiscard]] Result<std::vector<Move>> RemoveNode(NodeId node);
 
+  // Live-migration cutover: rebinds a shard's primary to `to`. When
+  // `to` currently hosts the shard's replica the roles swap (the old
+  // primary node becomes the replica host) so the two-distinct-nodes
+  // invariant survives. Fails for unknown nodes or a no-op target.
+  [[nodiscard]] Status ReassignPrimary(ShardId shard, NodeId to);
+
   // Current placement of a shard. Only valid once >= 2 nodes exist.
   const Assignment& Of(ShardId shard) const { return assignments_[shard]; }
   bool allocated() const { return !assignments_.empty(); }

@@ -147,6 +147,11 @@ std::vector<std::string> FailPoints::AllSites() {
       failsite::kColdLoad,
       failsite::kReplicationCopySegment,
       failsite::kReplicationCatchup,
+      failsite::kMigrateStart,
+      failsite::kMigrateCopySegment,
+      failsite::kMigrateDeltaReplay,
+      failsite::kMigrateMirrorWrite,
+      failsite::kMigrateCutover,
       failsite::kNetDrop,
       failsite::kNetDelay,
   };

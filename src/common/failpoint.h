@@ -66,6 +66,15 @@ inline constexpr const char* kColdLoad = "tier/cold-load";
 inline constexpr const char* kReplicationCopySegment =
     "replication/copy-segment";
 inline constexpr const char* kReplicationCatchup = "replication/catchup";
+// Live shard migration (cluster/migration.cc): every edge of the
+// per-shard state machine Idle -> Copying -> DualWrite -> CutOver.
+// Scenarios live in tests/migration_test.cc (the crash-recovery
+// matrix check in crash_recovery_test.cc still enforces coverage).
+inline constexpr const char* kMigrateStart = "migrate/start";
+inline constexpr const char* kMigrateCopySegment = "migrate/copy-segment";
+inline constexpr const char* kMigrateDeltaReplay = "migrate/delta-replay";
+inline constexpr const char* kMigrateMirrorWrite = "migrate/mirror-write";
+inline constexpr const char* kMigrateCutover = "migrate/cutover";
 // Consensus: simulated network faults beyond SimNetwork's own
 // partition/drop knobs (deterministic per-message schedules).
 inline constexpr const char* kNetDrop = "consensus/net-drop";

@@ -6,6 +6,20 @@
 
 namespace esdb {
 
+Result<size_t> CopySegmentInto(const SegmentView& view, ShardStore* dest) {
+  // The segment file folds the pinned overlay into its delete bitmap;
+  // the destination decodes it back out as its own overlay. A cold
+  // source segment is inflated for the copy (EncodeFull) — replicas
+  // and migration targets always hold hot state so they serve at full
+  // speed immediately.
+  ESDB_ASSIGN_OR_RETURN(const std::string bytes, view.EncodeFull());
+  std::shared_ptr<const Tombstones> tombstones;
+  ESDB_ASSIGN_OR_RETURN(std::unique_ptr<Segment> copy,
+                        Segment::Decode(bytes, &tombstones));
+  dest->InstallSegment(std::move(copy), std::move(tombstones));
+  return bytes.size();
+}
+
 Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
                                         ShardStore* replica) {
   ReplicationStats stats;
@@ -56,17 +70,10 @@ Result<ReplicationStats> ReplicateRound(const ShardStore& primary,
     if (ESDB_FAIL_POINT(failsite::kReplicationCopySegment)) {
       return Status::Unavailable("failpoint: replication/copy-segment");
     }
-    // The segment file folds the pinned overlay into its delete
-    // bitmap; the replica decodes it back out as its own overlay. A
-    // cold primary segment is inflated for the copy (EncodeFull) —
-    // replicas always hold hot state so failover serves at full speed.
-    ESDB_ASSIGN_OR_RETURN(const std::string bytes, view.EncodeFull());
-    std::shared_ptr<const Tombstones> tombstones;
-    ESDB_ASSIGN_OR_RETURN(std::unique_ptr<Segment> copy,
-                          Segment::Decode(bytes, &tombstones));
-    replica->InstallSegment(std::move(copy), std::move(tombstones));
+    ESDB_ASSIGN_OR_RETURN(const size_t bytes,
+                          CopySegmentInto(view, replica));
     ++stats.segments_copied;
-    stats.bytes_copied += bytes.size();
+    stats.bytes_copied += bytes;
   }
 
   // Step 6: drop segments the primary deleted (merged away).
@@ -95,11 +102,19 @@ Status ReplicatedShard::ResetReplica() {
   MutexLock lock(&mu_);
   replica_ = std::make_unique<ShardStore>(spec_, options_);
   replica_log_ = Translog();
-  // Everything the primary holds must flow again: segments via the
-  // next replication round, buffered ops via the translog tail. An
-  // unreadable tail op is an error, not a skip: the op is not in any
-  // replicated segment yet, so dropping it here would lose the write
-  // on the next failover.
+  // Peer recovery runs both phases before the rebuild is visible:
+  // ship the primary's published segments now (phase 1), then seed
+  // the translog tail (phase 2). Deferring the segment copy to the
+  // next replication round would leave a window where the shard's
+  // only full copy is the primary — bulk-migrated segments in
+  // particular have no translog backing, so a failover inside that
+  // window would silently drop them.
+  ESDB_ASSIGN_OR_RETURN(ReplicationStats round,
+                        ReplicateRound(*primary_, replica_.get()));
+  stats_.Add(round);
+  // An unreadable tail op is an error, not a skip: the op is not in
+  // any replicated segment yet, so dropping it here would lose the
+  // write on the next failover.
   for (uint64_t seq = primary_->refreshed_seq();
        seq < primary_->translog().end_seq(); ++seq) {
     ESDB_ASSIGN_OR_RETURN(WriteOp op, primary_->translog().Get(seq));

@@ -39,6 +39,14 @@ struct ReplicationStats {
   }
 };
 
+// Copies one segment into `dest` as an encoded file (EncodeFull ->
+// Decode -> InstallSegment): no re-indexing, tombstone overlay carried
+// along, cold segments inflated to hot. The one physical segment-copy
+// primitive — quick incremental replication and live shard migration
+// both ship bytes through here. Returns the encoded size.
+[[nodiscard]] Result<size_t> CopySegmentInto(const SegmentView& view,
+                                             ShardStore* dest);
+
 // One round of quick incremental replication (Figure 9, steps 1-6):
 // snapshot the primary's segments, diff against the replica, copy the
 // missing segment files (encode/decode, no re-indexing), and drop

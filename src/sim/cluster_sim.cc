@@ -49,7 +49,15 @@ ClusterSim::ClusterSim(Options options)
         w.seed = options_.seed;
         return w;
       }()),
-      balancer_(options_.balancer) {
+      balancer_(options_.balancer),
+      heat_(options_.num_shards),
+      planner_([&] {
+        MigrationPlanner::Options p;
+        p.imbalance_ratio = options_.migration.imbalance_ratio;
+        p.min_node_score = options_.migration.min_node_score;
+        p.max_concurrent = options_.migration.max_concurrent;
+        return p;
+      }()) {
   // Under logical replication a replica re-executes every write.
   if (options_.replication == ReplicationMode::kLogical) {
     options_.replica_cost = options_.write_cost;
@@ -82,6 +90,19 @@ ClusterSim::ClusterSim(Options options)
     }
   }
 
+  // Placement tables start at the historical modulo layout; FailNode
+  // and migration cutovers rewrite entries from there.
+  shard_primary_.resize(options_.num_shards);
+  shard_replica_.resize(options_.num_shards);
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    shard_primary_[shard] = shard % options_.num_nodes;
+    shard_replica_[shard] = (shard + 1) % options_.num_nodes;
+  }
+  node_alive_.assign(options_.num_nodes, true);
+  num_alive_ = options_.num_nodes;
+  next_migration_check_ = options_.migration.check_interval;
+  next_churn_ = options_.churn_interval;
+
   node_queues_.resize(options_.num_nodes);
   node_queued_units_.assign(options_.num_nodes, 0);
   node_scratch_.resize(options_.num_nodes);
@@ -113,6 +134,70 @@ size_t ClusterSim::backlog() const {
   return docs;
 }
 
+size_t ClusterSim::queue_entries() const {
+  size_t entries =
+      held_.size() + client_backlog_.size() + client_hot_backlog_.size();
+  for (const auto& queue : node_queues_) entries += queue.size();
+  return entries;
+}
+
+std::vector<uint32_t> ClusterSim::alive_nodes() const {
+  std::vector<uint32_t> alive;
+  for (uint32_t n = 0; n < options_.num_nodes; ++n) {
+    if (node_alive_[n]) alive.push_back(n);
+  }
+  return alive;
+}
+
+bool ClusterSim::FailNode(uint32_t node) {
+  if (node >= options_.num_nodes || !node_alive_[node] || num_alive_ <= 2) {
+    return false;
+  }
+  node_alive_[node] = false;
+  --num_alive_;
+
+  // Migrations touching the dead node abort (same rule as the engine:
+  // a dead target can't be cut over to; a dead source just failed
+  // over, invalidating the pinned epoch).
+  for (auto it = migrations_.begin(); it != migrations_.end();) {
+    if (it->second.from == node || it->second.to == node) {
+      ++migrations_aborted_;
+      it = migrations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Failover: promote replicas of the dead node's primaries; pick
+  // deterministic replacement replicas among the survivors.
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    if (shard_primary_[shard] == node) {
+      shard_primary_[shard] = shard_replica_[shard];
+      shard_replica_[shard] =
+          NextAliveNode(shard_primary_[shard], shard_primary_[shard]);
+    } else if (shard_replica_[shard] == node) {
+      shard_replica_[shard] = NextAliveNode(node, shard_primary_[shard]);
+    }
+  }
+
+  // The dead node's queued client writes requeue on each shard's new
+  // primary directly (NOT via Deliver — they were already counted in
+  // shard_docs and already charged replica work once). Arrival times
+  // survive, so their delay keeps accruing and the conservation
+  // invariant completed + backlog == generated holds across the
+  // failure. Replica and migration-overhead work dies with the node.
+  std::deque<WorkBatch> orphaned;
+  orphaned.swap(node_queues_[node]);
+  node_queued_units_[node] = 0;
+  for (const WorkBatch& batch : orphaned) {
+    if (batch.replica_work || batch.units > 0 || batch.count == 0) continue;
+    const uint32_t target = shard_primary_[batch.shard];
+    node_queues_[target].push_back(batch);
+    node_queued_units_[target] += double(batch.count) * options_.write_cost;
+  }
+  return true;
+}
+
 bool ClusterSim::NodeOverLimit(uint32_t node) const {
   return node_queued_units_[node] >
          options_.client_queue_limit_seconds * options_.node_capacity;
@@ -120,14 +205,28 @@ bool ClusterSim::NodeOverLimit(uint32_t node) const {
 
 bool ClusterSim::AnyNodeOverLimit() const {
   for (uint32_t n = 0; n < options_.num_nodes; ++n) {
-    if (NodeOverLimit(n)) return true;
+    if (node_alive_[n] && NodeOverLimit(n)) return true;
   }
   return false;
+}
+
+uint32_t ClusterSim::NextAliveNode(uint32_t after, uint32_t exclude) const {
+  for (uint32_t step = 1; step <= options_.num_nodes; ++step) {
+    const uint32_t node = (after + step) % options_.num_nodes;
+    if (node_alive_[node] && node != exclude) return node;
+  }
+  return after;
 }
 
 void ClusterSim::Deliver(const WorkBatch& batch) {
   if (batch.count == 0) return;
   metrics_.shard_docs[batch.shard] += batch.count;
+  // Migration telemetry: rows routed + their processing cost. Fed
+  // here (serial) rather than in node ticks, so pooled runs stay
+  // byte-identical to serial.
+  heat_.RecordWrite(batch.shard, batch.count);
+  heat_.RecordProcessing(
+      batch.shard, uint64_t(double(batch.count) * options_.write_cost));
   node_queues_[PrimaryNode(batch.shard)].push_back(batch);
   node_queued_units_[PrimaryNode(batch.shard)] +=
       double(batch.count) * options_.write_cost;
@@ -137,6 +236,27 @@ void ClusterSim::Deliver(const WorkBatch& batch) {
   node_queues_[ReplicaNode(batch.shard)].push_back(replica);
   node_queued_units_[ReplicaNode(batch.shard)] +=
       double(batch.count) * options_.replica_cost;
+
+  // Dual-write mirroring: once the bulk copy is done, every write to
+  // a migrating shard also charges the target node (the mirrored
+  // apply). Pure overhead — the source still completes the write.
+  const auto it = migrations_.find(batch.shard);
+  if (it != migrations_.end() && it->second.copy_remaining <= 0) {
+    DeliverOverhead(
+        it->second.to, batch.shard,
+        double(batch.count) * options_.migration.dual_write_cost);
+  }
+}
+
+void ClusterSim::DeliverOverhead(uint32_t node, uint32_t shard,
+                                 double units) {
+  if (units <= 0 || !node_alive_[node]) return;
+  WorkBatch batch;
+  batch.arrival = clock_.Now();
+  batch.shard = shard;
+  batch.units = units;
+  node_queues_[node].push_back(batch);
+  node_queued_units_[node] += units;
 }
 
 void ClusterSim::Run(Micros duration) {
@@ -306,6 +426,7 @@ void ClusterSim::RouteArrivals(uint64_t count) {
 void ClusterSim::ProcessNodeInto(uint32_t node, NodeTickScratch* out) {
   out->completions.clear();
   out->busy_seconds = 0;
+  if (!node_alive_[node]) return;  // dead nodes burn no CPU
 
   const double tick_seconds = double(options_.tick) / kMicrosPerSecond;
   double budget = options_.node_capacity * tick_seconds;
@@ -315,8 +436,18 @@ void ClusterSim::ProcessNodeInto(uint32_t node, NodeTickScratch* out) {
   std::deque<WorkBatch>& queue = node_queues_[node];
   while (budget > 0 && !queue.empty()) {
     WorkBatch& batch = queue.front();
-    if (batch.count == 0) {
+    if (batch.count == 0 && batch.units <= 0) {
       queue.pop_front();
+      continue;
+    }
+    // Migration overhead (bulk copy / dual-write mirror): burns CPU
+    // budget, completes no client writes.
+    if (batch.units > 0) {
+      const double can = std::min(batch.units, budget);
+      batch.units -= can;
+      budget -= can;
+      node_queued_units_[node] -= can;
+      if (batch.units <= 1e-9) queue.pop_front();
       continue;
     }
     const double cost =
@@ -395,6 +526,62 @@ void ClusterSim::ControlLoop() {
   *dynamic_->mutable_rules() = participants_[0]->rules();
 }
 
+void ClusterSim::MigrationLoop() {
+  if (!options_.migration.enabled) return;
+  const double tick_seconds = double(options_.tick) / kMicrosPerSecond;
+
+  // Advance in-flight migrations (map order -> deterministic).
+  for (auto it = migrations_.begin(); it != migrations_.end();) {
+    SimMigration& m = it->second;
+    if (m.copy_remaining > 0) {
+      // Copying: ship one tick's worth of bulk-copy bandwidth as
+      // overhead work on the target. The delta replay is folded into
+      // copy_cost, so copy completion IS dual-write entry.
+      const double chunk =
+          std::min(m.copy_remaining, options_.migration.copy_rate * tick_seconds);
+      m.copy_remaining -= chunk;
+      if (m.copy_remaining <= 1e-9) m.copy_remaining = 0;
+      DeliverOverhead(m.to, it->first, chunk);
+      ++it;
+    } else if (m.dual_ticks_left > 0) {
+      // DualWrite: mirror costs accrue in Deliver(); here we just
+      // count down to the cutover.
+      --m.dual_ticks_left;
+      ++it;
+    } else {
+      // CutOver: flip the placement entry. Virtual-time atomicity —
+      // every later tick routes to the new primary; nothing in flight
+      // is lost because the source's queue entries stay where they
+      // are and drain normally.
+      const uint32_t shard = it->first;
+      if (shard_replica_[shard] == m.to) shard_replica_[shard] = m.from;
+      shard_primary_[shard] = m.to;
+      ++migrations_completed_;
+      it = migrations_.erase(it);
+    }
+  }
+
+  // Planner cadence: decide on the full window's heat, then decay.
+  if (clock_.Now() < next_migration_check_) return;
+  next_migration_check_ += options_.migration.check_interval;
+  std::set<ShardId> migrating;
+  for (const auto& entry : migrations_) migrating.insert(entry.first);
+  const std::vector<uint32_t> alive = alive_nodes();
+  for (const MigrationPlan& plan :
+       planner_.Decide(heat_, shard_primary_, alive, migrating)) {
+    SimMigration m;
+    m.from = plan.from;
+    m.to = plan.to;
+    m.copy_remaining =
+        double(metrics_.shard_docs[plan.shard]) * options_.migration.copy_cost;
+    m.dual_ticks_left = std::max<uint64_t>(
+        1, uint64_t(options_.migration.dual_write_duration / options_.tick));
+    migrations_[plan.shard] = m;
+    ++migrations_started_;
+  }
+  heat_.Decay();
+}
+
 void ClusterSim::SampleTimeline() {
   if (clock_.Now() < next_sample_end_) return;
   Sample s;
@@ -417,6 +604,12 @@ void ClusterSim::SampleTimeline() {
 }
 
 void ClusterSim::Tick() {
+  // Tenant churn schedule: shift the hot tenant set on its cadence.
+  if (options_.churn_interval > 0 && clock_.Now() >= next_churn_) {
+    generator_.ShiftHotspots(options_.churn_shift);
+    next_churn_ += options_.churn_interval;
+  }
+
   // Arrivals for this tick (fractional rates accumulate).
   arrival_accumulator_ +=
       options_.generate_rate * double(options_.tick) / kMicrosPerSecond;
@@ -438,6 +631,7 @@ void ClusterSim::Tick() {
   }
 
   ControlLoop();
+  MigrationLoop();
   clock_.Advance(options_.tick);
   metrics_.measured_time += options_.tick;
   SampleTimeline();

@@ -9,6 +9,7 @@
 
 #include "balancer/load_balancer.h"
 #include "balancer/monitor.h"
+#include "balancer/shard_heat.h"
 #include "cluster/esdb.h"
 #include "common/clock.h"
 #include "common/histogram.h"
@@ -60,6 +61,36 @@ class ClusterSim {
     bool hotspot_isolation = false;
 
     WorkloadGenerator::Options workload;
+
+    // Live shard migration (DESIGN.md §13), modeled at sim fidelity:
+    // the bulk copy and dual-write mirroring are pure-overhead work
+    // units charged to the target node's CPU budget (they complete no
+    // client writes), and the cutover atomically flips the shard's
+    // placement entry. Decisions come from the same ShardHeatTracker/
+    // MigrationPlanner the engine uses.
+    struct MigrationOptions {
+      bool enabled = false;
+      // Planner cadence (also the heat decay boundary).
+      Micros check_interval = 2 * kMicrosPerSecond;
+      double imbalance_ratio = 1.5;
+      double min_node_score = 1000;
+      uint32_t max_concurrent = 2;
+      // Bulk copy: a shard of D routed docs costs D * copy_cost units
+      // shipped at copy_rate units/sec per migration.
+      double copy_cost = 0.05;
+      double copy_rate = 20000;
+      // Dual-write: each mirrored doc charges the target this much.
+      double dual_write_cost = 0.25;
+      // How long dual-write runs before the cutover flips placement.
+      Micros dual_write_duration = 1 * kMicrosPerSecond;
+    };
+    MigrationOptions migration;
+
+    // Tenant churn schedule: every churn_interval of virtual time the
+    // hot tenant set shifts by churn_shift (0 = off) — the
+    // cluster-scale scenario suite's "tenants come and go" knob.
+    Micros churn_interval = 0;
+    uint64_t churn_shift = 0;
 
     // Dynamic load-balancing control loop.
     Micros monitor_window = 1 * kMicrosPerSecond;
@@ -130,10 +161,27 @@ class ClusterSim {
   // Intensifies/relaxes the tenant skew mid-run (hotspot groups).
   void SetWorkloadTheta(double theta) { generator_.SetTenantTheta(theta); }
 
+  // Kills a node: its primaries fail over to their replicas (queued
+  // client work requeues on the new primary, arrival times preserved,
+  // so delay keeps accruing and conservation holds), its replica and
+  // overhead work is dropped, and migrations touching it abort.
+  // Returns false if the node is already dead or fewer than two nodes
+  // would remain alive.
+  bool FailNode(uint32_t node);
+
   const Metrics& metrics() const { return metrics_; }
   Micros now() const { return clock_.Now(); }
   const RuleList& committed_rules() const { return coordinator_rules(); }
   size_t backlog() const;  // docs currently queued
+  // Queue-entry count across all node/client queues — the
+  // bounded-memory proxy for the 10k-shard scenario tests.
+  size_t queue_entries() const;
+  uint32_t primary_node(uint32_t shard) const { return shard_primary_[shard]; }
+  uint32_t replica_node(uint32_t shard) const { return shard_replica_[shard]; }
+  std::vector<uint32_t> alive_nodes() const;
+  uint64_t migrations_started() const { return migrations_started_; }
+  uint64_t migrations_completed() const { return migrations_completed_; }
+  uint64_t migrations_aborted() const { return migrations_aborted_; }
   uint64_t rules_committed() const {
     return master_ ? master_->rounds_committed() : 0;
   }
@@ -147,6 +195,19 @@ class ClusterSim {
     uint32_t shard = 0;
     uint64_t count = 0;
     bool replica_work = false;
+    // Pure-overhead work (migration bulk copy / dual-write mirror):
+    // consumes CPU budget but completes no client writes — excluded
+    // from backlog() and the delay histogram.
+    double units = 0;
+  };
+
+  // One in-flight sim migration (the ShardMigrator state machine at
+  // sim fidelity: Copying -> DualWrite -> cutover).
+  struct SimMigration {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    double copy_remaining = 0;  // units still to bulk-copy
+    uint64_t dual_ticks_left = 0;
   };
 
   // One node-tick's private output: the completions it drained (in
@@ -166,20 +227,23 @@ class ClusterSim {
   };
 
   const RuleList& coordinator_rules() const;
-  uint32_t PrimaryNode(uint32_t shard) const {
-    return shard % options_.num_nodes;
-  }
-  uint32_t ReplicaNode(uint32_t shard) const {
-    return (shard + 1) % options_.num_nodes;
-  }
+  // Placement tables (initialized to the historical modulo layout;
+  // rewritten by FailNode and migration cutover).
+  uint32_t PrimaryNode(uint32_t shard) const { return shard_primary_[shard]; }
+  uint32_t ReplicaNode(uint32_t shard) const { return shard_replica_[shard]; }
+  // Next alive node after `after`, skipping `exclude` (deterministic
+  // replacement pick for failover rebuilds).
+  uint32_t NextAliveNode(uint32_t after, uint32_t exclude) const;
   bool NodeOverLimit(uint32_t node) const;
   bool AnyNodeOverLimit() const;
   void Deliver(const WorkBatch& batch);  // enqueue primary + replica work
+  void DeliverOverhead(uint32_t node, uint32_t shard, double units);
   void Tick();
   void RouteArrivals(uint64_t count);
   void ProcessNodeInto(uint32_t node, NodeTickScratch* out);
   void MergeNodeTick(uint32_t node, const NodeTickScratch& scratch);
   void ControlLoop();
+  void MigrationLoop();  // serial, inside ControlLoop
   void SampleTimeline();
 
   Options options_;
@@ -197,6 +261,24 @@ class ClusterSim {
   std::map<uint64_t, TenantId> round_tenant_;  // in-flight rounds
   std::set<TenantId> tenants_in_flight_;
   Micros next_window_end_ = 0;
+
+  // Placement + liveness (serial sections only: RouteArrivals,
+  // ControlLoop, FailNode — never touched by pooled node ticks).
+  std::vector<uint32_t> shard_primary_;
+  std::vector<uint32_t> shard_replica_;
+  std::vector<bool> node_alive_;
+  uint32_t num_alive_ = 0;
+
+  // Migration control (sim fidelity). std::map iteration order makes
+  // the per-tick progress walk deterministic.
+  ShardHeatTracker heat_;
+  MigrationPlanner planner_;
+  std::map<uint32_t, SimMigration> migrations_;  // by shard
+  Micros next_migration_check_ = 0;
+  Micros next_churn_ = 0;
+  uint64_t migrations_started_ = 0;
+  uint64_t migrations_completed_ = 0;
+  uint64_t migrations_aborted_ = 0;
 
   // Data plane.
   std::vector<std::deque<WorkBatch>> node_queues_;

@@ -42,6 +42,25 @@ Status ShardStore::ApplyNoLog(const WriteOp& op) {
   return ApplyInternal(op);
 }
 
+Result<ShardStore::PinnedEpoch> ShardStore::ExportPinnedEpoch() const {
+  MutexLock lock(&write_mu_);
+  PinnedEpoch pinned;
+  pinned.boundary_seq = refreshed_seq_.load(std::memory_order_acquire);
+  {
+    MutexLock epoch(&epoch_mu_);
+    pinned.snapshot = segments_;
+  }
+  // The tail is copied out, not referenced: an unreadable entry is an
+  // error (it is an acknowledged op not yet in any segment — skipping
+  // it would silently lose the write at cutover).
+  pinned.tail.reserve(size_t(translog_.end_seq() - pinned.boundary_seq));
+  for (uint64_t seq = pinned.boundary_seq; seq < translog_.end_seq(); ++seq) {
+    ESDB_ASSIGN_OR_RETURN(WriteOp op, translog_.Get(seq));
+    pinned.tail.push_back(std::move(op));
+  }
+  return pinned;
+}
+
 Status ShardStore::ApplyInternal(const WriteOp& op) {
   switch (op.type) {
     case OpType::kInsert:

@@ -206,6 +206,20 @@ class ShardStore {
     return merged_docs_total_;
   }
 
+  // Atomic export for live shard migration (cluster/migration.h): the
+  // current epoch plus the translog tail not yet covered by it,
+  // captured together under the writer mutex so snapshot + tail is
+  // exactly the set of acknowledged ops at the capture instant. The
+  // snapshot pins every segment in it (a concurrent merge on this
+  // shard cannot free them), and the tail is copied out (a later
+  // Flush cannot truncate it away from the migration).
+  struct PinnedEpoch {
+    SegmentSnapshot snapshot;      // segments covering [0, boundary_seq)
+    uint64_t boundary_seq = 0;     // refreshed_seq at capture
+    std::vector<WriteOp> tail;     // ops in [boundary_seq, end_seq)
+  };
+  [[nodiscard]] Result<PinnedEpoch> ExportPinnedEpoch() const;
+
   // --- Recovery & replication hooks --------------------------------------
 
   // Rebuilds a store by replaying `log` (crash recovery, Section 3.3).

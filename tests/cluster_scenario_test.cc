@@ -1,0 +1,239 @@
+// Cluster-scale scenario suite: the simulator pushed to 10k shards
+// with tenant churn, live migration and correlated node failures —
+// the "does the whole control plane still hold together" layer above
+// sim_test.cc's single-mechanism checks. Invariants under test:
+//
+//  * conservation: generated == completed + backlog, across churn,
+//    migration cutover and node failure (FailNode requeues the dead
+//    node's primary work instead of dropping it);
+//  * determinism: the same seed and the same scripted fault schedule
+//    reproduce the run exactly — including the migration counters;
+//  * parallel==serial: pooled node ticks stay byte-identical to the
+//    serial walk even while placement is being rewritten under them;
+//  * bounded memory: queue entries stay near the client queue limit,
+//    they do not scale with shard count or run length.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/cluster_sim.h"
+
+namespace esdb {
+namespace {
+
+// The scenario cluster: 10k shards on 16 nodes, skewed tenants,
+// migration and churn on. Rates are chosen so the cluster runs warm
+// (some queueing) but not collapsed.
+ClusterSim::Options ScenarioOptions() {
+  ClusterSim::Options options;
+  options.num_nodes = 16;
+  options.num_shards = 10000;
+  options.node_capacity = 20000;
+  options.routing = RoutingKind::kDynamic;
+  options.hotspot_isolation = true;
+  options.generate_rate = 120000;
+  options.workload.num_tenants = 50000;
+  options.workload.theta = 1.2;
+  options.monitor_window = kMicrosPerSecond / 2;
+  options.consensus.interval = kMicrosPerSecond;
+  options.balancer.max_offset = 64;
+  options.migration.enabled = true;
+  options.migration.check_interval = kMicrosPerSecond;
+  options.migration.min_node_score = 100;
+  options.churn_interval = 2 * kMicrosPerSecond;
+  options.churn_shift = 1000;
+  return options;
+}
+
+void ExpectConserved(const ClusterSim& sim) {
+  const auto& m = sim.metrics();
+  EXPECT_EQ(m.completed + sim.backlog(), m.generated)
+      << "completed " << m.completed << " backlog " << sim.backlog()
+      << " generated " << m.generated;
+}
+
+void ExpectPlacementSane(const ClusterSim& sim, uint32_t num_shards) {
+  std::set<uint32_t> alive;
+  for (uint32_t node : sim.alive_nodes()) alive.insert(node);
+  ASSERT_GE(alive.size(), 2u);
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    ASSERT_TRUE(alive.count(sim.primary_node(shard)) > 0)
+        << "shard " << shard << " primary on dead node";
+    ASSERT_TRUE(alive.count(sim.replica_node(shard)) > 0)
+        << "shard " << shard << " replica on dead node";
+    ASSERT_NE(sim.primary_node(shard), sim.replica_node(shard))
+        << "shard " << shard;
+  }
+}
+
+TEST(ClusterScenarioTest, TenThousandShardsWithChurnConserveWrites) {
+  ClusterSim sim(ScenarioOptions());
+  sim.Run(6 * kMicrosPerSecond);
+  const auto& m = sim.metrics();
+  EXPECT_GT(m.generated, 500000u);
+  EXPECT_GT(m.completed, 0u);
+  ExpectConserved(sim);
+  ExpectPlacementSane(sim, 10000);
+  // Skew + a low planner floor: the balancer must actually move
+  // something at this scale.
+  EXPECT_GT(sim.migrations_started(), 0u);
+  EXPECT_GT(sim.migrations_completed(), 0u);
+}
+
+TEST(ClusterScenarioTest, BoundedQueueMemoryAtScale) {
+  // Queue entries (client + node queues) must track the client queue
+  // limit, not shard count x run length. Run twice as long; the
+  // entry count must not meaningfully grow once warm.
+  ClusterSim sim(ScenarioOptions());
+  sim.Run(4 * kMicrosPerSecond);
+  const size_t warm = sim.queue_entries();
+  sim.Run(8 * kMicrosPerSecond);
+  const size_t later = sim.queue_entries();
+  // Generous absolute roof: far below one entry per shard, let alone
+  // per shard-tick.
+  EXPECT_LT(later, 10000u);
+  EXPECT_LT(later, warm * 3 + 1000);
+  ExpectConserved(sim);
+}
+
+TEST(ClusterScenarioTest, ScriptedScenarioIsDeterministic) {
+  // Same seed, same scripted fault schedule => identical run, down to
+  // the migration counters. Everything the scenario layer adds
+  // (churn, migration, failures) must stay on the virtual clock.
+  auto run = [](ClusterSim* sim) {
+    sim->Run(3 * kMicrosPerSecond);
+    ASSERT_TRUE(sim->FailNode(3));
+    sim->Run(2 * kMicrosPerSecond);
+    ASSERT_TRUE(sim->FailNode(11));
+    sim->Run(3 * kMicrosPerSecond);
+  };
+  ClusterSim a(ScenarioOptions());
+  ClusterSim b(ScenarioOptions());
+  run(&a);
+  run(&b);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(a.metrics().generated, b.metrics().generated);
+  EXPECT_EQ(a.metrics().completed, b.metrics().completed);
+  EXPECT_EQ(a.metrics().node_completed, b.metrics().node_completed);
+  EXPECT_EQ(a.metrics().shard_completed, b.metrics().shard_completed);
+  EXPECT_EQ(a.backlog(), b.backlog());
+  EXPECT_EQ(a.queue_entries(), b.queue_entries());
+  EXPECT_EQ(a.migrations_started(), b.migrations_started());
+  EXPECT_EQ(a.migrations_completed(), b.migrations_completed());
+  EXPECT_EQ(a.migrations_aborted(), b.migrations_aborted());
+  for (uint32_t shard = 0; shard < 10000; shard += 97) {
+    EXPECT_EQ(a.primary_node(shard), b.primary_node(shard)) << shard;
+    EXPECT_EQ(a.replica_node(shard), b.replica_node(shard)) << shard;
+  }
+}
+
+TEST(ClusterScenarioTest, CorrelatedNodeFailuresFailOverAndRecover) {
+  // A rack goes dark: 4 of 16 nodes die between ticks. Every shard
+  // must end up with an alive primary+replica pair, no write may be
+  // lost (requeued, not dropped), and the survivors keep completing.
+  ClusterSim sim(ScenarioOptions());
+  sim.Run(4 * kMicrosPerSecond);
+  const uint64_t completed_before = sim.metrics().completed;
+  for (uint32_t node : {2u, 3u, 4u, 5u}) {
+    ASSERT_TRUE(sim.FailNode(node));
+  }
+  ExpectPlacementSane(sim, 10000);
+  ExpectConserved(sim);
+
+  sim.Run(6 * kMicrosPerSecond);
+  EXPECT_GT(sim.metrics().completed, completed_before);
+  ExpectConserved(sim);
+  ExpectPlacementSane(sim, 10000);
+  // Dead nodes stay dead and cannot be re-failed.
+  EXPECT_FALSE(sim.FailNode(2));
+  EXPECT_EQ(sim.alive_nodes().size(), 12u);
+}
+
+TEST(ClusterScenarioTest, FailuresCannotKillTheLastPair) {
+  ClusterSim::Options options = ScenarioOptions();
+  options.num_nodes = 3;
+  options.num_shards = 64;
+  options.generate_rate = 10000;
+  ClusterSim sim(options);
+  sim.Run(kMicrosPerSecond);
+  EXPECT_TRUE(sim.FailNode(0));
+  // Two nodes left: failing either would leave a single node, which
+  // cannot host primary+replica pairs — refused.
+  EXPECT_FALSE(sim.FailNode(1));
+  EXPECT_FALSE(sim.FailNode(2));
+  ExpectPlacementSane(sim, 64);
+}
+
+TEST(ClusterScenarioTest, ParallelTicksStayByteIdenticalUnderScenario) {
+  // The full scenario — churn shifting tenants, migrations rewriting
+  // placement, nodes dying mid-run — with pooled node ticks must
+  // reproduce the serial run EXACTLY (same merge order, same
+  // float-addition order). This is the sim_threads contract from
+  // sim_test.cc restated under maximum control-plane activity, at a
+  // smaller scale so the suite stays fast.
+  auto scenario_options = [](uint32_t threads) {
+    ClusterSim::Options options = ScenarioOptions();
+    options.num_shards = 1000;
+    options.num_nodes = 8;
+    options.generate_rate = 60000;
+    options.node_capacity = 15000;
+    options.sim_threads = threads;
+    return options;
+  };
+  auto run = [](ClusterSim* sim) {
+    sim->Run(3 * kMicrosPerSecond);
+    ASSERT_TRUE(sim->FailNode(5));
+    sim->Run(3 * kMicrosPerSecond);
+  };
+
+  ClusterSim serial(scenario_options(0));
+  ClusterSim pooled(scenario_options(3));
+  run(&serial);
+  run(&pooled);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const auto& a = serial.metrics();
+  const auto& b = pooled.metrics();
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.delay.count(), b.delay.count());
+  EXPECT_EQ(a.delay.sum(), b.delay.sum());  // exact: same fp order
+  EXPECT_EQ(a.max_delay, b.max_delay);
+  EXPECT_EQ(a.node_busy_seconds, b.node_busy_seconds);
+  EXPECT_EQ(a.node_completed, b.node_completed);
+  EXPECT_EQ(a.shard_completed, b.shard_completed);
+  EXPECT_EQ(a.shard_docs, b.shard_docs);
+  EXPECT_EQ(serial.backlog(), pooled.backlog());
+  EXPECT_EQ(serial.queue_entries(), pooled.queue_entries());
+  EXPECT_EQ(serial.migrations_started(), pooled.migrations_started());
+  EXPECT_EQ(serial.migrations_completed(), pooled.migrations_completed());
+  EXPECT_EQ(serial.migrations_aborted(), pooled.migrations_aborted());
+  for (uint32_t shard = 0; shard < 1000; ++shard) {
+    ASSERT_EQ(serial.primary_node(shard), pooled.primary_node(shard)) << shard;
+    ASSERT_EQ(serial.replica_node(shard), pooled.replica_node(shard)) << shard;
+  }
+}
+
+TEST(ClusterScenarioTest, MigrationCutoverMovesLoadOffTheHotNode) {
+  // With migration on, the shard the planner moves really does start
+  // completing on its new node: the placement table diverges from the
+  // initial modulo layout only through cutovers, never spontaneously.
+  ClusterSim::Options options = ScenarioOptions();
+  options.num_shards = 512;
+  options.num_nodes = 8;
+  options.workload.theta = 1.5;  // strong skew: clear migration target
+  options.generate_rate = 60000;
+  ClusterSim sim(options);
+  sim.Run(8 * kMicrosPerSecond);
+  ASSERT_GT(sim.migrations_completed(), 0u);
+  size_t moved = 0;
+  for (uint32_t shard = 0; shard < 512; ++shard) {
+    if (sim.primary_node(shard) != shard % 8) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(uint64_t(moved), sim.migrations_completed());
+  ExpectConserved(sim);
+}
+
+}  // namespace
+}  // namespace esdb

@@ -39,6 +39,14 @@ constexpr const char* kMatrixSites[] = {
     failsite::kReplicationCatchup,  // CrashMatrix.ReplicationCatchup
     failsite::kNetDrop,             // CrashMatrix.NetDrop
     failsite::kNetDelay,            // CrashMatrix.NetDelay
+    // Live-migration edges: scenarios live in tests/migration_test.cc
+    // (MigrationFailMatrix.*), one per state-machine edge, each with a
+    // replay oracle proving no acknowledged write is lost.
+    failsite::kMigrateStart,        // MigrationFailMatrix.StartFails
+    failsite::kMigrateCopySegment,  // MigrationFailMatrix.CopySegmentFails
+    failsite::kMigrateDeltaReplay,  // MigrationFailMatrix.DeltaReplayFails
+    failsite::kMigrateMirrorWrite,  // MigrationFailMatrix.MirrorWriteFails
+    failsite::kMigrateCutover,      // MigrationFailMatrix.CutoverFails
 };
 
 IndexSpec TestSpec() {

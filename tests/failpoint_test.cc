@@ -153,6 +153,9 @@ TEST_F(FailPointTest, AllSitesListsEveryNamedConstant) {
       failsite::kReplicationCatchup,     failsite::kNetDrop,
       failsite::kNetDelay,               failsite::kColdCompress,
       failsite::kColdWrite,              failsite::kColdLoad,
+      failsite::kMigrateStart,           failsite::kMigrateCopySegment,
+      failsite::kMigrateDeltaReplay,     failsite::kMigrateMirrorWrite,
+      failsite::kMigrateCutover,
   };
   EXPECT_EQ(sites.size(), std::size(expected));
   for (const char* site : expected) {

@@ -1,0 +1,275 @@
+// Balancer migration telemetry (balancer/shard_heat.h). The property
+// the migration path leans on: the decayed per-shard counters are a
+// pure function of the (trace, decay-boundary) sequence — NOT of how
+// the recordings were batched between boundaries — so two observers
+// ticking at different granularities propose the same migration
+// candidate for the same replayed Zipf trace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "balancer/shard_heat.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace esdb {
+namespace {
+
+// One recorded write in a replayable trace.
+struct TraceEvent {
+  ShardId shard = 0;
+  uint64_t rows = 0;
+  uint64_t micros = 0;
+};
+
+// A skewed trace with `windows` decay windows of `per_window` events.
+std::vector<TraceEvent> ZipfTrace(uint32_t num_shards, int windows,
+                                  int per_window, uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(num_shards, 1.2);
+  std::vector<TraceEvent> trace;
+  trace.reserve(size_t(windows) * size_t(per_window));
+  for (int i = 0; i < windows * per_window; ++i) {
+    TraceEvent e;
+    e.shard = ShardId(zipf.Sample(rng));
+    e.rows = 1 + rng.Uniform(4);
+    e.micros = rng.Uniform(200);
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+// Replays `trace` into a tracker, calling Decay() every
+// `events_per_window` events and batching consecutive recordings in
+// groups of `batch` (a batch accumulates rows/micros per shard before
+// touching the tracker — how a coarser-ticking observer would report).
+// Decay boundaries land at the same trace offsets regardless of
+// batching, which is the contract under test.
+void Replay(ShardHeatTracker* tracker, const std::vector<TraceEvent>& trace,
+            int events_per_window, int batch) {
+  std::vector<uint64_t> rows(tracker->num_shards(), 0);
+  std::vector<uint64_t> micros(tracker->num_shards(), 0);
+  std::vector<ShardId> touched;
+  auto flush = [&] {
+    for (const ShardId shard : touched) {
+      if (rows[shard] > 0) tracker->RecordWrite(shard, rows[shard]);
+      if (micros[shard] > 0) tracker->RecordProcessing(shard, micros[shard]);
+      rows[shard] = 0;
+      micros[shard] = 0;
+    }
+    touched.clear();
+  };
+  int in_batch = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace[i];
+    if (rows[e.shard] == 0 && micros[e.shard] == 0) touched.push_back(e.shard);
+    rows[e.shard] += e.rows;
+    micros[e.shard] += e.micros;
+    if (++in_batch >= batch) {
+      flush();
+      in_batch = 0;
+    }
+    if ((i + 1) % size_t(events_per_window) == 0) {
+      flush();
+      in_batch = 0;
+      tracker->Decay();
+    }
+  }
+  flush();
+}
+
+TEST(ShardHeatTrackerTest, CountersAccumulateAndScore) {
+  ShardHeatTracker tracker(4);
+  tracker.RecordWrite(1);
+  tracker.RecordWrite(1, 9);
+  tracker.RecordProcessing(1, 640);
+  EXPECT_EQ(tracker.heat(1).rows, 10u);
+  EXPECT_EQ(tracker.heat(1).processing_micros, 640u);
+  EXPECT_DOUBLE_EQ(tracker.Score(1), 10.0 + 640.0 / 64.0);
+  EXPECT_DOUBLE_EQ(tracker.Score(0), 0.0);
+}
+
+TEST(ShardHeatTrackerTest, DecayHalvesAndFadesOut) {
+  ShardHeatTracker tracker(2);
+  tracker.RecordWrite(0, 1000);
+  tracker.Decay();
+  EXPECT_EQ(tracker.heat(0).rows, 500u);
+  tracker.Decay();
+  EXPECT_EQ(tracker.heat(0).rows, 250u);
+  // Integer decay reaches exactly zero — stale shards stop competing.
+  for (int i = 0; i < 20; ++i) tracker.Decay();
+  EXPECT_EQ(tracker.heat(0).rows, 0u);
+}
+
+TEST(ShardHeatTrackerTest, DecayPermilleIsConfigurable) {
+  ShardHeatTracker::Options options;
+  options.decay_permille = 900;
+  ShardHeatTracker tracker(1, options);
+  tracker.RecordWrite(0, 1000);
+  tracker.Decay();
+  EXPECT_EQ(tracker.heat(0).rows, 900u);
+}
+
+// The satellite's headline property: replaying the same Zipf trace
+// with the same decay boundaries yields bit-identical counters — and
+// therefore the identical migration plan — no matter how the
+// recordings were batched between those boundaries.
+TEST(ShardHeatTrackerTest, BatchingInvariantUnderReplayedZipfTrace) {
+  const uint32_t kShards = 64;
+  const int kWindows = 8;
+  const int kPerWindow = 500;
+  const auto trace = ZipfTrace(kShards, kWindows, kPerWindow, 0x2a11);
+
+  // Shard -> node: 8 nodes, modulo layout.
+  std::vector<NodeId> placement(kShards);
+  for (uint32_t shard = 0; shard < kShards; ++shard) {
+    placement[shard] = NodeId(shard % 8);
+  }
+  std::vector<NodeId> alive;
+  for (NodeId node = 0; node < 8; ++node) alive.push_back(node);
+
+  MigrationPlanner::Options popts;
+  popts.min_node_score = 10;
+  const MigrationPlanner planner(popts);
+
+  std::vector<MigrationPlan> reference;
+  std::vector<ShardHeatTracker::Heat> canon;
+  bool first = true;
+  for (const int batch : {1, 7, 100, kPerWindow}) {
+    ShardHeatTracker tracker(kShards);
+    Replay(&tracker, trace, kPerWindow, batch);
+    // Counters must be bit-identical across batchings, per shard.
+    if (first) {
+      for (uint32_t s = 0; s < kShards; ++s) canon.push_back(tracker.heat(s));
+    } else {
+      for (uint32_t s = 0; s < kShards; ++s) {
+        EXPECT_EQ(tracker.heat(s).rows, canon[s].rows)
+            << "shard " << s << " batch " << batch;
+        EXPECT_EQ(tracker.heat(s).processing_micros,
+                  canon[s].processing_micros)
+            << "shard " << s << " batch " << batch;
+      }
+    }
+
+    const auto plans = planner.Decide(tracker, placement, alive, {});
+    ASSERT_FALSE(plans.empty()) << "batch " << batch;
+    if (first) {
+      reference = plans;
+      first = false;
+    } else {
+      ASSERT_EQ(plans.size(), reference.size()) << "batch " << batch;
+      for (size_t i = 0; i < plans.size(); ++i) {
+        EXPECT_EQ(plans[i].shard, reference[i].shard) << "batch " << batch;
+        EXPECT_EQ(plans[i].from, reference[i].from) << "batch " << batch;
+        EXPECT_EQ(plans[i].to, reference[i].to) << "batch " << batch;
+      }
+    }
+  }
+}
+
+// Planner mechanics on hand-built heat distributions.
+
+class MigrationPlannerTest : public ::testing::Test {
+ protected:
+  // 8 shards on 4 nodes, modulo placement.
+  MigrationPlannerTest() : tracker_(8) {
+    for (uint32_t shard = 0; shard < 8; ++shard) {
+      placement_.push_back(NodeId(shard % 4));
+    }
+    for (NodeId node = 0; node < 4; ++node) alive_.push_back(node);
+  }
+
+  ShardHeatTracker tracker_;
+  std::vector<NodeId> placement_;
+  std::vector<NodeId> alive_;
+};
+
+TEST_F(MigrationPlannerTest, IdleClusterProposesNothing) {
+  const MigrationPlanner planner;
+  EXPECT_TRUE(planner.Decide(tracker_, placement_, alive_, {}).empty());
+}
+
+TEST_F(MigrationPlannerTest, BalancedClusterProposesNothing) {
+  for (uint32_t shard = 0; shard < 8; ++shard) {
+    tracker_.RecordWrite(shard, 1000);
+  }
+  const MigrationPlanner planner;
+  EXPECT_TRUE(planner.Decide(tracker_, placement_, alive_, {}).empty());
+}
+
+TEST_F(MigrationPlannerTest, MovesHottestShardOffTheBusiestNode) {
+  // Node 0 hosts shards 0 and 4; make 4 hot and 0 warm so node 0
+  // dominates but moving shard 4 still strictly improves.
+  tracker_.RecordWrite(0, 400);
+  tracker_.RecordWrite(4, 2000);
+  tracker_.RecordWrite(1, 100);  // some background on node 1
+  const MigrationPlanner planner;
+  const auto plans = planner.Decide(tracker_, placement_, alive_, {});
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].shard, 4u);
+  EXPECT_EQ(plans[0].from, 0u);
+  // Idlest node, ties toward the smaller ordinal: nodes 2 and 3 are
+  // both empty -> node 2.
+  EXPECT_EQ(plans[0].to, 2u);
+}
+
+TEST_F(MigrationPlannerTest, WholeLoadShardDoesNotBounce) {
+  // Node 0's entire load is one shard: moving it just relocates the
+  // hotspot (the spread cannot shrink), so the planner must refuse —
+  // otherwise the shard ping-pongs between nodes forever.
+  tracker_.RecordWrite(0, 5000);
+  const MigrationPlanner planner;
+  EXPECT_TRUE(planner.Decide(tracker_, placement_, alive_, {}).empty());
+}
+
+TEST_F(MigrationPlannerTest, RespectsMaxConcurrentAndMigratingSet) {
+  tracker_.RecordWrite(0, 400);
+  tracker_.RecordWrite(4, 2000);
+  MigrationPlanner::Options options;
+  options.max_concurrent = 2;
+  const MigrationPlanner planner(options);
+  // Two in flight already: no budget.
+  EXPECT_TRUE(
+      planner.Decide(tracker_, placement_, alive_, {ShardId(6), ShardId(7)})
+          .empty());
+  // The hot shard itself mid-migration: it cannot be re-proposed.
+  const auto plans =
+      planner.Decide(tracker_, placement_, alive_, {ShardId(4)});
+  for (const auto& plan : plans) EXPECT_NE(plan.shard, 4u);
+}
+
+TEST_F(MigrationPlannerTest, MinNodeScoreFloorSilencesQuietClusters) {
+  tracker_.RecordWrite(4, 40);
+  tracker_.RecordWrite(0, 10);
+  MigrationPlanner::Options options;
+  options.min_node_score = 1000;
+  const MigrationPlanner planner(options);
+  EXPECT_TRUE(planner.Decide(tracker_, placement_, alive_, {}).empty());
+}
+
+TEST_F(MigrationPlannerTest, NeedsTwoAliveNodes) {
+  tracker_.RecordWrite(0, 5000);
+  const MigrationPlanner planner;
+  EXPECT_TRUE(
+      planner.Decide(tracker_, placement_, {NodeId(0)}, {}).empty());
+}
+
+TEST_F(MigrationPlannerTest, IgnoresShardsOnDeadNodes) {
+  // Node 3 is gone from `alive`; its shards are unroutable load and
+  // must be invisible to the planner (they'll be re-placed by
+  // failover, not migration).
+  tracker_.RecordWrite(3, 100000);  // shard 3 lives on dead node 3
+  tracker_.RecordWrite(0, 50);
+  std::vector<NodeId> alive = {NodeId(0), NodeId(1), NodeId(2)};
+  const MigrationPlanner planner;
+  for (const auto& plan : planner.Decide(tracker_, placement_, alive, {})) {
+    EXPECT_NE(plan.shard, 3u);
+    EXPECT_NE(plan.from, 3u);
+    EXPECT_NE(plan.to, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace esdb

@@ -274,6 +274,54 @@ TEST(ClusterSimTest, SimWorkersAreByteIdenticalToSerial) {
   }
 }
 
+TEST(ClusterSimTest, TenKShardsTenantChurnParallelEqualsSerial) {
+  // Scale the sim to 10k shards with tenant churn on and assert the
+  // two headline scenario properties at once: pooled node ticks stay
+  // byte-identical to the serial walk, and queue memory stays bounded
+  // by the client queue limit — not by shard count or run length.
+  // (The full fault-injection scenarios live in
+  // cluster_scenario_test.cc.)
+  auto make_options = [](uint32_t threads) {
+    ClusterSim::Options options;
+    options.num_nodes = 16;
+    options.num_shards = 10000;
+    options.node_capacity = 20000;
+    options.routing = RoutingKind::kDynamic;
+    options.hotspot_isolation = true;
+    options.generate_rate = 120000;
+    options.workload.num_tenants = 50000;
+    options.workload.theta = 1.2;
+    options.monitor_window = kMicrosPerSecond / 2;
+    options.consensus.interval = kMicrosPerSecond;
+    options.balancer.max_offset = 64;
+    options.churn_interval = kMicrosPerSecond;
+    options.churn_shift = 2000;
+    options.sim_threads = threads;
+    return options;
+  };
+  ClusterSim serial(make_options(0));
+  ClusterSim pooled(make_options(4));
+  serial.Run(5 * kMicrosPerSecond);
+  pooled.Run(5 * kMicrosPerSecond);
+
+  const auto& a = serial.metrics();
+  const auto& b = pooled.metrics();
+  EXPECT_GT(a.generated, 500000u);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.delay.sum(), b.delay.sum());  // exact: same fp order
+  EXPECT_EQ(a.node_busy_seconds, b.node_busy_seconds);
+  EXPECT_EQ(a.node_completed, b.node_completed);
+  EXPECT_EQ(a.shard_completed, b.shard_completed);
+  EXPECT_EQ(a.shard_docs, b.shard_docs);
+  EXPECT_EQ(serial.backlog(), pooled.backlog());
+  EXPECT_EQ(serial.queue_entries(), pooled.queue_entries());
+  // Bounded memory: queue entries are orders of magnitude below one
+  // per shard-tick (50 ticks x 10k shards); churn must not leak
+  // held batches.
+  EXPECT_LT(serial.queue_entries(), 10000u);
+}
+
 TEST(ClusterSimTest, HeldHotWritesEventuallyDeliver) {
   // Drive a burst past the hot worker's queue limit, then stop the
   // load: the held client-side batches must drain to zero.
